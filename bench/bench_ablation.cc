@@ -1,0 +1,103 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  1. Phase ordering: Vertical-before-Horizontal (the paper's order,
+//     Section 4) vs the flipped order.
+//  2. Configuration search: RRS vs pure random sampling vs rules of thumb.
+//  3. Information spectrum: full annotations vs schema-only (no profiles,
+//     job-count fallback costing) vs no annotations at all.
+//
+// Flags: --rows N  physical sample rows (default 15000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+#include "optimizer/configuration.h"
+
+using namespace stubby;
+using namespace stubby::bench;
+
+namespace {
+
+/// Strips profile annotations (and optionally schema/filter/layout
+/// annotations) from a plan — the information-spectrum ablation.
+Plan StripAnnotations(const Plan& plan, bool keep_schema) {
+  Plan out = plan;
+  for (const auto& [jid, job] : plan.jobs()) {
+    auto j = out.GetMutableJob(jid);
+    for (Branch& b : (*j)->branches) {
+      b.annotations.profile.reset();
+      for (BranchInput& in : b.inputs) {
+        for (Stage& s : in.map_stages) s.stats.reset();
+      }
+      for (Stage& s : b.merged_map_stages) s.stats.reset();
+      for (Stage& s : b.reduce_stages) s.stats.reset();
+      if (!keep_schema) {
+        b.annotations.schema.reset();
+        b.annotations.filter.reset();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rows = 15000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
+      rows = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("Ablations (speedup over Baseline; higher is better)\n");
+  std::printf("%-6s | %9s %9s | %9s %9s | %9s %9s\n", "WF", "V-then-H",
+              "H-then-V", "RRS", "RandOnly", "FullAnn", "SchemaOnly");
+
+  for (const auto& abbr : AllWorkloadAbbrs()) {
+    auto pw = Prepare(abbr, rows);
+    STUBBY_CHECK_OK(pw.status());
+    auto baseline = PigBaseline(pw->workload.plan);
+    STUBBY_CHECK_OK(baseline.status());
+    auto t_base = Execute(*pw, *baseline);
+    STUBBY_CHECK_OK(t_base.status());
+
+    auto speedup = [&](const StubbyOptions& opts, const Plan& input) {
+      auto report = StubbyOptimizer(opts).Optimize(input);
+      STUBBY_CHECK_OK(report.status());
+      auto t = Execute(*pw, report->plan);
+      STUBBY_CHECK_OK(t.status());
+      return *t_base / *t;
+    };
+
+    StubbyOptions normal;
+    StubbyOptions flipped;
+    flipped.flip_phase_order = true;
+
+    // RRS vs pure random sampling: random = RRS with no exploitation.
+    StubbyOptions random_only;
+    random_only.unit.rrs.explore_samples = random_only.unit.rrs.budget;
+    random_only.unit.rrs.exploit_samples = 0;
+    random_only.unit.rrs.init_radius = 0.0;
+
+    double s_vh = speedup(normal, pw->workload.plan);
+    double s_hv = speedup(flipped, pw->workload.plan);
+    double s_rrs = s_vh;
+    double s_rand = speedup(random_only, pw->workload.plan);
+    // Schema-only: the plan keeps schema/filter/layout annotations but has
+    // no profiles — Stubby falls back to job-count costing, so packing
+    // still happens but configurations cannot be tuned. Start from the
+    // rules-of-thumb settings (what a generator would hand over) so the
+    // comparison isolates the missing profiles rather than missing configs.
+    auto thumb = RuleOfThumbConfigs(pw->workload.plan);
+    STUBBY_CHECK_OK(thumb.status());
+    Plan schema_only = StripAnnotations(*thumb, true);
+    double s_schema = speedup(normal, schema_only);
+
+    std::printf("%-6s | %9.2f %9.2f | %9.2f %9.2f | %9.2f %9.2f\n",
+                abbr.c_str(), s_vh, s_hv, s_rrs, s_rand, s_vh, s_schema);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared machinery for the figure/table benches: builds a workload,
+// profiles it, produces each system's plan (Baseline, Stubby, Vertical-only,
+// Horizontal-only, Starfish, YSmart, MRShare), executes plans on the
+// simulated cluster, and reports speedups — the evaluation loop of
+// Section 7.
+
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/mrshare.h"
+#include "baselines/pig_baseline.h"
+#include "baselines/starfish.h"
+#include "baselines/ysmart.h"
+#include "common/result.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/stubby.h"
+#include "profiler/profiler.h"
+#include "workloads/registry.h"
+
+namespace stubby::bench {
+
+/// One workload, profiled and ready for plan comparisons.
+struct PreparedWorkload {
+  Workload workload;  ///< plan carries profile annotations
+  WorkloadOptions options;
+};
+
+inline Result<PreparedWorkload> Prepare(const std::string& abbr,
+                                        int sample_rows, uint64_t seed = 7) {
+  WorkloadOptions options;
+  options.sample_rows = sample_rows;
+  options.seed = seed;
+  STUBBY_ASSIGN_OR_RETURN(Workload w, MakeWorkload(abbr, options));
+  Profiler profiler(options.cluster);
+  Dfs profiling_dfs = w.dfs;
+  STUBBY_RETURN_NOT_OK(profiler.ProfilePlan(&w.plan, &profiling_dfs));
+  return PreparedWorkload{std::move(w), options};
+}
+
+/// Simulated wall-clock of a plan, run on a fresh copy of the base data.
+inline Result<double> Execute(const PreparedWorkload& pw, const Plan& plan) {
+  WorkflowRunner runner(pw.options.cluster);
+  Dfs dfs = pw.workload.dfs;
+  STUBBY_ASSIGN_OR_RETURN(WorkflowDataflow flow, runner.Run(plan, &dfs));
+  return flow.makespan_sec;
+}
+
+/// Stubby with a transformation-group selection (Figure 11's Stubby /
+/// Vertical / Horizontal configurations).
+inline Result<Plan> RunStubby(const PreparedWorkload& pw, bool vertical,
+                              bool horizontal, uint64_t seed = 17) {
+  StubbyOptions opts;
+  opts.enable_intra_vertical = vertical;
+  opts.enable_inter_vertical = vertical;
+  opts.enable_horizontal = horizontal;
+  // The partition-function and configuration transformations belong to both
+  // groups (Section 4).
+  opts.enable_partition_function = vertical || horizontal;
+  opts.enable_configuration = true;
+  opts.unit.seed = seed;
+  StubbyOptimizer optimizer(opts);
+  STUBBY_ASSIGN_OR_RETURN(OptimizeReport report,
+                          optimizer.Optimize(pw.workload.plan));
+  return std::move(report.plan);
+}
+
+/// Prints one speedup row: `label  v1 v2 ...`.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values) {
+  std::printf("%-22s", label.c_str());
+  for (double v : values) std::printf(" %8.2f", v);
+  std::printf("\n");
+}
+
+}  // namespace stubby::bench

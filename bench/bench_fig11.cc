@@ -1,0 +1,68 @@
+// Figure 11: speedup over the Baseline achieved by Stubby (all
+// transformations), Vertical (intra-/inter-job vertical packing + partition
+// function + configuration), and Horizontal (horizontal packing + partition
+// function + configuration), for all eight workflows of Table 1.
+//
+// Flags: --rows N      physical sample rows (default 20000)
+//        --flip-phases ablation: apply Horizontal before Vertical in Stubby
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+
+using namespace stubby;
+using namespace stubby::bench;
+
+int main(int argc, char** argv) {
+  int rows = 20000;
+  bool flip = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
+      rows = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--flip-phases")) {
+      flip = true;
+    }
+  }
+
+  std::printf(
+      "Figure 11: speedup over Baseline (Pig rules + rules-of-thumb "
+      "config)%s\n",
+      flip ? " [ablation: horizontal-before-vertical phase order]" : "");
+  std::printf("%-6s %10s | %8s %8s %8s\n", "WF", "Baseline", "Stubby",
+              "Vertical", "Horizntl");
+
+  for (const auto& abbr : AllWorkloadAbbrs()) {
+    auto pw = Prepare(abbr, rows);
+    STUBBY_CHECK_OK(pw.status());
+
+    auto baseline = PigBaseline(pw->workload.plan);
+    STUBBY_CHECK_OK(baseline.status());
+    auto t_base = Execute(*pw, *baseline);
+    STUBBY_CHECK_OK(t_base.status());
+
+    auto run = [&](bool vertical, bool horizontal) -> double {
+      StubbyOptions opts;
+      opts.enable_intra_vertical = vertical;
+      opts.enable_inter_vertical = vertical;
+      opts.enable_horizontal = horizontal;
+      opts.enable_partition_function = true;
+      opts.enable_configuration = true;
+      opts.flip_phase_order = flip;
+      auto report = StubbyOptimizer(opts).Optimize(pw->workload.plan);
+      STUBBY_CHECK_OK(report.status());
+      auto t = Execute(*pw, report->plan);
+      STUBBY_CHECK_OK(t.status());
+      return *t_base / *t;
+    };
+
+    double s_stubby = run(true, true);
+    double s_vertical = run(true, false);
+    double s_horizontal = run(false, true);
+    std::printf("%-6s %9.0fs | %8.2f %8.2f %8.2f\n", abbr.c_str(), *t_base,
+                s_stubby, s_vertical, s_horizontal);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 12: speedup over the Baseline achieved by Stubby and the
+// state-of-the-art comparators — Starfish (cost-based configuration only),
+// YSmart (rule-based packing to minimize job count + rule-based
+// configuration), and MRShare (cost-based horizontal packing + rule-based
+// configuration) — for all eight workflows.
+//
+// Flags: --rows N  physical sample rows (default 20000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+
+using namespace stubby;
+using namespace stubby::bench;
+
+int main(int argc, char** argv) {
+  int rows = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
+      rows = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("Figure 12: speedup over Baseline\n");
+  std::printf("%-6s %10s | %8s %8s %8s %8s\n", "WF", "Baseline", "Stubby",
+              "Starfish", "YSmart", "MRShare");
+
+  for (const auto& abbr : AllWorkloadAbbrs()) {
+    auto pw = Prepare(abbr, rows);
+    STUBBY_CHECK_OK(pw.status());
+
+    auto baseline = PigBaseline(pw->workload.plan);
+    STUBBY_CHECK_OK(baseline.status());
+    auto t_base = Execute(*pw, *baseline);
+    STUBBY_CHECK_OK(t_base.status());
+
+    auto speedup_of = [&](Result<Plan> plan) -> double {
+      STUBBY_CHECK_OK(plan.status());
+      auto t = Execute(*pw, *plan);
+      STUBBY_CHECK_OK(t.status());
+      return *t_base / *t;
+    };
+
+    double s_stubby = speedup_of(RunStubby(*pw, true, true));
+    double s_starfish = speedup_of(StarfishOptimize(pw->workload.plan));
+    double s_ysmart = speedup_of(YSmartOptimize(pw->workload.plan));
+    double s_mrshare = speedup_of(MRShareOptimize(pw->workload.plan));
+    std::printf("%-6s %9.0fs | %8.2f %8.2f %8.2f %8.2f\n", abbr.c_str(),
+                *t_base, s_stubby, s_starfish, s_ysmart, s_mrshare);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 13: optimization overhead — Stubby's optimization time for each
+// workflow, in absolute (real) seconds and as a percentage of the
+// workflow's (simulated) Baseline running time. As in the paper, the
+// optimization overhead is small relative to the achieved speedups and is
+// amortized over repeated workflow runs.
+//
+// Flags: --rows N  physical sample rows (default 20000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+
+using namespace stubby;
+using namespace stubby::bench;
+
+int main(int argc, char** argv) {
+  int rows = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
+      rows = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("Figure 13: optimization overhead\n");
+  std::printf("%-6s %6s %12s %14s %10s %10s\n", "WF", "Jobs", "Opt time",
+              "Workflow time", "Overhead", "Subplans");
+
+  for (const auto& abbr : AllWorkloadAbbrs()) {
+    auto pw = Prepare(abbr, rows);
+    STUBBY_CHECK_OK(pw.status());
+    auto baseline = PigBaseline(pw->workload.plan);
+    STUBBY_CHECK_OK(baseline.status());
+    auto t_base = Execute(*pw, *baseline);
+    STUBBY_CHECK_OK(t_base.status());
+
+    StubbyOptimizer optimizer;
+    auto report = optimizer.Optimize(pw->workload.plan);
+    STUBBY_CHECK_OK(report.status());
+
+    std::printf("%-6s %6zu %11.2fs %13.0fs %9.2f%% %10d\n", abbr.c_str(),
+                pw->workload.plan.num_jobs(), report->optimization_time_sec,
+                *t_base, 100.0 * report->optimization_time_sec / *t_base,
+                report->subplans_enumerated);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nNote: optimization time is real wall-clock on this machine; the\n"
+      "workflow time is the simulated cluster makespan, so the percentage\n"
+      "is indicative (the paper reports both on the same 50-node cluster).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table 1: the eight MapReduce workflows and their dataset sizes, as built
+// by this reproduction (logical sizes preserved; the in-memory sample is
+// what actually executes).
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "bench_common.h"
+
+using namespace stubby;
+
+int main() {
+  std::printf("Table 1: MapReduce workflows and corresponding data sizes\n");
+  std::printf("%-6s %-32s %6s %10s %14s\n", "Abbr.", "Workflow", "Jobs",
+              "Size", "Sample rows");
+  for (const auto& abbr : AllWorkloadAbbrs()) {
+    WorkloadOptions options;
+    auto w = MakeWorkload(abbr, options);
+    STUBBY_CHECK_OK(w.status());
+    uint64_t sample_rows = 0;
+    for (const auto& [id, ds] : w->plan.datasets()) {
+      if (!ds.is_base_input) continue;
+      auto stored = w->dfs.Get(id);
+      if (stored.ok()) sample_rows += (*stored)->num_rows();
+    }
+    std::printf("%-6s %-32s %6zu %10s %14llu\n", w->abbr.c_str(),
+                w->name.c_str(), w->plan.num_jobs(),
+                HumanBytes(w->dataset_logical_bytes).c_str(),
+                (unsigned long long)sample_rows);
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// and optimizer: row handling, partitioning, pipeline execution, the
+// cluster scheduler, plan signatures, what-if costing, and RRS — the inner
+// loops that bound the optimizer overhead reported in Figure 13.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cost/schedule.h"
+#include "cost/whatif.h"
+#include "exec/wrappers.h"
+#include "mr/partitioner.h"
+#include "optimizer/rrs.h"
+#include "optimizer/transform.h"
+#include "profiler/profiler.h"
+#include "workloads/registry.h"
+#include "workloads/udfs.h"
+
+using namespace stubby;
+
+namespace {
+
+std::vector<Row> MakeRows(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(
+        Row{rng.NextInt(0, 999), rng.NextInt(0, 99), rng.NextDouble(0, 100)});
+  }
+  return rows;
+}
+
+void BM_RowSerializedSize(benchmark::State& state) {
+  std::vector<Row> rows = MakeRows(1024, 1);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (const Row& r : rows) total += r.SerializedSize();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RowSerializedSize);
+
+void BM_HashPartitioner(benchmark::State& state) {
+  Schema schema({"A", "B", "V"});
+  PartitionSpec spec = PartitionSpec::DefaultFor({"A", "B"});
+  Partitioner p = *Partitioner::Make(spec, schema);
+  std::vector<Row> rows = MakeRows(1024, 2);
+  for (auto _ : state) {
+    int acc = 0;
+    for (const Row& r : rows) acc += p.PartitionOf(r, 100);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_HashPartitioner);
+
+void BM_RangePartitioner(benchmark::State& state) {
+  Schema schema({"A", "B", "V"});
+  PartitionSpec spec;
+  spec.type = PartitionType::kRange;
+  spec.partition_fields = {"A"};
+  spec.sort_fields = {"A"};
+  for (int i = 10; i < 1000; i += 10) spec.split_points.push_back(Row{i});
+  Partitioner p = *Partitioner::Make(spec, schema);
+  std::vector<Row> rows = MakeRows(1024, 3);
+  for (auto _ : state) {
+    int acc = 0;
+    for (const Row& r : rows) acc += p.PartitionOf(r, 100);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RangePartitioner);
+
+void BM_PipelineMapReduce(benchmark::State& state) {
+  Schema schema({"A", "B", "V"});
+  std::vector<Stage> stages = {
+      Stage::Map(FilterRangeMap("f", schema, "V", 0, 80)),
+      Stage::Reduce(AggReduce("agg", schema, {"A"}, {{"V", AggOp::kSum, "S"}}),
+                    {"A"}),
+  };
+  std::vector<Row> rows = MakeRows(static_cast<int>(state.range(0)), 4);
+  std::vector<size_t> idx = {0};
+  std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    return CompareOnFields(a, b, idx) < 0;
+  });
+  for (auto _ : state) {
+    VectorEmitter out;
+    auto runner = PipelineRunner::Make(stages, schema, &out, nullptr);
+    for (const Row& r : rows) (*runner)->Emit(r);
+    (*runner)->Finish();
+    benchmark::DoNotOptimize(out.rows().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineMapReduce)->Arg(1024)->Arg(16384);
+
+void BM_ClusterSchedule(benchmark::State& state) {
+  ClusterSpec cluster;
+  std::vector<ScheduledJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    ScheduledJob j;
+    j.id = "J" + std::to_string(i);
+    if (i > 0) j.deps = {"J" + std::to_string(i - 1)};
+    j.times.map_tasks = static_cast<int>(state.range(0));
+    j.times.reduce_tasks = 100;
+    j.times.map_avg_sec = 10;
+    j.times.map_max_sec = 12;
+    j.times.reduce_avg_sec = 30;
+    j.times.reduce_max_sec = 45;
+    j.times.job_overhead_sec = 6;
+    jobs.push_back(std::move(j));
+  }
+  for (auto _ : state) {
+    auto res = SimulateCluster(jobs, cluster);
+    benchmark::DoNotOptimize(res->makespan_sec);
+  }
+}
+BENCHMARK(BM_ClusterSchedule)->Arg(500)->Arg(5000);
+
+void BM_Rrs(benchmark::State& state) {
+  for (auto _ : state) {
+    RecursiveRandomSearch rrs(RrsOptions{}, 42);
+    auto [point, value] = rrs.Minimize(
+        8,
+        [](const std::vector<double>& x) {
+          double s = 0;
+          for (double v : x) s += (v - 0.3) * (v - 0.3);
+          return s;
+        },
+        {});
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_Rrs);
+
+// Whole-plan costing (the optimizer's inner loop) on the profiled IR
+// workload.
+void BM_WhatIfCostIR(benchmark::State& state) {
+  WorkloadOptions options;
+  options.sample_rows = 5000;
+  auto w = MakeWorkload("IR", options);
+  Profiler profiler(options.cluster);
+  Dfs dfs = w->dfs;
+  STUBBY_CHECK_OK(profiler.ProfilePlan(&w->plan, &dfs));
+  WhatIfEngine whatif(options.cluster);
+  for (auto _ : state) {
+    CostEstimate est = whatif.Cost(w->plan);
+    benchmark::DoNotOptimize(est.cost);
+  }
+}
+BENCHMARK(BM_WhatIfCostIR);
+
+void BM_PlanSignature(benchmark::State& state) {
+  WorkloadOptions options;
+  options.sample_rows = 2000;
+  auto w = MakeWorkload("BR", options);
+  for (auto _ : state) {
+    std::string sig = PlanSignature(w->plan);
+    benchmark::DoNotOptimize(sig.size());
+  }
+}
+BENCHMARK(BM_PlanSignature);
+
+}  // namespace
+
+BENCHMARK_MAIN();

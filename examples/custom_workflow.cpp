@@ -1,0 +1,145 @@
+// Building and optimizing your own annotated workflow with the public API —
+// the path a workflow-generator integration (Pig/Hive/Cascading in Figure 2)
+// would take:
+//
+//   1. define datasets and black-box map/reduce functions,
+//   2. attach schema and filter annotations (what your generator knows),
+//   3. profile on sample data,
+//   4. hand the plan to Stubby,
+//   5. execute on the simulated cluster.
+//
+// The workflow here is a small clickstream pipeline: a map-only
+// sessionizer, a per-(user,day) session aggregate, and a per-user rollup —
+// a chain that Stubby collapses via vertical packing.
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/stubby.h"
+#include "profiler/profiler.h"
+#include "workloads/builder.h"
+#include "workloads/udfs.h"
+
+using namespace stubby;
+
+int main() {
+  ClusterSpec cluster;  // 51 nodes, 150 map + 102 reduce slots
+  WorkflowFactory factory(cluster);
+  Rng rng(2024);
+
+  // --- 1. Base data: click events <user U, day D, dwell V, url page> -----
+  Schema clicks({"U", "D", "V", "PAGE"});
+  std::vector<Row> rows;
+  for (int i = 0; i < 30000; ++i) {
+    rows.push_back(Row{rng.NextInt(0, 999), rng.NextInt(0, 30),
+                       rng.NextDouble(0, 300),
+                       StrFormat("/p/%d", (int)rng.NextInt(0, 50))});
+  }
+  STUBBY_CHECK_OK(factory.AddBase("clicks", clicks, Layout{},
+                                  /*partitions=*/32, std::move(rows),
+                                  /*logical_bytes=*/120ull << 30));
+
+  const Schema kEvents({"U", "D", "V"});
+  const Schema kSessions({"U", "D", "SESS"});
+  const Schema kUsers({"U", "TOTAL"});
+  STUBBY_CHECK_OK(factory.AddDataset("events", kEvents));
+  STUBBY_CHECK_OK(factory.AddDataset("sessions", kSessions));
+  STUBBY_CHECK_OK(
+      factory.AddDataset("user_totals", kUsers, /*workflow_output=*/true));
+
+  // --- 2. Jobs with annotations ------------------------------------------
+  {  // J1: map-only cleanup/projection.
+    WorkflowFactory::JobDef j;
+    j.id = "clean";
+    j.inputs = {In("clicks", {Stage::Map(ProjectMap("project_event", clicks,
+                                                    {"U", "D", "V"}, 0.6))})};
+    j.map_output_schema = kEvents;
+    j.output = "events";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"U", "D"};
+    sa.v1 = FieldSet{"V", "PAGE"};
+    sa.k3 = FieldSet{"U", "D"};
+    sa.v3 = FieldSet{"V"};
+    j.schema_ann = sa;
+    STUBBY_CHECK_OK(factory.AddJob(std::move(j)));
+  }
+  {  // J2: session dwell per (user, day).
+    WorkflowFactory::JobDef j;
+    j.id = "sessionize";
+    j.inputs = {In("events", {})};
+    j.map_output_schema = kEvents;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("sum_dwell", kEvents, {"U", "D"},
+                  {{"V", AggOp::kSum, "SESS"}}),
+        {"U", "D"})};
+    j.combiner = AggCombine("combine_dwell", kEvents, {"U", "D"},
+                            {{"V", AggOp::kSum, "V"}});
+    j.output = "sessions";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"U", "D"};
+    sa.v1 = FieldSet{"V"};
+    sa.k2 = FieldSet{"U", "D"};
+    sa.v2 = FieldSet{"V"};
+    sa.k3 = FieldSet{"U", "D"};
+    sa.v3 = FieldSet{"SESS"};
+    j.schema_ann = sa;
+    STUBBY_CHECK_OK(factory.AddJob(std::move(j)));
+  }
+  {  // J3: per-user rollup ({U} is a prefix of {U,D} -> intra-packable).
+    WorkflowFactory::JobDef j;
+    j.id = "rollup";
+    j.inputs = {In("sessions", {})};
+    j.map_output_schema = kSessions;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("sum_user", kSessions, {"U"},
+                  {{"SESS", AggOp::kSum, "TOTAL"}}),
+        {"U"})};
+    j.sort_extra = {"D"};
+    j.output = "user_totals";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"U", "D"};
+    sa.v1 = FieldSet{"SESS"};
+    sa.k2 = FieldSet{"U"};
+    sa.v2 = FieldSet{"D", "SESS"};
+    sa.k3 = FieldSet{"U"};
+    sa.v3 = FieldSet{"TOTAL"};
+    j.schema_ann = sa;
+    STUBBY_CHECK_OK(factory.AddJob(std::move(j)));
+  }
+  STUBBY_CHECK_OK(factory.plan().Validate());
+
+  // --- 3. Profile ----------------------------------------------------------
+  Profiler profiler(cluster);
+  Dfs profiling_dfs = factory.dfs();
+  STUBBY_CHECK_OK(profiler.ProfilePlan(&factory.plan(), &profiling_dfs));
+
+  // --- 4. Optimize ---------------------------------------------------------
+  StubbyOptimizer optimizer;
+  auto report = optimizer.Optimize(factory.plan());
+  STUBBY_CHECK_OK(report.status());
+  std::printf("Stubby turned %zu jobs into %zu:\n", factory.plan().num_jobs(),
+              report->plan.num_jobs());
+  for (const auto& line : report->applied) std::printf("  - %s\n",
+                                                       line.c_str());
+
+  // --- 5. Execute both plans ------------------------------------------------
+  WorkflowRunner runner(cluster);
+  Dfs d_before = factory.dfs(), d_after = factory.dfs();
+  auto before = runner.Run(factory.plan(), &d_before);
+  auto after = runner.Run(report->plan, &d_after);
+  STUBBY_CHECK_OK(before.status());
+  STUBBY_CHECK_OK(after.status());
+  std::printf("unoptimized: %s | optimized: %s (%.2fx)\n",
+              HumanSeconds(before->makespan_sec).c_str(),
+              HumanSeconds(after->makespan_sec).c_str(),
+              before->makespan_sec / after->makespan_sec);
+
+  auto a = d_before.Get("user_totals");
+  auto b = d_after.Get("user_totals");
+  bool ok = a.ok() && b.ok() &&
+            RowsApproxEqual((*a)->AllRows(), (*b)->AllRows(), 1e-6);
+  std::printf("outputs %s (%llu users)\n", ok ? "identical" : "MISMATCH",
+              a.ok() ? (unsigned long long)(*a)->num_rows() : 0ull);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// Developer tool: per-job predicted-vs-observed dataflow for a workload,
+// before and after Stubby — the raw material behind Figure 14. Also prints
+// the subplan enumeration of the first optimization unit.
+
+#include <cstdio>
+#include <string>
+
+#include "cost/whatif.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/horizontal.h"
+#include "baselines/pig_baseline.h"
+#include "optimizer/partition_fn.h"
+#include "optimizer/search.h"
+#include "optimizer/stubby.h"
+#include "optimizer/vertical.h"
+#include "profiler/profiler.h"
+#include "workloads/registry.h"
+
+using namespace stubby;
+
+namespace {
+
+void CompareFlows(const WorkflowDataflow& actual,
+                  const WorkflowDataflow& predicted) {
+  std::printf("%-10s | %13s | %13s\n", "job", "actual", "predicted");
+  for (const auto& a : actual.jobs) {
+    const JobDataflow* p = predicted.FindJob(a.job_id);
+    if (p == nullptr) continue;
+    auto row = [&](const char* what, double av, double pv) {
+      std::printf("  %-24s %14.3g %14.3g  (%+.0f%%)\n", what, av, pv,
+                  av > 0 ? 100.0 * (pv - av) / av : 0.0);
+    };
+    std::printf("%s:\n", a.job_id.c_str());
+    row("map tasks", a.num_map_tasks, p->num_map_tasks);
+    row("map input bytes", a.map_input_bytes, p->map_input_bytes);
+    row("map output bytes", a.map_output_bytes, p->map_output_bytes);
+    row("combine out bytes", a.combine_output_bytes, p->combine_output_bytes);
+    row("reduce input bytes", a.reduce_input_bytes, p->reduce_input_bytes);
+    row("max reduce partition", a.max_reduce_input_bytes,
+        p->max_reduce_input_bytes);
+    row("nonempty reduce parts", a.nonempty_reduce_partitions,
+        p->nonempty_reduce_partitions);
+    row("output bytes", a.output_bytes, p->output_bytes);
+    row("map cpu units", a.map_cpu_units, p->map_cpu_units);
+    row("reduce cpu units", a.reduce_cpu_units, p->reduce_cpu_units);
+  }
+  std::printf("makespan: actual %.1fs predicted %.1fs\n", actual.makespan_sec,
+              predicted.makespan_sec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string abbr = argc > 1 ? argv[1] : "IR";
+  bool optimized = argc > 2 && std::string(argv[2]) == "--optimized";
+
+  WorkloadOptions options;
+  auto workload = MakeWorkload(abbr, options);
+  STUBBY_CHECK_OK(workload.status());
+
+  Profiler profiler(options.cluster);
+  Dfs profiling_dfs = workload->dfs;
+  STUBBY_CHECK_OK(profiler.ProfilePlan(&workload->plan, &profiling_dfs));
+
+  // --phase2: run the Vertical phase, then probe every Horizontal-group
+  // application on the result with explicit costs.
+  if (argc > 2 && std::string(argv[2]) == "--phase2") {
+    StubbyOptions vopts;
+    vopts.enable_horizontal = false;
+    auto vreport = StubbyOptimizer(vopts).Optimize(workload->plan);
+    STUBBY_CHECK_OK(vreport.status());
+    WhatIfEngine whatif2(options.cluster);
+    std::printf("after vertical phase (%zu jobs), cost %.1fs:\n%s\n",
+                vreport->plan.num_jobs(),
+                whatif2.Cost(vreport->plan).cost,
+                vreport->plan.ToString().c_str());
+    HorizontalPacking packer(true);
+    std::vector<std::string> all;
+    for (const auto& [jid, j] : vreport->plan.jobs()) all.push_back(jid);
+    for (Application& app : packer.FindApplications(vreport->plan, all)) {
+      auto next = app.apply(vreport->plan);
+      if (!next.ok()) {
+        std::printf("  %s -> apply failed: %s\n", app.description.c_str(),
+                    next.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  %s -> cost %.1fs\n", app.description.c_str(),
+                  whatif2.Cost(*next).cost);
+      auto flow = whatif2.PredictDataflow(*next);
+      if (flow.ok()) {
+        PhaseTimeModel model(options.cluster);
+        for (const auto& df : flow->jobs) {
+          auto job = next->GetJob(df.job_id);
+          std::printf("      %-14s %s\n", df.job_id.c_str(),
+                      model.TaskTimes(df, (*job)->config).ToString().c_str());
+        }
+      }
+    }
+    auto base_flow = whatif2.PredictDataflow(vreport->plan);
+    if (base_flow.ok()) {
+      PhaseTimeModel model(options.cluster);
+      std::printf("  base plan tasks:\n");
+      for (const auto& df : base_flow->jobs) {
+        auto job = vreport->plan.GetJob(df.job_id);
+        std::printf("      %-14s %s\n", df.job_id.c_str(),
+                    model.TaskTimes(df, (*job)->config).ToString().c_str());
+      }
+    }
+    return 0;
+  }
+
+  Plan plan = workload->plan;
+  if (optimized) {
+    StubbyOptimizer optimizer;
+    auto report = optimizer.Optimize(plan);
+    STUBBY_CHECK_OK(report.status());
+    plan = report->plan;
+    std::printf("optimized plan:\n%s\n", plan.ToString().c_str());
+  }
+
+  WhatIfEngine whatif(options.cluster);
+  auto predicted = whatif.PredictDataflow(plan);
+  STUBBY_CHECK_OK(predicted.status());
+  WorkflowRunner runner(options.cluster);
+  Dfs run_dfs = workload->dfs;
+  auto actual = runner.Run(plan, &run_dfs);
+  STUBBY_CHECK_OK(actual.status());
+  CompareFlows(*actual, *predicted);
+
+  // First-unit subplan enumeration with costs (Figure 10 style).
+  std::vector<std::shared_ptr<Transformation>> group = {
+      std::make_shared<IntraJobVerticalPacking>(),
+      std::make_shared<InterJobVerticalPacking>(),
+      std::make_shared<PartitionFunctionTransform>(),
+  };
+  UnitSearchOptions uopts;
+  UnitOptimizer unit_optimizer(group, &whatif, uopts);
+  auto unit = NextUnit(workload->plan, {});
+  if (unit) {
+    auto subplans = unit_optimizer.EnumerateSubplans(workload->plan, *unit);
+    STUBBY_CHECK_OK(subplans.status());
+    std::printf("\nfirst unit %s: %zu subplans\n",
+                unit->ToString().c_str(), subplans->size());
+    bool detail = argc > 2 && std::string(argv[argc - 1]) == "--detail";
+    for (const auto& sp : *subplans) {
+      std::string desc = "(original)";
+      if (!sp.applied.empty()) {
+        desc.clear();
+        for (const auto& a : sp.applied) desc += a + "; ";
+      }
+      std::printf("  cost %10.1fs : %s\n", sp.cost, desc.c_str());
+      if (detail) {
+        auto flow = whatif.PredictDataflow(sp.plan);
+        if (flow.ok()) {
+          PhaseTimeModel model(options.cluster);
+          for (const auto& df : flow->jobs) {
+            auto job = sp.plan.GetJob(df.job_id);
+            JobTaskTimes t = model.TaskTimes(df, (*job)->config);
+            std::printf("      %-12s %s  standalone=%.1fs\n",
+                        df.job_id.c_str(), t.ToString().c_str(),
+                        model.StandaloneJobTime(df, (*job)->config));
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: the full Stubby loop on one workflow.
+//
+//   1. Build an annotated MapReduce workflow (the TF-IDF workload).
+//   2. Profile it on sample data (generates profile annotations).
+//   3. Establish the Baseline plan (Pig-style rules + rules of thumb).
+//   4. Optimize with Stubby.
+//   5. Execute both on the simulated cluster, compare outcome and check
+//      that the optimized plan produces the same result.
+//
+// Usage: quickstart [workload-abbr] (default IR)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "baselines/pig_baseline.h"
+#include "common/strings.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/stubby.h"
+#include "profiler/profiler.h"
+#include "workflow/dot.h"
+#include "workloads/registry.h"
+
+using namespace stubby;
+
+namespace {
+
+std::vector<Row> AllRowsOf(const Dfs& dfs, const std::string& id) {
+  auto ds = dfs.Get(id);
+  if (!ds.ok()) return {};
+  return (*ds)->AllRows();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string abbr = argc > 1 ? argv[1] : "IR";
+
+  WorkloadOptions options;
+  auto workload = MakeWorkload(abbr, options);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "failed to build workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== %s (%s), %zu jobs, input %s ==\n", workload->abbr.c_str(),
+              workload->name.c_str(), workload->plan.num_jobs(),
+              HumanBytes(workload->dataset_logical_bytes).c_str());
+
+  // 1+2: profile the workflow (fills stage statistics and histograms).
+  Profiler profiler(options.cluster);
+  Dfs profiling_dfs = workload->dfs;
+  STUBBY_CHECK_OK(profiler.ProfilePlan(&workload->plan, &profiling_dfs));
+
+  // 3: the Baseline (for comparison only; Stubby starts from the original
+  // workflow, like the paper's setup).
+  auto baseline = PigBaseline(workload->plan);
+  STUBBY_CHECK_OK(baseline.status());
+
+  // 4: Stubby.
+  StubbyOptimizer optimizer;
+  auto report = optimizer.Optimize(workload->plan);
+  STUBBY_CHECK_OK(report.status());
+  std::printf("\nStubby took %.2fs, applied %zu transformation(s):\n",
+              report->optimization_time_sec, report->applied.size());
+  for (const auto& line : report->applied) {
+    std::printf("  - %s\n", line.c_str());
+  }
+  std::printf("\nOptimized plan:\n%s\n", report->plan.ToString().c_str());
+
+  // 5: execute both plans and compare.
+  WorkflowRunner runner(options.cluster);
+  Dfs baseline_dfs = workload->dfs;
+  auto baseline_run = runner.Run(*baseline, &baseline_dfs);
+  STUBBY_CHECK_OK(baseline_run.status());
+  Dfs optimized_dfs = workload->dfs;
+  auto optimized_run = runner.Run(report->plan, &optimized_dfs);
+  STUBBY_CHECK_OK(optimized_run.status());
+
+  std::printf("Baseline : %zu jobs, simulated %s\n", baseline->num_jobs(),
+              HumanSeconds(baseline_run->makespan_sec).c_str());
+  std::printf("Stubby   : %zu jobs, simulated %s (estimated %s)\n",
+              report->plan.num_jobs(),
+              HumanSeconds(optimized_run->makespan_sec).c_str(),
+              HumanSeconds(report->estimated_cost).c_str());
+  std::printf("Speedup  : %.2fx\n",
+              baseline_run->makespan_sec /
+                  std::max(1e-9, optimized_run->makespan_sec));
+
+  // Result equivalence on every workflow output.
+  bool equivalent = true;
+  for (const auto& [id, ds] : workload->plan.datasets()) {
+    if (!ds.is_workflow_output) continue;
+    if (!RowsApproxEqual(AllRowsOf(baseline_dfs, id),
+                         AllRowsOf(optimized_dfs, id), 1e-6)) {
+      std::printf("MISMATCH on output dataset %s\n", id.c_str());
+      equivalent = false;
+    }
+  }
+  std::printf("Outputs  : %s\n",
+              equivalent ? "identical (plans are equivalent)" : "MISMATCH");
+  return equivalent ? 0 : 2;
+}

@@ -1,0 +1,199 @@
+// stubbyctl — command-line driver for the library.
+//
+//   stubbyctl list
+//   stubbyctl show <WF> [--rows N]
+//   stubbyctl optimize <WF> [--optimizer stubby|vertical|horizontal|
+//                            baseline|starfish|ysmart|mrshare]
+//                           [--rows N] [--run] [--dot] [--export FILE]
+//   stubbyctl compare <WF> [--rows N]
+//
+// `optimize --run` executes original and optimized plans on the simulated
+// cluster and verifies result equivalence; `compare` prints the speedup of
+// every optimizer on one workload.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/mrshare.h"
+#include "baselines/pig_baseline.h"
+#include "baselines/starfish.h"
+#include "baselines/ysmart.h"
+#include "common/strings.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/stubby.h"
+#include "profiler/profiler.h"
+#include "workflow/dot.h"
+#include "workflow/serialize.h"
+#include "workloads/registry.h"
+
+using namespace stubby;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: stubbyctl list\n"
+               "       stubbyctl show <WF> [--rows N]\n"
+               "       stubbyctl optimize <WF> [--optimizer NAME] [--rows N]"
+               " [--run] [--dot]\n"
+               "       stubbyctl compare <WF> [--rows N]\n");
+  return 2;
+}
+
+Result<Workload> LoadProfiled(const std::string& abbr, int rows) {
+  WorkloadOptions options;
+  options.sample_rows = rows;
+  STUBBY_ASSIGN_OR_RETURN(Workload w, MakeWorkload(abbr, options));
+  Profiler profiler(options.cluster);
+  Dfs dfs = w.dfs;
+  STUBBY_RETURN_NOT_OK(profiler.ProfilePlan(&w.plan, &dfs));
+  return w;
+}
+
+Result<Plan> OptimizeWith(const std::string& name, const Workload& w) {
+  if (name == "baseline") return PigBaseline(w.plan);
+  if (name == "starfish") return StarfishOptimize(w.plan);
+  if (name == "ysmart") return YSmartOptimize(w.plan);
+  if (name == "mrshare") return MRShareOptimize(w.plan);
+  StubbyOptions opts;
+  if (name == "vertical") {
+    opts.enable_horizontal = false;
+  } else if (name == "horizontal") {
+    opts.enable_intra_vertical = false;
+    opts.enable_inter_vertical = false;
+  } else if (name != "stubby") {
+    return Status::InvalidArgument("unknown optimizer '" + name + "'");
+  }
+  StubbyOptimizer optimizer(opts);
+  STUBBY_ASSIGN_OR_RETURN(OptimizeReport report, optimizer.Optimize(w.plan));
+  std::printf("applied %zu transformation(s) in %.2fs, estimated cost %s\n",
+              report.applied.size(), report.optimization_time_sec,
+              HumanSeconds(report.estimated_cost).c_str());
+  for (const auto& line : report.applied) std::printf("  - %s\n",
+                                                      line.c_str());
+  return std::move(report.plan);
+}
+
+double RunPlan(const Workload& w, const Plan& plan, Dfs* out) {
+  WorkflowRunner runner(plan.cluster());
+  Dfs dfs = w.dfs;
+  auto flow = runner.Run(plan, &dfs);
+  STUBBY_CHECK_OK(flow.status());
+  if (out != nullptr) *out = std::move(dfs);
+  return flow->makespan_sec;
+}
+
+bool Equivalent(const Plan& plan, const Dfs& a, const Dfs& b) {
+  for (const auto& [id, ds] : plan.datasets()) {
+    if (!ds.is_workflow_output) continue;
+    auto ra = a.Get(id);
+    auto rb = b.Get(id);
+    if (!ra.ok() || !rb.ok() ||
+        !RowsApproxEqual((*ra)->AllRows(), (*rb)->AllRows(), 1e-6)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  std::string wf = argc > 2 && argv[2][0] != '-' ? argv[2] : "";
+  std::string optimizer = "stubby";
+  std::string export_path;
+  int rows = 20000;
+  bool run = false, dot = false;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
+      rows = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--optimizer") && i + 1 < argc) {
+      optimizer = argv[++i];
+    } else if (!std::strcmp(argv[i], "--run")) {
+      run = true;
+    } else if (!std::strcmp(argv[i], "--dot")) {
+      dot = true;
+    } else if (!std::strcmp(argv[i], "--export") && i + 1 < argc) {
+      export_path = argv[++i];
+    }
+  }
+
+  if (cmd == "list") {
+    for (const auto& abbr : AllWorkloadAbbrs()) {
+      WorkloadOptions options;
+      options.sample_rows = 1000;
+      auto w = MakeWorkload(abbr, options);
+      STUBBY_CHECK_OK(w.status());
+      std::printf("%-4s %-32s %zu jobs, %s\n", abbr.c_str(), w->name.c_str(),
+                  w->plan.num_jobs(),
+                  HumanBytes(w->dataset_logical_bytes).c_str());
+    }
+    return 0;
+  }
+  if (wf.empty()) return Usage();
+
+  if (cmd == "show") {
+    auto w = LoadProfiled(wf, rows);
+    STUBBY_CHECK_OK(w.status());
+    std::printf("%s", w->plan.ToString().c_str());
+    if (dot) std::printf("%s", PlanToDot(w->plan).c_str());
+    return 0;
+  }
+
+  if (cmd == "optimize") {
+    auto w = LoadProfiled(wf, rows);
+    STUBBY_CHECK_OK(w.status());
+    auto plan = OptimizeWith(optimizer, *w);
+    STUBBY_CHECK_OK(plan.status());
+    std::printf("\n%s", plan->ToString().c_str());
+    if (dot) std::printf("%s", PlanToDot(*plan).c_str());
+    if (!export_path.empty()) {
+      std::FILE* fp = std::fopen(export_path.c_str(), "w");
+      if (fp == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+        return 1;
+      }
+      std::string text = ExportPlan(*plan);
+      std::fwrite(text.data(), 1, text.size(), fp);
+      std::fclose(fp);
+      std::printf("exported annotated plan to %s (%zu bytes)\n",
+                  export_path.c_str(), text.size());
+    }
+    if (run) {
+      Dfs da, db;
+      double t0 = RunPlan(*w, w->plan, &da);
+      double t1 = RunPlan(*w, *plan, &db);
+      std::printf("original %s -> optimized %s (%.2fx), outputs %s\n",
+                  HumanSeconds(t0).c_str(), HumanSeconds(t1).c_str(),
+                  t0 / t1,
+                  Equivalent(w->plan, da, db) ? "identical" : "MISMATCH");
+    }
+    return 0;
+  }
+
+  if (cmd == "compare") {
+    auto w = LoadProfiled(wf, rows);
+    STUBBY_CHECK_OK(w.status());
+    auto baseline = PigBaseline(w->plan);
+    STUBBY_CHECK_OK(baseline.status());
+    double tb = RunPlan(*w, *baseline, nullptr);
+    std::printf("%-10s %10s  speedup\n", "optimizer", "time");
+    std::printf("%-10s %10s  %.2fx (reference)\n", "baseline",
+                HumanSeconds(tb).c_str(), 1.0);
+    for (const char* name :
+         {"stubby", "vertical", "horizontal", "starfish", "ysmart",
+          "mrshare"}) {
+      auto plan = OptimizeWith(name, *w);
+      STUBBY_CHECK_OK(plan.status());
+      double t = RunPlan(*w, *plan, nullptr);
+      std::printf("%-10s %10s  %.2fx\n", name, HumanSeconds(t).c_str(),
+                  tb / t);
+    }
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,26 @@
+#include "baselines/mrshare.h"
+
+#include "baselines/pig_baseline.h"
+#include "optimizer/stubby.h"
+
+namespace stubby {
+
+Result<Plan> MRShareOptimize(const Plan& plan,
+                             const UnitSearchOptions& options) {
+  StubbyOptions opts;
+  opts.enable_intra_vertical = false;
+  opts.enable_inter_vertical = false;
+  opts.enable_horizontal = true;
+  opts.extended_horizontal = false;  // MRShare shares scans only
+  opts.enable_partition_function = false;
+  // The packing decision is cost-based, but configurations are rule-based:
+  // disable the configuration subspace during the search...
+  opts.enable_configuration = false;
+  opts.unit = options;
+  StubbyOptimizer optimizer(opts);
+  STUBBY_ASSIGN_OR_RETURN(OptimizeReport report, optimizer.Optimize(plan));
+  // ...and apply the rules of thumb afterwards.
+  return RuleOfThumbConfigs(report.plan);
+}
+
+}  // namespace stubby

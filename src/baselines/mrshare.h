@@ -1,0 +1,18 @@
+// MRShare comparator [13] (Section 7.3): cost-based horizontal packing
+// (scan sharing across jobs reading the same dataset) only — no vertical
+// packing, no workflow awareness beyond siblings — with rule-based
+// configuration settings.
+
+#pragma once
+
+#include "common/result.h"
+#include "optimizer/search.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Cost-based horizontal packing, then rule-of-thumb configurations.
+Result<Plan> MRShareOptimize(const Plan& plan,
+                             const UnitSearchOptions& options = {});
+
+}  // namespace stubby

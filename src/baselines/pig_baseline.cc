@@ -1,0 +1,40 @@
+#include "baselines/pig_baseline.h"
+
+#include "optimizer/configuration.h"
+#include "optimizer/horizontal.h"
+
+namespace stubby {
+
+Result<Plan> RuleOfThumbConfigs(const Plan& plan) {
+  Plan out = plan;
+  for (const auto& [jid, job] : plan.jobs()) {
+    JobConfig c = RuleOfThumbConfig(job, plan.cluster(), &plan);
+    STUBBY_RETURN_NOT_OK(ApplyConfiguration(&out, jid, c));
+  }
+  return out;
+}
+
+Result<Plan> PigBaseline(const Plan& plan) {
+  Plan out = plan;
+  // Pig's multi-query optimization: pack jobs reading the same dataset,
+  // whenever possible, with no cost-based check.
+  HorizontalPacking packer(/*extended=*/false);
+  bool changed = true;
+  size_t guard = 0;
+  while (changed && ++guard < 64) {
+    changed = false;
+    std::vector<std::string> all_jobs;
+    for (const auto& [jid, job] : out.jobs()) all_jobs.push_back(jid);
+    for (Application& app : packer.FindApplications(out, all_jobs)) {
+      auto next = app.apply(out);
+      if (next.ok()) {
+        out = std::move(*next);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return RuleOfThumbConfigs(out);
+}
+
+}  // namespace stubby

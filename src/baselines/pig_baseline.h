@@ -1,0 +1,22 @@
+// Baseline (Section 7): "how an industrial-strength system (Pig) is used
+// in production today" — all of Pig's rule-based optimizations enabled
+// (notably multi-query horizontal packing of jobs sharing an input) and
+// configuration parameters manually tuned with rules of thumb [3].
+
+#pragma once
+
+#include "common/result.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Applies Pig-style rule-based optimization: horizontal packing whenever
+/// sibling jobs share an input dataset, then rule-of-thumb configurations
+/// on every job.
+Result<Plan> PigBaseline(const Plan& plan);
+
+/// Only the rule-of-thumb configuration step (no packing) — useful as the
+/// unoptimized-configuration reference.
+Result<Plan> RuleOfThumbConfigs(const Plan& plan);
+
+}  // namespace stubby

@@ -1,0 +1,21 @@
+#include "baselines/starfish.h"
+
+#include "optimizer/stubby.h"
+
+namespace stubby {
+
+Result<Plan> StarfishOptimize(const Plan& plan,
+                              const UnitSearchOptions& options) {
+  StubbyOptions opts;
+  opts.enable_intra_vertical = false;
+  opts.enable_inter_vertical = false;
+  opts.enable_horizontal = false;
+  opts.enable_partition_function = false;
+  opts.enable_configuration = true;
+  opts.unit = options;
+  StubbyOptimizer optimizer(opts);
+  STUBBY_ASSIGN_OR_RETURN(OptimizeReport report, optimizer.Optimize(plan));
+  return std::move(report.plan);
+}
+
+}  // namespace stubby

@@ -1,0 +1,17 @@
+// Starfish comparator [8] (Section 7.3): cost-based selection of
+// configuration parameter settings for each job — no packing, no partition
+// function changes.
+
+#pragma once
+
+#include "common/result.h"
+#include "optimizer/search.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Cost-based configuration-only optimization of every job in the plan.
+Result<Plan> StarfishOptimize(const Plan& plan,
+                              const UnitSearchOptions& options = {});
+
+}  // namespace stubby

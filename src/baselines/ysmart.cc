@@ -1,0 +1,42 @@
+#include "baselines/ysmart.h"
+
+#include "baselines/pig_baseline.h"
+#include "optimizer/horizontal.h"
+#include "optimizer/vertical.h"
+
+namespace stubby {
+
+Result<Plan> YSmartOptimize(const Plan& plan) {
+  Plan out = plan;
+  IntraJobVerticalPacking intra;
+  InterJobVerticalPacking inter;
+  HorizontalPacking horizontal(/*extended=*/true);
+
+  // Greedy to a fixed point: prefer transformations that remove whole jobs
+  // (inter-job packing and horizontal packing), using intra-job packing as
+  // an enabler.
+  bool changed = true;
+  size_t guard = 0;
+  while (changed && ++guard < 128) {
+    changed = false;
+    std::vector<std::string> all_jobs;
+    for (const auto& [jid, job] : out.jobs()) all_jobs.push_back(jid);
+    for (const Transformation* t :
+         {static_cast<const Transformation*>(&inter),
+          static_cast<const Transformation*>(&intra),
+          static_cast<const Transformation*>(&horizontal)}) {
+      for (Application& app : t->FindApplications(out, all_jobs)) {
+        auto next = app.apply(out);
+        if (next.ok()) {
+          out = std::move(*next);
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+  }
+  return RuleOfThumbConfigs(out);
+}
+
+}  // namespace stubby

@@ -1,0 +1,18 @@
+// YSmart comparator [11] (Section 7.3): rule-based vertical and horizontal
+// packing applied aggressively to minimize the number of MapReduce jobs in
+// the workflow (which can be suboptimal — e.g. packing the PJ workflow's
+// post-processing jobs), combined with rule-based configuration settings.
+
+#pragma once
+
+#include "common/result.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Rule-based job-count minimization: greedily applies intra-/inter-job
+/// vertical packing and horizontal packing until none applies, then sets
+/// rule-of-thumb configurations.
+Result<Plan> YSmartOptimize(const Plan& plan);
+
+}  // namespace stubby

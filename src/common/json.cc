@@ -1,0 +1,354 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace stubby {
+
+Json& Json::operator[](const std::string& key) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  fields_.emplace_back(key, Json());
+  return fields_.back().second;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : fallback;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NewlineIndent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber: {
+      double i;
+      char buf[64];
+      if (std::modf(number_, &i) == 0.0 && std::fabs(number_) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", number_);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      *out += buf;
+      return;
+    }
+    case Type::kString:
+      EscapeTo(string_, out);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        NewlineIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      NewlineIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (fields_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        NewlineIndent(out, indent, depth + 1);
+        EscapeTo(fields_[i].first, out);
+        *out += indent < 0 ? ":" : ": ";
+        fields_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      NewlineIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    STUBBY_ASSIGN_OR_RETURN(Json v, Value());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at position " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<Json> Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') return ObjectValue();
+    if (c == '[') return ArrayValue();
+    if (c == '"') {
+      STUBBY_ASSIGN_OR_RETURN(std::string s, StringValue());
+      return Json(std::move(s));
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json(false);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json();
+    }
+    return NumberValue();
+  }
+
+  Result<Json> ObjectValue() {
+    STUBBY_RETURN_NOT_OK(Expect('{'));
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWs();
+      STUBBY_ASSIGN_OR_RETURN(std::string key, StringValue());
+      STUBBY_RETURN_NOT_OK(Expect(':'));
+      STUBBY_ASSIGN_OR_RETURN(Json v, Value());
+      obj[key] = std::move(v);
+      if (Consume(',')) continue;
+      STUBBY_RETURN_NOT_OK(Expect('}'));
+      return obj;
+    }
+  }
+
+  Result<Json> ArrayValue() {
+    STUBBY_RETURN_NOT_OK(Expect('['));
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    for (;;) {
+      STUBBY_ASSIGN_OR_RETURN(Json v, Value());
+      arr.Append(std::move(v));
+      if (Consume(',')) continue;
+      STUBBY_RETURN_NOT_OK(Expect(']'));
+      return arr;
+    }
+  }
+
+  Result<std::string> StringValue() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::InvalidArgument("expected string at " +
+                                     std::to_string(pos_));
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("bad escape at end of input");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("bad \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad hex digit in \\u escape");
+            }
+          }
+          // ASCII only (all exported content is ASCII).
+          out.push_back(static_cast<char>(code & 0x7f));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<Json> NumberValue() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected number at " +
+                                     std::to_string(start));
+    }
+    try {
+      return Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Status::InvalidArgument("bad number at " + std::to_string(start));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace stubby

@@ -1,0 +1,96 @@
+// Minimal JSON value, writer, and parser — no external dependencies. Used
+// to export/import annotated workflow plans (the counterpart of the
+// prototype's Pig export/import feature, Section 6 of the paper).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace stubby {
+
+/// A JSON value. Object field order is preserved (vector of pairs) so
+/// exported plans are stable and diffable.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}             // NOLINT
+  Json(double n) : type_(Type::kNumber), number_(n) {}       // NOLINT
+  Json(int n) : type_(Type::kNumber), number_(n) {}          // NOLINT
+  Json(int64_t n)                                            // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(uint64_t n)                                           // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access.
+  const std::vector<Json>& items() const { return items_; }
+  void Append(Json v) { items_.push_back(std::move(v)); }
+  size_t size() const {
+    return is_array() ? items_.size() : fields_.size();
+  }
+
+  /// Object access. operator[] creates missing fields (for building);
+  /// Find returns nullptr when absent.
+  Json& operator[](const std::string& key);
+  const Json* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+
+  /// Typed object lookups with defaults.
+  double GetNumber(const std::string& key, double fallback = 0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Serializes; indent < 0 = compact, otherwise pretty-printed.
+  std::string Dump(int indent = 2) const;
+
+  /// Parses a JSON document.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+}  // namespace stubby

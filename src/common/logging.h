@@ -1,0 +1,41 @@
+// Minimal leveled logging. Quiet by default (warnings and errors only) so
+// tests and benches stay readable; raise the level for debugging.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stubby {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted to stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace stubby
+
+#define STUBBY_LOG(level)                                        \
+  ::stubby::internal::LogMessage(::stubby::LogLevel::k##level,   \
+                                 __FILE__, __LINE__)

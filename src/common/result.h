@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible functions that
+// produce a value.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace stubby {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; undefined if !ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or a fallback if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+};
+
+}  // namespace stubby
+
+/// Propagates the error of a Result expression, otherwise assigns the value.
+#define STUBBY_ASSIGN_OR_RETURN(lhs, expr)       \
+  STUBBY_ASSIGN_OR_RETURN_IMPL(                  \
+      STUBBY_CONCAT_NAME(_res_, __LINE__), lhs, expr)
+
+#define STUBBY_CONCAT_NAME_INNER(x, y) x##y
+#define STUBBY_CONCAT_NAME(x, y) STUBBY_CONCAT_NAME_INNER(x, y)
+
+#define STUBBY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();

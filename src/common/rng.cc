@@ -1,0 +1,85 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace stubby {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t state = seed;
+  s0_ = SplitMix64(&state);
+  s1_ = SplitMix64(&state);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift128+ must not be all-zero
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double skew) {
+  // Rejection-inversion sampling (Hormann & Derflinger). Valid for skew != 1;
+  // nudge skew slightly if it is exactly 1 to avoid the harmonic special
+  // case without observable distribution change at our scales.
+  if (n <= 1) return 1;
+  double s = skew;
+  if (std::fabs(s - 1.0) < 1e-9) s = 1.0 + 1e-9;
+  const double one_minus_s = 1.0 - s;
+  auto h = [&](double x) { return std::pow(x, one_minus_s) / one_minus_s; };
+  auto h_inv = [&](double x) {
+    return std::pow(one_minus_s * x, 1.0 / one_minus_s);
+  };
+  const double hx0 = h(1.5) - 1.0;
+  const double hn = h(static_cast<double>(n) + 0.5);
+  for (;;) {
+    double u = hx0 + NextDouble() * (hn - hx0);
+    double x = h_inv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    if (static_cast<double>(k) - x <= 1.0 - std::pow(1.5, one_minus_s) ||
+        u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s)) {
+      return k;
+    }
+  }
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace stubby

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stubby {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void DieOnError(const Status& st, const char* file, int line) {
+  std::fprintf(stderr, "STUBBY_CHECK_OK failed at %s:%d: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace stubby

@@ -1,0 +1,112 @@
+// Status: lightweight error propagation without exceptions, following the
+// Arrow / RocksDB idiom. Library code returns Status (or Result<T>) instead
+// of throwing; callers check ok() or use the STUBBY_RETURN_NOT_OK macro.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace stubby {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnknown,
+};
+
+/// Returns the canonical lowercase name of a status code, e.g.
+/// "invalid_argument".
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace stubby
+
+/// Propagates a non-OK Status to the caller.
+#define STUBBY_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::stubby::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Aborts the process with a message if `expr` yields a non-OK Status. For
+/// use in examples/benches where failure is unrecoverable.
+#define STUBBY_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::stubby::Status _st = (expr);                                  \
+    if (!_st.ok()) ::stubby::internal::DieOnError(_st, __FILE__, __LINE__); \
+  } while (0)
+
+namespace stubby::internal {
+[[noreturn]] void DieOnError(const Status& st, const char* file, int line);
+}  // namespace stubby::internal

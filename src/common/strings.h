@@ -1,0 +1,41 @@
+// Small string helpers shared across modules.
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stubby {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Joins a set with `sep` (iteration order of the set, i.e. sorted).
+std::string Join(const std::set<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on character `sep`; empty tokens are preserved.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Returns true if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count using binary units, e.g. "1.5 MB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats seconds as "1h02m03s" / "42.1s" depending on magnitude.
+std::string HumanSeconds(double seconds);
+
+/// Stable 64-bit hash of a string (FNV-1a).
+uint64_t HashString(const std::string& s);
+
+/// Combines two 64-bit hashes.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace stubby

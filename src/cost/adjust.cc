@@ -1,0 +1,82 @@
+#include "cost/adjust.h"
+
+namespace stubby {
+
+JobAnnotations MergeForVerticalPack(const JobAnnotations& producer,
+                                    const JobAnnotations& consumer,
+                                    PackDirection direction) {
+  JobAnnotations merged;
+  const bool producer_shuffle =
+      direction == PackDirection::kConsumerIntoProducer;
+  const JobAnnotations& shuffle_side =
+      producer_shuffle ? producer : consumer;
+
+  // Schema: input-side composition comes from the producer (the merged job
+  // reads the producer's input); the shuffle-side composition from the job
+  // whose shuffle survives; the final output composition from the consumer.
+  if (producer.schema || consumer.schema) {
+    SchemaAnnotation s;
+    if (producer.schema) {
+      s.k1 = producer.schema->k1;
+      s.v1 = producer.schema->v1;
+    }
+    if (shuffle_side.schema) {
+      s.k2 = shuffle_side.schema->k2;
+      s.v2 = shuffle_side.schema->v2;
+    }
+    if (consumer.schema) {
+      s.k3 = consumer.schema->k3;
+      s.v3 = consumer.schema->v3;
+    }
+    merged.schema = s;
+  }
+
+  // Filter: the merged job reads the producer's input, so only the
+  // producer's input filter is meaningful for upstream pruning.
+  merged.filter = producer.filter;
+
+  // Profile: shuffle-side statistics (histograms, group cardinality,
+  // combine behaviour) from the surviving shuffle; input-record size from
+  // the producer.
+  if (producer.profile || consumer.profile) {
+    ProfileAnnotation p;
+    if (shuffle_side.profile) p = *shuffle_side.profile;
+    if (producer.profile) {
+      p.avg_input_record_bytes = producer.profile->avg_input_record_bytes;
+    }
+    // Keep any extra histograms the other side knows about (producer
+    // priority only on name collisions with the shuffle side).
+    const auto& other = producer_shuffle ? consumer : producer;
+    if (other.profile) {
+      for (const auto& h : other.profile->key_histograms) {
+        if (p.FindHistogram(h.field) == nullptr) {
+          p.key_histograms.push_back(h);
+        }
+      }
+    }
+    merged.profile = p;
+  }
+  return merged;
+}
+
+StageStats ComposeStats(const std::vector<Stage>& stages) {
+  StageStats out;
+  out.record_selectivity = 1.0;
+  out.byte_selectivity = 1.0;
+  out.cpu_per_record = 0.0;
+  out.groups_per_record = 1.0;
+  double records = 1.0;  // records per initial input record
+  for (const Stage& s : stages) {
+    StageStats st = s.stats.value_or(StageStats{});
+    out.cpu_per_record += records * st.cpu_per_record;
+    out.record_selectivity *= st.record_selectivity;
+    out.byte_selectivity *= st.byte_selectivity;
+    records *= st.record_selectivity;
+    if (s.kind == Stage::Kind::kReduce) {
+      out.groups_per_record = st.groups_per_record;
+    }
+  }
+  return out;
+}
+
+}  // namespace stubby

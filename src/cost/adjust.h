@@ -1,0 +1,42 @@
+// Annotation adjustment (Section 5): packing transformations change jobs,
+// so the annotations of the new jobs must be derived from the old ones.
+// Because profiles live on stages in this implementation (a stage carries
+// its measured selectivity and CPU cost wherever it moves), most adjustment
+// is structural; what remains is merging job-level annotations when two
+// jobs become one.
+
+#pragma once
+
+#include <vector>
+
+#include "workflow/annotations.h"
+#include "workflow/graph.h"
+
+namespace stubby {
+
+/// Which job's shuffle survives an inter-job vertical packing.
+enum class PackDirection {
+  /// A map-only consumer moves into the producer's reduce side: the merged
+  /// job's shuffle (K2, histograms, combiner behaviour) is the producer's.
+  kConsumerIntoProducer,
+  /// A map-only producer moves into the consumer's map side: the merged
+  /// job's shuffle is the consumer's.
+  kProducerIntoConsumer,
+};
+
+/// Job-level annotations for a job formed by packing `consumer` after
+/// `producer` (inter-job vertical packing): the merged job's input side is
+/// the producer's, its final output is the consumer's, and the shuffle-side
+/// statistics come from whichever job's shuffle survives.
+JobAnnotations MergeForVerticalPack(const JobAnnotations& producer,
+                                    const JobAnnotations& consumer,
+                                    PackDirection direction);
+
+/// Composite statistics of a stage pipeline: record/byte selectivity is the
+/// product of the stages' selectivities and CPU cost accumulates input-
+/// weighted — the paper's example adjustment ("the new map-task record
+/// selectivity is the product of the record selectivities of the old map
+/// and reduce functions; the CPU cost is the sum").
+StageStats ComposeStats(const std::vector<Stage>& stages);
+
+}  // namespace stubby

@@ -1,0 +1,39 @@
+#include "cost/dataflow.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace stubby {
+
+std::string JobDataflow::ToString() const {
+  return StrFormat(
+      "%s: maps=%d reduces=%d in=%llu recs/%s mapout=%llu recs/%s "
+      "redin=%llu recs/%s out=%llu recs/%s",
+      job_id.c_str(), num_map_tasks, num_reduce_tasks,
+      (unsigned long long)map_input_records,
+      HumanBytes(map_input_bytes).c_str(),
+      (unsigned long long)map_output_records,
+      HumanBytes(map_output_bytes).c_str(),
+      (unsigned long long)reduce_input_records,
+      HumanBytes(reduce_input_bytes).c_str(),
+      (unsigned long long)output_records,
+      HumanBytes(output_bytes).c_str());
+}
+
+const JobDataflow* WorkflowDataflow::FindJob(const std::string& id) const {
+  for (const auto& j : jobs) {
+    if (j.job_id == id) return &j;
+  }
+  return nullptr;
+}
+
+std::string WorkflowDataflow::ToString() const {
+  std::ostringstream os;
+  os << "Workflow dataflow (makespan " << HumanSeconds(makespan_sec)
+     << "):\n";
+  for (const auto& j : jobs) os << "  " << j.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace stubby

@@ -1,0 +1,187 @@
+#include "cost/phase_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace stubby {
+
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+double SafeDiv(double a, double b) { return b > 0 ? a / b : 0.0; }
+
+double Log2Clamped(double x) { return std::log2(std::max(2.0, x)); }
+
+}  // namespace
+
+std::string JobTaskTimes::ToString() const {
+  return StrFormat(
+      "maps=%d x %.2fs (max %.2fs), reduces=%d x %.2fs (max %.2fs), "
+      "overhead=%.1fs",
+      map_tasks, map_avg_sec, map_max_sec, reduce_tasks, reduce_avg_sec,
+      reduce_max_sec, job_overhead_sec);
+}
+
+int PhaseTimeModel::SpillCount(double map_output_bytes_per_task,
+                               const JobConfig& config,
+                               int pipelines_per_task) const {
+  double buffer_mb = std::min(config.io_sort_mb,
+                              cluster_.task_memory_mb * 0.6);
+  buffer_mb /= std::max(1, pipelines_per_task);
+  double buffer_bytes = std::max(1.0, buffer_mb * kMB);
+  return std::max(1, static_cast<int>(
+                         std::ceil(map_output_bytes_per_task / buffer_bytes)));
+}
+
+int PhaseTimeModel::MergePasses(int segments, int factor) {
+  factor = std::max(2, factor);
+  int passes = 0;
+  while (segments > 1) {
+    segments = (segments + factor - 1) / factor;
+    ++passes;
+  }
+  return passes;
+}
+
+JobTaskTimes PhaseTimeModel::TaskTimes(const JobDataflow& df,
+                                       const JobConfig& config) const {
+  JobTaskTimes t;
+  t.map_tasks = std::max(1, df.num_map_tasks);
+  t.reduce_tasks = df.num_reduce_tasks;
+  t.job_overhead_sec = cluster_.job_startup_sec;
+
+  const double maps = static_cast<double>(t.map_tasks);
+  const bool map_only = t.reduce_tasks == 0;
+
+  const double cpu_sec_per_unit = cluster_.cpu_ns_per_record_unit * 1e-9;
+  const double sort_sec_per_rec = cluster_.sort_ns_per_record * 1e-9;
+
+  // ---- Map task -----------------------------------------------------------
+  double in_stored =
+      SafeDiv(static_cast<double>(df.map_input_stored_bytes), maps);
+  double in_raw = SafeDiv(static_cast<double>(df.map_input_bytes), maps);
+  double map_out_recs =
+      SafeDiv(static_cast<double>(df.map_output_records), maps);
+  double map_out_bytes =
+      SafeDiv(static_cast<double>(df.map_output_bytes), maps);
+  double comb_out_bytes =
+      SafeDiv(static_cast<double>(df.combine_output_bytes), maps);
+
+  double map_sec = cluster_.task_startup_sec;
+  // Read input from the DFS; decompress if the stored form is compressed.
+  map_sec += in_stored / (cluster_.disk_read_mbps * kMB);
+  if (df.map_input_stored_bytes < df.map_input_bytes) {
+    map_sec += in_raw / (cluster_.decompress_mbps * kMB);
+  }
+  // Run the map-side pipelines.
+  map_sec += SafeDiv(df.map_cpu_units, maps) * cpu_sec_per_unit;
+
+  if (!map_only) {
+    // Collect + sort + spill + merge of the map output.
+    int spills = SpillCount(map_out_bytes, config, df.pipelines_per_task);
+    double recs_per_spill = SafeDiv(map_out_recs, spills);
+    map_sec += map_out_recs * Log2Clamped(recs_per_spill) * sort_sec_per_rec;
+    // Combine runs on each sorted spill.
+    map_sec += SafeDiv(df.combine_cpu_units, maps) * cpu_sec_per_unit;
+    // Spill the (post-combine) bytes to local disk, compressing if asked.
+    double spill_bytes = comb_out_bytes;
+    if (config.compress_map_output) {
+      map_sec += spill_bytes / (cluster_.compress_mbps * kMB);
+      spill_bytes *= cluster_.compress_ratio;
+    }
+    map_sec += spill_bytes / (cluster_.disk_write_mbps * kMB);
+    // Extra merge passes when spills exceed the merge fan-in: each extra
+    // pass re-reads and re-writes the spilled volume.
+    int passes = MergePasses(spills, config.io_sort_factor);
+    if (passes > 1) {
+      map_sec += (passes - 1) * spill_bytes *
+                 (1.0 / (cluster_.disk_read_mbps * kMB) +
+                  1.0 / (cluster_.disk_write_mbps * kMB));
+    }
+  } else {
+    // Map-only: write the final output straight to the DFS.
+    double out_bytes = SafeDiv(static_cast<double>(df.output_bytes), maps);
+    if (df.output_compressed) {
+      map_sec += out_bytes / (cluster_.compress_mbps * kMB);
+      out_bytes *= cluster_.compress_ratio;
+    }
+    map_sec += out_bytes / (cluster_.dfs_write_mbps * kMB);
+  }
+  // Side-output (tee) writes: attribute to the map side, where packing
+  // places them in practice.
+  map_sec += SafeDiv(static_cast<double>(df.tee_bytes), maps) /
+             (cluster_.dfs_write_mbps * kMB);
+
+  t.map_avg_sec = map_sec;
+  // The slowest map task is scaled by its input share.
+  double avg_in = std::max(1.0, in_raw);
+  double skew = std::max(
+      1.0, static_cast<double>(df.max_map_task_input_bytes) / avg_in);
+  t.map_max_sec = cluster_.task_startup_sec +
+                  (map_sec - cluster_.task_startup_sec) * skew;
+
+  // ---- Reduce task --------------------------------------------------------
+  if (!map_only) {
+    const double reduces = static_cast<double>(std::max(1, t.reduce_tasks));
+    double shuffle_raw =
+        SafeDiv(static_cast<double>(df.combine_output_bytes), reduces);
+    double shuffle_wire = shuffle_raw;
+    double red_sec = cluster_.task_startup_sec;
+    if (config.compress_map_output) {
+      shuffle_wire *= cluster_.compress_ratio;
+      red_sec += shuffle_raw / (cluster_.decompress_mbps * kMB);
+    }
+    red_sec += shuffle_wire / (cluster_.network_mbps * kMB);
+    // Merge the per-map segments; multi-round merges spill through disk.
+    double red_in_recs =
+        SafeDiv(static_cast<double>(df.reduce_input_records), reduces);
+    double red_in_bytes =
+        SafeDiv(static_cast<double>(df.reduce_input_bytes), reduces);
+    red_sec += red_in_recs * Log2Clamped(static_cast<double>(t.map_tasks)) *
+               sort_sec_per_rec;
+    int passes = MergePasses(t.map_tasks, config.io_sort_factor);
+    if (passes > 1) {
+      red_sec += (passes - 1) * red_in_bytes *
+                 (1.0 / (cluster_.disk_read_mbps * kMB) +
+                  1.0 / (cluster_.disk_write_mbps * kMB));
+    }
+    // Run the reduce-side pipelines.
+    red_sec += SafeDiv(df.reduce_cpu_units, reduces) * cpu_sec_per_unit;
+    // Write the final output to the DFS.
+    double out_bytes = SafeDiv(static_cast<double>(df.output_bytes), reduces);
+    if (df.output_compressed) {
+      red_sec += out_bytes / (cluster_.compress_mbps * kMB);
+      out_bytes *= cluster_.compress_ratio;
+    }
+    red_sec += out_bytes / (cluster_.dfs_write_mbps * kMB);
+
+    t.reduce_avg_sec = red_sec;
+    double avg_part = std::max(1.0, red_in_bytes);
+    double rskew = std::max(
+        1.0, static_cast<double>(df.max_reduce_input_bytes) / avg_part);
+    t.reduce_max_sec = cluster_.task_startup_sec +
+                       (red_sec - cluster_.task_startup_sec) * rskew;
+  }
+  return t;
+}
+
+double PhaseTimeModel::StandaloneJobTime(const JobDataflow& df,
+                                         const JobConfig& config) const {
+  JobTaskTimes t = TaskTimes(df, config);
+  auto phase = [](int tasks, int slots, double avg, double max) {
+    if (tasks <= 0) return 0.0;
+    int waves = (tasks + slots - 1) / slots;
+    return (waves - 1) * avg + max;
+  };
+  double total = t.job_overhead_sec;
+  total += phase(t.map_tasks, cluster_.total_map_slots(), t.map_avg_sec,
+                 t.map_max_sec);
+  total += phase(t.reduce_tasks, cluster_.total_reduce_slots(),
+                 t.reduce_avg_sec, t.reduce_max_sec);
+  return total;
+}
+
+}  // namespace stubby

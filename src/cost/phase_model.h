@@ -1,0 +1,59 @@
+// Analytical per-phase timing model of MapReduce job execution, in the
+// style of the Starfish What-if Engine's white-box models [8]: read, map,
+// collect/spill/sort, combine, compress, shuffle, merge, reduce, and write
+// phases, each driven by dataflow numbers, the job configuration, and the
+// cluster spec. The same model times observed dataflow (ground truth) and
+// predicted dataflow (cost estimation).
+
+#pragma once
+
+#include "cost/dataflow.h"
+#include "mr/cluster.h"
+#include "mr/job_config.h"
+
+namespace stubby {
+
+/// Task-level durations of one job, ready for the cluster scheduler.
+struct JobTaskTimes {
+  int map_tasks = 0;
+  int reduce_tasks = 0;  ///< 0 for map-only
+  double map_avg_sec = 0.0;
+  double map_max_sec = 0.0;     ///< slowest map task (skew)
+  double reduce_avg_sec = 0.0;
+  double reduce_max_sec = 0.0;  ///< slowest reduce task (skew)
+  double job_overhead_sec = 0.0;  ///< submission/initialization
+
+  std::string ToString() const;
+};
+
+/// Converts dataflow into per-task times under a configuration and cluster.
+class PhaseTimeModel {
+ public:
+  explicit PhaseTimeModel(ClusterSpec cluster)
+      : cluster_(std::move(cluster)) {}
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+  /// Per-task durations for one job.
+  JobTaskTimes TaskTimes(const JobDataflow& df, const JobConfig& config) const;
+
+  /// Standalone running time of one job on an otherwise idle cluster using
+  /// the wave model: (waves-1)*avg + max per phase, plus overheads.
+  double StandaloneJobTime(const JobDataflow& df,
+                           const JobConfig& config) const;
+
+  /// Number of map-side spills implied by the configuration: output volume
+  /// per task versus the effective sort buffer (which shrinks when several
+  /// packed pipelines share the task's memory).
+  int SpillCount(double map_output_bytes_per_task, const JobConfig& config,
+                 int pipelines_per_task) const;
+
+  /// Merge rounds needed to bring `segments` down to one sorted run with a
+  /// fan-in of `factor`.
+  static int MergePasses(int segments, int factor);
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace stubby

@@ -1,0 +1,227 @@
+#include "cost/schedule.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace stubby {
+
+namespace {
+
+// Tasks are scheduled in wave-sized batches (all tasks of a batch share the
+// same duration) which keeps the event count proportional to waves x jobs
+// rather than tasks, making the simulation cheap enough to sit inside the
+// optimizer's inner costing loop. The slowest task's extra time (skew) is
+// charged to the final batch of each phase.
+struct JobState {
+  const ScheduledJob* job = nullptr;
+  int deps_remaining = 0;
+  double ready_time = -1.0;  ///< maps may start (deps done + overhead)
+  int maps_pending = 0;
+  int maps_running = 0;
+  double reduce_ready_time = -1.0;  ///< reduces may start (maps done)
+  int reduces_pending = 0;
+  int reduces_running = 0;
+  double finish_time = -1.0;
+  bool done = false;
+};
+
+struct Event {
+  double time;
+  int seq;  // tie-break for determinism
+  enum Kind { kMapBatchDone, kReduceBatchDone } kind;
+  size_t job_index;
+  int count;  // tasks in the batch
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+Result<ScheduleResult> SimulateCluster(const std::vector<ScheduledJob>& jobs,
+                                       const ClusterSpec& cluster) {
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!index.emplace(jobs[i].id, i).second) {
+      return Status::InvalidArgument("duplicate job id '" + jobs[i].id + "'");
+    }
+  }
+  std::vector<JobState> state(jobs.size());
+  std::vector<std::vector<size_t>> dependents(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    state[i].job = &jobs[i];
+    state[i].maps_pending = std::max(0, jobs[i].times.map_tasks);
+    state[i].reduces_pending = std::max(0, jobs[i].times.reduce_tasks);
+    state[i].deps_remaining = 0;
+    for (const auto& d : jobs[i].deps) {
+      auto it = index.find(d);
+      if (it == index.end()) {
+        return Status::InvalidArgument("job '" + jobs[i].id +
+                                       "' depends on unknown job '" + d + "'");
+      }
+      dependents[it->second].push_back(i);
+      state[i].deps_remaining++;
+    }
+  }
+
+  int free_map = cluster.total_map_slots();
+  int free_reduce = cluster.total_reduce_slots();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+  int seq = 0;
+  double now = 0.0;
+
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (state[i].deps_remaining == 0) {
+      state[i].ready_time = state[i].job->times.job_overhead_sec;
+    }
+  }
+
+  auto finish_job = [&](size_t i, std::vector<size_t>* newly_ready) {
+    state[i].done = true;
+    state[i].finish_time = now;
+    for (size_t dep : dependents[i]) {
+      if (--state[dep].deps_remaining == 0) {
+        state[dep].ready_time =
+            now + state[dep].job->times.job_overhead_sec;
+        newly_ready->push_back(dep);
+      }
+    }
+  };
+
+  // Schedules as many ready tasks as slots allow; FIFO by (ready_time, id).
+  auto dispatch = [&]() {
+    // Map tasks.
+    while (free_map > 0) {
+      size_t best = state.size();
+      for (size_t i = 0; i < state.size(); ++i) {
+        if (state[i].maps_pending > 0 && state[i].ready_time >= 0 &&
+            state[i].ready_time <= now) {
+          if (best == state.size() ||
+              state[i].ready_time < state[best].ready_time ||
+              (state[i].ready_time == state[best].ready_time &&
+               state[i].job->id < state[best].job->id)) {
+            best = i;
+          }
+        }
+      }
+      if (best == state.size()) break;
+      JobState& js = state[best];
+      int n = std::min(free_map, js.maps_pending);
+      js.maps_pending -= n;
+      js.maps_running += n;
+      free_map -= n;
+      double dur = js.maps_pending == 0 ? js.job->times.map_max_sec
+                                        : js.job->times.map_avg_sec;
+      pq.push(Event{now + std::max(0.0, dur), seq++, Event::kMapBatchDone,
+                    best, n});
+    }
+    // Reduce tasks.
+    while (free_reduce > 0) {
+      size_t best = state.size();
+      for (size_t i = 0; i < state.size(); ++i) {
+        if (state[i].reduces_pending > 0 && state[i].reduce_ready_time >= 0 &&
+            state[i].reduce_ready_time <= now) {
+          if (best == state.size() ||
+              state[i].reduce_ready_time < state[best].reduce_ready_time ||
+              (state[i].reduce_ready_time == state[best].reduce_ready_time &&
+               state[i].job->id < state[best].job->id)) {
+            best = i;
+          }
+        }
+      }
+      if (best == state.size()) break;
+      JobState& js = state[best];
+      int n = std::min(free_reduce, js.reduces_pending);
+      js.reduces_pending -= n;
+      js.reduces_running += n;
+      free_reduce -= n;
+      double dur = js.reduces_pending == 0 ? js.job->times.reduce_max_sec
+                                           : js.job->times.reduce_avg_sec;
+      pq.push(Event{now + std::max(0.0, dur), seq++, Event::kReduceBatchDone,
+                    best, n});
+    }
+  };
+
+  // Jobs with zero tasks complete instantly at their ready time; model them
+  // as a zero-length map batch.
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (state[i].job->times.map_tasks <= 0) state[i].maps_pending = 1;
+  }
+
+  // Kick-off events at initial ready times so that jobs whose overhead
+  // elapses while others are running get dispatched promptly.
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (state[i].ready_time >= 0) {
+      pq.push(Event{state[i].ready_time, seq++, Event::kMapBatchDone, i, 0});
+    }
+  }
+
+  dispatch();
+  // Advance to the earliest pending ready time whenever nothing runs.
+  size_t guard = 0;
+  const size_t kGuardLimit = 10'000'000;
+  while (true) {
+    if (pq.empty()) {
+      // Nothing running: advance to the earliest future ready time.
+      double next_ready = -1.0;
+      for (const auto& js : state) {
+        if (js.done) continue;
+        double t = -1.0;
+        if (js.maps_pending > 0 && js.ready_time >= 0) t = js.ready_time;
+        if (js.reduces_pending > 0 && js.reduce_ready_time >= 0) {
+          t = t < 0 ? js.reduce_ready_time : std::min(t, js.reduce_ready_time);
+        }
+        if (t >= 0 && (next_ready < 0 || t < next_ready)) next_ready = t;
+      }
+      if (next_ready < 0) break;  // all done
+      now = next_ready;
+      dispatch();
+      if (pq.empty()) break;  // defensive: nothing schedulable
+      continue;
+    }
+    if (++guard > kGuardLimit) {
+      return Status::Internal("cluster simulation exceeded event limit");
+    }
+    Event ev = pq.top();
+    pq.pop();
+    now = ev.time;
+    JobState& js = state[ev.job_index];
+    std::vector<size_t> newly_ready;
+    if (ev.kind == Event::kMapBatchDone) {
+      js.maps_running -= ev.count;
+      free_map += ev.count;
+      if (js.maps_pending == 0 && js.maps_running == 0) {
+        if (js.job->times.reduce_tasks > 0) {
+          js.reduce_ready_time = now;
+        } else if (!js.done) {
+          finish_job(ev.job_index, &newly_ready);
+        }
+      }
+    } else {
+      js.reduces_running -= ev.count;
+      free_reduce += ev.count;
+      if (js.reduces_pending == 0 && js.reduces_running == 0 && !js.done) {
+        finish_job(ev.job_index, &newly_ready);
+      }
+    }
+    dispatch();
+  }
+
+  ScheduleResult result;
+  for (const auto& js : state) {
+    if (!js.done) {
+      return Status::Internal("job '" + js.job->id +
+                              "' never completed in simulation (cyclic "
+                              "dependencies?)");
+    }
+    result.job_finish_sec[js.job->id] = js.finish_time;
+    result.makespan_sec = std::max(result.makespan_sec, js.finish_time);
+  }
+  return result;
+}
+
+}  // namespace stubby

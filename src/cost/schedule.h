@@ -1,0 +1,40 @@
+// Cluster scheduler: a discrete-event simulation of slot-based task
+// execution over a workflow DAG. Jobs contribute map tasks (runnable once
+// all upstream jobs finish) and reduce tasks (runnable once the job's own
+// maps finish); tasks occupy map/reduce slots FIFO. This captures the
+// concurrency effects the paper leans on — e.g. two small sibling jobs
+// running concurrently can beat one horizontally-packed job when the
+// cluster has spare slots (the PJ workflow of Section 7.2).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/phase_model.h"
+#include "mr/cluster.h"
+
+namespace stubby {
+
+/// One job as seen by the scheduler.
+struct ScheduledJob {
+  std::string id;
+  std::vector<std::string> deps;  ///< upstream job ids
+  JobTaskTimes times;
+};
+
+/// Outcome of a simulated run.
+struct ScheduleResult {
+  double makespan_sec = 0.0;
+  std::map<std::string, double> job_finish_sec;
+};
+
+/// Simulates the execution of `jobs` (any order; dependencies resolved by
+/// id) on the cluster. Fails if dependencies reference unknown jobs or form
+/// a cycle.
+Result<ScheduleResult> SimulateCluster(const std::vector<ScheduledJob>& jobs,
+                                       const ClusterSpec& cluster);
+
+}  // namespace stubby

@@ -1,0 +1,85 @@
+#include "dfs/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stubby {
+
+void StoredDataset::AddPartition(std::vector<Row> rows) {
+  for (const Row& r : rows) {
+    num_rows_ += 1;
+    raw_bytes_ += r.SerializedSize();
+  }
+  partitions_.push_back(std::move(rows));
+}
+
+uint64_t StoredDataset::stored_bytes(double compress_ratio) const {
+  if (!layout_.compressed) return raw_bytes_;
+  return static_cast<uint64_t>(std::llround(
+      static_cast<double>(raw_bytes_) * compress_ratio));
+}
+
+std::vector<Row> StoredDataset::AllRows() const {
+  std::vector<Row> out;
+  out.reserve(num_rows_);
+  for (const auto& p : partitions_) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+std::vector<Row> StoredDataset::RowsOfPartitions(
+    const std::vector<int>& parts) const {
+  std::vector<Row> out;
+  for (int i : parts) {
+    if (i < 0 || static_cast<size_t>(i) >= partitions_.size()) continue;
+    out.insert(out.end(), partitions_[i].begin(), partitions_[i].end());
+  }
+  return out;
+}
+
+Result<std::shared_ptr<StoredDataset>> StoredDataset::FromRows(
+    std::string id, const Schema& schema, Layout layout,
+    std::vector<Row> rows, int num_partitions) {
+  auto ds = std::make_shared<StoredDataset>(std::move(id), schema, layout);
+  if (num_partitions < 1) num_partitions = 1;
+
+  std::vector<std::vector<Row>> parts;
+  if (layout.partitioning.has_value()) {
+    int n = num_partitions;
+    if (layout.partitioning->FixesNumPartitions()) {
+      n = layout.partitioning->NumRangePartitions();
+    }
+    STUBBY_ASSIGN_OR_RETURN(Partitioner partitioner,
+                            Partitioner::Make(*layout.partitioning, schema));
+    parts.assign(static_cast<size_t>(n), {});
+    for (auto& r : rows) {
+      int p = partitioner.PartitionOf(r, n);
+      parts[static_cast<size_t>(p)].push_back(std::move(r));
+    }
+  } else {
+    // Block layout: contiguous chunks of roughly equal record count.
+    size_t per =
+        std::max<size_t>(1, (rows.size() + num_partitions - 1) /
+                                static_cast<size_t>(num_partitions));
+    for (size_t i = 0; i < rows.size(); i += per) {
+      size_t end = std::min(rows.size(), i + per);
+      parts.emplace_back(std::make_move_iterator(rows.begin() + i),
+                         std::make_move_iterator(rows.begin() + end));
+    }
+    if (parts.empty()) parts.emplace_back();
+  }
+
+  if (!layout.order_fields.empty()) {
+    STUBBY_ASSIGN_OR_RETURN(std::vector<size_t> order_idx,
+                            schema.IndicesOf(layout.order_fields));
+    for (auto& p : parts) {
+      std::stable_sort(p.begin(), p.end(), [&](const Row& a, const Row& b) {
+        return CompareOnFields(a, b, order_idx) < 0;
+      });
+    }
+  }
+
+  for (auto& p : parts) ds->AddPartition(std::move(p));
+  return ds;
+}
+
+}  // namespace stubby

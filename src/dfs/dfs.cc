@@ -1,0 +1,41 @@
+#include "dfs/dfs.h"
+
+namespace stubby {
+
+Status Dfs::Put(DatasetPtr dataset) {
+  auto [it, inserted] = datasets_.emplace(dataset->id(), dataset);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + dataset->id() +
+                                 "' already in DFS");
+  }
+  return Status::OK();
+}
+
+void Dfs::PutOrReplace(DatasetPtr dataset) {
+  datasets_[dataset->id()] = std::move(dataset);
+}
+
+Result<DatasetPtr> Dfs::Get(const std::string& id) const {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + id + "' not in DFS");
+  }
+  return it->second;
+}
+
+bool Dfs::Exists(const std::string& id) const {
+  return datasets_.count(id) > 0;
+}
+
+void Dfs::Drop(const std::string& id) { datasets_.erase(id); }
+
+void Dfs::Clear() { datasets_.clear(); }
+
+uint64_t Dfs::TotalRawBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, ds] : datasets_) total += ds->raw_bytes();
+  return total;
+}
+
+}  // namespace stubby

@@ -1,0 +1,43 @@
+// Dfs: the persistent storage layer of the simulated MapReduce system — a
+// registry of StoredDatasets keyed by descriptor id.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "dfs/dataset.h"
+
+namespace stubby {
+
+/// In-memory distributed-file-system stand-in.
+class Dfs {
+ public:
+  /// Registers `dataset`; fails if the id already exists.
+  Status Put(DatasetPtr dataset);
+
+  /// Registers or replaces `dataset`.
+  void PutOrReplace(DatasetPtr dataset);
+
+  /// Looks up a dataset by id.
+  Result<DatasetPtr> Get(const std::string& id) const;
+
+  bool Exists(const std::string& id) const;
+
+  /// Removes a dataset (no-op if absent).
+  void Drop(const std::string& id);
+
+  /// Removes everything.
+  void Clear();
+
+  size_t size() const { return datasets_.size(); }
+
+  /// Total raw bytes across all stored datasets.
+  uint64_t TotalRawBytes() const;
+
+ private:
+  std::map<std::string, DatasetPtr> datasets_;
+};
+
+}  // namespace stubby

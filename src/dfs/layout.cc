@@ -1,0 +1,23 @@
+#include "dfs/layout.h"
+
+#include "common/strings.h"
+
+namespace stubby {
+
+bool Layout::operator==(const Layout& other) const {
+  if (partitioning.has_value() != other.partitioning.has_value()) return false;
+  if (partitioning && !(*partitioning == *other.partitioning)) return false;
+  return order_fields == other.order_fields &&
+         compressed == other.compressed && block_mb == other.block_mb;
+}
+
+std::string Layout::ToString() const {
+  std::string out = "layout{";
+  out += partitioning ? partitioning->ToString() : "blocks";
+  if (!order_fields.empty()) out += " order(" + Join(order_fields, ",") + ")";
+  if (compressed) out += " compressed";
+  out += "}";
+  return out;
+}
+
+}  // namespace stubby

@@ -1,0 +1,37 @@
+// Layout: how a dataset is laid out in the simulated distributed
+// file-system — partitioning, per-partition ordering, and compression
+// (Section 2.1: D = <d, l, a>). Stubby currently supports horizontal
+// partitioning only, like the paper.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mr/partitioner.h"
+#include "mr/schema.h"
+
+namespace stubby {
+
+/// Physical design of a stored dataset.
+struct Layout {
+  /// Partitioning of the dataset across files. nullopt = the dataset is
+  /// split into blocks with no semantic partitioning.
+  std::optional<PartitionSpec> partitioning;
+
+  /// Per-partition sort order (empty = unordered). For datasets produced by
+  /// a MapReduce job this is the job's per-partition sort order.
+  std::vector<std::string> order_fields;
+
+  /// Whether the files are compressed (affects read/write byte accounting).
+  bool compressed = false;
+
+  /// DFS block size in MB; determines the default number of map tasks for
+  /// consumers of unpartitioned data.
+  double block_mb = 64.0;
+
+  bool operator==(const Layout& other) const;
+  std::string ToString() const;
+};
+
+}  // namespace stubby

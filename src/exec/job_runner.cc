@@ -1,0 +1,536 @@
+#include "exec/job_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "exec/wrappers.h"
+
+namespace stubby {
+
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+uint64_t RowsBytes(const std::vector<Row>& rows) {
+  uint64_t b = 0;
+  for (const Row& r : rows) b += r.SerializedSize();
+  return b;
+}
+
+/// Collects tee rows during one task; the caller drains per-dataset vectors
+/// after the task finishes (so per-task partition boundaries are kept).
+class TaskTeeSink : public TeeSink {
+ public:
+  void TeeEmit(const std::string& dataset_id, const Row& row) override {
+    rows_[dataset_id].push_back(row);
+  }
+  std::map<std::string, std::vector<Row>>& rows() { return rows_; }
+
+ private:
+  std::map<std::string, std::vector<Row>> rows_;
+};
+
+/// Accumulates a dataset under construction (per-partition rows + scaled
+/// accounting so the stored dataset gets the right logical scale).
+struct DatasetBuilder {
+  std::vector<std::vector<Row>> partitions;
+  double scaled_records = 0.0;
+  double scaled_bytes = 0.0;
+  uint64_t physical_bytes = 0;
+
+  void Add(std::vector<Row> rows, double scale) {
+    uint64_t b = RowsBytes(rows);
+    scaled_records += static_cast<double>(rows.size()) * scale;
+    scaled_bytes += static_cast<double>(b) * scale;
+    physical_bytes += b;
+    partitions.push_back(std::move(rows));
+  }
+
+  /// Ensures partition index `r` exists and appends to it (reduce outputs
+  /// are keyed by reduce task index).
+  void AddTo(size_t r, std::vector<Row> rows, double scale) {
+    if (partitions.size() <= r) partitions.resize(r + 1);
+    uint64_t b = RowsBytes(rows);
+    scaled_records += static_cast<double>(rows.size()) * scale;
+    scaled_bytes += static_cast<double>(b) * scale;
+    physical_bytes += b;
+    auto& p = partitions[r];
+    p.insert(p.end(), std::make_move_iterator(rows.begin()),
+             std::make_move_iterator(rows.end()));
+  }
+
+  double LogicalScale() const {
+    return physical_bytes > 0
+               ? scaled_bytes / static_cast<double>(physical_bytes)
+               : 1.0;
+  }
+};
+
+/// Resolves a branch's effective range split points: explicit ones win;
+/// otherwise candidates from the `split_points_from` dataset are thinned to
+/// R-1 evenly spaced boundaries.
+Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
+                                           const Dfs& dfs) {
+  PartitionSpec spec = branch.partition;
+  if (spec.type != PartitionType::kRange || !spec.split_points.empty() ||
+      spec.split_points_from.empty()) {
+    return spec;
+  }
+  STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs.Get(spec.split_points_from));
+  std::vector<Row> candidates = ds->AllRows();
+  std::sort(candidates.begin(), candidates.end());
+  int want = std::max(0, R - 1);
+  if (static_cast<int>(candidates.size()) <= want) {
+    spec.split_points = std::move(candidates);
+  } else {
+    for (int i = 1; i <= want; ++i) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(i) * static_cast<double>(candidates.size()) /
+          (want + 1));
+      idx = std::min(idx, candidates.size() - 1);
+      spec.split_points.push_back(candidates[idx]);
+    }
+  }
+  return spec;
+}
+
+/// Physical partitions of `ds` selected by a prune list (all when empty).
+std::vector<int> SelectedPartitions(const StoredDataset& ds,
+                                    const std::vector<int>& prune) {
+  std::vector<int> parts;
+  if (prune.empty()) {
+    for (size_t i = 0; i < ds.num_partitions(); ++i) {
+      parts.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (int p : prune) {
+      if (p >= 0 && static_cast<size_t>(p) < ds.num_partitions()) {
+        parts.push_back(p);
+      }
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
+                                   Dfs* dfs) const {
+  JobDataflow df;
+  df.job_id = job.id;
+  const bool map_only = job.map_only();
+  const int R = map_only ? 0 : job.EffectiveReduceTasks();
+  df.num_reduce_tasks = R;
+  df.output_compressed = job.config.compress_output;
+
+  const size_t nb = job.branches.size();
+
+  // Per-branch execution state.
+  struct BranchState {
+    PartitionSpec resolved_partition;
+    std::vector<size_t> partition_sort_indices;  // in map-output schema
+    std::vector<size_t> group_indices;           // combiner grouping
+    std::optional<Partitioner> partitioner;
+    // reduce_buckets[r]: rows destined for reduce task r, plus scaled
+    // accounting (pre-combine) for skew measurement.
+    std::vector<std::vector<Row>> reduce_buckets;
+    std::vector<double> bucket_scaled_bytes;      // pre-combine, logical
+    std::vector<double> bucket_scaled_records;    // pre-combine, logical
+    std::vector<uint64_t> bucket_physical_records;       // pre-combine
+    std::vector<uint64_t> bucket_physical_post_records;  // after combiner
+    // Combine-effectiveness model inputs: distinct group keys seen and the
+    // logical record count each map task contributed.
+    std::set<uint64_t> group_hashes;
+    std::vector<double> task_logical_records;
+    double raw_scaled_records = 0.0;  // pre-combine map output (logical)
+    double raw_scaled_bytes = 0.0;
+    double combine_ratio = 1.0;  // combined records / raw records
+    DatasetBuilder output;
+  };
+  std::vector<BranchState> bstate(nb);
+
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const Branch& b = job.branches[bi];
+    if (b.map_only()) continue;
+    BranchState& st = bstate[bi];
+    STUBBY_ASSIGN_OR_RETURN(st.resolved_partition,
+                            ResolvePartitionSpec(b, R, *dfs));
+    STUBBY_ASSIGN_OR_RETURN(
+        Partitioner partitioner,
+        Partitioner::Make(st.resolved_partition, b.map_output_schema));
+    st.partitioner = std::move(partitioner);
+    st.partition_sort_indices = st.partitioner->sort_indices();
+    std::vector<std::string> group = b.GroupFields();
+    STUBBY_ASSIGN_OR_RETURN(st.group_indices,
+                            b.map_output_schema.IndicesOf(group));
+    st.reduce_buckets.assign(static_cast<size_t>(R), {});
+    st.bucket_scaled_bytes.assign(static_cast<size_t>(R), 0.0);
+    st.bucket_scaled_records.assign(static_cast<size_t>(R), 0.0);
+    st.bucket_physical_records.assign(static_cast<size_t>(R), 0);
+    st.bucket_physical_post_records.assign(static_cast<size_t>(R), 0);
+  }
+
+  std::map<std::string, DatasetBuilder> tee_builders;
+  std::map<std::string, Schema> tee_schemas;
+  for (const Branch& b : job.branches) {
+    for (const BranchInput& in : b.inputs) {
+      for (const Stage& s : in.map_stages) {
+        if (!s.tee_dataset.empty()) {
+          tee_schemas[s.tee_dataset] = s.output_schema();
+        }
+      }
+    }
+    for (const Stage& s : b.merged_map_stages) {
+      if (!s.tee_dataset.empty()) tee_schemas[s.tee_dataset] = s.output_schema();
+    }
+    for (const Stage& s : b.reduce_stages) {
+      if (!s.tee_dataset.empty()) tee_schemas[s.tee_dataset] = s.output_schema();
+    }
+  }
+
+  auto drain_tee = [&](TaskTeeSink* sink, double scale) {
+    for (auto& [id, rows] : sink->rows()) {
+      uint64_t b = RowsBytes(rows);
+      df.tee_bytes += static_cast<uint64_t>(static_cast<double>(b) * scale);
+      tee_builders[id].Add(std::move(rows), scale);
+    }
+    sink->rows().clear();
+  };
+
+  // Partition/sort/combine one map task's output for branch `bi` and stash
+  // it into the reduce buckets. The combiner still runs physically (so the
+  // reduce functions see combined rows), but the shuffle-volume accounting
+  // is pre-combine: combine effectiveness at logical scale is modeled
+  // analytically after the map phase, because the physical sample cannot
+  // exhibit logical-scale duplicate density.
+  auto shuffle_map_output = [&](size_t bi, std::vector<Row> rows,
+                                double scale) {
+    const Branch& b = job.branches[bi];
+    BranchState& st = bstate[bi];
+    uint64_t out_bytes = RowsBytes(rows);
+    double scaled_records = static_cast<double>(rows.size()) * scale;
+    double scaled_bytes = static_cast<double>(out_bytes) * scale;
+    df.map_output_records += static_cast<uint64_t>(scaled_records);
+    df.map_output_bytes += static_cast<uint64_t>(scaled_bytes);
+    st.raw_scaled_records += scaled_records;
+    st.raw_scaled_bytes += scaled_bytes;
+    st.task_logical_records.push_back(scaled_records);
+    for (const Row& row : rows) {
+      st.group_hashes.insert(HashOnFields(row, st.group_indices));
+    }
+
+    std::vector<std::vector<Row>> buckets(static_cast<size_t>(R));
+    for (Row& row : rows) {
+      int r = st.partitioner->PartitionOf(row, R);
+      buckets[static_cast<size_t>(r)].push_back(std::move(row));
+    }
+    for (size_t r = 0; r < buckets.size(); ++r) {
+      auto& bucket = buckets[r];
+      if (bucket.empty()) continue;
+      std::stable_sort(bucket.begin(), bucket.end(),
+                       [&](const Row& a, const Row& bb) {
+                         return CompareOnFields(a, bb,
+                                                st.partition_sort_indices) < 0;
+                       });
+      uint64_t bb = RowsBytes(bucket);
+      st.bucket_scaled_bytes[r] += static_cast<double>(bb) * scale;
+      st.bucket_scaled_records[r] +=
+          static_cast<double>(bucket.size()) * scale;
+      st.bucket_physical_records[r] += bucket.size();
+      if (job.config.use_combiner && b.combiner != nullptr) {
+        double combine_cpu = 0.0;
+        bucket =
+            RunCombiner(*b.combiner, bucket, st.group_indices, &combine_cpu);
+      }
+      st.bucket_physical_post_records[r] += bucket.size();
+      auto& dst = st.reduce_buckets[r];
+      dst.insert(dst.end(), std::make_move_iterator(bucket.begin()),
+                 std::make_move_iterator(bucket.end()));
+    }
+  };
+
+  // Accounts one map-task input chunk read from dataset `ds`.
+  auto account_input = [&](const StoredDataset& ds, uint64_t chunk_bytes,
+                           uint64_t chunk_rows) -> uint64_t {
+    double scale = ds.logical_scale();
+    uint64_t logical =
+        static_cast<uint64_t>(static_cast<double>(chunk_bytes) * scale);
+    df.map_input_records +=
+        static_cast<uint64_t>(static_cast<double>(chunk_rows) * scale);
+    df.map_input_bytes += logical;
+    df.map_input_stored_bytes += static_cast<uint64_t>(
+        static_cast<double>(logical) *
+        (ds.layout().compressed ? cluster_.compress_ratio : 1.0));
+    return logical;
+  };
+
+  // ---- Map phase: shared-scan input groups --------------------------------
+  std::vector<InputGroup> groups = GroupBranchInputs(job);
+  for (const InputGroup& g : groups) {
+    STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs->Get(g.dataset_id));
+    const double scale = ds->logical_scale();
+    std::vector<int> parts = SelectedPartitions(*ds, g.prune_partitions);
+
+    // Form map task input chunks.
+    std::vector<std::vector<Row>> chunks;
+    if (g.aligned) {
+      for (int p : parts) {
+        chunks.push_back(ds->partition(static_cast<size_t>(p)));
+      }
+      if (chunks.empty()) chunks.emplace_back();
+    } else {
+      std::vector<Row> all = ds->RowsOfPartitions(parts);
+      uint64_t physical_bytes = RowsBytes(all);
+      double stored_logical = static_cast<double>(physical_bytes) * scale;
+      if (ds->layout().compressed) stored_logical *= cluster_.compress_ratio;
+      int tasks = std::max(
+          1, static_cast<int>(
+                 std::ceil(stored_logical / (job.config.split_mb * kMB))));
+      tasks = std::min(tasks, kMaxMapTasks);
+      size_t per = std::max<size_t>(
+          1, (all.size() + static_cast<size_t>(tasks) - 1) /
+                 static_cast<size_t>(tasks));
+      for (int t = 0; t < tasks; ++t) {
+        size_t lo = std::min(all.size(), static_cast<size_t>(t) * per);
+        size_t hi = std::min(all.size(), lo + per);
+        chunks.emplace_back(all.begin() + static_cast<long>(lo),
+                            all.begin() + static_cast<long>(hi));
+      }
+      if (chunks.empty()) chunks.emplace_back();
+    }
+
+    df.num_map_tasks += static_cast<int>(chunks.size());
+    df.pipelines_per_task = std::max(
+        df.pipelines_per_task, static_cast<int>(g.subscribers.size()));
+
+    for (const std::vector<Row>& chunk : chunks) {
+      uint64_t logical =
+          account_input(*ds, RowsBytes(chunk), chunk.size());
+      df.max_map_task_input_bytes =
+          std::max(df.max_map_task_input_bytes, logical);
+
+      // Run every subscribing branch pipeline over the shared scan.
+      for (const auto& [bi, ii] : g.subscribers) {
+        const Branch& b = job.branches[bi];
+        const BranchInput& input = b.inputs[ii];
+        TaskTeeSink tee;
+        VectorEmitter out;
+        STUBBY_ASSIGN_OR_RETURN(
+            std::unique_ptr<PipelineRunner> runner,
+            PipelineRunner::Make(input.map_stages, ds->schema(), &out, &tee));
+        for (const Row& row : chunk) runner->Emit(row);
+        runner->Finish();
+        df.map_cpu_units += runner->counters().cpu_units * scale;
+        drain_tee(&tee, scale);
+
+        if (b.map_only()) {
+          bstate[bi].output.Add(std::move(out.rows()), scale);
+        } else {
+          shuffle_map_output(bi, std::move(out.rows()), scale);
+        }
+      }
+    }
+  }
+
+  // ---- Map phase: merge-mode branches (co-aligned inputs) -----------------
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const Branch& b = job.branches[bi];
+    if (!b.merge_mode()) continue;
+
+    std::vector<DatasetPtr> inputs_ds;
+    std::vector<std::vector<int>> inputs_parts;
+    size_t max_parts = 0;
+    for (const BranchInput& in : b.inputs) {
+      STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs->Get(in.dataset_id));
+      std::vector<int> parts = SelectedPartitions(*ds, in.prune_partitions);
+      max_parts = std::max(max_parts, parts.size());
+      inputs_ds.push_back(std::move(ds));
+      inputs_parts.push_back(std::move(parts));
+    }
+    if (max_parts == 0) max_parts = 1;
+    df.num_map_tasks += static_cast<int>(max_parts);
+    df.pipelines_per_task = std::max(df.pipelines_per_task, 1);
+
+    STUBBY_ASSIGN_OR_RETURN(std::vector<size_t> merge_sort_idx,
+                            b.merge_schema.IndicesOf(b.merge_sort_fields));
+
+    for (size_t t = 0; t < max_parts; ++t) {
+      std::vector<Row> merged;
+      double task_scaled_bytes = 0.0;
+      uint64_t task_physical_bytes = 0;
+      uint64_t task_logical_bytes = 0;
+      TaskTeeSink tee;
+      for (size_t i = 0; i < b.inputs.size(); ++i) {
+        if (t >= inputs_parts[i].size()) continue;
+        const StoredDataset& ds = *inputs_ds[i];
+        const std::vector<Row>& part =
+            ds.partition(static_cast<size_t>(inputs_parts[i][t]));
+        uint64_t pb = RowsBytes(part);
+        uint64_t logical = account_input(ds, pb, part.size());
+        task_logical_bytes += logical;
+        task_scaled_bytes += static_cast<double>(logical);
+        task_physical_bytes += pb;
+
+        VectorEmitter out;
+        STUBBY_ASSIGN_OR_RETURN(std::unique_ptr<PipelineRunner> runner,
+                                PipelineRunner::Make(b.inputs[i].map_stages,
+                                                     ds.schema(), &out, &tee));
+        for (const Row& row : part) runner->Emit(row);
+        runner->Finish();
+        df.map_cpu_units += runner->counters().cpu_units * ds.logical_scale();
+        drain_tee(&tee, ds.logical_scale());
+        merged.insert(merged.end(),
+                      std::make_move_iterator(out.rows().begin()),
+                      std::make_move_iterator(out.rows().end()));
+      }
+      df.max_map_task_input_bytes =
+          std::max(df.max_map_task_input_bytes, task_logical_bytes);
+      double task_scale =
+          task_physical_bytes > 0
+              ? task_scaled_bytes / static_cast<double>(task_physical_bytes)
+              : 1.0;
+
+      // Co-aligned merge: interleave the per-input streams by sort order.
+      std::stable_sort(merged.begin(), merged.end(),
+                       [&](const Row& a, const Row& bb) {
+                         return CompareOnFields(a, bb, merge_sort_idx) < 0;
+                       });
+      VectorEmitter out;
+      STUBBY_ASSIGN_OR_RETURN(
+          std::unique_ptr<PipelineRunner> runner,
+          PipelineRunner::Make(b.merged_map_stages, b.merge_schema, &out,
+                               &tee));
+      for (const Row& row : merged) runner->Emit(row);
+      runner->Finish();
+      df.map_cpu_units += runner->counters().cpu_units * task_scale;
+      drain_tee(&tee, task_scale);
+
+      if (b.map_only()) {
+        bstate[bi].output.Add(std::move(out.rows()), task_scale);
+      } else {
+        shuffle_map_output(bi, std::move(out.rows()), task_scale);
+      }
+    }
+  }
+
+  // Combine-effectiveness accounting at logical scale: a map task emitting
+  // n records over G distinct groups combines down to about
+  // G*(1-exp(-n/G)) records. The what-if engine uses the same model, so
+  // estimation error stems from its profiled G, not from model mismatch.
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const Branch& b = job.branches[bi];
+    if (b.map_only()) continue;
+    BranchState& st = bstate[bi];
+    if (job.config.use_combiner && b.combiner != nullptr &&
+        !st.group_hashes.empty() && st.raw_scaled_records > 0) {
+      double groups = static_cast<double>(st.group_hashes.size());
+      double combined = 0.0;
+      for (double n : st.task_logical_records) {
+        if (n <= 0) continue;
+        combined += std::min(n, groups * (1.0 - std::exp(-n / groups)));
+      }
+      st.combine_ratio = std::min(1.0, combined / st.raw_scaled_records);
+      // Every map-output record passes through the combiner once.
+      df.combine_cpu_units +=
+          st.raw_scaled_records * b.combiner->cpu_cost_per_record();
+    }
+    df.combine_output_records +=
+        static_cast<uint64_t>(st.raw_scaled_records * st.combine_ratio);
+    df.combine_output_bytes +=
+        static_cast<uint64_t>(st.raw_scaled_bytes * st.combine_ratio);
+  }
+
+  // ---- Reduce phase --------------------------------------------------------
+  if (!map_only) {
+    for (int r = 0; r < R; ++r) {
+      double partition_scaled_bytes = 0.0;
+      bool nonempty = false;
+      for (size_t bi = 0; bi < nb; ++bi) {
+        const Branch& b = job.branches[bi];
+        if (b.map_only()) continue;
+        BranchState& st = bstate[bi];
+        const size_t ri = static_cast<size_t>(r);
+        auto& rows = st.reduce_buckets[ri];
+        partition_scaled_bytes +=
+            st.bucket_scaled_bytes[ri] * st.combine_ratio;
+        // Plain logical/physical data ratio (combine-independent): scales
+        // the reduce pipeline's outputs, whose record counts track groups,
+        // not pre-aggregation.
+        double scale = st.bucket_physical_records[ri] > 0
+                           ? st.bucket_scaled_records[ri] /
+                                 static_cast<double>(
+                                     st.bucket_physical_records[ri])
+                           : 1.0;
+        // Reduce-side CPU processes the logically-combined stream.
+        double cpu_scale =
+            st.bucket_physical_post_records[ri] > 0
+                ? st.bucket_scaled_records[ri] * st.combine_ratio /
+                      static_cast<double>(st.bucket_physical_post_records[ri])
+                : 1.0;
+        if (!rows.empty()) nonempty = true;
+
+        df.reduce_input_records += static_cast<uint64_t>(
+            st.bucket_scaled_records[ri] * st.combine_ratio);
+        df.reduce_input_bytes += static_cast<uint64_t>(
+            st.bucket_scaled_bytes[ri] * st.combine_ratio);
+
+        // Merge the per-map sorted segments (modeled as one stable sort).
+        std::stable_sort(rows.begin(), rows.end(),
+                         [&](const Row& a, const Row& bb) {
+                           return CompareOnFields(
+                                      a, bb, st.partition_sort_indices) < 0;
+                         });
+
+        TaskTeeSink tee;
+        VectorEmitter out;
+        STUBBY_ASSIGN_OR_RETURN(
+            std::unique_ptr<PipelineRunner> runner,
+            PipelineRunner::Make(b.reduce_stages, b.map_output_schema, &out,
+                                 &tee));
+        for (const Row& row : rows) runner->Emit(row);
+        runner->Finish();
+        df.reduce_cpu_units += runner->counters().cpu_units * cpu_scale;
+        drain_tee(&tee, scale);
+        st.output.AddTo(static_cast<size_t>(r), std::move(out.rows()), scale);
+        rows.clear();
+        rows.shrink_to_fit();
+      }
+      if (nonempty) df.nonempty_reduce_partitions++;
+      df.max_reduce_input_bytes =
+          std::max(df.max_reduce_input_bytes,
+                   static_cast<uint64_t>(partition_scaled_bytes));
+    }
+  }
+
+  // ---- Materialize outputs -------------------------------------------------
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const Branch& b = job.branches[bi];
+    BranchState& st = bstate[bi];
+    STUBBY_ASSIGN_OR_RETURN(const DatasetVertex* dv,
+                            plan.GetDataset(b.output_dataset));
+    Layout layout = DeriveOutputLayout(b, job.config, dv->schema);
+    auto out_ds =
+        std::make_shared<StoredDataset>(b.output_dataset, dv->schema, layout);
+    if (!b.map_only() &&
+        st.output.partitions.size() < static_cast<size_t>(R)) {
+      st.output.partitions.resize(static_cast<size_t>(R));
+    }
+    for (auto& p : st.output.partitions) out_ds->AddPartition(std::move(p));
+    out_ds->set_logical_scale(st.output.LogicalScale());
+    df.output_records += static_cast<uint64_t>(st.output.scaled_records);
+    df.output_bytes += static_cast<uint64_t>(st.output.scaled_bytes);
+    dfs->PutOrReplace(std::move(out_ds));
+  }
+  for (auto& [id, builder] : tee_builders) {
+    Layout layout;  // tee outputs are plain block files
+    auto ds = std::make_shared<StoredDataset>(id, tee_schemas[id], layout);
+    for (auto& p : builder.partitions) ds->AddPartition(std::move(p));
+    ds->set_logical_scale(builder.LogicalScale());
+    dfs->PutOrReplace(std::move(ds));
+  }
+  return df;
+}
+
+}  // namespace stubby

@@ -1,0 +1,36 @@
+// JobRunner: executes one MapReduce job of a plan on the simulated cluster,
+// at record level. Map tasks are formed per input group (size-based splits,
+// or partition-aligned reads), run every subscribing branch pipeline over
+// the scan, partition/sort/combine the map output per branch, and reduce
+// tasks merge and run the reduce-side pipelines. Observed dataflow is
+// returned in logical units for the phase-time model.
+
+#pragma once
+
+#include "common/result.h"
+#include "cost/dataflow.h"
+#include "dfs/dfs.h"
+#include "mr/cluster.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Executes single jobs against a Dfs.
+class JobRunner {
+ public:
+  explicit JobRunner(ClusterSpec cluster) : cluster_(std::move(cluster)) {}
+
+  /// Runs `job`, reading inputs from and writing outputs to `dfs`. The plan
+  /// provides dataset schemas and layouts. Returns the observed dataflow.
+  Result<JobDataflow> Run(const Plan& plan, const JobVertex& job,
+                          Dfs* dfs) const;
+
+  /// Upper bound on map tasks materialized per input group (shared with
+  /// the what-if engine so predictions match observations).
+  static constexpr int kMaxMapTasks = kMaxSimulatedMapTasks;
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace stubby

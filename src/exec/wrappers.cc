@@ -1,0 +1,156 @@
+#include "exec/wrappers.h"
+
+#include <cassert>
+
+namespace stubby {
+
+// One stage instance inside a running pipeline. Nodes form a chain; each
+// node emits into the next via the Out() emitter.
+struct PipelineRunner::Node : public Emitter {
+  Stage::Kind kind;
+  std::shared_ptr<MapFn> map_fn;
+  std::shared_ptr<ReduceFn> reduce_fn;
+  std::vector<size_t> group_indices;
+  std::vector<size_t> key_indices;  // same as group_indices (projection)
+  std::vector<Row> group_buffer;
+  bool has_group = false;
+
+  std::string tee_dataset;
+  TeeSink* tee = nullptr;
+
+  Emitter* next = nullptr;  // next node or final output
+  double cpu_weight = 1.0;
+  PipelineCounters* counters = nullptr;
+  bool is_last = false;
+
+  void Forward(Row row) {
+    if (tee != nullptr && !tee_dataset.empty()) {
+      tee->TeeEmit(tee_dataset, row);
+    }
+    if (is_last) counters->rows_out++;
+    next->Emit(std::move(row));
+  }
+
+  // Emitter that routes a UDF's output through Forward().
+  struct ForwardEmitter : public Emitter {
+    Node* node;
+    explicit ForwardEmitter(Node* n) : node(n) {}
+    void Emit(Row row) override { node->Forward(std::move(row)); }
+  };
+
+  void Emit(Row row) override {
+    counters->cpu_units += cpu_weight;
+    ForwardEmitter fwd(this);
+    if (kind == Stage::Kind::kMap) {
+      map_fn->Map(row, &fwd);
+      return;
+    }
+    // Streaming group-by: flush when the grouping key changes.
+    if (has_group && !EqualOnFields(group_buffer.front(), row, group_indices)) {
+      FlushGroup();
+    }
+    group_buffer.push_back(std::move(row));
+    has_group = true;
+  }
+
+  void FlushGroup() {
+    if (!has_group) return;
+    ForwardEmitter fwd(this);
+    Row key = group_buffer.front().Project(key_indices);
+    reduce_fn->Reduce(key, group_buffer, &fwd);
+    group_buffer.clear();
+    has_group = false;
+  }
+
+  void FinishNode() {
+    ForwardEmitter fwd(this);
+    if (kind == Stage::Kind::kReduce) {
+      FlushGroup();
+      reduce_fn->Finish(&fwd);
+    } else {
+      map_fn->Finish(&fwd);
+    }
+  }
+};
+
+Result<std::unique_ptr<PipelineRunner>> PipelineRunner::Make(
+    const std::vector<Stage>& stages, const Schema& input_schema,
+    Emitter* out, TeeSink* tee) {
+  std::unique_ptr<PipelineRunner> runner(new PipelineRunner());
+  runner->final_out_ = out;
+
+  Schema cur = input_schema;
+  for (const Stage& s : stages) {
+    auto node = std::make_unique<Node>();
+    node->kind = s.kind;
+    node->tee_dataset = s.tee_dataset;
+    node->tee = tee;
+    node->counters = &runner->counters_;
+    if (s.kind == Stage::Kind::kMap) {
+      node->map_fn = s.map_fn->Clone();
+      node->map_fn->Setup();
+      node->cpu_weight = node->map_fn->cpu_cost_per_record();
+      cur = node->map_fn->output_schema();
+    } else {
+      node->reduce_fn = s.reduce_fn->Clone();
+      node->reduce_fn->Setup();
+      node->cpu_weight = node->reduce_fn->cpu_cost_per_record();
+      STUBBY_ASSIGN_OR_RETURN(node->group_indices,
+                              cur.IndicesOf(s.group_fields));
+      node->key_indices = node->group_indices;
+      cur = node->reduce_fn->output_schema();
+    }
+    runner->nodes_.push_back(std::move(node));
+  }
+
+  // Wire the chain.
+  for (size_t i = 0; i < runner->nodes_.size(); ++i) {
+    Emitter* next = (i + 1 < runner->nodes_.size())
+                        ? static_cast<Emitter*>(runner->nodes_[i + 1].get())
+                        : out;
+    runner->nodes_[i]->next = next;
+    runner->nodes_[i]->is_last = (i + 1 == runner->nodes_.size());
+  }
+  return runner;
+}
+
+PipelineRunner::~PipelineRunner() = default;
+
+void PipelineRunner::Emit(Row row) {
+  counters_.rows_in++;
+  if (nodes_.empty()) {
+    counters_.rows_out++;
+    final_out_->Emit(std::move(row));
+    return;
+  }
+  nodes_.front()->Emit(std::move(row));
+}
+
+void PipelineRunner::Finish() {
+  for (auto& node : nodes_) node->FinishNode();
+}
+
+std::vector<Row> RunCombiner(const CombineFn& fn,
+                             const std::vector<Row>& sorted_rows,
+                             const std::vector<size_t>& group_indices,
+                             double* cpu_units) {
+  VectorEmitter out;
+  std::shared_ptr<CombineFn> instance = fn.Clone();
+  size_t i = 0;
+  while (i < sorted_rows.size()) {
+    size_t j = i + 1;
+    while (j < sorted_rows.size() &&
+           EqualOnFields(sorted_rows[i], sorted_rows[j], group_indices)) {
+      ++j;
+    }
+    std::vector<Row> group(sorted_rows.begin() + i, sorted_rows.begin() + j);
+    Row key = sorted_rows[i].Project(group_indices);
+    instance->Combine(key, group, &out);
+    *cpu_units +=
+        static_cast<double>(j - i) * instance->cpu_cost_per_record();
+    i = j;
+  }
+  return std::move(out.rows());
+}
+
+}  // namespace stubby

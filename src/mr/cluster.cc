@@ -1,0 +1,15 @@
+#include "mr/cluster.h"
+
+#include "common/strings.h"
+
+namespace stubby {
+
+std::string ClusterSpec::ToString() const {
+  return StrFormat(
+      "cluster{nodes=%d, map_slots=%d, reduce_slots=%d, "
+      "disk_r=%.0fMB/s, disk_w=%.0fMB/s, net=%.0fMB/s}",
+      num_nodes, total_map_slots(), total_reduce_slots(), disk_read_mbps,
+      disk_write_mbps, network_mbps);
+}
+
+}  // namespace stubby

@@ -1,0 +1,56 @@
+// ClusterSpec: the cluster setup and resource allocation input of the
+// what-if engine (Section 5, input 4): node/slot counts plus calibrated
+// throughput constants for the analytical phase model. Defaults mirror the
+// paper's evaluation cluster: 51 EC2 m1.large nodes, 3 map + 2 reduce slots
+// per node (150 concurrent map tasks, 100 concurrent reduce tasks).
+
+#pragma once
+
+#include <string>
+
+namespace stubby {
+
+/// Static description of the simulated cluster.
+struct ClusterSpec {
+  int num_nodes = 51;
+  int map_slots_per_node = 3;
+  int reduce_slots_per_node = 2;
+
+  // Throughputs per task, MB/s. Values are in the ballpark of 2012-era EC2
+  // m1.large instances; absolute numbers only scale costs, the reproduction
+  // targets relative plan ordering.
+  double disk_read_mbps = 90.0;
+  double disk_write_mbps = 70.0;
+  double network_mbps = 35.0;   ///< effective per-task shuffle bandwidth
+  double dfs_write_mbps = 45.0; ///< DFS write incl. replication pipeline
+
+  /// CPU time per record per unit of UDF cost weight, nanoseconds.
+  double cpu_ns_per_record_unit = 450.0;
+
+  /// Sort cost: ns per record per binary-merge level (n log n model).
+  double sort_ns_per_record = 110.0;
+
+  /// Fixed scheduling/JVM overhead per task, seconds.
+  double task_startup_sec = 1.2;
+
+  /// Per-job submission/initialization overhead, seconds. This is what makes
+  /// many tiny jobs slower than one packed job even on tiny data.
+  double job_startup_sec = 6.0;
+
+  /// Compression model: compressed size = ratio * raw size; (de)compression
+  /// runs at the given throughputs.
+  double compress_ratio = 0.35;
+  double compress_mbps = 200.0;
+  double decompress_mbps = 450.0;
+
+  /// Memory per task slot, MB (bounds io_sort_mb usefulness and models the
+  /// resource-contention penalty of packing many pipelines into one task).
+  double task_memory_mb = 1024.0;
+
+  int total_map_slots() const { return num_nodes * map_slots_per_node; }
+  int total_reduce_slots() const { return num_nodes * reduce_slots_per_node; }
+
+  std::string ToString() const;
+};
+
+}  // namespace stubby

@@ -1,0 +1,104 @@
+#include "mr/job_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace stubby {
+
+bool JobConfig::operator==(const JobConfig& other) const {
+  return num_reduce_tasks == other.num_reduce_tasks &&
+         io_sort_mb == other.io_sort_mb &&
+         io_sort_factor == other.io_sort_factor &&
+         use_combiner == other.use_combiner &&
+         compress_map_output == other.compress_map_output &&
+         compress_output == other.compress_output &&
+         split_mb == other.split_mb;
+}
+
+std::string JobConfig::ToString() const {
+  return StrFormat(
+      "reduce_tasks=%d,io_sort_mb=%.0f,io_sort_factor=%d,combiner=%d,"
+      "compress_map=%d,compress_out=%d,split_mb=%.0f",
+      num_reduce_tasks, io_sort_mb, io_sort_factor, use_combiner ? 1 : 0,
+      compress_map_output ? 1 : 0, compress_output ? 1 : 0, split_mb);
+}
+
+ConfigSpace ConfigSpace::Default(int max_reduce_tasks, bool has_combiner) {
+  ConfigSpace space;
+  space.dims_ = {
+      {"num_reduce_tasks", 1.0,
+       static_cast<double>(std::max(1, 2 * max_reduce_tasks)), true},
+      {"io_sort_mb", 16.0, 512.0, true},
+      {"io_sort_factor", 2.0, 100.0, true},
+      {"compress_map_output", 0.0, 1.0, true},
+      {"compress_output", 0.0, 1.0, true},
+      {"split_mb", 16.0, 256.0, true},
+  };
+  if (has_combiner) {
+    space.dims_.push_back({"use_combiner", 0.0, 1.0, true});
+  }
+  return space;
+}
+
+ConfigSpace ConfigSpace::FromDims(std::vector<ConfigDimension> dims) {
+  ConfigSpace space;
+  space.dims_ = std::move(dims);
+  return space;
+}
+
+JobConfig ConfigSpace::PointToConfig(const std::vector<double>& unit_point,
+                                     const JobConfig& base) const {
+  JobConfig out = base;
+  for (size_t i = 0; i < dims_.size() && i < unit_point.size(); ++i) {
+    const ConfigDimension& d = dims_[i];
+    double u = std::clamp(unit_point[i], 0.0, 1.0);
+    double v = d.lo + u * (d.hi - d.lo);
+    if (d.integral) v = std::round(v);
+    if (d.name == "num_reduce_tasks") {
+      out.num_reduce_tasks = static_cast<int>(v);
+    } else if (d.name == "io_sort_mb") {
+      out.io_sort_mb = v;
+    } else if (d.name == "io_sort_factor") {
+      out.io_sort_factor = static_cast<int>(v);
+    } else if (d.name == "compress_map_output") {
+      out.compress_map_output = v >= 0.5;
+    } else if (d.name == "compress_output") {
+      out.compress_output = v >= 0.5;
+    } else if (d.name == "split_mb") {
+      out.split_mb = v;
+    } else if (d.name == "use_combiner") {
+      out.use_combiner = v >= 0.5;
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfigSpace::ConfigToPoint(const JobConfig& config) const {
+  std::vector<double> out;
+  out.reserve(dims_.size());
+  for (const ConfigDimension& d : dims_) {
+    double v = 0.0;
+    if (d.name == "num_reduce_tasks") {
+      v = config.num_reduce_tasks;
+    } else if (d.name == "io_sort_mb") {
+      v = config.io_sort_mb;
+    } else if (d.name == "io_sort_factor") {
+      v = config.io_sort_factor;
+    } else if (d.name == "compress_map_output") {
+      v = config.compress_map_output ? 1.0 : 0.0;
+    } else if (d.name == "compress_output") {
+      v = config.compress_output ? 1.0 : 0.0;
+    } else if (d.name == "split_mb") {
+      v = config.split_mb;
+    } else if (d.name == "use_combiner") {
+      v = config.use_combiner ? 1.0 : 0.0;
+    }
+    double u = (d.hi == d.lo) ? 0.0 : (v - d.lo) / (d.hi - d.lo);
+    out.push_back(std::clamp(u, 0.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace stubby

@@ -1,0 +1,84 @@
+// JobConfig: the per-job configuration that Stubby's configuration
+// transformation (Section 3.5) searches over, modeled on the Hadoop
+// parameters highlighted in the paper (Figure 8): number of reduce tasks,
+// map-output sort buffer, merge factor, combiner toggle, and map/reduce
+// output compression.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace stubby {
+
+/// Configuration of one MapReduce job (the `c` of J = <p, c, a>).
+struct JobConfig {
+  /// Number of reduce tasks. Ignored for map-only jobs.
+  int num_reduce_tasks = 1;
+
+  /// Map-output buffer for two-phase sorting, in MB (io.sort.mb). Smaller
+  /// buffers spill more often and re-merge more.
+  double io_sort_mb = 128.0;
+
+  /// Fan-in of multi-pass merges (io.sort.factor).
+  int io_sort_factor = 10;
+
+  /// Whether the combine function (if the program has one) runs on spills.
+  bool use_combiner = false;
+
+  /// Compress map output between map and reduce.
+  bool compress_map_output = false;
+
+  /// Compress the job's output dataset (affects the dataset layout).
+  bool compress_output = false;
+
+  /// Input split size in MB; determines the number of map tasks as
+  /// ceil(input_bytes / split_mb).
+  double split_mb = 64.0;
+
+  bool operator==(const JobConfig& other) const;
+
+  /// Short "k=v,..." rendering.
+  std::string ToString() const;
+};
+
+/// One dimension of the configuration search space.
+struct ConfigDimension {
+  std::string name;
+  double lo;
+  double hi;
+  bool integral;  ///< round sample to nearest integer
+};
+
+/// The configuration space searched by RRS (Section 4.2). Points are vectors
+/// in [0,1]^d mapped onto the dimensions.
+class ConfigSpace {
+ public:
+  /// Default space over the six JobConfig knobs for a cluster with
+  /// `max_reduce_tasks` total reduce slots. `has_combiner` excludes the
+  /// combiner toggle when the program has no combine function.
+  static ConfigSpace Default(int max_reduce_tasks, bool has_combiner);
+
+  /// Space with an explicit dimension list.
+  static ConfigSpace FromDims(std::vector<ConfigDimension> dims);
+
+  const std::vector<ConfigDimension>& dims() const { return dims_; }
+  size_t size() const { return dims_.size(); }
+
+  /// Maps a unit-cube point to a JobConfig, starting from `base` so that
+  /// dimensions not in the space keep their current values.
+  JobConfig PointToConfig(const std::vector<double>& unit_point,
+                          const JobConfig& base) const;
+
+  /// Inverse of PointToConfig for the dimensions in this space (values are
+  /// clamped into [0,1]).
+  std::vector<double> ConfigToPoint(const JobConfig& config) const;
+
+ private:
+  std::vector<ConfigDimension> dims_;
+};
+
+}  // namespace stubby

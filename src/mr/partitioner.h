@@ -1,0 +1,86 @@
+// Partition function model (Section 2.1 / Section 3.4). The default is hash
+// partitioning on K2 with a per-partition sort on K2; Stubby's partition
+// function transformation can switch to range partitioning, change split
+// points, and change the per-partition sort fields (as vertical packing
+// postconditions require).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mr/schema.h"
+#include "mr/tuple.h"
+
+namespace stubby {
+
+enum class PartitionType { kHash, kRange };
+
+const char* PartitionTypeName(PartitionType t);
+
+/// Declarative description of a job's partition function. Lives in the plan
+/// so transformations can inspect and rewrite it.
+struct PartitionSpec {
+  PartitionType type = PartitionType::kHash;
+
+  /// Fields of the map-output row that partitioning is computed on.
+  std::vector<std::string> partition_fields;
+
+  /// Fields the map output is sorted on within each partition (the grouping
+  /// comparator groups on a prefix of this order).
+  std::vector<std::string> sort_fields;
+
+  /// For range partitioning: sorted boundary rows over `partition_fields`.
+  /// n split points define n+1 partitions; a row belongs to the first
+  /// partition whose upper boundary exceeds it.
+  std::vector<Row> split_points;
+
+  /// Alternative to explicit split points: a dataset id whose rows are the
+  /// boundary rows, resolved at execution time. Used by workflows where a
+  /// sampling job computes split points for a later sort job (e.g. the
+  /// Social Network Analysis and Log Analysis workflows of Section 7.1).
+  std::string split_points_from;
+
+  /// Default spec for a job whose map-output key is `key_fields`: hash
+  /// partition and sort on the key.
+  static PartitionSpec DefaultFor(const std::vector<std::string>& key_fields);
+
+  /// Range partitioning with explicit splits fixes the number of partitions
+  /// at split_points+1.
+  bool FixesNumPartitions() const {
+    return type == PartitionType::kRange && !split_points.empty();
+  }
+  int NumRangePartitions() const {
+    return static_cast<int>(split_points.size()) + 1;
+  }
+
+  bool operator==(const PartitionSpec& other) const;
+  std::string ToString() const;
+};
+
+/// Executable partitioner bound to a concrete map-output schema.
+class Partitioner {
+ public:
+  /// Resolves field names against `schema`; fails if any are missing.
+  static Result<Partitioner> Make(const PartitionSpec& spec,
+                                  const Schema& schema);
+
+  /// Partition index for `row` among `num_partitions` buckets.
+  int PartitionOf(const Row& row, int num_partitions) const;
+
+  /// Indices of the sort fields within the schema.
+  const std::vector<size_t>& sort_indices() const { return sort_indices_; }
+  const std::vector<size_t>& partition_indices() const {
+    return partition_indices_;
+  }
+
+ private:
+  Partitioner() = default;
+
+  PartitionSpec spec_;
+  std::vector<size_t> partition_indices_;
+  std::vector<size_t> sort_indices_;
+};
+
+}  // namespace stubby

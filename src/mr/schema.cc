@@ -1,0 +1,89 @@
+#include "mr/schema.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace stubby {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<size_t>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    auto idx = IndexOf(n);
+    if (!idx) {
+      return Status::NotFound("field '" + n + "' not in schema " +
+                              ToString());
+    }
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+bool Schema::Contains(const FieldSet& names) const {
+  return std::all_of(names.begin(), names.end(),
+                     [&](const std::string& n) { return Contains(n); });
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).has_value();
+}
+
+FieldSet Schema::AsSet() const {
+  return FieldSet(fields_.begin(), fields_.end());
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<std::string> out = fields_;
+  for (const auto& f : other.fields_) {
+    std::string name = f;
+    int suffix = 1;
+    while (std::find(out.begin(), out.end(), name) != out.end()) {
+      name = f + "#" + std::to_string(suffix++);
+    }
+    out.push_back(name);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  return "<" + Join(fields_, ",") + ">";
+}
+
+FieldSet Intersect(const FieldSet& a, const FieldSet& b) {
+  FieldSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+FieldSet Union(const FieldSet& a, const FieldSet& b) {
+  FieldSet out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+FieldSet Minus(const FieldSet& a, const FieldSet& b) {
+  FieldSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::inserter(out, out.begin()));
+  return out;
+}
+
+bool IsSubset(const FieldSet& sub, const FieldSet& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+std::string FieldSetToString(const FieldSet& s) {
+  return "{" + Join(s, ",") + "}";
+}
+
+}  // namespace stubby

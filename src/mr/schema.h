@@ -1,0 +1,75 @@
+// Schema: ordered list of field names describing the composition of rows in
+// a dataset or of the key/value types of a MapReduce program (the paper's
+// schema annotations, Section 2.2). Identical field names across schemas
+// indicate data that flows unchanged through black-box functions.
+
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace stubby {
+
+/// Set of field names — used for annotation keys like J5.K2 = {O, Z}.
+using FieldSet = std::set<std::string>;
+
+/// Ordered field-name list for a row type.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<std::string> fields) : fields_(fields) {}
+  explicit Schema(std::vector<std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+  const std::string& field(size_t i) const { return fields_[i]; }
+  const std::vector<std::string>& fields() const { return fields_; }
+
+  /// Index of `name`, or nullopt if absent.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Indices of every name in `names`, in the order given; error if any name
+  /// is missing from this schema.
+  Result<std::vector<size_t>> IndicesOf(
+      const std::vector<std::string>& names) const;
+
+  /// True if every field in `names` appears in this schema.
+  bool Contains(const FieldSet& names) const;
+  bool Contains(const std::string& name) const;
+
+  /// All field names as a set.
+  FieldSet AsSet() const;
+
+  /// Schema with `other`'s fields appended (duplicates suffixed with '#n' to
+  /// stay unique). Used when packing pipelines concatenates value fields.
+  Schema Concat(const Schema& other) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// "<a,b,c>" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+/// Set-operations on field sets used by the vertical-packing postconditions
+/// (partition on Kp∩Kc, sort on (Kp∩Kc) ++ ((Kp∪Kc) − (Kp∩Kc))).
+FieldSet Intersect(const FieldSet& a, const FieldSet& b);
+FieldSet Union(const FieldSet& a, const FieldSet& b);
+FieldSet Minus(const FieldSet& a, const FieldSet& b);
+bool IsSubset(const FieldSet& sub, const FieldSet& super);
+
+/// Renders "{a,b}".
+std::string FieldSetToString(const FieldSet& s);
+
+}  // namespace stubby

@@ -1,0 +1,98 @@
+#include "mr/tuple.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace stubby {
+
+namespace {
+constexpr uint64_t kRowOverheadBytes = 4;  // framing / length prefix
+}
+
+uint64_t Row::SerializedSize() const {
+  uint64_t total = kRowOverheadBytes;
+  for (const auto& v : values_) total += v.SerializedSize();
+  return total;
+}
+
+Row Row::Project(const std::vector<size_t>& indices) const {
+  Row out;
+  out.values_.reserve(indices.size());
+  for (size_t i : indices) out.values_.push_back(values_[i]);
+  return out;
+}
+
+bool Row::operator<(const Row& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (values_[i] < other.values_[i]) return true;
+    if (other.values_[i] < values_[i]) return false;
+  }
+  return values_.size() < other.values_.size();
+}
+
+uint64_t Row::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+int CompareOnFields(const Row& a, const Row& b,
+                    const std::vector<size_t>& indices) {
+  for (size_t i : indices) {
+    if (a[i] < b[i]) return -1;
+    if (b[i] < a[i]) return 1;
+  }
+  return 0;
+}
+
+bool EqualOnFields(const Row& a, const Row& b,
+                   const std::vector<size_t>& indices) {
+  return CompareOnFields(a, b, indices) == 0;
+}
+
+uint64_t HashOnFields(const Row& r, const std::vector<size_t>& indices) {
+  uint64_t h = 0x100001b3ULL;
+  for (size_t i : indices) h = HashCombine(h, r[i].Hash());
+  return h;
+}
+
+bool RowApproxEqual(const Row& a, const Row& b, double rel_tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_string() || b[i].is_string()) {
+      if (!(a[i] == b[i])) return false;
+      continue;
+    }
+    double x = a[i].AsDouble();
+    double y = b[i].AsDouble();
+    double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+    if (std::fabs(x - y) > rel_tol * scale) return false;
+  }
+  return true;
+}
+
+bool RowsApproxEqual(std::vector<Row> a, std::vector<Row> b,
+                     double rel_tol) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowApproxEqual(a[i], b[i], rel_tol)) return false;
+  }
+  return true;
+}
+
+}  // namespace stubby

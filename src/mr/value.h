@@ -1,0 +1,61 @@
+// Value: a single typed field of a record flowing through the simulated
+// MapReduce system. Kept deliberately small (int64 / double / string) — the
+// workloads in the paper only need these.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace stubby {
+
+/// Dynamically typed field value.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : v_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  /// Integer content; must hold an int.
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  /// Double content; coerces ints.
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+    return std::get<double>(v_);
+  }
+  /// String content; must hold a string.
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Serialized size in bytes under the simulator's wire format. Drives all
+  /// byte accounting in the execution engine and cost model.
+  uint64_t SerializedSize() const;
+
+  /// Total order across types: ints/doubles compare numerically among
+  /// themselves, strings lexicographically; numeric < string.
+  bool operator<(const Value& other) const;
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<=(const Value& other) const { return !(other < *this); }
+
+  /// Stable content hash.
+  uint64_t Hash() const;
+
+  /// Human-readable rendering for debugging and golden tests.
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace stubby

@@ -1,0 +1,95 @@
+#include "optimizer/horizontal.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "workflow/subgraph.h"
+
+namespace stubby {
+
+namespace {
+
+Result<Plan> PackHorizontally(const Plan& plan_in, const std::string& a_id,
+                              const std::string& b_id) {
+  Plan np = plan_in;
+  STUBBY_ASSIGN_OR_RETURN(const JobVertex* ap, np.GetJob(a_id));
+  STUBBY_ASSIGN_OR_RETURN(const JobVertex* bp, np.GetJob(b_id));
+  JobVertex a = *ap;
+  const JobVertex b = *bp;
+
+  JobVertex merged;
+  merged.id = a_id + "|" + b_id;
+  merged.branches = a.branches;
+  merged.branches.insert(merged.branches.end(), b.branches.begin(),
+                         b.branches.end());
+  // The packed job runs every pipeline with one shared configuration — the
+  // dependence the paper calls out; start from the first job's settings
+  // with enough reduce tasks for both.
+  merged.config = a.config;
+  merged.config.num_reduce_tasks =
+      std::max(a.config.num_reduce_tasks, b.config.num_reduce_tasks);
+  merged.conditions.partition_frozen =
+      a.conditions.partition_frozen || b.conditions.partition_frozen;
+  if (a.conditions.num_reduce_fixed) {
+    merged.conditions.num_reduce_fixed = a.conditions.num_reduce_fixed;
+  }
+  if (b.conditions.num_reduce_fixed) {
+    if (merged.conditions.num_reduce_fixed &&
+        *merged.conditions.num_reduce_fixed !=
+            *b.conditions.num_reduce_fixed) {
+      return Status::FailedPrecondition(
+          "conflicting fixed reduce-task counts");
+    }
+    merged.conditions.num_reduce_fixed = b.conditions.num_reduce_fixed;
+  }
+
+  np.RemoveJob(a_id);
+  np.RemoveJob(b_id);
+  STUBBY_RETURN_NOT_OK(np.AddJob(std::move(merged)));
+  STUBBY_RETURN_NOT_OK(np.Validate());
+  return np;
+}
+
+}  // namespace
+
+std::vector<Application> HorizontalPacking::FindApplications(
+    const Plan& plan, const std::vector<std::string>& unit_jobs) const {
+  std::vector<Application> apps;
+  for (size_t i = 0; i < unit_jobs.size(); ++i) {
+    for (size_t j = i + 1; j < unit_jobs.size(); ++j) {
+      const std::string& a = unit_jobs[i];
+      const std::string& b = unit_jobs[j];
+      auto ar = plan.GetJob(a);
+      auto br = plan.GetJob(b);
+      if (!ar.ok() || !br.ok()) continue;
+      if (!ConcurrentlyRunnable(plan, a, b)) continue;
+
+      // Jobs whose range partitioning is resolved from a sampler dataset
+      // would entangle the packed job's reduce count with runtime state;
+      // leave them unpacked.
+      auto uses_sampler = [](const JobVertex& job) {
+        for (const Branch& br2 : job.branches) {
+          if (!br2.partition.split_points_from.empty()) return true;
+        }
+        return false;
+      };
+      if (uses_sampler(**ar) || uses_sampler(**br)) continue;
+
+      bool shared = !SharedInputs(plan, a, b).empty();
+      if (!shared && !extended_) continue;
+
+      Application app;
+      app.transform_name = name();
+      app.description =
+          StrFormat("horizontal-pack %s and %s%s", a.c_str(), b.c_str(),
+                    shared ? " (shared scan)" : " (extended)");
+      app.renames[a] = a + "|" + b;
+      app.renames[b] = a + "|" + b;
+      app.apply = [a, b](const Plan& p) { return PackHorizontally(p, a, b); };
+      apps.push_back(std::move(app));
+    }
+  }
+  return apps;
+}
+
+}  // namespace stubby

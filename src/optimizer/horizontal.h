@@ -1,0 +1,31 @@
+// Horizontal packing transformation (Section 3.3): packs the map (reduce)
+// functions of multiple concurrently-runnable jobs into the map (reduce)
+// tasks of one transformed job. Jobs reading the same dataset share its
+// scan (the MRShare-style precondition); the extended form packs any
+// concurrently-runnable jobs, with each pipeline processing only rows from
+// its own input (how the paper folds J1 and J2 of the running example into
+// one job).
+
+#pragma once
+
+#include "optimizer/transform.h"
+
+namespace stubby {
+
+/// Section 3.3.
+class HorizontalPacking : public Transformation {
+ public:
+  /// `extended` enables packing of concurrently-runnable jobs that do not
+  /// share an input dataset.
+  explicit HorizontalPacking(bool extended = true) : extended_(extended) {}
+
+  std::string name() const override { return "horizontal-packing"; }
+  std::vector<Application> FindApplications(
+      const Plan& plan,
+      const std::vector<std::string>& unit_jobs) const override;
+
+ private:
+  bool extended_;
+};
+
+}  // namespace stubby

@@ -1,0 +1,24 @@
+// Partition function transformation (Section 3.4): changes how a job's map
+// output is partitioned — here, switching hash partitioning to range
+// partitioning with split points chosen from the profiled key distribution.
+// Benefits: (i) skew reduction across reduce tasks, and (ii) partition
+// pruning for consumers whose filter annotations restrict the key range
+// (split points are aligned to the filter boundaries, and the consumer's
+// input descriptor is set to read only the relevant partitions — Figure 7).
+
+#pragma once
+
+#include "optimizer/transform.h"
+
+namespace stubby {
+
+/// Section 3.4.
+class PartitionFunctionTransform : public Transformation {
+ public:
+  std::string name() const override { return "partition-function"; }
+  std::vector<Application> FindApplications(
+      const Plan& plan,
+      const std::vector<std::string>& unit_jobs) const override;
+};
+
+}  // namespace stubby

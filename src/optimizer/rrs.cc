@@ -1,0 +1,92 @@
+#include "optimizer/rrs.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace stubby {
+
+std::pair<std::vector<double>, double> RecursiveRandomSearch::Minimize(
+    size_t dims,
+    const std::function<double(const std::vector<double>&)>& eval,
+    const std::vector<std::vector<double>>& seeds) {
+  std::vector<double> best_point(dims, 0.5);
+  double best_value = std::numeric_limits<double>::infinity();
+  int evals = 0;
+
+  auto consider = [&](const std::vector<double>& p) {
+    double v = eval(p);
+    ++evals;
+    if (v < best_value) {
+      best_value = v;
+      best_point = p;
+      return true;
+    }
+    return false;
+  };
+
+  for (const auto& s : seeds) {
+    if (s.size() == dims && evals < options_.budget) consider(s);
+  }
+  if (dims == 0) return {best_point, best_value};
+
+  auto random_point = [&]() {
+    std::vector<double> p(dims);
+    for (auto& x : p) x = rng_.NextDouble();
+    return p;
+  };
+  auto point_near = [&](const std::vector<double>& center, double radius) {
+    std::vector<double> p(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      p[i] = std::clamp(center[i] + rng_.NextDouble(-radius, radius), 0.0,
+                        1.0);
+    }
+    return p;
+  };
+
+  while (evals < options_.budget) {
+    // Explore: uniform sampling to find a promising region.
+    std::vector<double> incumbent = random_point();
+    double incumbent_value = eval(incumbent);
+    ++evals;
+    for (int i = 1; i < options_.explore_samples && evals < options_.budget;
+         ++i) {
+      std::vector<double> p = random_point();
+      double v = eval(p);
+      ++evals;
+      if (v < incumbent_value) {
+        incumbent = std::move(p);
+        incumbent_value = v;
+      }
+    }
+    if (incumbent_value < best_value) {
+      best_value = incumbent_value;
+      best_point = incumbent;
+    }
+
+    // Exploit: recursive sampling in a shrinking/re-centering ball.
+    double radius = options_.init_radius;
+    while (radius > options_.min_radius && evals < options_.budget) {
+      bool improved = false;
+      for (int i = 0; i < options_.exploit_samples && evals < options_.budget;
+           ++i) {
+        std::vector<double> p = point_near(incumbent, radius);
+        double v = eval(p);
+        ++evals;
+        if (v < incumbent_value) {
+          incumbent = std::move(p);
+          incumbent_value = v;
+          improved = true;
+          break;  // re-center immediately
+        }
+      }
+      if (!improved) radius *= options_.shrink;
+    }
+    if (incumbent_value < best_value) {
+      best_value = incumbent_value;
+      best_point = incumbent;
+    }
+  }
+  return {best_point, best_value};
+}
+
+}  // namespace stubby

@@ -1,0 +1,52 @@
+// Recursive Random Search (Ye & Kalyanaraman, SIGMETRICS 2003 [24]): the
+// black-box optimizer Stubby uses over the high-dimensional configuration
+// space (Section 4.2). RRS alternates an exploration phase (uniform random
+// sampling to find a promising region) with an exploitation phase (sampling
+// in a ball around the incumbent that re-centers on improvement and shrinks
+// otherwise), restarting exploration when the ball bottoms out.
+
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stubby {
+
+/// RRS tuning knobs.
+struct RrsOptions {
+  /// Total evaluation budget.
+  int budget = 100;
+  /// Samples per exploration round.
+  int explore_samples = 10;
+  /// Samples per exploitation step.
+  int exploit_samples = 5;
+  /// Initial exploitation ball radius (unit-cube coordinates).
+  double init_radius = 0.25;
+  /// Radius multiplier on a failed exploitation step.
+  double shrink = 0.55;
+  /// Exploitation stops (and exploration restarts) below this radius.
+  double min_radius = 0.02;
+};
+
+/// Minimizes a black-box function over [0,1]^d.
+class RecursiveRandomSearch {
+ public:
+  RecursiveRandomSearch(RrsOptions options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// Runs the search. `seeds` are evaluated first (e.g. the current and the
+  /// rule-of-thumb configurations) and count against the budget. Returns
+  /// the best point and its value.
+  std::pair<std::vector<double>, double> Minimize(
+      size_t dims, const std::function<double(const std::vector<double>&)>& eval,
+      const std::vector<std::vector<double>>& seeds);
+
+ private:
+  RrsOptions options_;
+  Rng rng_;
+};
+
+}  // namespace stubby

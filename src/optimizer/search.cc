@@ -1,0 +1,205 @@
+#include "optimizer/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "optimizer/configuration.h"
+
+namespace stubby {
+
+namespace {
+
+/// Enumeration node: a subplan reached by a sequence of structural
+/// transformations.
+struct EnumState {
+  Plan plan;
+  std::map<std::string, std::string> renames;
+  std::vector<std::string> applied;
+  int depth = 0;
+};
+
+/// Maps the unit's original job ids through the renames accumulated so far.
+std::vector<std::string> MappedUnitJobs(
+    const std::vector<std::string>& original,
+    const std::map<std::string, std::string>& renames) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& id : original) {
+    auto it = renames.find(id);
+    const std::string& mapped = it == renames.end() ? id : it->second;
+    if (seen.insert(mapped).second) out.push_back(mapped);
+  }
+  return out;
+}
+
+/// Composes `next` renames on top of `base`.
+std::map<std::string, std::string> ComposeRenames(
+    const std::map<std::string, std::string>& base,
+    const std::map<std::string, std::string>& next) {
+  std::map<std::string, std::string> out = base;
+  for (auto& [old_id, new_id] : out) {
+    auto it = next.find(new_id);
+    if (it != next.end()) new_id = it->second;
+  }
+  for (const auto& [old_id, new_id] : next) {
+    if (!out.count(old_id)) out[old_id] = new_id;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
+    const Plan& plan, const OptimizationUnit& unit) const {
+  // Exhaustive BFS over sequences of structural transformations, with
+  // signature-based de-duplication.
+  std::vector<EnumState> subplans;
+  std::set<std::string> seen;
+  std::deque<EnumState> queue;
+  queue.push_back(EnumState{plan, {}, {}, 0});
+  seen.insert(PlanSignature(plan));
+
+  const std::vector<std::string> original_jobs = unit.AllJobs();
+  while (!queue.empty() &&
+         static_cast<int>(subplans.size()) < options_.max_subplans) {
+    EnumState state = std::move(queue.front());
+    queue.pop_front();
+    std::vector<std::string> scope =
+        MappedUnitJobs(original_jobs, state.renames);
+    if (state.depth < options_.max_depth) {
+      for (const auto& t : transforms_) {
+        for (Application& app : t->FindApplications(state.plan, scope)) {
+          auto next = app.apply(state.plan);
+          if (!next.ok()) continue;  // postconditions not establishable
+          std::string sig = PlanSignature(*next);
+          if (!seen.insert(sig).second) continue;
+          EnumState ns;
+          ns.plan = std::move(*next);
+          ns.renames = ComposeRenames(state.renames, app.renames);
+          ns.applied = state.applied;
+          ns.applied.push_back(app.description);
+          ns.depth = state.depth + 1;
+          queue.push_back(std::move(ns));
+        }
+      }
+    }
+    subplans.push_back(std::move(state));
+  }
+  // Drain any remaining queued states as subplans (cap respected).
+  while (!queue.empty() &&
+         static_cast<int>(subplans.size()) < options_.max_subplans) {
+    subplans.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+
+  // Cost each subplan after an RRS pass over its unit-job configurations.
+  std::vector<SubplanCandidate> out;
+  for (EnumState& state : subplans) {
+    std::vector<std::string> scope =
+        MappedUnitJobs(original_jobs, state.renames);
+    STUBBY_ASSIGN_OR_RETURN(auto configured,
+                            OptimizeConfigurations(state.plan, scope));
+    SubplanCandidate cand;
+    cand.plan = std::move(configured.first);
+    cand.cost = configured.second;
+    cand.applied = std::move(state.applied);
+    cand.renames = std::move(state.renames);
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+Result<std::pair<Plan, double>> UnitOptimizer::OptimizeConfigurations(
+    const Plan& plan, const std::vector<std::string>& unit_jobs) const {
+  CostEstimate base = whatif_->Cost(plan);
+  if (!options_.enable_configuration || base.fallback) {
+    // Without profiles the configuration subspace cannot be costed; the
+    // search degrades gracefully to the job-count model (Section 5).
+    return std::make_pair(plan, base.cost);
+  }
+
+  // Joint configuration space of the unit's (surviving) jobs.
+  struct JobSpace {
+    std::string id;
+    ConfigSpace space;
+    size_t offset;
+  };
+  std::vector<JobSpace> spaces;
+  size_t dims = 0;
+  for (const auto& jid : unit_jobs) {
+    auto jr = plan.GetJob(jid);
+    if (!jr.ok()) continue;
+    ConfigSpace space = SpaceForJob(**jr, plan.cluster());
+    if (space.size() == 0) continue;
+    spaces.push_back(JobSpace{jid, std::move(space), dims});
+    dims += spaces.back().space.size();
+  }
+  if (dims == 0) return std::make_pair(plan, base.cost);
+
+  auto apply_point = [&](const std::vector<double>& point) -> Result<Plan> {
+    Plan candidate = plan;
+    for (const JobSpace& js : spaces) {
+      std::vector<double> slice(
+          point.begin() + static_cast<long>(js.offset),
+          point.begin() + static_cast<long>(js.offset + js.space.size()));
+      STUBBY_ASSIGN_OR_RETURN(const JobVertex* job, candidate.GetJob(js.id));
+      JobConfig config = js.space.PointToConfig(slice, job->config);
+      STUBBY_RETURN_NOT_OK(ApplyConfiguration(&candidate, js.id, config));
+    }
+    return candidate;
+  };
+
+  auto eval = [&](const std::vector<double>& point) -> double {
+    auto candidate = apply_point(point);
+    if (!candidate.ok()) return std::numeric_limits<double>::infinity();
+    return whatif_->Cost(*candidate).cost;
+  };
+
+  // Seeds: the current configurations and the rule-of-thumb settings.
+  std::vector<double> current_seed;
+  std::vector<double> thumb_seed;
+  for (const JobSpace& js : spaces) {
+    auto jr = plan.GetJob(js.id);
+    std::vector<double> cur = js.space.ConfigToPoint((*jr)->config);
+    std::vector<double> thumb =
+        js.space.ConfigToPoint(RuleOfThumbConfig(**jr, plan.cluster(), &plan));
+    current_seed.insert(current_seed.end(), cur.begin(), cur.end());
+    thumb_seed.insert(thumb_seed.end(), thumb.begin(), thumb.end());
+  }
+
+  RecursiveRandomSearch rrs(options_.rrs, options_.seed);
+  auto [best_point, best_value] =
+      rrs.Minimize(dims, eval, {current_seed, thumb_seed});
+  if (!std::isfinite(best_value) || best_value >= base.cost) {
+    return std::make_pair(plan, base.cost);
+  }
+  STUBBY_ASSIGN_OR_RETURN(Plan best_plan, apply_point(best_point));
+  return std::make_pair(std::move(best_plan), best_value);
+}
+
+Result<UnitResult> UnitOptimizer::Optimize(const Plan& plan,
+                                           const OptimizationUnit& unit) const {
+  STUBBY_ASSIGN_OR_RETURN(std::vector<SubplanCandidate> candidates,
+                          EnumerateSubplans(plan, unit));
+  if (candidates.empty()) {
+    return Status::Internal("unit enumeration produced no subplans");
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].cost < candidates[best].cost) best = i;
+  }
+  UnitResult result;
+  result.plan = std::move(candidates[best].plan);
+  result.cost = candidates[best].cost;
+  result.fallback = whatif_->Cost(result.plan).fallback;
+  result.renames = std::move(candidates[best].renames);
+  result.applied = std::move(candidates[best].applied);
+  result.subplans_enumerated = static_cast<int>(candidates.size());
+  return result;
+}
+
+}  // namespace stubby

@@ -1,0 +1,86 @@
+// Search within an optimization unit (Section 4.2): Stubby exhaustively
+// applies all combinations of the (structural) transformations in the
+// active group to generate the unit's subplans p1..pn, invokes RRS on each
+// subplan to find its best job configurations and estimated cost, and
+// retains the subplan with the overall lowest cost.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/whatif.h"
+#include "optimizer/rrs.h"
+#include "optimizer/transform.h"
+#include "optimizer/unit.h"
+
+namespace stubby {
+
+/// Knobs of the in-unit search.
+struct UnitSearchOptions {
+  /// Caps on the exhaustive structural enumeration (defensive; real units
+  /// yield a handful of subplans, cf. Figure 10).
+  int max_subplans = 64;
+  int max_depth = 6;
+
+  /// Configuration-search settings.
+  bool enable_configuration = true;
+  RrsOptions rrs;
+  uint64_t seed = 17;
+};
+
+/// Outcome of optimizing one unit.
+struct UnitResult {
+  Plan plan;
+  double cost = 0.0;
+  bool fallback = false;  ///< costed with the job-count fallback model
+  /// Composed job-id renames caused by the chosen subplan's packing.
+  std::map<std::string, std::string> renames;
+  /// Structural transformations applied in the chosen subplan.
+  std::vector<std::string> applied;
+  int subplans_enumerated = 0;
+};
+
+/// One enumerated subplan with its best configuration and cost (exposed for
+/// the Figure 10 / Figure 14 style drill-downs).
+struct SubplanCandidate {
+  Plan plan;
+  double cost = 0.0;
+  std::vector<std::string> applied;
+  std::map<std::string, std::string> renames;
+};
+
+/// Enumerates and costs a unit's subplan space.
+class UnitOptimizer {
+ public:
+  UnitOptimizer(std::vector<std::shared_ptr<Transformation>> transforms,
+                const WhatIfEngine* whatif, UnitSearchOptions options)
+      : transforms_(std::move(transforms)),
+        whatif_(whatif),
+        options_(options) {}
+
+  /// Optimizes `unit` within `plan`; returns the plan with the best subplan
+  /// and configurations applied.
+  Result<UnitResult> Optimize(const Plan& plan,
+                              const OptimizationUnit& unit) const;
+
+  /// Enumerates all subplans of the unit with their RRS-optimized costs
+  /// (most expensive entry point; used by benches and deep-dive examples).
+  Result<std::vector<SubplanCandidate>> EnumerateSubplans(
+      const Plan& plan, const OptimizationUnit& unit) const;
+
+ private:
+  /// RRS over the configurations of the unit's jobs in `plan`; returns the
+  /// plan with the best configurations applied and its cost.
+  Result<std::pair<Plan, double>> OptimizeConfigurations(
+      const Plan& plan, const std::vector<std::string>& unit_jobs) const;
+
+  std::vector<std::shared_ptr<Transformation>> transforms_;
+  const WhatIfEngine* whatif_;
+  UnitSearchOptions options_;
+};
+
+}  // namespace stubby

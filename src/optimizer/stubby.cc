@@ -1,0 +1,96 @@
+#include "optimizer/stubby.h"
+
+#include <chrono>
+#include <set>
+
+#include "common/logging.h"
+#include "optimizer/horizontal.h"
+#include "optimizer/partition_fn.h"
+#include "optimizer/vertical.h"
+
+namespace stubby {
+
+Result<Plan> StubbyOptimizer::RunPhase(
+    Plan plan, const std::vector<std::shared_ptr<Transformation>>& group,
+    const WhatIfEngine& whatif, OptimizeReport* report) const {
+  UnitSearchOptions unit_options = options_.unit;
+  unit_options.enable_configuration = options_.enable_configuration;
+  UnitOptimizer optimizer(group, &whatif, unit_options);
+
+  std::set<std::string> processed;
+  const size_t max_iterations = plan.num_jobs() * 8 + 8;
+  size_t iterations = 0;
+  while (auto unit = NextUnit(plan, processed)) {
+    if (++iterations > max_iterations) {
+      return Status::Internal("unit traversal did not converge");
+    }
+    STUBBY_ASSIGN_OR_RETURN(UnitResult result,
+                            optimizer.Optimize(plan, *unit));
+    plan = std::move(result.plan);
+    report->units_processed++;
+    report->subplans_enumerated += result.subplans_enumerated;
+    for (const auto& d : result.applied) report->applied.push_back(d);
+    // Producers whose id survived are done; producers packed into a new
+    // job serve as producers again in a later unit (Figure 9's J4').
+    for (const auto& p : unit->producers) {
+      if (!result.renames.count(p)) processed.insert(p);
+    }
+  }
+  return plan;
+}
+
+Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
+  auto t0 = std::chrono::steady_clock::now();
+  STUBBY_RETURN_NOT_OK(plan.Validate());
+
+  WhatIfEngine whatif(plan.cluster());
+  OptimizeReport report;
+
+  std::vector<std::shared_ptr<Transformation>> vertical_group;
+  if (options_.enable_intra_vertical) {
+    vertical_group.push_back(std::make_shared<IntraJobVerticalPacking>());
+  }
+  if (options_.enable_inter_vertical) {
+    vertical_group.push_back(std::make_shared<InterJobVerticalPacking>());
+  }
+  if (options_.enable_partition_function) {
+    vertical_group.push_back(std::make_shared<PartitionFunctionTransform>());
+  }
+
+  std::vector<std::shared_ptr<Transformation>> horizontal_group;
+  if (options_.enable_horizontal) {
+    horizontal_group.push_back(
+        std::make_shared<HorizontalPacking>(options_.extended_horizontal));
+  }
+  if (options_.enable_partition_function) {
+    horizontal_group.push_back(
+        std::make_shared<PartitionFunctionTransform>());
+  }
+
+  Plan current = plan;
+  std::vector<std::vector<std::shared_ptr<Transformation>>> phases;
+  if (options_.flip_phase_order) {
+    phases = {horizontal_group, vertical_group};
+  } else {
+    phases = {vertical_group, horizontal_group};
+  }
+  for (const auto& group : phases) {
+    bool phase_useful =
+        !group.empty() || options_.enable_configuration;
+    if (!phase_useful) continue;
+    STUBBY_ASSIGN_OR_RETURN(current,
+                            RunPhase(std::move(current), group, whatif,
+                                     &report));
+  }
+
+  CostEstimate final_cost = whatif.Cost(current);
+  report.plan = std::move(current);
+  report.estimated_cost = final_cost.cost;
+  report.fallback = final_cost.fallback;
+  report.optimization_time_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace stubby

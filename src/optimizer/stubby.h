@@ -1,0 +1,71 @@
+// StubbyOptimizer: the public entry point — a cost-based, transformation-
+// based optimizer for annotated MapReduce workflow plans (the paper's
+// Section 4 in full). The optimization process is two greedy phases: the
+// Vertical group (intra- and inter-job vertical packing, plus partition
+// function and configuration transformations) is applied across all
+// dynamically generated optimization units in topological order, then the
+// Horizontal group (horizontal packing, plus partition function and
+// configuration) repeats the traversal. The result is an equivalent plan
+// with minimum estimated execution cost subject to the given annotations.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/whatif.h"
+#include "optimizer/search.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Optimizer switches — each corresponds to a subspace of the plan space.
+struct StubbyOptions {
+  bool enable_intra_vertical = true;
+  bool enable_inter_vertical = true;
+  bool enable_horizontal = true;
+  /// Extended horizontal packing (concurrently-runnable jobs with disjoint
+  /// inputs), Section 3.3 extensions.
+  bool extended_horizontal = true;
+  bool enable_partition_function = true;
+  bool enable_configuration = true;
+
+  /// Ablation: apply the Horizontal group before the Vertical group
+  /// (the paper argues Vertical-first is the right order, Section 4).
+  bool flip_phase_order = false;
+
+  UnitSearchOptions unit;
+};
+
+/// What the optimizer did, for reporting and the Figure 13 bench.
+struct OptimizeReport {
+  Plan plan;
+  double optimization_time_sec = 0.0;
+  double estimated_cost = 0.0;
+  bool fallback = false;
+  int units_processed = 0;
+  int subplans_enumerated = 0;
+  std::vector<std::string> applied;  ///< transformation log
+};
+
+/// Cost-based transformation-based workflow optimizer.
+class StubbyOptimizer {
+ public:
+  explicit StubbyOptimizer(StubbyOptions options = {})
+      : options_(options) {}
+
+  /// Optimizes `plan`; equivalent output plan with minimum estimated cost.
+  Result<OptimizeReport> Optimize(const Plan& plan) const;
+
+ private:
+  /// One full traversal of the graph applying a transformation group.
+  Result<Plan> RunPhase(
+      Plan plan, const std::vector<std::shared_ptr<Transformation>>& group,
+      const WhatIfEngine& whatif, OptimizeReport* report) const;
+
+  StubbyOptions options_;
+};
+
+}  // namespace stubby

@@ -1,0 +1,63 @@
+#include "optimizer/transform.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace stubby {
+
+namespace {
+
+void AppendStageSignature(std::ostringstream& os, const Stage& s) {
+  os << (s.kind == Stage::Kind::kMap ? "m:" : "r:") << s.name();
+  if (s.kind == Stage::Kind::kReduce) {
+    os << "(" << Join(s.group_fields, ",") << ")";
+  }
+  if (!s.tee_dataset.empty()) os << ">" << s.tee_dataset;
+  os << ";";
+}
+
+}  // namespace
+
+std::string PlanSignature(const Plan& plan) {
+  std::ostringstream os;
+  for (const auto& [jid, job] : plan.jobs()) {
+    os << "J[" << jid << "]";
+    for (const Branch& b : job.branches) {
+      os << "{" << b.tag << ":";
+      for (const BranchInput& in : b.inputs) {
+        os << "<" << in.dataset_id << (in.aligned ? "!a" : "")
+           << "#" << in.prune_partitions.size() << ":";
+        for (const Stage& s : in.map_stages) AppendStageSignature(os, s);
+        os << ">";
+      }
+      if (b.merge_mode()) {
+        os << "|merge(" << Join(b.merge_sort_fields, ",") << "):";
+        for (const Stage& s : b.merged_map_stages) AppendStageSignature(os, s);
+      }
+      if (!b.map_only()) {
+        os << "|" << b.partition.ToString() << "|";
+        for (const Stage& s : b.reduce_stages) AppendStageSignature(os, s);
+      }
+      os << "->" << b.output_dataset << "}";
+    }
+  }
+  return os.str();
+}
+
+void AttachTee(std::vector<Stage>* stages, const Schema& schema_at_end,
+               const std::string& dataset) {
+  if (!stages->empty() && stages->back().tee_dataset.empty()) {
+    stages->back().tee_dataset = dataset;
+    return;
+  }
+  StageStats identity_stats;
+  identity_stats.record_selectivity = 1.0;
+  identity_stats.byte_selectivity = 1.0;
+  identity_stats.cpu_per_record = 0.1;
+  Stage tee = Stage::Map(MakeIdentityMap(schema_at_end), identity_stats);
+  tee.tee_dataset = dataset;
+  stages->push_back(std::move(tee));
+}
+
+}  // namespace stubby

@@ -1,0 +1,59 @@
+// Transformation framework (Section 2.3): a transformation is defined by
+// preconditions checked on a plan P- and postconditions established on the
+// produced plan P+, such that P- and P+ compute the same result. Each
+// concrete transformation enumerates its valid applications within an
+// optimization unit; the search applies them to build the unit's subplan
+// space. New transformations extend the optimizer by subclassing
+// Transformation, in the spirit of extensible optimizers like EXODUS.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// One valid application of a transformation to a specific site in a plan.
+struct Application {
+  std::string transform_name;
+  std::string description;
+
+  /// Produces the transformed plan P+ from P-. Pure: P- is untouched.
+  std::function<Result<Plan>(const Plan&)> apply;
+
+  /// Job-id changes caused by the application (old id -> new id), used by
+  /// the search to track optimization-unit membership across packing.
+  std::map<std::string, std::string> renames;
+};
+
+/// Base class of all plan-to-plan transformations.
+class Transformation {
+ public:
+  virtual ~Transformation() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Enumerates applications whose preconditions hold on `plan`, restricted
+  /// to sites involving the jobs in `unit_jobs`.
+  virtual std::vector<Application> FindApplications(
+      const Plan& plan, const std::vector<std::string>& unit_jobs) const = 0;
+};
+
+/// Structural fingerprint of a plan (configuration excluded) for
+/// de-duplicating subplans during enumeration.
+std::string PlanSignature(const Plan& plan);
+
+/// Appends a tee marker materializing `dataset` after the last stage of
+/// `stages`; inserts an identity stage when the pipeline is empty or its
+/// last stage already tees elsewhere. `schema_at_end` is the row type at
+/// the end of the pipeline.
+void AttachTee(std::vector<Stage>* stages, const Schema& schema_at_end,
+               const std::string& dataset);
+
+}  // namespace stubby

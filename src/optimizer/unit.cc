@@ -1,0 +1,43 @@
+#include "optimizer/unit.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace stubby {
+
+std::vector<std::string> OptimizationUnit::AllJobs() const {
+  std::vector<std::string> all = producers;
+  for (const auto& c : consumers) {
+    if (std::find(all.begin(), all.end(), c) == all.end()) all.push_back(c);
+  }
+  return all;
+}
+
+std::string OptimizationUnit::ToString() const {
+  return "unit{producers=[" + Join(producers, ",") + "], consumers=[" +
+         Join(consumers, ",") + "]}";
+}
+
+std::optional<OptimizationUnit> NextUnit(
+    const Plan& plan, const std::set<std::string>& processed) {
+  OptimizationUnit unit;
+  for (const auto& [jid, job] : plan.jobs()) {
+    if (processed.count(jid)) continue;
+    std::vector<std::string> ups = plan.UpstreamJobs(jid);
+    bool ready = std::all_of(ups.begin(), ups.end(), [&](const std::string& u) {
+      return processed.count(u) > 0;
+    });
+    if (ready) unit.producers.push_back(jid);
+  }
+  if (unit.producers.empty()) return std::nullopt;
+  std::set<std::string> seen(unit.producers.begin(), unit.producers.end());
+  for (const auto& p : unit.producers) {
+    for (const auto& c : plan.DownstreamJobs(p)) {
+      if (seen.insert(c).second) unit.consumers.push_back(c);
+    }
+  }
+  return unit;
+}
+
+}  // namespace stubby

@@ -1,0 +1,37 @@
+// Optimization units (Section 4.1): Stubby divides the plan into
+// (possibly overlapping) subplans — a set of concurrently-runnable producer
+// jobs plus their consumer jobs — generated dynamically while traversing
+// the workflow graph in topological sort order. Decisions inside a unit
+// affect each other; decisions across units are treated as independent.
+
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// One optimization unit U(i).
+struct OptimizationUnit {
+  /// Concurrently-runnable jobs at the traversal frontier.
+  std::vector<std::string> producers;
+  /// Jobs consuming the producers' outputs.
+  std::vector<std::string> consumers;
+
+  /// producers ∪ consumers (transformation scope).
+  std::vector<std::string> AllJobs() const;
+
+  std::string ToString() const;
+};
+
+/// Generates the next unit: producers are the jobs not yet processed whose
+/// upstream jobs have all been processed; consumers are their downstream
+/// jobs. Returns nullopt when the traversal has covered the graph.
+std::optional<OptimizationUnit> NextUnit(
+    const Plan& plan, const std::set<std::string>& processed);
+
+}  // namespace stubby

@@ -1,0 +1,45 @@
+// Vertical packing transformations (Sections 3.1 and 3.2).
+//
+// Intra-job vertical packing converts a consumer MapReduce job into a
+// Map-only job: the producer's partition function is rewritten to satisfy
+// the grouping needs of both jobs (partition on Kp∩Kc, per-partition sort
+// on [Kp∩Kc, Kp∪Kc − Kp∩Kc]), after which the consumer's reduce function
+// moves to the map side and runs over partition-aligned reads. Correctness
+// is checked purely on schema annotations: the consumer's K2 fields must
+// flow unchanged — by field-name identity — from the producer's reduce
+// input to the consumer's map output.
+//
+// Inter-job vertical packing moves the functions of a Map-only job into its
+// producer or consumer, eliminating a whole job (and, when no other
+// consumer needs it, the intermediate dataset).
+
+#pragma once
+
+#include "optimizer/transform.h"
+
+namespace stubby {
+
+/// Section 3.1. Covers one-to-one subgraphs, none-to-one subgraphs (the
+/// grouping precondition is established by the base dataset's layout
+/// annotation), and many-to-one subgraphs (all producers are rewritten to
+/// partition identically and pinned to a common reduce-task count).
+class IntraJobVerticalPacking : public Transformation {
+ public:
+  std::string name() const override { return "intra-job-vertical-packing"; }
+  std::vector<Application> FindApplications(
+      const Plan& plan,
+      const std::vector<std::string>& unit_jobs) const override;
+};
+
+/// Section 3.2. Packs a Map-only job with its producer or consumer in a
+/// one-to-one subgraph; the one-to-many extension packs with one consumer
+/// while keeping the intermediate dataset materialized (tee) for the rest.
+class InterJobVerticalPacking : public Transformation {
+ public:
+  std::string name() const override { return "inter-job-vertical-packing"; }
+  std::vector<Application> FindApplications(
+      const Plan& plan,
+      const std::vector<std::string>& unit_jobs) const override;
+};
+
+}  // namespace stubby

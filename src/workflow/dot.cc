@@ -1,0 +1,46 @@
+#include "workflow/dot.h"
+
+#include <sstream>
+
+namespace stubby {
+
+namespace {
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string PlanToDot(const Plan& plan) {
+  std::ostringstream os;
+  os << "digraph workflow {\n  rankdir=TB;\n";
+  for (const auto& [id, ds] : plan.datasets()) {
+    os << "  \"" << Escape(id) << "\" [shape=ellipse"
+       << (ds.is_base_input ? ", style=filled, fillcolor=lightgray" : "")
+       << (ds.is_workflow_output ? ", peripheries=2" : "") << "];\n";
+  }
+  for (const auto& [id, job] : plan.jobs()) {
+    std::string label = id;
+    if (job.horizontally_packed()) {
+      label += " (packed x" + std::to_string(job.branches.size()) + ")";
+    } else if (job.map_only()) {
+      label += " (map-only)";
+    }
+    os << "  \"" << Escape(id) << "\" [shape=box, label=\"" << Escape(label)
+       << "\"];\n";
+    for (const auto& in : job.InputDatasets()) {
+      os << "  \"" << Escape(in) << "\" -> \"" << Escape(id) << "\";\n";
+    }
+    for (const auto& out : job.OutputDatasets()) {
+      os << "  \"" << Escape(id) << "\" -> \"" << Escape(out) << "\";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace stubby

@@ -1,0 +1,15 @@
+// Graphviz export of a plan — handy for inspecting what the optimizer did
+// to a workflow (jobs as boxes, datasets as ellipses, like Figure 1).
+
+#pragma once
+
+#include <string>
+
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Renders the plan's DAG as a Graphviz `digraph`.
+std::string PlanToDot(const Plan& plan);
+
+}  // namespace stubby

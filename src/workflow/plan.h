@@ -1,0 +1,97 @@
+// Plan: an annotated MapReduce workflow — the unit Stubby optimizes. Holds
+// the DAG of job and dataset vertices plus the cluster spec used for
+// costing. Plans are value types: the search copies them freely (UDF
+// objects are shared immutably and cloned only at execution time).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mr/cluster.h"
+#include "workflow/graph.h"
+
+namespace stubby {
+
+/// Annotated workflow of MapReduce jobs.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(ClusterSpec cluster) : cluster_(std::move(cluster)) {}
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  ClusterSpec* mutable_cluster() { return &cluster_; }
+
+  // --- construction -------------------------------------------------------
+
+  /// Adds a job vertex; fails on duplicate id.
+  Status AddJob(JobVertex job);
+
+  /// Adds a dataset vertex; fails on duplicate id.
+  Status AddDataset(DatasetVertex dataset);
+
+  /// Removes a job (dataset vertices are left in place; callers clean up
+  /// orphaned intermediates via RemoveOrphanDatasets).
+  void RemoveJob(const std::string& id);
+  void RemoveDataset(const std::string& id);
+
+  /// Drops intermediate datasets that no job produces or consumes anymore.
+  void RemoveOrphanDatasets();
+
+  // --- access --------------------------------------------------------------
+
+  bool HasJob(const std::string& id) const { return jobs_.count(id) > 0; }
+  bool HasDataset(const std::string& id) const {
+    return datasets_.count(id) > 0;
+  }
+
+  Result<const JobVertex*> GetJob(const std::string& id) const;
+  Result<JobVertex*> GetMutableJob(const std::string& id);
+  Result<const DatasetVertex*> GetDataset(const std::string& id) const;
+  Result<DatasetVertex*> GetMutableDataset(const std::string& id);
+
+  const std::map<std::string, JobVertex>& jobs() const { return jobs_; }
+  const std::map<std::string, DatasetVertex>& datasets() const {
+    return datasets_;
+  }
+
+  size_t num_jobs() const { return jobs_.size(); }
+
+  // --- graph structure -----------------------------------------------------
+
+  /// Id of the job producing `dataset_id` (empty if it is a base input).
+  std::string ProducerOf(const std::string& dataset_id) const;
+
+  /// Ids of jobs reading `dataset_id`, in job-id order.
+  std::vector<std::string> ConsumersOf(const std::string& dataset_id) const;
+
+  /// Jobs whose outputs this job reads / jobs reading this job's outputs.
+  std::vector<std::string> UpstreamJobs(const std::string& job_id) const;
+  std::vector<std::string> DownstreamJobs(const std::string& job_id) const;
+
+  /// Jobs in topological order; error if the graph has a cycle.
+  Result<std::vector<std::string>> TopologicalOrder() const;
+
+  /// True if there is a directed path from job `a` to job `b`.
+  bool HasPath(const std::string& a, const std::string& b) const;
+
+  // --- integrity -----------------------------------------------------------
+
+  /// Structural validation: referenced datasets exist, schemas flow
+  /// consistently through stages, partition/sort/group fields are present,
+  /// grouped map-side stages only appear on aligned inputs, each dataset has
+  /// at most one producer, and the job graph is acyclic.
+  Status Validate() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+ private:
+  ClusterSpec cluster_;
+  std::map<std::string, JobVertex> jobs_;
+  std::map<std::string, DatasetVertex> datasets_;
+};
+
+}  // namespace stubby

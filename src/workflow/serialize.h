@@ -1,0 +1,64 @@
+// Export/import of annotated workflow plans as JSON — the counterpart of
+// the prototype's Pig feature "for exporting and importing annotated
+// MapReduce workflows used by Stubby" (Section 6). The structure, every
+// annotation, configurations, and conditions round-trip; the black-box
+// UDFs themselves are referenced by name and resolved on import through a
+// FunctionResolver (a real integration would map names to job-jar classes;
+// PlanFunctionResolver harvests them from an in-memory plan).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Resolves function names to UDF instances during plan import.
+class FunctionResolver {
+ public:
+  virtual ~FunctionResolver() = default;
+  virtual Result<std::shared_ptr<MapFn>> ResolveMap(
+      const std::string& name) const = 0;
+  virtual Result<std::shared_ptr<ReduceFn>> ResolveReduce(
+      const std::string& name) const = 0;
+  virtual Result<std::shared_ptr<CombineFn>> ResolveCombine(
+      const std::string& name) const = 0;
+};
+
+/// Resolver that harvests every function reachable from a plan, keyed by
+/// the function's name() — enough to round-trip any plan whose UDFs are
+/// already loaded in the process.
+class PlanFunctionResolver : public FunctionResolver {
+ public:
+  explicit PlanFunctionResolver(const Plan& plan);
+
+  Result<std::shared_ptr<MapFn>> ResolveMap(
+      const std::string& name) const override;
+  Result<std::shared_ptr<ReduceFn>> ResolveReduce(
+      const std::string& name) const override;
+  Result<std::shared_ptr<CombineFn>> ResolveCombine(
+      const std::string& name) const override;
+
+ private:
+  std::map<std::string, std::shared_ptr<MapFn>> maps_;
+  std::map<std::string, std::shared_ptr<ReduceFn>> reduces_;
+  std::map<std::string, std::shared_ptr<CombineFn>> combines_;
+};
+
+/// Plan -> JSON document (structure + annotations + configs + conditions).
+Json PlanToJson(const Plan& plan);
+
+/// JSON document -> Plan; validates before returning.
+Result<Plan> PlanFromJson(const Json& json, const FunctionResolver& resolver);
+
+/// Convenience: pretty-printed JSON text.
+std::string ExportPlan(const Plan& plan);
+Result<Plan> ImportPlan(const std::string& text,
+                        const FunctionResolver& resolver);
+
+}  // namespace stubby

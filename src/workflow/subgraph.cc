@@ -1,0 +1,81 @@
+#include "workflow/subgraph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace stubby {
+
+const char* SubgraphTypeName(SubgraphType t) {
+  switch (t) {
+    case SubgraphType::kOneToOne:
+      return "one-to-one";
+    case SubgraphType::kOneToMany:
+      return "one-to-many";
+    case SubgraphType::kManyToOne:
+      return "many-to-one";
+    case SubgraphType::kNoneToOne:
+      return "none-to-one";
+    case SubgraphType::kOneToNone:
+      return "one-to-none";
+    case SubgraphType::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+SubgraphType ClassifyConsumer(const Plan& plan,
+                              const std::string& consumer_id) {
+  std::vector<std::string> producers = plan.UpstreamJobs(consumer_id);
+  if (producers.empty()) return SubgraphType::kNoneToOne;
+  if (producers.size() > 1) return SubgraphType::kManyToOne;
+  // One producer: check whether that producer feeds other consumers too.
+  const std::string& p = producers[0];
+  std::vector<std::string> consumers = plan.DownstreamJobs(p);
+  if (consumers.size() == 1) {
+    // Also require that the consumer reads only that producer's outputs or
+    // base inputs; a mix with other producers was handled above.
+    return SubgraphType::kOneToOne;
+  }
+  return SubgraphType::kOneToMany;
+}
+
+SubgraphType ClassifyProducer(const Plan& plan,
+                              const std::string& producer_id) {
+  std::vector<std::string> consumers = plan.DownstreamJobs(producer_id);
+  if (consumers.empty()) return SubgraphType::kOneToNone;
+  if (consumers.size() > 1) return SubgraphType::kOneToMany;
+  std::vector<std::string> peers = plan.UpstreamJobs(consumers[0]);
+  if (peers.size() > 1) return SubgraphType::kManyToOne;
+  return SubgraphType::kOneToOne;
+}
+
+bool IsOneToOne(const Plan& plan, const std::string& producer_id,
+                const std::string& consumer_id) {
+  std::vector<std::string> ups = plan.UpstreamJobs(consumer_id);
+  if (ups.size() != 1 || ups[0] != producer_id) return false;
+  std::vector<std::string> downs = plan.DownstreamJobs(producer_id);
+  return downs.size() == 1 && downs[0] == consumer_id;
+}
+
+bool ConcurrentlyRunnable(const Plan& plan, const std::string& a,
+                          const std::string& b) {
+  if (a == b) return false;
+  return !plan.HasPath(a, b) && !plan.HasPath(b, a);
+}
+
+std::vector<std::string> SharedInputs(const Plan& plan, const std::string& a,
+                                      const std::string& b) {
+  std::vector<std::string> out;
+  auto ja = plan.GetJob(a);
+  auto jb = plan.GetJob(b);
+  if (!ja.ok() || !jb.ok()) return out;
+  std::vector<std::string> ia = (*ja)->InputDatasets();
+  std::vector<std::string> ib = (*jb)->InputDatasets();
+  std::set<std::string> sb(ib.begin(), ib.end());
+  for (const auto& d : ia) {
+    if (sb.count(d)) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace stubby

@@ -1,0 +1,49 @@
+// Producer-consumer subgraph classification (Figure 3 of the paper): the
+// five relationship shapes that the transformations' preconditions are
+// stated over — one-to-one, one-to-many, many-to-one, none-to-one, and
+// one-to-none (combinations can arise and are reported as kMixed).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workflow/plan.h"
+
+namespace stubby {
+
+enum class SubgraphType {
+  kOneToOne,    ///< single producer, single consumer of its output
+  kOneToMany,   ///< producer's output read by several consumers
+  kManyToOne,   ///< consumer reads outputs of several producers
+  kNoneToOne,   ///< consumer reads only base inputs
+  kOneToNone,   ///< producer's output is terminal
+  kMixed,       ///< combination of the above
+};
+
+const char* SubgraphTypeName(SubgraphType t);
+
+/// Classifies the neighbourhood of consumer job `consumer_id` with respect
+/// to its producers.
+SubgraphType ClassifyConsumer(const Plan& plan, const std::string& consumer_id);
+
+/// Classifies the neighbourhood of producer job `producer_id` with respect
+/// to its consumers.
+SubgraphType ClassifyProducer(const Plan& plan, const std::string& producer_id);
+
+/// True if `producer_id` -> `consumer_id` is a strict one-to-one subgraph:
+/// the consumer reads (only) datasets produced by the producer, and every
+/// job-consumed output of the producer is read only by the consumer.
+bool IsOneToOne(const Plan& plan, const std::string& producer_id,
+                const std::string& consumer_id);
+
+/// True if the two jobs can run concurrently (no directed path either way).
+bool ConcurrentlyRunnable(const Plan& plan, const std::string& a,
+                          const std::string& b);
+
+/// Dataset ids read by both jobs (the horizontal packing shared-scan
+/// precondition).
+std::vector<std::string> SharedInputs(const Plan& plan, const std::string& a,
+                                      const std::string& b);
+
+}  // namespace stubby

@@ -1,0 +1,247 @@
+// Business Analytics Query (Table 1: 550 GB): TPC-H Query 17 (Section
+// 7.1) — yearly revenue lost if small-quantity orders were no longer
+// filled. lineitem and part are both partitioned (and ordered) on the part
+// id, which is what makes intra-job vertical packing applicable to the two
+// join jobs J2 and J3, exactly as the paper highlights for BA:
+//   J1  scan/clean lineitem, clustered by part       — group by {P}
+//   J2  filtered join with part, average qty per part — group by {P}
+//   J3  join lineitem-side with the averages, sum prices below the
+//       0.2*avg threshold                             — group by {P}
+//   J4  total lost revenue                            — single group
+
+#include "workloads/builder.h"
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+
+namespace {
+constexpr uint64_t kGB = 1ull << 30;
+constexpr int kBasePartitions = 64;
+}  // namespace
+
+Result<Workload> MakeBA(const WorkloadOptions& options) {
+  Rng rng(options.seed * 1000 + 5);
+  WorkflowFactory f(options.cluster);
+
+  const int rows = options.sample_rows;
+  const int parts = std::max(100, rows / 15);
+  GeneratedData lineitem =
+      GenLineitem(rows, std::max(100, rows / 8), parts,
+                  std::max(20, parts / 10), &rng);
+  GeneratedData part = GenPart(parts, &rng);
+
+  Layout li_layout;
+  PartitionSpec li_part;
+  li_part.partition_fields = {"P"};
+  li_part.sort_fields = {"P"};
+  li_layout.partitioning = li_part;
+  li_layout.order_fields = {"P"};
+  STUBBY_RETURN_NOT_OK(f.AddBase("LI", lineitem.schema, li_layout,
+                                 kBasePartitions, std::move(lineitem.rows),
+                                 520 * kGB));
+
+  Layout part_layout;
+  PartitionSpec part_part;
+  part_part.partition_fields = {"P"};
+  part_part.sort_fields = {"P"};
+  part_layout.partitioning = part_part;
+  part_layout.order_fields = {"P"};
+  STUBBY_RETURN_NOT_OK(f.AddBase("PART", part.schema, part_layout,
+                                 kBasePartitions, std::move(part.rows),
+                                 30 * kGB));
+
+  const Schema kLI({"O", "P", "S", "Q", "EP", "Z"});
+  const Schema kD1({"P", "Q", "EP"});
+  // Tagged union schemas for the two joins (TAG=0 is the build side).
+  const Schema kJoin2({"P", "TAG", "Q", "EP", "B"});
+  const Schema kD2({"P", "AQ"});
+  const Schema kJoin3({"P", "TAG", "Q", "EP", "AQ"});
+  const Schema kD3({"P", "SUBT"});
+  const Schema kD4({"TOTAL"});
+
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D1", kD1));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D2", kD2));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D3", kD3));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D4", kD4, /*workflow_output=*/true));
+
+  // J1: scan/clean lineitem, keep it clustered by part id.
+  {
+    auto clean = std::make_shared<LambdaReduceFn>(
+        "clean_lineitem", kD1,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          (void)key;
+          for (const Row& r : group) {
+            if (r[1].AsInt() <= 50) out->Emit(r);  // drop outlier quantities
+          }
+        },
+        /*cpu=*/0.7);
+    WorkflowFactory::JobDef j;
+    j.id = "J1";
+    j.inputs = {In("LI", {Stage::Map(
+                   ProjectMap("project_li", kLI, {"P", "Q", "EP"}, 0.5))})};
+    j.map_output_schema = kD1;
+    j.reduce_stages = {Stage::Reduce(clean, {"P"})};
+    j.output = "D1";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"O", "P"};
+    sa.v1 = FieldSet{"S", "Q", "EP", "Z"};
+    sa.k2 = FieldSet{"P"};
+    sa.v2 = FieldSet{"Q", "EP"};
+    sa.k3 = FieldSet{"P"};
+    sa.v3 = FieldSet{"Q", "EP"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J2: join with the brand/container-filtered part table; average quantity
+  // per surviving part.
+  {
+    auto li_side = std::make_shared<LambdaMapFn>(
+        "tag_lineitem", kD1, kJoin2,
+        [](const Row& r, Emitter* out) {
+          out->Emit(Row{r[0], int64_t{1}, r[1], r[2], int64_t{-1}});
+        },
+        /*cpu=*/0.4);
+    auto part_side = std::make_shared<LambdaMapFn>(
+        "filter_part", Schema({"P", "B", "CT"}), kJoin2,
+        [](const Row& r, Emitter* out) {
+          // Q17's Brand#23 / MED BOX predicate analogue.
+          if (r[1].AsInt() == 7 && r[2].AsInt() < 20) {
+            out->Emit(Row{r[0], int64_t{0}, int64_t{0}, 0.0, r[1]});
+          }
+        },
+        /*cpu=*/0.4);
+    auto avg_qty = std::make_shared<LambdaReduceFn>(
+        "avg_qty_per_part", kD2,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          bool part_present = false;
+          double sum = 0.0;
+          int64_t n = 0;
+          for (const Row& r : group) {
+            if (r[1].AsInt() == 0) {
+              part_present = true;
+            } else {
+              sum += r[2].AsDouble();
+              ++n;
+            }
+          }
+          if (part_present && n > 0) {
+            out->Emit(Row{key[0], sum / static_cast<double>(n)});
+          }
+        },
+        /*cpu=*/1.0);
+    WorkflowFactory::JobDef j;
+    j.id = "J2";
+    j.inputs = {In("D1", {Stage::Map(li_side)}),
+                In("PART", {Stage::Map(part_side)})};
+    j.map_output_schema = kJoin2;
+    j.reduce_stages = {Stage::Reduce(avg_qty, {"P"})};
+    j.sort_extra = {"TAG"};
+    j.output = "D2";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"P"};
+    sa.v1 = FieldSet{"Q", "EP", "B", "CT"};
+    sa.k2 = FieldSet{"P"};
+    sa.v2 = FieldSet{"TAG", "Q", "EP", "B"};
+    sa.k3 = FieldSet{"P"};
+    sa.v3 = FieldSet{"AQ"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J3: join the cleaned lineitem with the per-part averages; sum prices of
+  // rows below the 0.2*avg quantity threshold.
+  {
+    auto li_side = std::make_shared<LambdaMapFn>(
+        "tag_lineitem2", kD1, kJoin3,
+        [](const Row& r, Emitter* out) {
+          out->Emit(Row{r[0], int64_t{1}, r[1], r[2], 0.0});
+        },
+        /*cpu=*/0.4);
+    auto avg_side = std::make_shared<LambdaMapFn>(
+        "tag_avgs", kD2, kJoin3,
+        [](const Row& r, Emitter* out) {
+          out->Emit(Row{r[0], int64_t{0}, int64_t{0}, 0.0, r[1]});
+        },
+        /*cpu=*/0.3);
+    auto lost_revenue = std::make_shared<LambdaReduceFn>(
+        "sum_below_threshold", kD3,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          double avg = -1.0;
+          double subtotal = 0.0;
+          for (const Row& r : group) {
+            if (r[1].AsInt() == 0) {
+              avg = r[4].AsDouble();
+            } else if (avg >= 0.0 && r[2].AsDouble() < 0.2 * avg) {
+              subtotal += r[3].AsDouble();
+            }
+          }
+          if (avg >= 0.0 && subtotal > 0.0) {
+            out->Emit(Row{key[0], subtotal});
+          }
+        },
+        /*cpu=*/1.0);
+    WorkflowFactory::JobDef j;
+    j.id = "J3";
+    j.inputs = {In("D1", {Stage::Map(li_side)}),
+                In("D2", {Stage::Map(avg_side)})};
+    j.map_output_schema = kJoin3;
+    j.reduce_stages = {Stage::Reduce(lost_revenue, {"P"})};
+    j.sort_extra = {"TAG"};
+    j.output = "D3";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"P"};
+    sa.v1 = FieldSet{"Q", "EP", "AQ"};
+    sa.k2 = FieldSet{"P"};
+    sa.v2 = FieldSet{"TAG", "Q", "EP", "AQ"};
+    sa.k3 = FieldSet{"P"};
+    sa.v3 = FieldSet{"SUBT"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J4: total lost revenue (single group).
+  {
+    auto total = std::make_shared<LambdaReduceFn>(
+        "total_revenue", kD4,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          (void)key;
+          double sum = 0.0;
+          for (const Row& r : group) sum += r[1].AsDouble();
+          out->Emit(Row{sum / 7.0});  // Q17's avg-yearly division
+        },
+        /*cpu=*/0.4);
+    WorkflowFactory::JobDef j;
+    j.id = "J4";
+    j.inputs = {In("D3", {Stage::Map(AppendConstMap(
+                    "const_key", kD3, "ONE", Value(int64_t{1}), 0.2))})};
+    j.map_output_schema = kD3.Concat(Schema({"ONE"}));
+    j.reduce_stages = {Stage::Reduce(total, {"ONE"})};
+    JobConfig cfg;
+    cfg.num_reduce_tasks = 1;
+    j.config = cfg;
+    j.output = "D4";
+    SchemaAnnotation sa;
+    sa.k2 = FieldSet{"ONE"};
+    sa.k3 = FieldSet{"TOTAL"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+  {
+    STUBBY_ASSIGN_OR_RETURN(JobVertex * j4, f.plan().GetMutableJob("J4"));
+    j4->conditions.num_reduce_fixed = 1;
+  }
+
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  Workload w;
+  w.abbr = "BA";
+  w.name = "Business Analytics Query";
+  w.plan = std::move(f.plan());
+  w.dfs = std::move(f.dfs());
+  w.dataset_logical_bytes = 550 * kGB;
+  return w;
+}
+
+}  // namespace stubby

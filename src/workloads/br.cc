@@ -1,0 +1,201 @@
+// Business Report Generation (Table 1: 530 GB): the seven-job workflow of
+// Section 7.1 (and the spirit of the paper's Figure 1 running example):
+//   J1  scan + initial processing of lineitem   — group by {O,P,S}
+//   J2  filter, sum/max prices per {O,P}        — group by {O,P}
+//   J3  filter, sum/max prices per {O,S}        — group by {O,S}
+//   J4  overall sum/max per {O} from J2         — group by {O}
+//   J5  overall sum/max per {O} from J3         — group by {O}
+//   J6  distinct aggregated prices from J4      — group by {SP4}
+//   J7  distinct aggregated prices from J5      — group by {SP5}
+// Rich in both packing kinds: J2's grouping is a prefix of J1's (vertical
+// chain), J2/J3 share the scan of D1, and J4/J5 and J6/J7 are
+// concurrently-runnable pairs for extended horizontal packing. The paper's
+// Stubby turns the 7 jobs into 3.
+
+#include "workloads/builder.h"
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+
+namespace {
+
+constexpr uint64_t kGB = 1ull << 30;
+
+}  // namespace
+
+Result<Workload> MakeBR(const WorkloadOptions& options) {
+  Rng rng(options.seed * 1000 + 6);
+  WorkflowFactory f(options.cluster);
+
+  const int rows = options.sample_rows;
+  const int orders = std::max(200, rows / 6);
+  GeneratedData lineitem = GenLineitem(
+      rows, orders, std::max(50, rows / 40), std::max(20, rows / 100), &rng);
+
+  Layout li_layout;
+  STUBBY_RETURN_NOT_OK(f.AddBase("LI", lineitem.schema, li_layout,
+                                 /*partitions=*/64, std::move(lineitem.rows),
+                                 530 * kGB));
+
+  const Schema kLI({"O", "P", "S", "Q", "EP", "Z"});
+  const Schema kProj({"O", "P", "S", "EP"});
+  const Schema kD1({"O", "P", "S", "PR"});
+  const Schema kD2({"O", "P", "SP2", "MX2"});
+  const Schema kD3({"O", "S", "SP3", "MX3"});
+  const Schema kD4({"O", "SP4", "MX4"});
+  const Schema kD5({"O", "SP5", "MX5"});
+  const Schema kD6({"SP4"});
+  const Schema kD7({"SP5"});
+
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D1", kD1));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D2", kD2));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D3", kD3));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D4", kD4));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D5", kD5));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D6", kD6, /*workflow_output=*/true));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D7", kD7, /*workflow_output=*/true));
+
+  // J1: scan + initial processing (price totals per order/part/supplier).
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "J1";
+    j.inputs = {In("LI", {Stage::Map(ProjectMap("project_li", kLI,
+                                                {"O", "P", "S", "EP"},
+                                                0.5))})};
+    j.map_output_schema = kProj;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("initial_processing", kProj, {"O", "P", "S"},
+                  {{"EP", AggOp::kSum, "PR"}}, /*cpu=*/0.9),
+        {"O", "P", "S"})};
+    j.combiner = AggCombine("sum_prices", kProj, {"O", "P", "S"},
+                            {{"EP", AggOp::kSum, "EP"}});
+    j.output = "D1";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"O", "P"};
+    sa.v1 = FieldSet{"S", "Q", "EP", "Z"};
+    sa.k2 = FieldSet{"O", "P", "S"};
+    sa.v2 = FieldSet{"EP"};
+    sa.k3 = FieldSet{"O", "P", "S"};
+    sa.v3 = FieldSet{"PR"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J2/J3: filtered sum/max of the prices per {O,P} / {O,S}. The filters
+  // are on the price (not on the grouping key), so partition pruning does
+  // not apply and sharing the scan of D1 is the way to save its read —
+  // which is what makes BR the horizontal-packing showcase of Figure 11.
+  auto add_grouping_job = [&](const std::string& id,
+                              const std::string& second_field,
+                              double filter_lo, double filter_hi,
+                              const Schema& out_schema,
+                              const std::string& sum_name,
+                              const std::string& max_name,
+                              const std::string& output) -> Status {
+    WorkflowFactory::JobDef j;
+    j.id = id;
+    j.inputs = {In("D1", {Stage::Map(FilterRangeMap(
+                   "filter_price_" + id, kD1, "PR", filter_lo, filter_hi,
+                   0.5))})};
+    j.map_output_schema = kD1;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("sum_max_" + id, kD1, {"O", second_field},
+                  {{"PR", AggOp::kSum, sum_name},
+                   {"PR", AggOp::kMax, max_name}},
+                  /*cpu=*/0.9),
+        {"O", second_field})};
+    j.output = output;
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"O", "P", "S"};
+    sa.v1 = FieldSet{"PR"};
+    sa.k2 = FieldSet{"O", second_field};
+    sa.v2 = FieldSet{"PR"};
+    sa.k3 = FieldSet{"O", second_field};
+    sa.v3 = FieldSet{sum_name, max_name};
+    j.schema_ann = sa;
+    FilterAnnotation fa;
+    fa.field = "PR";
+    fa.lo = filter_lo;
+    fa.hi = filter_hi;
+    j.filter_ann = fa;
+    (void)out_schema;
+    return f.AddJob(std::move(j));
+  };
+  STUBBY_RETURN_NOT_OK(
+      add_grouping_job("J2", "P", 0.0, 250.0, kD2, "SP2", "MX2", "D2"));
+  STUBBY_RETURN_NOT_OK(
+      add_grouping_job("J3", "S", 500.0, 1000.0, kD3, "SP3", "MX3", "D3"));
+
+  // J4/J5: overall sum/max per order.
+  auto add_rollup_job = [&](const std::string& id, const Schema& in_schema,
+                            const std::string& sum_in,
+                            const std::string& max_in,
+                            const std::string& sum_out,
+                            const std::string& max_out,
+                            const std::string& input,
+                            const std::string& output) -> Status {
+    WorkflowFactory::JobDef j;
+    j.id = id;
+    j.inputs = {In(input, {})};
+    j.map_output_schema = in_schema;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("rollup_" + id, in_schema, {"O"},
+                  {{sum_in, AggOp::kSum, sum_out},
+                   {max_in, AggOp::kMax, max_out}},
+                  /*cpu=*/0.8),
+        {"O"})};
+    j.output = output;
+    SchemaAnnotation sa;
+    sa.k1 = in_schema.AsSet().count("P") ? FieldSet{"O", "P"}
+                                         : FieldSet{"O", "S"};
+    sa.v1 = FieldSet{sum_in, max_in};
+    sa.k2 = FieldSet{"O"};
+    sa.v2 = FieldSet{sum_in, max_in};
+    sa.k3 = FieldSet{"O"};
+    sa.v3 = FieldSet{sum_out, max_out};
+    j.schema_ann = sa;
+    return f.AddJob(std::move(j));
+  };
+  STUBBY_RETURN_NOT_OK(
+      add_rollup_job("J4", kD2, "SP2", "MX2", "SP4", "MX4", "D2", "D4"));
+  STUBBY_RETURN_NOT_OK(
+      add_rollup_job("J5", kD3, "SP3", "MX3", "SP5", "MX5", "D3", "D5"));
+
+  // J6/J7: number of distinct aggregated prices.
+  auto add_distinct_job = [&](const std::string& id, const Schema& in_schema,
+                              const std::string& field,
+                              const std::string& input,
+                              const std::string& output) -> Status {
+    WorkflowFactory::JobDef j;
+    j.id = id;
+    j.inputs = {In(input, {Stage::Map(ProjectMap("project_" + id, in_schema,
+                                                 {field}, 0.3))})};
+    j.map_output_schema = Schema({field});
+    j.reduce_stages = {Stage::Reduce(
+        DistinctReduce("distinct_" + id, Schema({field}), {field}, 0.6),
+        {field})};
+    j.output = output;
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"O"};
+    sa.v1 = FieldSet{field};
+    sa.k2 = FieldSet{field};
+    sa.k3 = FieldSet{field};
+    j.schema_ann = sa;
+    return f.AddJob(std::move(j));
+  };
+  STUBBY_RETURN_NOT_OK(add_distinct_job("J6", kD4, "SP4", "D4", "D6"));
+  STUBBY_RETURN_NOT_OK(add_distinct_job("J7", kD5, "SP5", "D5", "D7"));
+
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  Workload w;
+  w.abbr = "BR";
+  w.name = "Business Report Generation";
+  w.plan = std::move(f.plan());
+  w.dfs = std::move(f.dfs());
+  w.dataset_logical_bytes = 530 * kGB;
+  return w;
+}
+
+}  // namespace stubby

@@ -1,0 +1,89 @@
+#include "workloads/builder.h"
+
+namespace stubby {
+
+Status WorkflowFactory::AddBase(const std::string& id, const Schema& schema,
+                                const Layout& layout, int partitions,
+                                std::vector<Row> rows,
+                                uint64_t logical_bytes) {
+  STUBBY_ASSIGN_OR_RETURN(
+      DatasetPtr ds,
+      StoredDataset::FromRows(id, schema, layout, std::move(rows),
+                              partitions));
+  double scale = ds->raw_bytes() > 0
+                     ? static_cast<double>(logical_bytes) /
+                           static_cast<double>(ds->raw_bytes())
+                     : 1.0;
+  ds->set_logical_scale(scale);
+
+  DatasetVertex v;
+  v.id = id;
+  v.schema = schema;
+  v.layout = layout;
+  v.is_base_input = true;
+  v.annotation.schema = schema;
+  v.annotation.layout = layout;
+  v.annotation.num_records = ds->logical_rows();
+  v.annotation.bytes = ds->logical_bytes();
+  v.annotation.num_partitions = static_cast<int>(ds->num_partitions());
+  STUBBY_RETURN_NOT_OK(plan_.AddDataset(std::move(v)));
+  STUBBY_RETURN_NOT_OK(dfs_.Put(std::move(ds)));
+  return Status::OK();
+}
+
+Status WorkflowFactory::AddDataset(const std::string& id,
+                                   const Schema& schema,
+                                   bool workflow_output) {
+  DatasetVertex v;
+  v.id = id;
+  v.schema = schema;
+  v.is_workflow_output = workflow_output;
+  v.annotation.schema = schema;
+  return plan_.AddDataset(std::move(v));
+}
+
+Status WorkflowFactory::AddJob(JobDef def) {
+  Branch b;
+  b.tag = def.id;
+  b.inputs = std::move(def.inputs);
+  b.map_output_schema = std::move(def.map_output_schema);
+  b.reduce_stages = std::move(def.reduce_stages);
+  b.combiner = std::move(def.combiner);
+  b.output_dataset = def.output;
+  if (!b.map_only()) {
+    if (def.partition) {
+      b.partition = std::move(*def.partition);
+    } else {
+      std::vector<std::string> key = b.GroupFields();
+      b.partition = PartitionSpec::DefaultFor(key);
+      for (const auto& f : def.sort_extra) {
+        b.partition.sort_fields.push_back(f);
+      }
+    }
+  }
+  b.annotations.schema = std::move(def.schema_ann);
+  b.annotations.filter = std::move(def.filter_ann);
+
+  JobVertex job;
+  job.id = def.id;
+  job.branches = {std::move(b)};
+  job.config = def.config;
+  // Keep the output dataset's planned layout in sync with the producing
+  // branch (transformations maintain this invariant afterwards).
+  auto dv = plan_.GetMutableDataset(job.branches[0].output_dataset);
+  if (dv.ok()) {
+    (*dv)->layout =
+        DeriveOutputLayout(job.branches[0], job.config, (*dv)->schema);
+    (*dv)->annotation.layout = (*dv)->layout;
+  }
+  return plan_.AddJob(std::move(job));
+}
+
+BranchInput In(const std::string& dataset, std::vector<Stage> stages) {
+  BranchInput in;
+  in.dataset_id = dataset;
+  in.map_stages = std::move(stages);
+  return in;
+}
+
+}  // namespace stubby

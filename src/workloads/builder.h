@@ -1,0 +1,65 @@
+// WorkflowFactory: compact construction of annotated workflow plans plus
+// their (sample) base data — the glue every workload in Section 7.1 uses.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dfs/dfs.h"
+#include "mr/cluster.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Builds a Plan and loads its base datasets into a Dfs.
+class WorkflowFactory {
+ public:
+  explicit WorkflowFactory(ClusterSpec cluster)
+      : plan_(std::move(cluster)) {}
+
+  Plan& plan() { return plan_; }
+  Dfs& dfs() { return dfs_; }
+
+  /// Registers a base dataset: lays the sample rows out per `layout` over
+  /// `partitions` partitions, scales it logically to `logical_bytes`, puts
+  /// it in the DFS, and adds a fully annotated plan vertex.
+  Status AddBase(const std::string& id, const Schema& schema,
+                 const Layout& layout, int partitions, std::vector<Row> rows,
+                 uint64_t logical_bytes);
+
+  /// Declares an intermediate or terminal dataset vertex.
+  Status AddDataset(const std::string& id, const Schema& schema,
+                    bool workflow_output = false);
+
+  /// Adds a single-branch job. The branch's partition function defaults to
+  /// hash partitioning on the first reduce stage's group fields with the
+  /// per-partition sort on (group fields + sort_extra).
+  struct JobDef {
+    std::string id;
+    std::vector<BranchInput> inputs;
+    Schema map_output_schema;
+    std::vector<Stage> reduce_stages;  ///< empty = map-only job
+    std::vector<std::string> sort_extra;
+    std::shared_ptr<CombineFn> combiner;
+    std::string output;
+    JobConfig config;
+    /// Annotations (all optional — the information spectrum).
+    std::optional<SchemaAnnotation> schema_ann;
+    std::optional<FilterAnnotation> filter_ann;
+    /// Overrides the default partition spec when set.
+    std::optional<PartitionSpec> partition;
+  };
+  Status AddJob(JobDef def);
+
+ private:
+  Plan plan_;
+  Dfs dfs_;
+};
+
+/// Convenience: BranchInput reading `dataset` through `stages`.
+BranchInput In(const std::string& dataset, std::vector<Stage> stages);
+
+}  // namespace stubby

@@ -1,0 +1,139 @@
+#include "workloads/generators.h"
+
+namespace stubby {
+
+GeneratedData GenDocWords(int rows, int num_docs, int vocab, double skew,
+                          Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"D", "W"});
+  d.rows.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t doc = rng->NextInt(0, num_docs - 1);
+    int64_t word = static_cast<int64_t>(
+        rng->NextZipf(static_cast<uint64_t>(vocab), skew));
+    d.rows.push_back(Row{doc, word});
+  }
+  return d;
+}
+
+GeneratedData GenPaperAuthors(int rows, int papers, int authors, double skew,
+                              Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"P", "A"});
+  d.rows.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t paper = rng->NextInt(0, papers - 1);
+    int64_t author = static_cast<int64_t>(
+        rng->NextZipf(static_cast<uint64_t>(authors), skew));
+    d.rows.push_back(Row{paper, author});
+  }
+  return d;
+}
+
+GeneratedData GenUserVisits(int rows, int days, int urls, int users,
+                            Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"DT", "U", "AD", "US"});
+  d.rows.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t day = rng->NextInt(0, days - 1);
+    int64_t url = static_cast<int64_t>(
+        rng->NextZipf(static_cast<uint64_t>(urls), 0.8));
+    double revenue = rng->NextDouble(0.01, 10.0);
+    int64_t user = rng->NextInt(0, users - 1);
+    d.rows.push_back(Row{day, url, revenue, user});
+  }
+  return d;
+}
+
+GeneratedData GenPageRanks(int urls, Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"U", "K"});
+  d.rows.reserve(static_cast<size_t>(urls));
+  for (int i = 0; i < urls; ++i) {
+    d.rows.push_back(Row{int64_t{i}, rng->NextInt(0, 100)});
+  }
+  return d;
+}
+
+GeneratedData GenAdjacency(int rows, int pages, double skew, Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"P", "DST"});
+  d.rows.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t src = rng->NextInt(0, pages - 1);
+    int64_t dst = static_cast<int64_t>(
+        rng->NextZipf(static_cast<uint64_t>(pages), skew));
+    d.rows.push_back(Row{src, dst});
+  }
+  return d;
+}
+
+GeneratedData GenRanks(int pages, Rng* rng) {
+  (void)rng;
+  GeneratedData d;
+  d.schema = Schema({"P", "RNK"});
+  d.rows.reserve(static_cast<size_t>(pages));
+  for (int i = 0; i < pages; ++i) {
+    d.rows.push_back(Row{int64_t{i}, 1.0});
+  }
+  return d;
+}
+
+GeneratedData GenLineitem(int rows, int orders, int parts, int supps,
+                          Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"O", "P", "S", "Q", "EP", "Z"});
+  d.rows.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t order = rng->NextInt(0, orders - 1);
+    int64_t part = rng->NextInt(0, parts - 1);
+    int64_t supp = rng->NextInt(0, supps - 1);
+    int64_t qty = rng->NextInt(1, 50);
+    double price = rng->NextDouble(1.0, 1000.0);
+    int64_t zip = rng->NextInt(10000, 99999);
+    d.rows.push_back(Row{order, part, supp, qty, price, zip});
+  }
+  return d;
+}
+
+GeneratedData GenPart(int parts, Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"P", "B", "CT"});
+  d.rows.reserve(static_cast<size_t>(parts));
+  for (int i = 0; i < parts; ++i) {
+    d.rows.push_back(
+        Row{int64_t{i}, rng->NextInt(0, 24), rng->NextInt(0, 39)});
+  }
+  return d;
+}
+
+GeneratedData GenMetrics(int rows, int groups, Rng* rng) {
+  GeneratedData d;
+  d.schema = Schema({"G", "X", "Y"});
+  d.rows.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t g = rng->NextInt(0, groups - 1);
+    double x = rng->NextDouble(0.0, 100.0);
+    double y = 0.6 * x + rng->NextDouble(0.0, 40.0);
+    d.rows.push_back(Row{g, x, y});
+  }
+  return d;
+}
+
+GeneratedData GenUserRecords(int rows, int users, Rng* rng) {
+  GeneratedData d;
+  // AG is the user's age in days (fine-grained so range partitioning on it
+  // retains full parallelism).
+  d.schema = Schema({"AG", "U", "M"});
+  d.rows.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t age = rng->NextInt(1, 36000);
+    int64_t user = rng->NextInt(0, users - 1);
+    double metric = rng->NextDouble(0.0, 500.0);
+    d.rows.push_back(Row{age, user, metric});
+  }
+  return d;
+}
+
+}  // namespace stubby

@@ -1,0 +1,59 @@
+// Seeded synthetic data generators standing in for the paper's datasets
+// (Table 1): a random document corpus (IR), power-law coauthorship pairs
+// (SN), the Pavlo et al. uservisits/pageranks data (LA), a power-law web
+// graph (WG), TPC-H-like lineitem/part tables (BA, BR, PJ), and generic
+// user records (US). All generation flows through Rng for reproducibility.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mr/schema.h"
+#include "mr/tuple.h"
+
+namespace stubby {
+
+/// Rows plus their schema.
+struct GeneratedData {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// IR: <D(docid), W(wordid)> occurrences; word frequencies are Zipfian.
+GeneratedData GenDocWords(int rows, int num_docs, int vocab, double skew,
+                          Rng* rng);
+
+/// SN: <P(paperid), A(authorid)> with power-law author productivity.
+GeneratedData GenPaperAuthors(int rows, int papers, int authors, double skew,
+                              Rng* rng);
+
+/// LA: uservisits <DT(day), U(urlid), AD(ad revenue), US(userid)>.
+GeneratedData GenUserVisits(int rows, int days, int urls, int users,
+                            Rng* rng);
+
+/// LA: pageranks <U(urlid), K(rank)>.
+GeneratedData GenPageRanks(int urls, Rng* rng);
+
+/// WG: adjacency <P(src page), DST(dst page)>, power-law in-degree.
+GeneratedData GenAdjacency(int rows, int pages, double skew, Rng* rng);
+
+/// WG: initial ranks <P(page), RNK>.
+GeneratedData GenRanks(int pages, Rng* rng);
+
+/// BA/BR/PJ: lineitem <O(order), P(part), S(supplier), Q(qty), EP(price),
+/// Z(ship zip)>.
+GeneratedData GenLineitem(int rows, int orders, int parts, int supps,
+                          Rng* rng);
+
+/// BA: part <P(part), B(brand), CT(container)>.
+GeneratedData GenPart(int parts, Rng* rng);
+
+/// PJ: metrics <G(group), X, Y>.
+GeneratedData GenMetrics(int rows, int groups, Rng* rng);
+
+/// US: user records <AG(age), U(userid), M(metric)>.
+GeneratedData GenUserRecords(int rows, int users, Rng* rng);
+
+}  // namespace stubby

@@ -1,0 +1,150 @@
+// Information Retrieval (Table 1: 264 GB): the TF-IDF workflow of Section
+// 7.1. Three jobs over a <docid, wordid> corpus partitioned on the
+// document id:
+//   J1  word frequency per (document, word)        — group by {D,W}
+//   J2  total words per document (carried per row) — group by {D}
+//   J3  document counts per word and TF-IDF weight — group by {W}
+// J2's grouping {D} is a prefix of J1's {D,W}, so intra-job vertical
+// packing applies to J2 and inter-job packing then folds J1+J2 into one
+// job — the paper's vertical-packing showcase (and the Figure 14 unit).
+
+#include <cmath>
+
+#include "workloads/builder.h"
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+
+namespace {
+constexpr uint64_t kGB = 1ull << 30;
+}
+
+Result<Workload> MakeIR(const WorkloadOptions& options) {
+  Rng rng(options.seed * 1000 + 1);
+  WorkflowFactory f(options.cluster);
+
+  const int rows = options.sample_rows;
+  GeneratedData corpus =
+      GenDocWords(rows, std::max(50, rows / 20), 5000, 1.1, &rng);
+
+  Layout base_layout;
+  PartitionSpec base_part;
+  base_part.partition_fields = {"D"};
+  base_part.sort_fields = {"D"};
+  base_layout.partitioning = base_part;
+  STUBBY_RETURN_NOT_OK(f.AddBase("D0", corpus.schema, base_layout,
+                                 /*partitions=*/60, std::move(corpus.rows),
+                                 264 * kGB));
+
+  const Schema kD0({"D", "W"});
+  const Schema kWithOne({"D", "W", "C"});
+  const Schema kD1({"D", "W", "F"});
+  const Schema kD2({"D", "W", "F", "T"});
+  const Schema kD3({"W", "D", "TFIDF"});
+
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D1", kD1));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D2", kD2));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D3", kD3, /*workflow_output=*/true));
+
+  // J1: word frequency per (document, word).
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "J1";
+    j.inputs = {In("D0", {Stage::Map(AppendConstMap("emit_one", kD0, "C",
+                                                    Value(int64_t{1}),
+                                                    /*cpu=*/0.5))})};
+    j.map_output_schema = kWithOne;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("count_word_freq", kWithOne, {"D", "W"},
+                  {{"C", AggOp::kSum, "F"}}, /*cpu=*/0.8),
+        {"D", "W"})};
+    j.combiner = AggCombine("sum_counts", kWithOne, {"D", "W"},
+                            {{"C", AggOp::kSum, "C"}});
+    j.output = "D1";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"D"};
+    sa.v1 = FieldSet{"W"};
+    sa.k2 = FieldSet{"D", "W"};
+    sa.v2 = FieldSet{"C"};
+    sa.k3 = FieldSet{"D", "W"};
+    sa.v3 = FieldSet{"F"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J2: total words per document, carried onto every (D, W, F) row.
+  {
+    auto total_words = std::make_shared<LambdaReduceFn>(
+        "total_words_per_doc", kD2,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          (void)key;
+          double total = 0;
+          for (const Row& r : group) total += r[2].AsDouble();
+          for (const Row& r : group) {
+            Row row = r;
+            row.Append(Value(total));
+            out->Emit(std::move(row));
+          }
+        },
+        /*cpu=*/1.0);
+    WorkflowFactory::JobDef j;
+    j.id = "J2";
+    j.inputs = {In("D1", {})};
+    j.map_output_schema = kD1;
+    j.reduce_stages = {Stage::Reduce(total_words, {"D"})};
+    j.sort_extra = {"W"};
+    j.output = "D2";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"D", "W"};
+    sa.v1 = FieldSet{"F"};
+    sa.k2 = FieldSet{"D"};
+    sa.v2 = FieldSet{"W", "F"};
+    sa.k3 = FieldSet{"D", "W"};
+    sa.v3 = FieldSet{"F", "T"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J3: number of documents containing each word + the TF-IDF weight.
+  {
+    auto tfidf = std::make_shared<LambdaReduceFn>(
+        "tfidf", kD3,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          double n_docs_with_word = static_cast<double>(group.size());
+          double idf = std::log(1.0e6 / (1.0 + n_docs_with_word));
+          for (const Row& r : group) {
+            double tf = r[2].AsDouble() / std::max(1.0, r[3].AsDouble());
+            out->Emit(Row{key[0], r[0], tf * idf});
+          }
+        },
+        /*cpu=*/1.6);
+    WorkflowFactory::JobDef j;
+    j.id = "J3";
+    j.inputs = {In("D2", {})};
+    j.map_output_schema = kD2;
+    j.reduce_stages = {Stage::Reduce(tfidf, {"W"})};
+    j.output = "D3";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"D", "W"};
+    sa.v1 = FieldSet{"F", "T"};
+    sa.k2 = FieldSet{"W"};
+    sa.v2 = FieldSet{"D", "F", "T"};
+    sa.k3 = FieldSet{"W"};
+    sa.v3 = FieldSet{"D", "TFIDF"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  Workload w;
+  w.abbr = "IR";
+  w.name = "Information Retrieval";
+  w.plan = std::move(f.plan());
+  w.dfs = std::move(f.dfs());
+  w.dataset_logical_bytes = 264 * kGB;
+  return w;
+}
+
+}  // namespace stubby

@@ -1,0 +1,156 @@
+// Post-processing Jobs (Table 1: 10 GB): a small workflow that uses only a
+// sliver of the cluster (Section 7.1). Running the two analysis jobs
+// concurrently on the idle cluster beats horizontally packing them — the
+// case where the rule-based Baseline (and YSmart) pack and lose, while
+// cost-based Stubby and MRShare correctly decline:
+//   J1  scan + initial cleaning (map-only)
+//   J2  covariance per group     — group by {G}
+//   J3  correlation per group    — group by {G}
+
+#include <cmath>
+
+#include "workloads/builder.h"
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+
+namespace {
+constexpr uint64_t kGB = 1ull << 30;
+}
+
+Result<Workload> MakePJ(const WorkloadOptions& options) {
+  Rng rng(options.seed * 1000 + 7);
+  WorkflowFactory f(options.cluster);
+
+  const int rows = std::max(2000, options.sample_rows / 4);
+  GeneratedData metrics = GenMetrics(rows, std::max(20, rows / 100), &rng);
+
+  Layout layout;
+  STUBBY_RETURN_NOT_OK(f.AddBase("M0", metrics.schema, layout,
+                                 /*partitions=*/8, std::move(metrics.rows),
+                                 10 * kGB));
+
+  const Schema kM({"G", "X", "Y"});
+  const Schema kD2({"G", "COV"});
+  const Schema kD3({"G", "CORR"});
+
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D1", kM));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D2", kD2, /*workflow_output=*/true));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D3", kD3, /*workflow_output=*/true));
+
+  // J1: scan + cleaning (drop out-of-range measurements), map-only.
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "J1";
+    j.inputs = {In("M0", {Stage::Map(FilterRangeMap("clean_metrics", kM, "X",
+                                                    0.0, 95.0, 0.4))})};
+    j.map_output_schema = kM;
+    j.output = "D1";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"G"};
+    sa.v1 = FieldSet{"X", "Y"};
+    sa.k3 = FieldSet{"G"};
+    sa.v3 = FieldSet{"X", "Y"};
+    j.schema_ann = sa;
+    FilterAnnotation fa;
+    fa.field = "X";
+    fa.lo = 0.0;
+    fa.hi = 95.0;
+    j.filter_ann = fa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  struct Moments {
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    int64_t n = 0;
+  };
+  auto collect = [](const std::vector<Row>& group) {
+    Moments m;
+    for (const Row& r : group) {
+      double x = r[1].AsDouble();
+      double y = r[2].AsDouble();
+      m.sx += x;
+      m.sy += y;
+      m.sxx += x * x;
+      m.syy += y * y;
+      m.sxy += x * y;
+      m.n++;
+    }
+    return m;
+  };
+
+  // J2: covariance per group.
+  {
+    auto covariance = std::make_shared<LambdaReduceFn>(
+        "covariance", kD2,
+        [collect](const Row& key, const std::vector<Row>& group,
+                  Emitter* out) {
+          Moments m = collect(group);
+          if (m.n == 0) return;
+          double n = static_cast<double>(m.n);
+          out->Emit(Row{key[0], m.sxy / n - (m.sx / n) * (m.sy / n)});
+        },
+        /*cpu=*/1.4);
+    WorkflowFactory::JobDef j;
+    j.id = "J2";
+    j.inputs = {In("D1", {})};
+    j.map_output_schema = kM;
+    j.reduce_stages = {Stage::Reduce(covariance, {"G"})};
+    j.output = "D2";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"G"};
+    sa.v1 = FieldSet{"X", "Y"};
+    sa.k2 = FieldSet{"G"};
+    sa.v2 = FieldSet{"X", "Y"};
+    sa.k3 = FieldSet{"G"};
+    sa.v3 = FieldSet{"COV"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J3: correlation per group.
+  {
+    auto correlation = std::make_shared<LambdaReduceFn>(
+        "correlation", kD3,
+        [collect](const Row& key, const std::vector<Row>& group,
+                  Emitter* out) {
+          Moments m = collect(group);
+          if (m.n == 0) return;
+          double n = static_cast<double>(m.n);
+          double cov = m.sxy / n - (m.sx / n) * (m.sy / n);
+          double vx = m.sxx / n - (m.sx / n) * (m.sx / n);
+          double vy = m.syy / n - (m.sy / n) * (m.sy / n);
+          double denom = std::sqrt(std::max(1e-12, vx * vy));
+          out->Emit(Row{key[0], cov / denom});
+        },
+        /*cpu=*/1.5);
+    WorkflowFactory::JobDef j;
+    j.id = "J3";
+    j.inputs = {In("D1", {})};
+    j.map_output_schema = kM;
+    j.reduce_stages = {Stage::Reduce(correlation, {"G"})};
+    j.output = "D3";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"G"};
+    sa.v1 = FieldSet{"X", "Y"};
+    sa.k2 = FieldSet{"G"};
+    sa.v2 = FieldSet{"X", "Y"};
+    sa.k3 = FieldSet{"G"};
+    sa.v3 = FieldSet{"CORR"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  Workload w;
+  w.abbr = "PJ";
+  w.name = "Post-processing Jobs";
+  w.plan = std::move(f.plan());
+  w.dfs = std::move(f.dfs());
+  w.dataset_logical_bytes = 10 * kGB;
+  return w;
+}
+
+}  // namespace stubby

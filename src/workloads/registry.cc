@@ -1,0 +1,22 @@
+#include "workloads/registry.h"
+
+namespace stubby {
+
+Result<Workload> MakeWorkload(const std::string& abbr,
+                              const WorkloadOptions& options) {
+  if (abbr == "IR") return MakeIR(options);
+  if (abbr == "SN") return MakeSN(options);
+  if (abbr == "LA") return MakeLA(options);
+  if (abbr == "WG") return MakeWG(options);
+  if (abbr == "BA") return MakeBA(options);
+  if (abbr == "BR") return MakeBR(options);
+  if (abbr == "PJ") return MakePJ(options);
+  if (abbr == "US") return MakeUS(options);
+  return Status::NotFound("unknown workload '" + abbr + "'");
+}
+
+std::vector<std::string> AllWorkloadAbbrs() {
+  return {"IR", "SN", "LA", "WG", "BA", "BR", "PJ", "US"};
+}
+
+}  // namespace stubby

@@ -1,0 +1,51 @@
+// Workload registry: the eight MapReduce workflows of Table 1 (Section
+// 7.1), each an annotated plan plus its base data loaded into a DFS.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dfs/dfs.h"
+#include "mr/cluster.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// One evaluation workload.
+struct Workload {
+  std::string abbr;  ///< "IR", "SN", ...
+  std::string name;  ///< "Information Retrieval", ...
+  Plan plan;         ///< annotated workflow (profile annotations not yet set)
+  Dfs dfs;           ///< base inputs (sample rows, logically scaled)
+  uint64_t dataset_logical_bytes = 0;  ///< Table 1 column
+};
+
+/// Construction knobs shared by all workloads.
+struct WorkloadOptions {
+  /// Physical sample rows for the largest base dataset; everything scales
+  /// from this, so benches trade fidelity for speed with one knob.
+  int sample_rows = 30000;
+  uint64_t seed = 7;
+  ClusterSpec cluster;
+};
+
+// The eight workflows of Table 1.
+Result<Workload> MakeIR(const WorkloadOptions& options);  ///< TF-IDF, 3 jobs
+Result<Workload> MakeSN(const WorkloadOptions& options);  ///< coauthors, 4 jobs
+Result<Workload> MakeLA(const WorkloadOptions& options);  ///< log analysis, 4 jobs
+Result<Workload> MakeWG(const WorkloadOptions& options);  ///< PageRank, 4 jobs
+Result<Workload> MakeBA(const WorkloadOptions& options);  ///< TPC-H Q17, 4 jobs
+Result<Workload> MakeBR(const WorkloadOptions& options);  ///< report gen, 7 jobs
+Result<Workload> MakePJ(const WorkloadOptions& options);  ///< post-processing, 3 jobs
+Result<Workload> MakeUS(const WorkloadOptions& options);  ///< logical splits, 3 jobs
+
+/// Lookup by abbreviation ("IR".."US").
+Result<Workload> MakeWorkload(const std::string& abbr,
+                              const WorkloadOptions& options = {});
+
+/// All abbreviations in Table 1 order.
+std::vector<std::string> AllWorkloadAbbrs();
+
+}  // namespace stubby

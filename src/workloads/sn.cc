@@ -1,0 +1,171 @@
+// Social Network Analysis (Table 1: 267 GB): find the top-20 coauthor
+// pairs (Section 7.1). Input <paperid, authorid> pairs from a power-law
+// distribution, partitioned (and ordered) on {paperid}:
+//   J1  coauthor pairs per paper        — group by {P}
+//   J2  count each coauthor pair        — group by {A1,A2}
+//   J3  sample counts, emit split-point candidates (map-only)
+//   J4  total-order sort by count via range partitioning on J3's splits
+// J1's grouping is provided by the base layout (none-to-one intra-job
+// vertical packing), after which inter-job packing folds J1 into J2; J3
+// can fold into the packed job's reduce side with a tee of its input.
+
+#include "workloads/builder.h"
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+
+namespace {
+constexpr uint64_t kGB = 1ull << 30;
+}
+
+Result<Workload> MakeSN(const WorkloadOptions& options) {
+  Rng rng(options.seed * 1000 + 2);
+  WorkflowFactory f(options.cluster);
+
+  const int rows = options.sample_rows;
+  GeneratedData pairs = GenPaperAuthors(rows, std::max(100, rows / 4),
+                                        std::max(50, rows / 30), 1.3, &rng);
+
+  Layout base_layout;
+  PartitionSpec base_part;
+  base_part.partition_fields = {"P"};
+  base_part.sort_fields = {"P"};
+  base_layout.partitioning = base_part;
+  base_layout.order_fields = {"P"};
+  STUBBY_RETURN_NOT_OK(f.AddBase("D0", pairs.schema, base_layout,
+                                 /*partitions=*/60, std::move(pairs.rows),
+                                 267 * kGB));
+
+  const Schema kD0({"P", "A"});
+  const Schema kD1({"A1", "A2"});
+  const Schema kWithOne({"A1", "A2", "C"});
+  const Schema kD2({"A1", "A2", "CNT"});
+  const Schema kD3({"CNT"});
+
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D1", kD1));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D2", kD2));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D3", kD3));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D4", kD2, /*workflow_output=*/true));
+
+  // J1: emit all coauthor pairs of each paper.
+  {
+    auto pairs_reduce = std::make_shared<LambdaReduceFn>(
+        "coauthor_pairs", kD1,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          (void)key;
+          // Bounded pair expansion: huge author lists are truncated like a
+          // real implementation would.
+          size_t n = std::min<size_t>(group.size(), 64);
+          for (size_t i = 0; i < n; ++i) {
+            for (size_t j = i + 1; j < n; ++j) {
+              int64_t a = group[i][1].AsInt();
+              int64_t b = group[j][1].AsInt();
+              if (a == b) continue;
+              out->Emit(Row{std::min(a, b), std::max(a, b)});
+            }
+          }
+        },
+        /*cpu=*/1.4);
+    WorkflowFactory::JobDef j;
+    j.id = "J1";
+    j.inputs = {In("D0", {})};
+    j.map_output_schema = kD0;
+    j.reduce_stages = {Stage::Reduce(pairs_reduce, {"P"})};
+    j.sort_extra = {"A"};
+    j.output = "D1";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"P"};
+    sa.v1 = FieldSet{"A"};
+    sa.k2 = FieldSet{"P"};
+    sa.v2 = FieldSet{"A"};
+    sa.k3 = FieldSet{"A1", "A2"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J2: count occurrences of each coauthor pair.
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "J2";
+    j.inputs = {In("D1", {Stage::Map(AppendConstMap(
+                     "emit_one", kD1, "C", Value(int64_t{1}), 0.4))})};
+    j.map_output_schema = kWithOne;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("count_pairs", kWithOne, {"A1", "A2"},
+                  {{"C", AggOp::kSum, "CNT"}}, /*cpu=*/0.8),
+        {"A1", "A2"})};
+    j.combiner = AggCombine("sum_counts", kWithOne, {"A1", "A2"},
+                            {{"C", AggOp::kSum, "C"}});
+    j.output = "D2";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"A1", "A2"};
+    sa.k2 = FieldSet{"A1", "A2"};
+    sa.v2 = FieldSet{"C"};
+    sa.k3 = FieldSet{"A1", "A2"};
+    sa.v3 = FieldSet{"CNT"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J3: sample pair counts into split-point candidates (map-only).
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "J3";
+    j.inputs = {In("D2", {Stage::Map(SampleMap("sample_counts", kD2,
+                                               /*every_n=*/16, {"CNT"}))})};
+    j.map_output_schema = kD3;
+    j.output = "D3";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"A1", "A2"};
+    sa.v1 = FieldSet{"CNT"};
+    sa.k3 = FieldSet{"CNT"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J4: total-order sort of the pairs by count (split points from J3).
+  {
+    auto emit_sorted = std::make_shared<LambdaReduceFn>(
+        "emit_sorted", kD2,
+        [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+          (void)key;
+          for (const Row& r : group) out->Emit(r);
+        },
+        /*cpu=*/0.5);
+    WorkflowFactory::JobDef j;
+    j.id = "J4";
+    j.inputs = {In("D2", {})};
+    j.map_output_schema = kD2;
+    j.reduce_stages = {Stage::Reduce(emit_sorted, {"CNT"})};
+    PartitionSpec part;
+    part.type = PartitionType::kRange;
+    part.partition_fields = {"CNT"};
+    part.sort_fields = {"CNT"};
+    part.split_points_from = "D3";
+    j.partition = part;
+    j.config.num_reduce_tasks = 20;
+    j.output = "D4";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"A1", "A2"};
+    sa.v1 = FieldSet{"CNT"};
+    sa.k2 = FieldSet{"CNT"};
+    sa.v2 = FieldSet{"A1", "A2"};
+    sa.k3 = FieldSet{"A1", "A2"};
+    sa.v3 = FieldSet{"CNT"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  Workload w;
+  w.abbr = "SN";
+  w.name = "Social Network Analysis";
+  w.plan = std::move(f.plan());
+  w.dfs = std::move(f.dfs());
+  w.dataset_logical_bytes = 267 * kGB;
+  return w;
+}
+
+}  // namespace stubby

@@ -1,0 +1,77 @@
+// Reusable black-box UDFs for the evaluation workloads. The optimizer never
+// inspects these: everything it knows comes from annotations.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/functions.h"
+
+namespace stubby {
+
+/// Aggregation operators for the generic group-by reduce.
+enum class AggOp { kSum, kMax, kMin, kCount, kAvg };
+
+/// One aggregate: `op` over `in_field`, emitted as `out_field`.
+struct AggSpec {
+  std::string in_field;
+  AggOp op;
+  std::string out_field;
+};
+
+/// Map: projects `out_fields` (a subset of the input schema, any order).
+std::shared_ptr<MapFn> ProjectMap(const std::string& name, const Schema& in,
+                                  const std::vector<std::string>& out_fields,
+                                  double cpu = 0.6);
+
+/// Map: passes through rows whose numeric `field` lies in [lo, hi). The
+/// corresponding FilterAnnotation is what tells the optimizer about it.
+std::shared_ptr<MapFn> FilterRangeMap(const std::string& name,
+                                      const Schema& schema,
+                                      const std::string& field, double lo,
+                                      double hi, double cpu = 0.5);
+
+/// Map: appends a constant field (e.g. a literal grouping key or tag).
+std::shared_ptr<MapFn> AppendConstMap(const std::string& name,
+                                      const Schema& in,
+                                      const std::string& field, Value value,
+                                      double cpu = 0.3);
+
+/// Map: deterministic 1-in-`every_n` sample (content-hash based), projected
+/// onto `out_fields` — the sampler jobs of the SN and LA workflows.
+std::shared_ptr<MapFn> SampleMap(const std::string& name, const Schema& in,
+                                 uint64_t every_n,
+                                 const std::vector<std::string>& out_fields,
+                                 double cpu = 0.4);
+
+/// Reduce: group-by on `group_fields` computing `aggs`; emits one row per
+/// group with schema (group_fields..., agg out_fields...).
+std::shared_ptr<ReduceFn> AggReduce(const std::string& name,
+                                    const Schema& in,
+                                    const std::vector<std::string>& group_fields,
+                                    const std::vector<AggSpec>& aggs,
+                                    double cpu = 1.0);
+
+/// Reduce: emits one (projected) row per distinct group — duplicate
+/// elimination.
+std::shared_ptr<ReduceFn> DistinctReduce(
+    const std::string& name, const Schema& in,
+    const std::vector<std::string>& group_fields, double cpu = 0.8);
+
+/// Combine: algebraic partial aggregation that keeps the input schema.
+/// Sum/max/min aggregate their field in place; every other non-group field
+/// keeps the group's first value. (Counts must be pre-materialized as a
+/// summed 1-column to be combinable.)
+std::shared_ptr<CombineFn> AggCombine(const std::string& name,
+                                      const Schema& schema,
+                                      const std::vector<std::string>& group_fields,
+                                      const std::vector<AggSpec>& aggs,
+                                      double cpu = 0.4);
+
+/// Output schema produced by AggReduce for the given grouping/aggs.
+Schema AggOutputSchema(const std::vector<std::string>& group_fields,
+                       const std::vector<AggSpec>& aggs);
+
+}  // namespace stubby

@@ -1,0 +1,111 @@
+// User-defined Logical Splits (Table 1: 530 GB): a preprocessing job whose
+// output is analyzed differently per age group by two consumer jobs that
+// each filter to their slice in the map function (Section 7.1). The
+// partition function transformation switches the producer to range
+// partitioning on the age with split points at the filter boundaries,
+// enabling partition pruning in both consumers — the paper's US showcase:
+//   J1  preprocess: total metric per (age, user)     — group by {AG,U}
+//   J2  youth analysis (age under ~25y, in days)     — group by {U}
+//   J3  adult analysis (age ~25y and older, in days) — group by {U}
+
+#include "workloads/builder.h"
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+
+namespace {
+constexpr uint64_t kGB = 1ull << 30;
+}
+
+Result<Workload> MakeUS(const WorkloadOptions& options) {
+  Rng rng(options.seed * 1000 + 8);
+  WorkflowFactory f(options.cluster);
+
+  const int rows = options.sample_rows;
+  GeneratedData users = GenUserRecords(rows, std::max(100, rows / 10), &rng);
+
+  Layout layout;
+  STUBBY_RETURN_NOT_OK(f.AddBase("U0", users.schema, layout,
+                                 /*partitions=*/64, std::move(users.rows),
+                                 530 * kGB));
+
+  const Schema kU({"AG", "U", "M"});
+  const Schema kD1({"AG", "U", "SM"});
+  const Schema kD2({"U", "YAVG"});
+  const Schema kD3({"U", "AMAX"});
+
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D1", kD1));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D2", kD2, /*workflow_output=*/true));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("D3", kD3, /*workflow_output=*/true));
+
+  // J1: preprocess — total metric per (age, user).
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "J1";
+    j.inputs = {In("U0", {})};
+    j.map_output_schema = kU;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("preprocess", kU, {"AG", "U"}, {{"M", AggOp::kSum, "SM"}},
+                  /*cpu=*/0.9),
+        {"AG", "U"})};
+    j.combiner =
+        AggCombine("sum_metric", kU, {"AG", "U"}, {{"M", AggOp::kSum, "M"}});
+    j.output = "D1";
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"AG", "U"};
+    sa.v1 = FieldSet{"M"};
+    sa.k2 = FieldSet{"AG", "U"};
+    sa.v2 = FieldSet{"M"};
+    sa.k3 = FieldSet{"AG", "U"};
+    sa.v3 = FieldSet{"SM"};
+    j.schema_ann = sa;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+
+  // J2/J3: per-slice analyses (filters exposed through annotations).
+  auto add_slice_job = [&](const std::string& id, double lo, double hi,
+                           AggOp op, const std::string& out_field,
+                           const std::string& output) -> Status {
+    WorkflowFactory::JobDef j;
+    j.id = id;
+    j.inputs = {In("D1", {Stage::Map(FilterRangeMap("filter_age_" + id, kD1,
+                                                    "AG", lo, hi, 0.5))})};
+    j.map_output_schema = kD1;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("analyze_" + id, kD1, {"U"}, {{"SM", op, out_field}},
+                  /*cpu=*/1.1),
+        {"U"})};
+    j.output = output;
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"AG", "U"};
+    sa.v1 = FieldSet{"SM"};
+    sa.k2 = FieldSet{"U"};
+    sa.v2 = FieldSet{"AG", "SM"};
+    sa.k3 = FieldSet{"U"};
+    sa.v3 = FieldSet{out_field};
+    j.schema_ann = sa;
+    FilterAnnotation fa;
+    fa.field = "AG";
+    fa.lo = lo;
+    fa.hi = hi;
+    j.filter_ann = fa;
+    return f.AddJob(std::move(j));
+  };
+  STUBBY_RETURN_NOT_OK(
+      add_slice_job("J2", 1, 9000, AggOp::kAvg, "YAVG", "D2"));
+  STUBBY_RETURN_NOT_OK(
+      add_slice_job("J3", 9000, 36500, AggOp::kMax, "AMAX", "D3"));
+
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  Workload w;
+  w.abbr = "US";
+  w.name = "User-defined Logical Splits";
+  w.plan = std::move(f.plan());
+  w.dfs = std::move(f.dfs());
+  w.dataset_logical_bytes = 530 * kGB;
+  return w;
+}
+
+}  // namespace stubby

@@ -1,0 +1,101 @@
+// Tests for baselines/: the Pig Baseline, Starfish, YSmart, and MRShare
+// comparators — each must implement its published decision rule and stay
+// result-equivalent.
+
+#include <gtest/gtest.h>
+
+#include "baselines/mrshare.h"
+#include "baselines/pig_baseline.h"
+#include "baselines/starfish.h"
+#include "baselines/ysmart.h"
+#include "test_workflows.h"
+
+namespace stubby {
+namespace {
+
+using ::stubby::testing::ExpectEquivalent;
+using ::stubby::testing::MakeChain;
+using ::stubby::testing::MakeSiblings;
+using ::stubby::testing::ProfileInPlace;
+
+TEST(PigBaselineTest, PacksSharedInputSiblingsAlways) {
+  auto f = MakeSiblings();
+  ASSERT_TRUE(f.ok());
+  auto baseline = PigBaseline(f->plan());
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->num_jobs(), 1u);  // rule-based: packs whenever possible
+  ProfileInPlace(&*f);
+  ExpectEquivalent(*f, f->plan(), *baseline);
+}
+
+TEST(PigBaselineTest, AppliesRulesOfThumbConfigs) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  auto baseline = PigBaseline(f->plan());
+  ASSERT_TRUE(baseline.ok());
+  for (const auto& [jid, job] : baseline->jobs()) {
+    // ~1 reducer per GB of annotated input, not the untouched default.
+    EXPECT_GT(job.config.num_reduce_tasks, 1) << jid;
+  }
+}
+
+TEST(PigBaselineTest, DoesNotPackVertically) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  auto baseline = PigBaseline(f->plan());
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->num_jobs(), 2u);
+}
+
+TEST(StarfishTest, TunesConfigsWithoutStructuralChange) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  auto tuned = StarfishOptimize(f->plan());
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_EQ(tuned->num_jobs(), 2u);
+  EXPECT_EQ(PlanSignature(*tuned), PlanSignature(f->plan()));
+  ExpectEquivalent(*f, f->plan(), *tuned);
+  // And the tuning should beat the untouched defaults.
+  WhatIfEngine whatif(f->plan().cluster());
+  EXPECT_LT(whatif.Cost(*tuned).cost, whatif.Cost(f->plan()).cost);
+}
+
+TEST(YSmartTest, AggressivelyMinimizesJobCount) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  auto packed = YSmartOptimize(f->plan());
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->num_jobs(), 1u);  // rule-based, no cost check
+  ExpectEquivalent(*f, f->plan(), *packed);
+}
+
+TEST(YSmartTest, PacksSiblingsEvenWhenCostly) {
+  auto f = MakeSiblings(2000, /*logical_bytes=*/1 * ::stubby::testing::kGB);
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  auto packed = YSmartOptimize(f->plan());
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->num_jobs(), 1u);  // the PJ mistake, by design
+}
+
+TEST(MRShareTest, OnlySharedScanPacking) {
+  auto chain = MakeChain();
+  ASSERT_TRUE(chain.ok());
+  ProfileInPlace(&*chain);
+  auto out = MRShareOptimize(chain->plan());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_jobs(), 2u);  // no vertical packing in MRShare
+
+  auto siblings = MakeSiblings();
+  ASSERT_TRUE(siblings.ok());
+  ProfileInPlace(&*siblings);
+  auto out2 = MRShareOptimize(siblings->plan());
+  ASSERT_TRUE(out2.ok());
+  // Cost-based: pack or not, but always equivalent and rule-configured.
+  ExpectEquivalent(*siblings, siblings->plan(), *out2);
+}
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,139 @@
+// Tests for optimizer/configuration: applying configurations under the
+// conditions ledger, the per-job search space, and the rules of thumb.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/configuration.h"
+#include "test_workflows.h"
+
+namespace stubby {
+namespace {
+
+using ::stubby::testing::MakeChain;
+
+TEST(ApplyConfigurationTest, FixedReduceCountWins) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  Plan plan = f->plan();
+  (*plan.GetMutableJob("Jp"))->conditions.num_reduce_fixed = 9;
+  JobConfig c;
+  c.num_reduce_tasks = 77;
+  ASSERT_TRUE(ApplyConfiguration(&plan, "Jp", c).ok());
+  EXPECT_EQ((*plan.GetJob("Jp"))->config.num_reduce_tasks, 9);
+}
+
+TEST(ApplyConfigurationTest, CombinerOnlyWhenProgramHasOne) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  Plan plan = f->plan();
+  JobConfig c;
+  c.use_combiner = true;
+  // Jp has a combiner, Jc does not.
+  ASSERT_TRUE(ApplyConfiguration(&plan, "Jp", c).ok());
+  ASSERT_TRUE(ApplyConfiguration(&plan, "Jc", c).ok());
+  EXPECT_TRUE((*plan.GetJob("Jp"))->config.use_combiner);
+  EXPECT_FALSE((*plan.GetJob("Jc"))->config.use_combiner);
+}
+
+TEST(ApplyConfigurationTest, OutputCompressionFlowsIntoLayout) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  Plan plan = f->plan();
+  JobConfig c;
+  c.compress_output = true;
+  ASSERT_TRUE(ApplyConfiguration(&plan, "Jp", c).ok());
+  EXPECT_TRUE((*plan.GetDataset("MID"))->layout.compressed);
+  ASSERT_TRUE((*plan.GetDataset("MID"))->annotation.layout.has_value());
+  EXPECT_TRUE((*plan.GetDataset("MID"))->annotation.layout->compressed);
+}
+
+TEST(ApplyConfigurationTest, UnknownJobFails) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  Plan plan = f->plan();
+  EXPECT_FALSE(ApplyConfiguration(&plan, "nope", JobConfig{}).ok());
+}
+
+TEST(SpaceForJobTest, PinnedReduceCountDropsTheDimension) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  const ClusterSpec& cluster = f->plan().cluster();
+  JobVertex job = *(*f->plan().GetJob("Jp"));
+  ConfigSpace free_space = SpaceForJob(job, cluster);
+  bool has_reduce_dim = false;
+  for (const auto& d : free_space.dims()) {
+    if (d.name == "num_reduce_tasks") has_reduce_dim = true;
+  }
+  EXPECT_TRUE(has_reduce_dim);
+
+  job.conditions.num_reduce_fixed = 4;
+  ConfigSpace pinned = SpaceForJob(job, cluster);
+  for (const auto& d : pinned.dims()) {
+    EXPECT_NE(d.name, "num_reduce_tasks");
+  }
+  EXPECT_EQ(pinned.size() + 1, free_space.size());
+
+  // Range partitioning with explicit splits also pins it.
+  job.conditions.num_reduce_fixed.reset();
+  job.branches[0].partition.type = PartitionType::kRange;
+  job.branches[0].partition.split_points = {Row{int64_t{1}}};
+  ConfigSpace ranged = SpaceForJob(job, cluster);
+  for (const auto& d : ranged.dims()) {
+    EXPECT_NE(d.name, "num_reduce_tasks");
+  }
+}
+
+TEST(SpaceForJobTest, MapOnlyJobsHaveNoReduceDimension) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  JobVertex job = *(*f->plan().GetJob("Jp"));
+  job.branches[0].reduce_stages.clear();
+  job.branches[0].partition = PartitionSpec();
+  ConfigSpace space = SpaceForJob(job, f->plan().cluster());
+  for (const auto& d : space.dims()) {
+    EXPECT_NE(d.name, "num_reduce_tasks");
+  }
+}
+
+TEST(RuleOfThumbTest, ScalesReducersWithAnnotatedInput) {
+  auto f = MakeChain(/*rows=*/2000, 50, 40,
+                     /*logical_bytes=*/3 * ::stubby::testing::kGB);
+  ASSERT_TRUE(f.ok());
+  const Plan& plan = f->plan();
+  JobConfig small =
+      RuleOfThumbConfig(*(*plan.GetJob("Jp")), plan.cluster(), &plan);
+  EXPECT_GE(small.num_reduce_tasks, 3);
+  EXPECT_LE(small.num_reduce_tasks, 6);
+
+  auto big = MakeChain(2000, 50, 40, /*logical_bytes=*/800ull << 30);
+  ASSERT_TRUE(big.ok());
+  JobConfig capped = RuleOfThumbConfig(*(*big->plan().GetJob("Jp")),
+                                       big->plan().cluster(), &big->plan());
+  EXPECT_EQ(capped.num_reduce_tasks,
+            static_cast<int>(big->plan().cluster().total_reduce_slots() *
+                             0.95));
+}
+
+TEST(RuleOfThumbTest, UsesCombinerWhenAvailable) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  const Plan& plan = f->plan();
+  EXPECT_TRUE(RuleOfThumbConfig(*(*plan.GetJob("Jp")), plan.cluster(), &plan)
+                  .use_combiner);
+  EXPECT_FALSE(RuleOfThumbConfig(*(*plan.GetJob("Jc")), plan.cluster(), &plan)
+                   .use_combiner);
+}
+
+TEST(RuleOfThumbTest, UnknownSizesFallBackToOneWave) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  const Plan& plan = f->plan();
+  // Jc reads the intermediate MID, whose size is not annotated.
+  JobConfig c =
+      RuleOfThumbConfig(*(*plan.GetJob("Jc")), plan.cluster(), &plan);
+  EXPECT_EQ(c.num_reduce_tasks,
+            static_cast<int>(plan.cluster().total_reduce_slots() * 0.95));
+}
+
+}  // namespace
+}  // namespace stubby

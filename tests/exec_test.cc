@@ -1,0 +1,207 @@
+// Tests for exec/: record-level execution of jobs and workflows on the
+// simulated cluster — result correctness, accounting, pruning, alignment,
+// shared scans, and logical scaling.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/job_runner.h"
+#include "test_workflows.h"
+
+namespace stubby {
+namespace {
+
+using ::stubby::testing::ExpectEquivalent;
+using ::stubby::testing::MakeChain;
+using ::stubby::testing::MakeSiblings;
+using ::stubby::testing::RunOn;
+
+TEST(WorkflowRunnerTest, ChainProducesCorrectAggregates) {
+  auto f = MakeChain(/*rows=*/1000, /*distinct_k=*/10, /*distinct_z=*/5);
+  ASSERT_TRUE(f.ok());
+  Dfs result;
+  RunOn(*f, f->plan(), &result);
+
+  // Reference aggregation computed directly from the base data.
+  auto base = f->dfs().Get("IN");
+  ASSERT_TRUE(base.ok());
+  std::map<int64_t, double> expected;
+  for (const Row& r : (*base)->AllRows()) {
+    expected[r[0].AsInt()] += r[2].AsDouble();
+  }
+  auto out = result.Get("OUT");
+  ASSERT_TRUE(out.ok());
+  std::vector<Row> rows = (*out)->AllRows();
+  ASSERT_EQ(rows.size(), expected.size());
+  for (const Row& r : rows) {
+    EXPECT_NEAR(r[1].AsDouble(), expected[r[0].AsInt()], 1e-6);
+  }
+}
+
+TEST(WorkflowRunnerTest, MissingBaseInputFails) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  WorkflowRunner runner(f->plan().cluster());
+  Dfs empty;
+  EXPECT_FALSE(runner.Run(f->plan(), &empty).ok());
+}
+
+TEST(WorkflowRunnerTest, CombinerDoesNotChangeResults) {
+  auto f = MakeChain(2000, 20, 10);
+  ASSERT_TRUE(f.ok());
+  Plan with = f->plan();
+  Plan without = f->plan();
+  (*with.GetMutableJob("Jp"))->config.use_combiner = true;
+  (*without.GetMutableJob("Jp"))->config.use_combiner = false;
+  ExpectEquivalent(*f, with, without);
+}
+
+TEST(WorkflowRunnerTest, ReduceCountDoesNotChangeResults) {
+  auto f = MakeChain(2000, 20, 10);
+  ASSERT_TRUE(f.ok());
+  Plan small = f->plan();
+  Plan large = f->plan();
+  (*small.GetMutableJob("Jp"))->config.num_reduce_tasks = 1;
+  (*large.GetMutableJob("Jp"))->config.num_reduce_tasks = 97;
+  ExpectEquivalent(*f, small, large);
+}
+
+TEST(JobRunnerTest, DataflowAccountingIsConsistent) {
+  auto f = MakeChain(1000, 10, 5);
+  ASSERT_TRUE(f.ok());
+  WorkflowDataflow flow = RunOn(*f, f->plan());
+  ASSERT_EQ(flow.jobs.size(), 2u);
+  const JobDataflow& jp = flow.jobs[0];
+  EXPECT_GT(jp.num_map_tasks, 0);
+  EXPECT_GT(jp.map_input_bytes, 0u);
+  // Logical input of Jp equals the base dataset's logical size.
+  auto base = f->dfs().Get("IN");
+  EXPECT_NEAR(static_cast<double>(jp.map_input_bytes),
+              static_cast<double>((*base)->logical_bytes()),
+              static_cast<double>((*base)->logical_bytes()) * 0.01);
+  // Combiner off by default; map output flows into the reduce (up to
+  // per-bucket rounding of the scaled accounting).
+  EXPECT_NEAR(static_cast<double>(jp.combine_output_records),
+              static_cast<double>(jp.map_output_records),
+              1e-6 * jp.map_output_records);
+  EXPECT_NEAR(static_cast<double>(jp.reduce_input_records),
+              static_cast<double>(jp.combine_output_records),
+              1e-6 * jp.combine_output_records);
+  EXPECT_GE(jp.max_reduce_input_bytes,
+            jp.reduce_input_bytes / static_cast<uint64_t>(
+                                        std::max(1, jp.num_reduce_tasks)));
+  EXPECT_GT(flow.makespan_sec, 0.0);
+}
+
+TEST(JobRunnerTest, CombinerShrinksShuffleAccounting) {
+  auto f = MakeChain(4000, 5, 2);  // few groups => combining collapses a lot
+  ASSERT_TRUE(f.ok());
+  Plan plan = f->plan();
+  (*plan.GetMutableJob("Jp"))->config.use_combiner = true;
+  WorkflowDataflow flow = RunOn(*f, plan);
+  const JobDataflow& jp = flow.jobs[0];
+  EXPECT_LT(jp.combine_output_records, jp.map_output_records / 2);
+}
+
+TEST(JobRunnerTest, SharedScanCountsInputOnce) {
+  auto f = MakeSiblings(2000);
+  ASSERT_TRUE(f.ok());
+  // Pack manually into one two-branch job.
+  Plan plan = f->plan();
+  JobVertex packed;
+  packed.id = "packed";
+  packed.branches = {(*plan.GetJob("Ja"))->branches[0],
+                     (*plan.GetJob("Jb"))->branches[0]};
+  packed.config = (*plan.GetJob("Ja"))->config;
+  plan.RemoveJob("Ja");
+  plan.RemoveJob("Jb");
+  ASSERT_TRUE(plan.AddJob(packed).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+
+  WorkflowDataflow packed_flow = RunOn(*f, plan);
+  WorkflowDataflow separate_flow = RunOn(*f, f->plan());
+  uint64_t packed_in = packed_flow.jobs[0].map_input_bytes;
+  uint64_t separate_in = separate_flow.jobs[0].map_input_bytes +
+                         separate_flow.jobs[1].map_input_bytes;
+  EXPECT_NEAR(static_cast<double>(separate_in),
+              2.0 * static_cast<double>(packed_in), 0.02 * separate_in);
+  EXPECT_EQ(packed_flow.jobs[0].pipelines_per_task, 2);
+  // ...and the packed plan computes the same outputs.
+  ExpectEquivalent(*f, plan, f->plan());
+}
+
+TEST(JobRunnerTest, PartitionPruningReadsSubset) {
+  // Range-partitioned base dataset; consumer reads only partition 0.
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Schema schema({"k", "v"});
+  std::vector<Row> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back(Row{int64_t{i % 100}, 1.0});
+  Layout layout;
+  PartitionSpec spec;
+  spec.type = PartitionType::kRange;
+  spec.partition_fields = {"k"};
+  spec.sort_fields = {"k"};
+  spec.split_points = {Row{int64_t{50}}};
+  layout.partitioning = spec;
+  ASSERT_TRUE(
+      f.AddBase("IN", schema, layout, 2, rows, testing::kGB).ok());
+  ASSERT_TRUE(f.AddDataset("OUT", schema, true).ok());
+  WorkflowFactory::JobDef j;
+  j.id = "J";
+  BranchInput in = In("IN", {});
+  in.prune_partitions = {0};
+  j.inputs = {in};
+  j.map_output_schema = schema;
+  j.output = "OUT";
+  ASSERT_TRUE(f.AddJob(std::move(j)).ok());
+
+  Dfs result;
+  WorkflowDataflow flow = RunOn(f, f.plan(), &result);
+  auto out = result.Get("OUT");
+  ASSERT_TRUE(out.ok());
+  for (const Row& r : (*out)->AllRows()) EXPECT_LT(r[0].AsInt(), 50);
+  // Roughly half the logical bytes were read.
+  auto base = f.dfs().Get("IN");
+  EXPECT_LT(flow.jobs[0].map_input_bytes, (*base)->logical_bytes() * 6 / 10);
+}
+
+TEST(JobRunnerTest, MapOnlyJobWritesPerTaskPartitions) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Schema schema({"k", "v"});
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(Row{int64_t{i}, 2.0});
+  Layout layout;
+  ASSERT_TRUE(
+      f.AddBase("IN", schema, layout, 4, rows, 4 * testing::kGB).ok());
+  ASSERT_TRUE(f.AddDataset("OUT", schema, true).ok());
+  WorkflowFactory::JobDef j;
+  j.id = "J";
+  j.inputs = {In("IN", {})};
+  j.map_output_schema = schema;
+  j.output = "OUT";
+  ASSERT_TRUE(f.AddJob(std::move(j)).ok());
+  Dfs result;
+  WorkflowDataflow flow = RunOn(f, f.plan(), &result);
+  EXPECT_EQ(flow.jobs[0].num_reduce_tasks, 0);
+  auto out = result.Get("OUT");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 100u);
+  EXPECT_EQ(static_cast<int>((*out)->num_partitions()),
+            flow.jobs[0].num_map_tasks);
+}
+
+TEST(JobRunnerTest, OutputDatasetInheritsLogicalScale) {
+  auto f = MakeChain(1000, 10, 5, /*logical_bytes=*/64 * testing::kGB);
+  ASSERT_TRUE(f.ok());
+  Dfs result;
+  RunOn(*f, f->plan(), &result);
+  auto mid = result.Get("MID");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_GT((*mid)->logical_scale(), 100.0);  // inherited from the base
+}
+
+}  // namespace
+}  // namespace stubby

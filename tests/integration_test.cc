@@ -1,0 +1,242 @@
+// Integration and property tests across module boundaries:
+//  - many-to-one intra-job vertical packing with two separate producer
+//    jobs (the paper's Section 3.1 extension: producers pinned to one
+//    partitioning and a common reduce count),
+//  - co-aligned merge-mode execution on a join,
+//  - every comparator on every workflow stays result-equivalent,
+//  - cascaded packing on the BA double-join reaches map-only joins.
+
+#include <gtest/gtest.h>
+
+#include "baselines/mrshare.h"
+#include "baselines/pig_baseline.h"
+#include "baselines/starfish.h"
+#include "baselines/ysmart.h"
+#include "optimizer/stubby.h"
+#include "optimizer/vertical.h"
+#include "test_workflows.h"
+#include "workloads/registry.h"
+
+namespace stubby {
+namespace {
+
+using ::stubby::testing::ExpectEquivalent;
+using ::stubby::testing::ProfileInPlace;
+using ::stubby::testing::RunOn;
+
+std::vector<std::string> AllJobs(const Plan& plan) {
+  std::vector<std::string> out;
+  for (const auto& [jid, job] : plan.jobs()) out.push_back(jid);
+  return out;
+}
+
+// Two separate producers (group by {K}) whose outputs a join-style consumer
+// groups by {K} again — the many-to-one intra-packing site.
+Result<WorkflowFactory> MakeManyToOne(uint64_t seed = 31) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Rng rng(seed);
+  Schema in_schema({"K", "V"});
+  auto gen = [&](int n) {
+    std::vector<Row> rows;
+    for (int i = 0; i < n; ++i) {
+      rows.push_back(Row{rng.NextInt(0, 49), rng.NextDouble(0, 10)});
+    }
+    return rows;
+  };
+  Layout layout;
+  STUBBY_RETURN_NOT_OK(f.AddBase("A", in_schema, layout, 4, gen(3000),
+                                 8 * testing::kGB));
+  STUBBY_RETURN_NOT_OK(f.AddBase("B", in_schema, layout, 4, gen(3000),
+                                 8 * testing::kGB));
+  Schema agg({"K", "S"});
+  // The two producer outputs carry distinct value names so the tagged
+  // union for the consumer is by-position; grouping stays on K.
+  Schema mid_a({"K", "S"});
+  Schema mid_b({"K", "S"});
+  STUBBY_RETURN_NOT_OK(f.AddDataset("MA", mid_a));
+  STUBBY_RETURN_NOT_OK(f.AddDataset("MB", mid_b));
+  Schema joined({"K", "BOTH"});
+  STUBBY_RETURN_NOT_OK(f.AddDataset("OUT", joined, true));
+
+  auto add_producer = [&](const std::string& id, const std::string& in,
+                          const std::string& out) -> Status {
+    WorkflowFactory::JobDef j;
+    j.id = id;
+    j.inputs = {In(in, {})};
+    j.map_output_schema = in_schema;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("sum_" + id, in_schema, {"K"}, {{"V", AggOp::kSum, "S"}}),
+        {"K"})};
+    j.output = out;
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{"K"};
+    sa.v1 = FieldSet{"V"};
+    sa.k2 = FieldSet{"K"};
+    sa.v2 = FieldSet{"V"};
+    sa.k3 = FieldSet{"K"};
+    sa.v3 = FieldSet{"S"};
+    j.schema_ann = sa;
+    return f.AddJob(std::move(j));
+  };
+  STUBBY_RETURN_NOT_OK(add_producer("Jp1", "A", "MA"));
+  STUBBY_RETURN_NOT_OK(add_producer("Jp2", "B", "MB"));
+
+  // Consumer: adds the two per-key sums (a co-grouped join).
+  auto join = std::make_shared<LambdaReduceFn>(
+      "join_sums", joined,
+      [](const Row& key, const std::vector<Row>& group, Emitter* out) {
+        double total = 0;
+        for (const Row& r : group) total += r[1].AsDouble();
+        out->Emit(Row{key[0], total});
+      },
+      1.0);
+  WorkflowFactory::JobDef j;
+  j.id = "Jc";
+  j.inputs = {In("MA", {}), In("MB", {})};
+  j.map_output_schema = mid_a;
+  j.reduce_stages = {Stage::Reduce(join, {"K"})};
+  j.output = "OUT";
+  SchemaAnnotation sa;
+  sa.k1 = FieldSet{"K"};
+  sa.v1 = FieldSet{"S"};
+  sa.k2 = FieldSet{"K"};
+  sa.v2 = FieldSet{"S"};
+  sa.k3 = FieldSet{"K"};
+  sa.v3 = FieldSet{"BOTH"};
+  j.schema_ann = sa;
+  STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  return f;
+}
+
+TEST(ManyToOneTest, IntraPackPinsBothProducers) {
+  auto f = MakeManyToOne();
+  ASSERT_TRUE(f.ok()) << f.status();
+  ProfileInPlace(&*f);
+
+  IntraJobVerticalPacking intra;
+  auto apps = intra.FindApplications(f->plan(), AllJobs(f->plan()));
+  ASSERT_EQ(apps.size(), 1u);
+  auto packed = apps[0].apply(f->plan());
+  ASSERT_TRUE(packed.ok()) << packed.status();
+  ASSERT_TRUE(packed->Validate().ok());
+
+  const JobVertex& jp1 = *(*packed->GetJob("Jp1"));
+  const JobVertex& jp2 = *(*packed->GetJob("Jp2"));
+  const JobVertex& jc = *(*packed->GetJob("Jc"));
+  // Both producers frozen on the shared partitioning with one fixed count.
+  EXPECT_TRUE(jp1.conditions.partition_frozen);
+  EXPECT_TRUE(jp2.conditions.partition_frozen);
+  ASSERT_TRUE(jp1.conditions.num_reduce_fixed.has_value());
+  EXPECT_EQ(jp1.conditions.num_reduce_fixed, jp2.conditions.num_reduce_fixed);
+  // The consumer reads both inputs co-aligned through merged stages.
+  EXPECT_TRUE(jc.map_only());
+  EXPECT_TRUE(jc.branches[0].merge_mode());
+  for (const BranchInput& in : jc.branches[0].inputs) {
+    EXPECT_TRUE(in.aligned);
+  }
+  ExpectEquivalent(*f, f->plan(), *packed);
+}
+
+TEST(ManyToOneTest, MergeModeExecutesGroupsAcrossInputs) {
+  auto f = MakeManyToOne();
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  IntraJobVerticalPacking intra;
+  auto apps = intra.FindApplications(f->plan(), AllJobs(f->plan()));
+  ASSERT_FALSE(apps.empty());
+  Plan packed = *apps[0].apply(f->plan());
+  // Each key's group must see rows from both producers in one invocation —
+  // the joined sum over both inputs must match the unpacked plan exactly.
+  Dfs da, db;
+  RunOn(*f, f->plan(), &da);
+  RunOn(*f, packed, &db);
+  auto a = da.Get("OUT");
+  auto b = db.Get("OUT");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->num_rows(), 50u);
+  EXPECT_TRUE(RowsApproxEqual((*a)->AllRows(), (*b)->AllRows(), 1e-6));
+}
+
+TEST(BaCascadeTest, BothJoinsEndUpMapOnly) {
+  // The paper highlights BA: intra-job vertical packing applies to both
+  // join jobs. After Stubby, J2 and J3 (possibly packed onward) must be
+  // map-only merge-mode jobs.
+  WorkloadOptions options;
+  options.sample_rows = 6000;
+  auto w = MakeWorkload("BA", options);
+  ASSERT_TRUE(w.ok());
+  Profiler profiler(options.cluster);
+  Dfs dfs = w->dfs;
+  ASSERT_TRUE(profiler.ProfilePlan(&w->plan, &dfs).ok());
+  auto report = StubbyOptimizer().Optimize(w->plan);
+  ASSERT_TRUE(report.ok());
+  int map_only_merge_jobs = 0;
+  for (const auto& [jid, job] : report->plan.jobs()) {
+    if (job.map_only() && job.branches[0].merge_mode()) {
+      ++map_only_merge_jobs;
+    }
+  }
+  EXPECT_GE(map_only_merge_jobs, 2) << report->plan.ToString();
+}
+
+// Every comparator must preserve results on every workflow.
+struct MatrixCase {
+  std::string workload;
+  std::string optimizer;
+};
+
+class ComparatorMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(ComparatorMatrix, ResultEquivalent) {
+  const auto& [abbr, name] = GetParam();
+  WorkloadOptions options;
+  options.sample_rows = 4000;
+  auto w = MakeWorkload(abbr, options);
+  ASSERT_TRUE(w.ok()) << w.status();
+  Profiler profiler(options.cluster);
+  Dfs pdfs = w->dfs;
+  ASSERT_TRUE(profiler.ProfilePlan(&w->plan, &pdfs).ok());
+
+  Result<Plan> plan = Status::Unknown("unset");
+  if (name == "baseline") {
+    plan = PigBaseline(w->plan);
+  } else if (name == "starfish") {
+    plan = StarfishOptimize(w->plan);
+  } else if (name == "ysmart") {
+    plan = YSmartOptimize(w->plan);
+  } else {
+    plan = MRShareOptimize(w->plan);
+  }
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(plan->Validate().ok());
+
+  WorkflowRunner runner(options.cluster);
+  Dfs da = w->dfs, db = w->dfs;
+  auto fa = runner.Run(w->plan, &da);
+  auto fb = runner.Run(*plan, &db);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  for (const auto& [id, ds] : w->plan.datasets()) {
+    if (!ds.is_workflow_output) continue;
+    auto ra = da.Get(id);
+    auto rb = db.Get(id);
+    ASSERT_TRUE(ra.ok() && rb.ok()) << id;
+    EXPECT_TRUE(RowsApproxEqual((*ra)->AllRows(), (*rb)->AllRows(), 1e-6))
+        << abbr << "/" << name << " output " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ComparatorMatrix,
+    ::testing::Combine(::testing::ValuesIn(AllWorkloadAbbrs()),
+                       ::testing::Values("baseline", "starfish", "ysmart",
+                                         "mrshare")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,204 @@
+// Tests for mr/: Value, Row, Schema, JobConfig/ConfigSpace, Partitioner.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mr/job_config.h"
+#include "mr/partitioner.h"
+#include "mr/schema.h"
+#include "mr/tuple.h"
+#include "mr/value.h"
+
+namespace stubby {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_EQ(Value(int64_t{3}).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsDouble(), 3.0);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, OrderingIsTotalAcrossTypes) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));  // numerics before strings
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, NumericEqualityAcrossIntAndDouble) {
+  EXPECT_EQ(Value(int64_t{7}), Value(7.0));
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_NE(Value(int64_t{7}), Value(7.5));
+}
+
+TEST(ValueTest, SerializedSize) {
+  EXPECT_EQ(Value(int64_t{1}).SerializedSize(), 8u);
+  EXPECT_EQ(Value(1.0).SerializedSize(), 8u);
+  EXPECT_EQ(Value("abcd").SerializedSize(), 8u);  // 4 prefix + 4 bytes
+}
+
+TEST(RowTest, ProjectAndCompare) {
+  Row r{int64_t{1}, "x", 2.5};
+  Row p = r.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], Value(2.5));
+  EXPECT_EQ(p[1], Value(int64_t{1}));
+
+  Row a{int64_t{1}, int64_t{5}};
+  Row b{int64_t{1}, int64_t{9}};
+  EXPECT_EQ(CompareOnFields(a, b, {0}), 0);
+  EXPECT_LT(CompareOnFields(a, b, {0, 1}), 0);
+  EXPECT_TRUE(EqualOnFields(a, b, {0}));
+  EXPECT_FALSE(EqualOnFields(a, b, {1}));
+}
+
+TEST(RowTest, LexicographicOrdering) {
+  EXPECT_LT((Row{int64_t{1}, int64_t{2}}), (Row{int64_t{1}, int64_t{3}}));
+  EXPECT_LT((Row{int64_t{1}}), (Row{int64_t{1}, int64_t{0}}));
+}
+
+TEST(RowTest, ApproxEquality) {
+  Row a{int64_t{1}, 100.0};
+  Row b{int64_t{1}, 100.0 + 1e-12};
+  Row c{int64_t{1}, 100.1};
+  EXPECT_TRUE(RowApproxEqual(a, b));
+  EXPECT_FALSE(RowApproxEqual(a, c));
+  EXPECT_TRUE(RowsApproxEqual({a, c}, {c, b}, 1e-9));
+  EXPECT_FALSE(RowsApproxEqual({a}, {a, b}, 1e-9));
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s({"a", "b", "c"});
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("z").has_value());
+  auto idx = s.IndicesOf({"c", "a"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, (std::vector<size_t>{2, 0}));
+  EXPECT_FALSE(s.IndicesOf({"a", "q"}).ok());
+}
+
+TEST(SchemaTest, ContainsAndConcat) {
+  Schema s({"a", "b"});
+  EXPECT_TRUE(s.Contains(FieldSet{"a", "b"}));
+  EXPECT_FALSE(s.Contains(FieldSet{"a", "x"}));
+  Schema c = s.Concat(Schema({"b", "c"}));
+  EXPECT_EQ(c.fields(), (std::vector<std::string>{"a", "b", "b#1", "c"}));
+}
+
+TEST(SchemaTest, FieldSetOperations) {
+  FieldSet a{"x", "y"}, b{"y", "z"};
+  EXPECT_EQ(Intersect(a, b), FieldSet{"y"});
+  EXPECT_EQ(Union(a, b), (FieldSet{"x", "y", "z"}));
+  EXPECT_EQ(Minus(a, b), FieldSet{"x"});
+  EXPECT_TRUE(IsSubset(FieldSet{"y"}, a));
+  EXPECT_FALSE(IsSubset(a, b));
+}
+
+TEST(JobConfigTest, ToStringAndEquality) {
+  JobConfig a, b;
+  EXPECT_EQ(a, b);
+  b.num_reduce_tasks = 7;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.ToString().find("reduce_tasks=1"), std::string::npos);
+}
+
+TEST(ConfigSpaceTest, PointRoundTrip) {
+  ConfigSpace space = ConfigSpace::Default(100, /*has_combiner=*/true);
+  JobConfig c;
+  c.num_reduce_tasks = 55;
+  c.io_sort_mb = 256;
+  c.io_sort_factor = 20;
+  c.compress_map_output = true;
+  c.compress_output = false;
+  c.split_mb = 128;
+  c.use_combiner = true;
+  JobConfig round = space.PointToConfig(space.ConfigToPoint(c), JobConfig{});
+  EXPECT_EQ(round.num_reduce_tasks, 55);
+  EXPECT_EQ(round.io_sort_mb, 256);
+  EXPECT_EQ(round.io_sort_factor, 20);
+  EXPECT_TRUE(round.compress_map_output);
+  EXPECT_FALSE(round.compress_output);
+  EXPECT_TRUE(round.use_combiner);
+}
+
+TEST(ConfigSpaceTest, ClampsOutOfRangePoints) {
+  ConfigSpace space = ConfigSpace::Default(100, false);
+  std::vector<double> point(space.size(), 2.0);  // beyond the unit cube
+  JobConfig c = space.PointToConfig(point, JobConfig{});
+  EXPECT_EQ(c.num_reduce_tasks, 200);  // hi bound = 2*max_reduce_tasks
+  EXPECT_EQ(c.io_sort_mb, 512);
+}
+
+class HashPartitionerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashPartitionerProperty, SameKeySamePartitionAndInRange) {
+  const int R = GetParam();
+  Schema schema({"k", "v"});
+  Partitioner p =
+      *Partitioner::Make(PartitionSpec::DefaultFor({"k"}), schema);
+  Rng rng(1234);
+  for (int i = 0; i < 500; ++i) {
+    int64_t k = rng.NextInt(0, 50);
+    Row a{k, rng.NextInt(0, 1000)};
+    Row b{k, rng.NextInt(0, 1000)};
+    int pa = p.PartitionOf(a, R);
+    EXPECT_GE(pa, 0);
+    EXPECT_LT(pa, R);
+    EXPECT_EQ(pa, p.PartitionOf(b, R)) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReducerCounts, HashPartitionerProperty,
+                         ::testing::Values(1, 2, 7, 64, 1024));
+
+TEST(RangePartitionerTest, BucketsBySplitPoints) {
+  Schema schema({"k"});
+  PartitionSpec spec;
+  spec.type = PartitionType::kRange;
+  spec.partition_fields = {"k"};
+  spec.sort_fields = {"k"};
+  spec.split_points = {Row{int64_t{10}}, Row{int64_t{20}}};
+  Partitioner p = *Partitioner::Make(spec, schema);
+  EXPECT_EQ(p.PartitionOf(Row{int64_t{3}}, 3), 0);
+  EXPECT_EQ(p.PartitionOf(Row{int64_t{10}}, 3), 1);  // boundary goes right
+  EXPECT_EQ(p.PartitionOf(Row{int64_t{15}}, 3), 1);
+  EXPECT_EQ(p.PartitionOf(Row{int64_t{99}}, 3), 2);
+}
+
+TEST(RangePartitionerTest, RangeIsOrderPreserving) {
+  Schema schema({"k"});
+  PartitionSpec spec;
+  spec.type = PartitionType::kRange;
+  spec.partition_fields = {"k"};
+  spec.sort_fields = {"k"};
+  for (int s = 5; s < 100; s += 5) spec.split_points.push_back(Row{s});
+  Partitioner p = *Partitioner::Make(spec, schema);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    int64_t a = rng.NextInt(0, 120), b = rng.NextInt(0, 120);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(p.PartitionOf(Row{a}, 20), p.PartitionOf(Row{b}, 20));
+  }
+}
+
+TEST(PartitionerTest, MissingFieldFails) {
+  Schema schema({"a"});
+  EXPECT_FALSE(Partitioner::Make(PartitionSpec::DefaultFor({"b"}), schema)
+                   .ok());
+}
+
+TEST(PartitionSpecTest, FixesNumPartitionsOnlyWithExplicitSplits) {
+  PartitionSpec spec;
+  spec.type = PartitionType::kRange;
+  spec.partition_fields = {"k"};
+  EXPECT_FALSE(spec.FixesNumPartitions());
+  spec.split_points = {Row{int64_t{1}}};
+  EXPECT_TRUE(spec.FixesNumPartitions());
+  EXPECT_EQ(spec.NumRangePartitions(), 2);
+}
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,145 @@
+// Tests for profiler/: measured stage statistics, histograms with heavy
+// hitters, group cardinality, and combine selectivity.
+
+#include <gtest/gtest.h>
+
+#include "test_workflows.h"
+
+namespace stubby {
+namespace {
+
+using ::stubby::testing::MakeChain;
+using ::stubby::testing::ProfileInPlace;
+
+TEST(ProfilerTest, StageStatsMeasureSelectivity) {
+  // A filter passing ~40% of rows must profile with ~0.4 selectivity.
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Schema schema({"k", "x"});
+  std::vector<Row> rows;
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back(Row{rng.NextInt(0, 9), rng.NextDouble(0, 100)});
+  }
+  Layout layout;
+  ASSERT_TRUE(
+      f.AddBase("IN", schema, layout, 4, rows, testing::kGB).ok());
+  ASSERT_TRUE(f.AddDataset("OUT", Schema({"k", "c"}), true).ok());
+  WorkflowFactory::JobDef j;
+  j.id = "J";
+  j.inputs = {In("IN", {Stage::Map(FilterRangeMap("f", schema, "x", 0, 40))})};
+  j.map_output_schema = schema;
+  j.reduce_stages = {Stage::Reduce(
+      AggReduce("count", schema, {"k"}, {{"x", AggOp::kCount, "c"}}), {"k"})};
+  j.output = "OUT";
+  ASSERT_TRUE(f.AddJob(std::move(j)).ok());
+  ProfileInPlace(&f);
+
+  const JobVertex& job = *(*f.plan().GetJob("J"));
+  const Stage& filter = job.branches[0].inputs[0].map_stages[0];
+  ASSERT_TRUE(filter.stats.has_value());
+  EXPECT_NEAR(filter.stats->record_selectivity, 0.4, 0.05);
+  const Stage& reduce = job.branches[0].reduce_stages[0];
+  ASSERT_TRUE(reduce.stats.has_value());
+  // 10 groups out of ~1600 filtered rows.
+  EXPECT_NEAR(reduce.stats->record_selectivity, 10.0 / 1600.0, 0.005);
+  EXPECT_NEAR(reduce.stats->groups_per_record, 10.0 / 1600.0, 0.005);
+}
+
+TEST(ProfilerTest, ProfileCarriesHistogramsAndGroups) {
+  auto f = MakeChain(4000, /*distinct_k=*/50, /*distinct_z=*/40);
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  const JobVertex& jp = *(*f->plan().GetJob("Jp"));
+  const auto& profile = jp.branches[0].annotations.profile;
+  ASSERT_TRUE(profile.has_value());
+  const KeyHistogram* hk = profile->FindHistogram("K");
+  ASSERT_NE(hk, nullptr);
+  EXPECT_EQ(hk->distinct, 50u);
+  EXPECT_NEAR(hk->min, 0, 1);
+  EXPECT_NEAR(hk->max, 49, 1);
+  // Roughly uniform: no heavy hitter dominates.
+  EXPECT_LT(hk->max_key_fraction, 0.1);
+  // 4000 draws over 50*40 = 2000 possible (K,Z) groups hit about
+  // 2000*(1-exp(-2)) ~ 1729 of them.
+  EXPECT_NEAR(profile->k2_distinct_groups, 1729, 120);
+  EXPECT_GT(profile->avg_input_record_bytes, 8);
+}
+
+TEST(ProfilerTest, HeavyHittersAreExtracted) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Schema schema({"k", "v"});
+  std::vector<Row> rows;
+  Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    // Value 7 carries ~50% of the mass.
+    int64_t k = (i % 2 == 0) ? 7 : rng.NextInt(100, 1000);
+    rows.push_back(Row{k, 1.0});
+  }
+  Layout layout;
+  ASSERT_TRUE(f.AddBase("IN", schema, layout, 4, rows, testing::kGB).ok());
+  ASSERT_TRUE(f.AddDataset("OUT", Schema({"k", "s"}), true).ok());
+  WorkflowFactory::JobDef j;
+  j.id = "J";
+  j.inputs = {In("IN", {})};
+  j.map_output_schema = schema;
+  j.reduce_stages = {Stage::Reduce(
+      AggReduce("sum", schema, {"k"}, {{"v", AggOp::kSum, "s"}}), {"k"})};
+  j.output = "OUT";
+  ASSERT_TRUE(f.AddJob(std::move(j)).ok());
+  ProfileInPlace(&f);
+
+  const auto& profile =
+      (*f.plan().GetJob("J"))->branches[0].annotations.profile;
+  ASSERT_TRUE(profile.has_value());
+  const KeyHistogram* h = profile->FindHistogram("k");
+  ASSERT_NE(h, nullptr);
+  EXPECT_NEAR(h->max_key_fraction, 0.5, 0.05);
+  ASSERT_FALSE(h->heavy_hitters.empty());
+  EXPECT_DOUBLE_EQ(h->heavy_hitters[0].first, 7.0);
+  EXPECT_NEAR(h->heavy_hitters[0].second, 0.5, 0.05);
+  EXPECT_NEAR(profile->k2_max_group_fraction, 0.5, 0.05);
+  // The histogram+hitters must still integrate to ~1.
+  EXPECT_NEAR(h->FractionInRange(-1e9, 1e9), 1.0, 0.02);
+}
+
+TEST(ProfilerTest, CombineSelectivityMeasured) {
+  // Small logical size => few map tasks => many rows per task over only 10
+  // groups, so per-task combining collapses heavily.
+  auto f = MakeChain(4000, /*distinct_k=*/5, /*distinct_z=*/2,
+                     /*logical_bytes=*/2 * testing::kGB);
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  const auto& profile =
+      (*f->plan().GetJob("Jp"))->branches[0].annotations.profile;
+  ASSERT_TRUE(profile.has_value());
+  // Only 10 groups: combining collapses heavily at any task granularity.
+  EXPECT_LT(profile->combine_selectivity, 0.2);
+}
+
+TEST(ProfilerTest, NoiseIsDeterministicAndBounded) {
+  auto f1 = MakeChain(2000);
+  auto f2 = MakeChain(2000);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  ProfilerOptions opts;
+  opts.noise = 0.1;
+  Profiler profiler(ClusterSpec{}, opts);
+  Dfs d1 = f1->dfs(), d2 = f2->dfs();
+  ASSERT_TRUE(profiler.ProfilePlan(&f1->plan(), &d1).ok());
+  ASSERT_TRUE(profiler.ProfilePlan(&f2->plan(), &d2).ok());
+  const Stage& s1 = (*f1->plan().GetJob("Jp"))->branches[0].reduce_stages[0];
+  const Stage& s2 = (*f2->plan().GetJob("Jp"))->branches[0].reduce_stages[0];
+  EXPECT_DOUBLE_EQ(s1.stats->record_selectivity,
+                   s2.stats->record_selectivity);  // deterministic
+  // Noise within 10% of the exact measurement.
+  auto exact = MakeChain(2000);
+  ProfileInPlace(&*exact);
+  const Stage& se =
+      (*exact->plan().GetJob("Jp"))->branches[0].reduce_stages[0];
+  EXPECT_NEAR(s1.stats->record_selectivity, se.stats->record_selectivity,
+              0.11 * se.stats->record_selectivity);
+}
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,95 @@
+// Tests for optimizer/rrs: Recursive Random Search behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimizer/rrs.h"
+
+namespace stubby {
+namespace {
+
+double Sphere(const std::vector<double>& x) {
+  double s = 0;
+  for (double v : x) s += (v - 0.7) * (v - 0.7);
+  return s;
+}
+
+TEST(RrsTest, ConvergesOnSmoothFunction) {
+  RrsOptions opts;
+  opts.budget = 200;
+  RecursiveRandomSearch rrs(opts, 42);
+  auto [point, value] = rrs.Minimize(4, Sphere, {});
+  EXPECT_LT(value, 0.02);
+  for (double v : point) EXPECT_NEAR(v, 0.7, 0.25);
+}
+
+TEST(RrsTest, RespectsBudget) {
+  int evals = 0;
+  RrsOptions opts;
+  opts.budget = 37;
+  RecursiveRandomSearch rrs(opts, 1);
+  rrs.Minimize(3, [&](const std::vector<double>& x) {
+    ++evals;
+    return Sphere(x);
+  }, {});
+  EXPECT_LE(evals, 37);
+  EXPECT_GE(evals, 30);
+}
+
+TEST(RrsTest, DeterministicBySeed) {
+  RrsOptions opts;
+  opts.budget = 80;
+  auto run = [&](uint64_t seed) {
+    RecursiveRandomSearch rrs(opts, seed);
+    return rrs.Minimize(3, Sphere, {});
+  };
+  auto [p1, v1] = run(5);
+  auto [p2, v2] = run(5);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(RrsTest, SeedsAreEvaluatedFirst) {
+  // With a tiny budget, a perfect seed must win.
+  RrsOptions opts;
+  opts.budget = 3;
+  RecursiveRandomSearch rrs(opts, 9);
+  std::vector<double> perfect(5, 0.7);
+  auto [point, value] = rrs.Minimize(5, Sphere, {perfect});
+  EXPECT_EQ(point, perfect);
+  EXPECT_NEAR(value, 0.0, 1e-12);
+}
+
+TEST(RrsTest, ZeroDimensionsReturnsSeedlessDefault) {
+  RecursiveRandomSearch rrs(RrsOptions{}, 3);
+  auto [point, value] = rrs.Minimize(
+      0, [](const std::vector<double>&) { return 1.0; }, {});
+  EXPECT_TRUE(point.empty());
+}
+
+TEST(RrsTest, BeatsPureRandomOnNarrowValley) {
+  // A narrow quadratic valley: exploitation should find deeper points than
+  // the same budget of uniform samples.
+  auto valley = [](const std::vector<double>& x) {
+    double s = 0;
+    for (double v : x) s += (v - 0.31) * (v - 0.31);
+    return s;
+  };
+  RrsOptions rrs_opts;
+  rrs_opts.budget = 120;
+  RecursiveRandomSearch rrs(rrs_opts, 17);
+  auto [rp, rv] = rrs.Minimize(6, valley, {});
+
+  RrsOptions rand_opts;
+  rand_opts.budget = 120;
+  rand_opts.explore_samples = 120;  // never exploits
+  rand_opts.exploit_samples = 0;
+  rand_opts.init_radius = 0;
+  RecursiveRandomSearch pure(rand_opts, 17);
+  auto [pp, pv] = pure.Minimize(6, valley, {});
+  EXPECT_LT(rv, pv);
+}
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,152 @@
+// Tests for optimizer/unit and optimizer/search: dynamic optimization-unit
+// generation (the Figure 9 traversal), in-unit enumeration, cost-based
+// subplan choice, and the information-spectrum fallback.
+
+#include <gtest/gtest.h>
+
+#include "cost/whatif.h"
+#include "optimizer/search.h"
+#include "optimizer/vertical.h"
+#include "test_workflows.h"
+
+namespace stubby {
+namespace {
+
+using ::stubby::testing::MakeChain;
+using ::stubby::testing::MakeSiblings;
+using ::stubby::testing::ProfileInPlace;
+
+TEST(UnitTest, ChainTraversal) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  std::set<std::string> processed;
+  auto u1 = NextUnit(f->plan(), processed);
+  ASSERT_TRUE(u1.has_value());
+  EXPECT_EQ(u1->producers, std::vector<std::string>{"Jp"});
+  EXPECT_EQ(u1->consumers, std::vector<std::string>{"Jc"});
+  processed.insert("Jp");
+  auto u2 = NextUnit(f->plan(), processed);
+  ASSERT_TRUE(u2.has_value());
+  EXPECT_EQ(u2->producers, std::vector<std::string>{"Jc"});
+  EXPECT_TRUE(u2->consumers.empty());
+  processed.insert("Jc");
+  EXPECT_FALSE(NextUnit(f->plan(), processed).has_value());
+}
+
+TEST(UnitTest, SiblingsAreOneUnitOfConcurrentProducers) {
+  auto f = MakeSiblings();
+  ASSERT_TRUE(f.ok());
+  auto u = NextUnit(f->plan(), {});
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->producers, (std::vector<std::string>{"Ja", "Jb"}));
+  EXPECT_EQ(u->AllJobs().size(), 2u);
+}
+
+TEST(SearchTest, EnumerationCoversPackingCombinations) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  WhatIfEngine whatif(f->plan().cluster());
+  std::vector<std::shared_ptr<Transformation>> group = {
+      std::make_shared<IntraJobVerticalPacking>(),
+      std::make_shared<InterJobVerticalPacking>(),
+  };
+  UnitOptimizer optimizer(group, &whatif, UnitSearchOptions{});
+  auto unit = NextUnit(f->plan(), {});
+  ASSERT_TRUE(unit.has_value());
+  auto subplans = optimizer.EnumerateSubplans(f->plan(), *unit);
+  ASSERT_TRUE(subplans.ok());
+  // Original, intra-packed, intra+inter-packed.
+  EXPECT_EQ(subplans->size(), 3u);
+  for (const auto& sp : *subplans) {
+    EXPECT_TRUE(sp.plan.Validate().ok());
+    EXPECT_GT(sp.cost, 0.0);
+  }
+}
+
+TEST(SearchTest, PicksCheapestSubplanAndReportsRenames) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  WhatIfEngine whatif(f->plan().cluster());
+  std::vector<std::shared_ptr<Transformation>> group = {
+      std::make_shared<IntraJobVerticalPacking>(),
+      std::make_shared<InterJobVerticalPacking>(),
+  };
+  UnitOptimizer optimizer(group, &whatif, UnitSearchOptions{});
+  auto unit = NextUnit(f->plan(), {});
+  auto result = optimizer.Optimize(f->plan(), *unit);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->plan.Validate().ok());
+  // Whatever it picked must be at least as good as the original's cost.
+  double original_cost = whatif.Cost(f->plan()).cost;
+  EXPECT_LE(result->cost, original_cost + 1e-9);
+  // The chain should pack into one job here (shuffle elimination wins).
+  if (result->plan.num_jobs() == 1) {
+    EXPECT_EQ(result->renames.at("Jp"), "Jp+Jc");
+    EXPECT_EQ(result->renames.at("Jc"), "Jp+Jc");
+  }
+}
+
+TEST(SearchTest, FallbackModeMinimizesJobCount) {
+  // No profiles: costing falls back to job count; the structural search
+  // still packs (fewer jobs = lower fallback cost) but configurations are
+  // left untouched.
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  WhatIfEngine whatif(f->plan().cluster());
+  ASSERT_TRUE(whatif.Cost(f->plan()).fallback);
+  std::vector<std::shared_ptr<Transformation>> group = {
+      std::make_shared<IntraJobVerticalPacking>(),
+      std::make_shared<InterJobVerticalPacking>(),
+  };
+  UnitOptimizer optimizer(group, &whatif, UnitSearchOptions{});
+  auto unit = NextUnit(f->plan(), {});
+  auto result = optimizer.Optimize(f->plan(), *unit);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fallback);
+  EXPECT_EQ(result->plan.num_jobs(), 1u);
+  // Configurations untouched in fallback mode.
+  EXPECT_EQ((*result->plan.GetJob("Jp+Jc"))->config, JobConfig{});
+}
+
+TEST(SearchTest, ConfigurationSearchImprovesCost) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  WhatIfEngine whatif(f->plan().cluster());
+  UnitSearchOptions with_config;
+  with_config.enable_configuration = true;
+  UnitSearchOptions without_config;
+  without_config.enable_configuration = false;
+  UnitOptimizer a({}, &whatif, with_config);
+  UnitOptimizer b({}, &whatif, without_config);
+  auto unit = NextUnit(f->plan(), {});
+  auto ra = a.Optimize(f->plan(), *unit);
+  auto rb = b.Optimize(f->plan(), *unit);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_LT(ra->cost, rb->cost);  // default configs are far from tuned
+}
+
+TEST(SearchTest, DeterministicBySeed) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  ProfileInPlace(&*f);
+  WhatIfEngine whatif(f->plan().cluster());
+  std::vector<std::shared_ptr<Transformation>> group = {
+      std::make_shared<IntraJobVerticalPacking>(),
+      std::make_shared<InterJobVerticalPacking>(),
+  };
+  UnitSearchOptions opts;
+  opts.seed = 99;
+  UnitOptimizer optimizer(group, &whatif, opts);
+  auto unit = NextUnit(f->plan(), {});
+  auto r1 = optimizer.Optimize(f->plan(), *unit);
+  auto r2 = optimizer.Optimize(f->plan(), *unit);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->cost, r2->cost);
+  EXPECT_EQ(PlanSignature(r1->plan), PlanSignature(r2->plan));
+}
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,163 @@
+// End-to-end tests of the Stubby optimizer, parameterized over all eight
+// evaluation workflows: the optimized plan must validate, produce the same
+// results as the original, and not cost more. Plus ablation switches and
+// the information spectrum.
+
+#include <gtest/gtest.h>
+
+#include "baselines/pig_baseline.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/stubby.h"
+#include "profiler/profiler.h"
+#include "test_workflows.h"
+#include "workloads/registry.h"
+
+namespace stubby {
+namespace {
+
+class StubbyOnWorkload : public ::testing::TestWithParam<std::string> {
+ protected:
+  // Small samples keep the full 8-workflow sweep fast.
+  static constexpr int kRows = 6000;
+
+  Result<Workload> MakeProfiled() {
+    WorkloadOptions options;
+    options.sample_rows = kRows;
+    STUBBY_ASSIGN_OR_RETURN(Workload w, MakeWorkload(GetParam(), options));
+    Profiler profiler(options.cluster);
+    Dfs dfs = w.dfs;
+    STUBBY_RETURN_NOT_OK(profiler.ProfilePlan(&w.plan, &dfs));
+    return w;
+  }
+
+  static std::vector<Row> OutputRows(const Plan& plan, const Dfs& dfs,
+                                     const std::string& id) {
+    auto ds = dfs.Get(id);
+    return ds.ok() ? (*ds)->AllRows() : std::vector<Row>{};
+  }
+};
+
+TEST_P(StubbyOnWorkload, OptimizedPlanIsEquivalentAndNoWorse) {
+  auto w = MakeProfiled();
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  StubbyOptimizer optimizer;
+  auto report = optimizer.Optimize(w->plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->plan.Validate().ok());
+  EXPECT_FALSE(report->fallback);
+
+  WorkflowRunner runner(w->plan.cluster());
+  Dfs original_dfs = w->dfs;
+  auto original = runner.Run(w->plan, &original_dfs);
+  ASSERT_TRUE(original.ok()) << original.status();
+  Dfs optimized_dfs = w->dfs;
+  auto optimized = runner.Run(report->plan, &optimized_dfs);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+
+  // Equivalence on every terminal output.
+  for (const auto& [id, ds] : w->plan.datasets()) {
+    if (!ds.is_workflow_output) continue;
+    EXPECT_TRUE(RowsApproxEqual(OutputRows(w->plan, original_dfs, id),
+                                OutputRows(report->plan, optimized_dfs, id),
+                                1e-6))
+        << GetParam() << " output " << id;
+  }
+  // Simulated performance must not regress (it should usually improve).
+  EXPECT_LE(optimized->makespan_sec, original->makespan_sec * 1.05)
+      << GetParam();
+}
+
+TEST_P(StubbyOnWorkload, BeatsOrMatchesTheBaseline) {
+  auto w = MakeProfiled();
+  ASSERT_TRUE(w.ok()) << w.status();
+  auto baseline = PigBaseline(w->plan);
+  ASSERT_TRUE(baseline.ok());
+  StubbyOptimizer optimizer;
+  auto report = optimizer.Optimize(w->plan);
+  ASSERT_TRUE(report.ok());
+
+  WorkflowRunner runner(w->plan.cluster());
+  Dfs bdfs = w->dfs, sdfs = w->dfs;
+  auto tb = runner.Run(*baseline, &bdfs);
+  auto ts = runner.Run(report->plan, &sdfs);
+  ASSERT_TRUE(tb.ok() && ts.ok());
+  EXPECT_LE(ts->makespan_sec, tb->makespan_sec * 1.02) << GetParam();
+}
+
+TEST_P(StubbyOnWorkload, OptimizationIsDeterministic) {
+  auto w = MakeProfiled();
+  ASSERT_TRUE(w.ok()) << w.status();
+  StubbyOptimizer optimizer;
+  auto r1 = optimizer.Optimize(w->plan);
+  auto r2 = optimizer.Optimize(w->plan);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(PlanSignature(r1->plan), PlanSignature(r2->plan));
+  EXPECT_DOUBLE_EQ(r1->estimated_cost, r2->estimated_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkflows, StubbyOnWorkload,
+                         ::testing::ValuesIn(AllWorkloadAbbrs()),
+                         [](const auto& info) { return info.param; });
+
+TEST(StubbyTest, SubspaceSwitchesRestrictTransformations) {
+  auto f = ::stubby::testing::MakeChain();
+  ASSERT_TRUE(f.ok());
+  ::stubby::testing::ProfileInPlace(&*f);
+
+  StubbyOptions no_packing;
+  no_packing.enable_intra_vertical = false;
+  no_packing.enable_inter_vertical = false;
+  no_packing.enable_horizontal = false;
+  no_packing.enable_partition_function = false;
+  auto report = StubbyOptimizer(no_packing).Optimize(f->plan());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->plan.num_jobs(), 2u);  // structure untouched
+  EXPECT_TRUE(report->applied.empty());
+}
+
+TEST(StubbyTest, MissingSchemaAnnotationsDisableVerticalPacking) {
+  // Information spectrum: without schema annotations Stubby must not
+  // consider intra-job vertical packing (Section 8's example), yet it can
+  // still tune configurations.
+  auto f = ::stubby::testing::MakeChain();
+  ASSERT_TRUE(f.ok());
+  ::stubby::testing::ProfileInPlace(&*f);
+  Plan plan = f->plan();
+  for (const auto& [jid, job] : f->plan().jobs()) {
+    (*plan.GetMutableJob(jid))->branches[0].annotations.schema.reset();
+  }
+  auto report = StubbyOptimizer().Optimize(plan);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->plan.num_jobs(), 2u);
+  for (const auto& line : report->applied) {
+    EXPECT_EQ(line.find("intra-pack"), std::string::npos) << line;
+  }
+}
+
+TEST(StubbyTest, FlippedPhaseOrderStillValidAndEquivalent) {
+  auto f = ::stubby::testing::MakeSiblings();
+  ASSERT_TRUE(f.ok());
+  ::stubby::testing::ProfileInPlace(&*f);
+  StubbyOptions flipped;
+  flipped.flip_phase_order = true;
+  auto report = StubbyOptimizer(flipped).Optimize(f->plan());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->plan.Validate().ok());
+  ::stubby::testing::ExpectEquivalent(*f, f->plan(), report->plan);
+}
+
+TEST(StubbyTest, ReportsOverheadAndUnits) {
+  auto f = ::stubby::testing::MakeChain();
+  ASSERT_TRUE(f.ok());
+  ::stubby::testing::ProfileInPlace(&*f);
+  auto report = StubbyOptimizer().Optimize(f->plan());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->units_processed, 0);
+  EXPECT_GT(report->subplans_enumerated, 0);
+  EXPECT_GT(report->optimization_time_sec, 0.0);
+  EXPECT_GT(report->estimated_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,103 @@
+// Estimator-accuracy properties, parameterized over all eight workflows:
+// the what-if engine's predictions for a profiled plan must track the
+// simulator's observed execution — per-job task counts exactly, input
+// volumes tightly, and the overall makespan within a modest factor. This
+// is the regression net behind Figure 14.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cost/whatif.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/stubby.h"
+#include "profiler/profiler.h"
+#include "workloads/registry.h"
+
+namespace stubby {
+namespace {
+
+class WhatIfAccuracy : public ::testing::TestWithParam<std::string> {
+ protected:
+  struct Prepared {
+    Workload workload;
+    WorkloadOptions options;
+  };
+
+  Result<Prepared> MakeProfiled() {
+    WorkloadOptions options;
+    options.sample_rows = 6000;
+    STUBBY_ASSIGN_OR_RETURN(Workload w, MakeWorkload(GetParam(), options));
+    Profiler profiler(options.cluster);
+    Dfs dfs = w.dfs;
+    STUBBY_RETURN_NOT_OK(profiler.ProfilePlan(&w.plan, &dfs));
+    return Prepared{std::move(w), options};
+  }
+
+  static void Compare(const Plan& plan, const WorkflowDataflow& actual,
+                      const WorkflowDataflow& predicted,
+                      double makespan_factor, double task_tolerance = 0.05) {
+    ASSERT_EQ(actual.jobs.size(), predicted.jobs.size());
+    for (const auto& a : actual.jobs) {
+      const JobDataflow* p = predicted.FindJob(a.job_id);
+      ASSERT_NE(p, nullptr) << a.job_id;
+      // Map-task counts differ by split rounding and (on transformed
+      // plans) by intermediate-volume estimation error; reduce counts are
+      // exact.
+      EXPECT_NEAR(p->num_map_tasks, a.num_map_tasks,
+                  std::max(8.0, task_tolerance * a.num_map_tasks))
+          << a.job_id;
+      EXPECT_EQ(p->num_reduce_tasks, a.num_reduce_tasks) << a.job_id;
+      // Input volumes are derived from annotations + upstream predictions;
+      // they must track the observation closely.
+      if (a.map_input_bytes > 0) {
+        EXPECT_NEAR(static_cast<double>(p->map_input_bytes),
+                    static_cast<double>(a.map_input_bytes),
+                    0.35 * a.map_input_bytes)
+            << a.job_id;
+      }
+    }
+    EXPECT_GT(predicted.makespan_sec, actual.makespan_sec / makespan_factor);
+    EXPECT_LT(predicted.makespan_sec, actual.makespan_sec * makespan_factor);
+    (void)plan;
+  }
+};
+
+TEST_P(WhatIfAccuracy, TracksTheProfiledPlan) {
+  auto prep = MakeProfiled();
+  ASSERT_TRUE(prep.ok()) << prep.status();
+  WhatIfEngine whatif(prep->options.cluster);
+  auto predicted = whatif.PredictDataflow(prep->workload.plan);
+  ASSERT_TRUE(predicted.ok()) << predicted.status();
+  WorkflowRunner runner(prep->options.cluster);
+  Dfs dfs = prep->workload.dfs;
+  auto actual = runner.Run(prep->workload.plan, &dfs);
+  ASSERT_TRUE(actual.ok());
+  // The profiled plan itself should be predicted tightly.
+  Compare(prep->workload.plan, *actual, *predicted, 1.7);
+}
+
+TEST_P(WhatIfAccuracy, TracksTheOptimizedPlan) {
+  auto prep = MakeProfiled();
+  ASSERT_TRUE(prep.ok()) << prep.status();
+  auto report = StubbyOptimizer().Optimize(prep->workload.plan);
+  ASSERT_TRUE(report.ok());
+  WhatIfEngine whatif(prep->options.cluster);
+  auto predicted = whatif.PredictDataflow(report->plan);
+  ASSERT_TRUE(predicted.ok()) << predicted.status();
+  WorkflowRunner runner(prep->options.cluster);
+  Dfs dfs = prep->workload.dfs;
+  auto actual = runner.Run(report->plan, &dfs);
+  ASSERT_TRUE(actual.ok());
+  // Transformed + re-configured plans are predicted with more error (the
+  // profiles were measured under the original plan), but must stay within
+  // a small factor — enough to rank subplans (Figure 14).
+  Compare(report->plan, *actual, *predicted, 3.0, /*task_tolerance=*/0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkflows, WhatIfAccuracy,
+                         ::testing::ValuesIn(AllWorkloadAbbrs()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace stubby

@@ -1,0 +1,115 @@
+// Tests for workloads/: every Table 1 workflow builds, validates, carries
+// the advertised annotations, runs end-to-end, and is deterministic.
+
+#include <gtest/gtest.h>
+
+#include "exec/workflow_runner.h"
+#include "workloads/generators.h"
+#include "workloads/registry.h"
+
+namespace stubby {
+namespace {
+
+class WorkloadCase : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadCase, BuildsAndValidates) {
+  WorkloadOptions options;
+  options.sample_rows = 4000;
+  auto w = MakeWorkload(GetParam(), options);
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_TRUE(w->plan.Validate().ok());
+  EXPECT_GT(w->plan.num_jobs(), 2u);
+  EXPECT_GT(w->dataset_logical_bytes, 0u);
+  // Base datasets exist in the DFS with the advertised logical size.
+  uint64_t logical = 0;
+  for (const auto& [id, ds] : w->plan.datasets()) {
+    if (!ds.is_base_input) continue;
+    auto stored = w->dfs.Get(id);
+    ASSERT_TRUE(stored.ok()) << id;
+    logical += (*stored)->logical_bytes();
+    // Annotations match the stored reality.
+    ASSERT_TRUE(ds.annotation.bytes.has_value());
+    EXPECT_EQ(*ds.annotation.bytes, (*stored)->logical_bytes());
+    ASSERT_TRUE(ds.annotation.num_partitions.has_value());
+    EXPECT_EQ(static_cast<size_t>(*ds.annotation.num_partitions),
+              (*stored)->num_partitions());
+  }
+  EXPECT_NEAR(static_cast<double>(logical),
+              static_cast<double>(w->dataset_logical_bytes),
+              0.02 * w->dataset_logical_bytes);
+}
+
+TEST_P(WorkloadCase, RunsEndToEndAndProducesOutputs) {
+  WorkloadOptions options;
+  options.sample_rows = 4000;
+  auto w = MakeWorkload(GetParam(), options);
+  ASSERT_TRUE(w.ok()) << w.status();
+  WorkflowRunner runner(options.cluster);
+  Dfs dfs = w->dfs;
+  auto flow = runner.Run(w->plan, &dfs);
+  ASSERT_TRUE(flow.ok()) << flow.status();
+  EXPECT_GT(flow->makespan_sec, 0.0);
+  for (const auto& [id, ds] : w->plan.datasets()) {
+    if (!ds.is_workflow_output) continue;
+    auto out = dfs.Get(id);
+    ASSERT_TRUE(out.ok()) << id;
+    EXPECT_GT((*out)->num_rows(), 0u) << id;
+  }
+}
+
+TEST_P(WorkloadCase, DeterministicBySeed) {
+  WorkloadOptions options;
+  options.sample_rows = 2000;
+  auto w1 = MakeWorkload(GetParam(), options);
+  auto w2 = MakeWorkload(GetParam(), options);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  for (const auto& [id, ds] : w1->plan.datasets()) {
+    if (!ds.is_base_input) continue;
+    auto a = w1->dfs.Get(id);
+    auto b = w2->dfs.Get(id);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ((*a)->AllRows(), (*b)->AllRows()) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkflows, WorkloadCase,
+                         ::testing::ValuesIn(AllWorkloadAbbrs()),
+                         [](const auto& info) { return info.param; });
+
+TEST(RegistryTest, UnknownWorkloadFails) {
+  EXPECT_FALSE(MakeWorkload("ZZ").ok());
+}
+
+TEST(RegistryTest, TableOneOrder) {
+  EXPECT_EQ(AllWorkloadAbbrs(),
+            (std::vector<std::string>{"IR", "SN", "LA", "WG", "BA", "BR",
+                                      "PJ", "US"}));
+}
+
+TEST(GeneratorsTest, SchemasAndDistributions) {
+  Rng rng(1);
+  auto docs = GenDocWords(1000, 50, 100, 1.1, &rng);
+  EXPECT_EQ(docs.schema, Schema({"D", "W"}));
+  EXPECT_EQ(docs.rows.size(), 1000u);
+
+  auto li = GenLineitem(500, 100, 50, 10, &rng);
+  EXPECT_EQ(li.schema.size(), 6u);
+  for (const Row& r : li.rows) {
+    EXPECT_GE(r[3].AsInt(), 1);
+    EXPECT_LE(r[3].AsInt(), 50);
+    EXPECT_GT(r[4].AsDouble(), 0.0);
+  }
+
+  auto visits = GenUserVisits(500, 365, 100, 50, &rng);
+  for (const Row& r : visits.rows) {
+    EXPECT_GE(r[0].AsInt(), 0);
+    EXPECT_LT(r[0].AsInt(), 365);
+  }
+
+  auto ranks = GenRanks(10, &rng);
+  EXPECT_EQ(ranks.rows.size(), 10u);
+  EXPECT_DOUBLE_EQ(ranks.rows[0][1].AsDouble(), 1.0);
+}
+
+}  // namespace
+}  // namespace stubby
