@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_debug.dir/dataflow_debug.cpp.o"
+  "CMakeFiles/dataflow_debug.dir/dataflow_debug.cpp.o.d"
+  "dataflow_debug"
+  "dataflow_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

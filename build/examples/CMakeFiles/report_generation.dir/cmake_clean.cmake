@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_generation.dir/report_generation.cpp.o"
+  "CMakeFiles/report_generation.dir/report_generation.cpp.o.d"
+  "report_generation"
+  "report_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubbyctl.dir/stubbyctl.cpp.o"
+  "CMakeFiles/stubbyctl.dir/stubbyctl.cpp.o.d"
+  "stubbyctl"
+  "stubbyctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubbyctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

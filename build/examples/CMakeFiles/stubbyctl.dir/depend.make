@@ -1,0 +1,2 @@
+# Empty dependencies file for stubbyctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/mrshare.cc" "src/CMakeFiles/stubby_baselines.dir/baselines/mrshare.cc.o" "gcc" "src/CMakeFiles/stubby_baselines.dir/baselines/mrshare.cc.o.d"
+  "/root/repo/src/baselines/pig_baseline.cc" "src/CMakeFiles/stubby_baselines.dir/baselines/pig_baseline.cc.o" "gcc" "src/CMakeFiles/stubby_baselines.dir/baselines/pig_baseline.cc.o.d"
+  "/root/repo/src/baselines/starfish.cc" "src/CMakeFiles/stubby_baselines.dir/baselines/starfish.cc.o" "gcc" "src/CMakeFiles/stubby_baselines.dir/baselines/starfish.cc.o.d"
+  "/root/repo/src/baselines/ysmart.cc" "src/CMakeFiles/stubby_baselines.dir/baselines/ysmart.cc.o" "gcc" "src/CMakeFiles/stubby_baselines.dir/baselines/ysmart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

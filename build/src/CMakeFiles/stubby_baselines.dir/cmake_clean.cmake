@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_baselines.dir/baselines/mrshare.cc.o"
+  "CMakeFiles/stubby_baselines.dir/baselines/mrshare.cc.o.d"
+  "CMakeFiles/stubby_baselines.dir/baselines/pig_baseline.cc.o"
+  "CMakeFiles/stubby_baselines.dir/baselines/pig_baseline.cc.o.d"
+  "CMakeFiles/stubby_baselines.dir/baselines/starfish.cc.o"
+  "CMakeFiles/stubby_baselines.dir/baselines/starfish.cc.o.d"
+  "CMakeFiles/stubby_baselines.dir/baselines/ysmart.cc.o"
+  "CMakeFiles/stubby_baselines.dir/baselines/ysmart.cc.o.d"
+  "libstubby_baselines.a"
+  "libstubby_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

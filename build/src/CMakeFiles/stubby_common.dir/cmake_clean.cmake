@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_common.dir/common/json.cc.o"
+  "CMakeFiles/stubby_common.dir/common/json.cc.o.d"
+  "CMakeFiles/stubby_common.dir/common/logging.cc.o"
+  "CMakeFiles/stubby_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/stubby_common.dir/common/rng.cc.o"
+  "CMakeFiles/stubby_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/stubby_common.dir/common/status.cc.o"
+  "CMakeFiles/stubby_common.dir/common/status.cc.o.d"
+  "CMakeFiles/stubby_common.dir/common/strings.cc.o"
+  "CMakeFiles/stubby_common.dir/common/strings.cc.o.d"
+  "libstubby_common.a"
+  "libstubby_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstubby_common.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/adjust.cc" "src/CMakeFiles/stubby_cost.dir/cost/adjust.cc.o" "gcc" "src/CMakeFiles/stubby_cost.dir/cost/adjust.cc.o.d"
+  "/root/repo/src/cost/dataflow.cc" "src/CMakeFiles/stubby_cost.dir/cost/dataflow.cc.o" "gcc" "src/CMakeFiles/stubby_cost.dir/cost/dataflow.cc.o.d"
+  "/root/repo/src/cost/phase_model.cc" "src/CMakeFiles/stubby_cost.dir/cost/phase_model.cc.o" "gcc" "src/CMakeFiles/stubby_cost.dir/cost/phase_model.cc.o.d"
+  "/root/repo/src/cost/schedule.cc" "src/CMakeFiles/stubby_cost.dir/cost/schedule.cc.o" "gcc" "src/CMakeFiles/stubby_cost.dir/cost/schedule.cc.o.d"
+  "/root/repo/src/cost/whatif.cc" "src/CMakeFiles/stubby_cost.dir/cost/whatif.cc.o" "gcc" "src/CMakeFiles/stubby_cost.dir/cost/whatif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_cost.dir/cost/adjust.cc.o"
+  "CMakeFiles/stubby_cost.dir/cost/adjust.cc.o.d"
+  "CMakeFiles/stubby_cost.dir/cost/dataflow.cc.o"
+  "CMakeFiles/stubby_cost.dir/cost/dataflow.cc.o.d"
+  "CMakeFiles/stubby_cost.dir/cost/phase_model.cc.o"
+  "CMakeFiles/stubby_cost.dir/cost/phase_model.cc.o.d"
+  "CMakeFiles/stubby_cost.dir/cost/schedule.cc.o"
+  "CMakeFiles/stubby_cost.dir/cost/schedule.cc.o.d"
+  "CMakeFiles/stubby_cost.dir/cost/whatif.cc.o"
+  "CMakeFiles/stubby_cost.dir/cost/whatif.cc.o.d"
+  "libstubby_cost.a"
+  "libstubby_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

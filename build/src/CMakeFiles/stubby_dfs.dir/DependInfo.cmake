@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/dataset.cc" "src/CMakeFiles/stubby_dfs.dir/dfs/dataset.cc.o" "gcc" "src/CMakeFiles/stubby_dfs.dir/dfs/dataset.cc.o.d"
+  "/root/repo/src/dfs/dfs.cc" "src/CMakeFiles/stubby_dfs.dir/dfs/dfs.cc.o" "gcc" "src/CMakeFiles/stubby_dfs.dir/dfs/dfs.cc.o.d"
+  "/root/repo/src/dfs/layout.cc" "src/CMakeFiles/stubby_dfs.dir/dfs/layout.cc.o" "gcc" "src/CMakeFiles/stubby_dfs.dir/dfs/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

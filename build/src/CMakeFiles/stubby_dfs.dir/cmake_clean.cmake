@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_dfs.dir/dfs/dataset.cc.o"
+  "CMakeFiles/stubby_dfs.dir/dfs/dataset.cc.o.d"
+  "CMakeFiles/stubby_dfs.dir/dfs/dfs.cc.o"
+  "CMakeFiles/stubby_dfs.dir/dfs/dfs.cc.o.d"
+  "CMakeFiles/stubby_dfs.dir/dfs/layout.cc.o"
+  "CMakeFiles/stubby_dfs.dir/dfs/layout.cc.o.d"
+  "libstubby_dfs.a"
+  "libstubby_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_exec.dir/exec/job_runner.cc.o"
+  "CMakeFiles/stubby_exec.dir/exec/job_runner.cc.o.d"
+  "CMakeFiles/stubby_exec.dir/exec/workflow_runner.cc.o"
+  "CMakeFiles/stubby_exec.dir/exec/workflow_runner.cc.o.d"
+  "CMakeFiles/stubby_exec.dir/exec/wrappers.cc.o"
+  "CMakeFiles/stubby_exec.dir/exec/wrappers.cc.o.d"
+  "libstubby_exec.a"
+  "libstubby_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/cluster.cc" "src/CMakeFiles/stubby_mr.dir/mr/cluster.cc.o" "gcc" "src/CMakeFiles/stubby_mr.dir/mr/cluster.cc.o.d"
+  "/root/repo/src/mr/functions.cc" "src/CMakeFiles/stubby_mr.dir/mr/functions.cc.o" "gcc" "src/CMakeFiles/stubby_mr.dir/mr/functions.cc.o.d"
+  "/root/repo/src/mr/job_config.cc" "src/CMakeFiles/stubby_mr.dir/mr/job_config.cc.o" "gcc" "src/CMakeFiles/stubby_mr.dir/mr/job_config.cc.o.d"
+  "/root/repo/src/mr/partitioner.cc" "src/CMakeFiles/stubby_mr.dir/mr/partitioner.cc.o" "gcc" "src/CMakeFiles/stubby_mr.dir/mr/partitioner.cc.o.d"
+  "/root/repo/src/mr/schema.cc" "src/CMakeFiles/stubby_mr.dir/mr/schema.cc.o" "gcc" "src/CMakeFiles/stubby_mr.dir/mr/schema.cc.o.d"
+  "/root/repo/src/mr/tuple.cc" "src/CMakeFiles/stubby_mr.dir/mr/tuple.cc.o" "gcc" "src/CMakeFiles/stubby_mr.dir/mr/tuple.cc.o.d"
+  "/root/repo/src/mr/value.cc" "src/CMakeFiles/stubby_mr.dir/mr/value.cc.o" "gcc" "src/CMakeFiles/stubby_mr.dir/mr/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

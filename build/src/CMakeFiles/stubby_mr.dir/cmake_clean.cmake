@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_mr.dir/mr/cluster.cc.o"
+  "CMakeFiles/stubby_mr.dir/mr/cluster.cc.o.d"
+  "CMakeFiles/stubby_mr.dir/mr/functions.cc.o"
+  "CMakeFiles/stubby_mr.dir/mr/functions.cc.o.d"
+  "CMakeFiles/stubby_mr.dir/mr/job_config.cc.o"
+  "CMakeFiles/stubby_mr.dir/mr/job_config.cc.o.d"
+  "CMakeFiles/stubby_mr.dir/mr/partitioner.cc.o"
+  "CMakeFiles/stubby_mr.dir/mr/partitioner.cc.o.d"
+  "CMakeFiles/stubby_mr.dir/mr/schema.cc.o"
+  "CMakeFiles/stubby_mr.dir/mr/schema.cc.o.d"
+  "CMakeFiles/stubby_mr.dir/mr/tuple.cc.o"
+  "CMakeFiles/stubby_mr.dir/mr/tuple.cc.o.d"
+  "CMakeFiles/stubby_mr.dir/mr/value.cc.o"
+  "CMakeFiles/stubby_mr.dir/mr/value.cc.o.d"
+  "libstubby_mr.a"
+  "libstubby_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/configuration.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/configuration.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/configuration.cc.o.d"
+  "/root/repo/src/optimizer/horizontal.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/horizontal.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/horizontal.cc.o.d"
+  "/root/repo/src/optimizer/partition_fn.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/partition_fn.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/partition_fn.cc.o.d"
+  "/root/repo/src/optimizer/rrs.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/rrs.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/rrs.cc.o.d"
+  "/root/repo/src/optimizer/search.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/search.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/search.cc.o.d"
+  "/root/repo/src/optimizer/stubby.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/stubby.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/stubby.cc.o.d"
+  "/root/repo/src/optimizer/transform.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/transform.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/transform.cc.o.d"
+  "/root/repo/src/optimizer/unit.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/unit.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/unit.cc.o.d"
+  "/root/repo/src/optimizer/vertical.cc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/vertical.cc.o" "gcc" "src/CMakeFiles/stubby_optimizer.dir/optimizer/vertical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_optimizer.dir/optimizer/configuration.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/configuration.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/horizontal.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/horizontal.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/partition_fn.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/partition_fn.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/rrs.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/rrs.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/search.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/search.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/stubby.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/stubby.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/transform.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/transform.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/unit.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/unit.cc.o.d"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/vertical.cc.o"
+  "CMakeFiles/stubby_optimizer.dir/optimizer/vertical.cc.o.d"
+  "libstubby_optimizer.a"
+  "libstubby_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_profiler.dir/profiler/profiler.cc.o"
+  "CMakeFiles/stubby_profiler.dir/profiler/profiler.cc.o.d"
+  "libstubby_profiler.a"
+  "libstubby_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

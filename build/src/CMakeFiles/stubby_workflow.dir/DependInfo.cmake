@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/annotations.cc" "src/CMakeFiles/stubby_workflow.dir/workflow/annotations.cc.o" "gcc" "src/CMakeFiles/stubby_workflow.dir/workflow/annotations.cc.o.d"
+  "/root/repo/src/workflow/dot.cc" "src/CMakeFiles/stubby_workflow.dir/workflow/dot.cc.o" "gcc" "src/CMakeFiles/stubby_workflow.dir/workflow/dot.cc.o.d"
+  "/root/repo/src/workflow/graph.cc" "src/CMakeFiles/stubby_workflow.dir/workflow/graph.cc.o" "gcc" "src/CMakeFiles/stubby_workflow.dir/workflow/graph.cc.o.d"
+  "/root/repo/src/workflow/plan.cc" "src/CMakeFiles/stubby_workflow.dir/workflow/plan.cc.o" "gcc" "src/CMakeFiles/stubby_workflow.dir/workflow/plan.cc.o.d"
+  "/root/repo/src/workflow/serialize.cc" "src/CMakeFiles/stubby_workflow.dir/workflow/serialize.cc.o" "gcc" "src/CMakeFiles/stubby_workflow.dir/workflow/serialize.cc.o.d"
+  "/root/repo/src/workflow/subgraph.cc" "src/CMakeFiles/stubby_workflow.dir/workflow/subgraph.cc.o" "gcc" "src/CMakeFiles/stubby_workflow.dir/workflow/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_workflow.dir/workflow/annotations.cc.o"
+  "CMakeFiles/stubby_workflow.dir/workflow/annotations.cc.o.d"
+  "CMakeFiles/stubby_workflow.dir/workflow/dot.cc.o"
+  "CMakeFiles/stubby_workflow.dir/workflow/dot.cc.o.d"
+  "CMakeFiles/stubby_workflow.dir/workflow/graph.cc.o"
+  "CMakeFiles/stubby_workflow.dir/workflow/graph.cc.o.d"
+  "CMakeFiles/stubby_workflow.dir/workflow/plan.cc.o"
+  "CMakeFiles/stubby_workflow.dir/workflow/plan.cc.o.d"
+  "CMakeFiles/stubby_workflow.dir/workflow/serialize.cc.o"
+  "CMakeFiles/stubby_workflow.dir/workflow/serialize.cc.o.d"
+  "CMakeFiles/stubby_workflow.dir/workflow/subgraph.cc.o"
+  "CMakeFiles/stubby_workflow.dir/workflow/subgraph.cc.o.d"
+  "libstubby_workflow.a"
+  "libstubby_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

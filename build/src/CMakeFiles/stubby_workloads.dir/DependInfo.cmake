@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ba.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/ba.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/ba.cc.o.d"
+  "/root/repo/src/workloads/br.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/br.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/br.cc.o.d"
+  "/root/repo/src/workloads/builder.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/builder.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/builder.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/ir.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/ir.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/ir.cc.o.d"
+  "/root/repo/src/workloads/la.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/la.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/la.cc.o.d"
+  "/root/repo/src/workloads/pj.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/pj.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/pj.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/sn.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/sn.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/sn.cc.o.d"
+  "/root/repo/src/workloads/udfs.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/udfs.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/udfs.cc.o.d"
+  "/root/repo/src/workloads/us.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/us.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/us.cc.o.d"
+  "/root/repo/src/workloads/wg.cc" "src/CMakeFiles/stubby_workloads.dir/workloads/wg.cc.o" "gcc" "src/CMakeFiles/stubby_workloads.dir/workloads/wg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

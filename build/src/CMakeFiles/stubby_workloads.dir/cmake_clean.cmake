@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_workloads.dir/workloads/ba.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/ba.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/br.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/br.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/builder.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/builder.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/generators.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/generators.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/ir.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/ir.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/la.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/la.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/pj.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/pj.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/sn.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/sn.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/udfs.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/udfs.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/us.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/us.cc.o.d"
+  "CMakeFiles/stubby_workloads.dir/workloads/wg.cc.o"
+  "CMakeFiles/stubby_workloads.dir/workloads/wg.cc.o.d"
+  "libstubby_workloads.a"
+  "libstubby_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_test.dir/rrs_test.cc.o"
+  "CMakeFiles/rrs_test.dir/rrs_test.cc.o.d"
+  "rrs_test"
+  "rrs_test.pdb"
+  "rrs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubby_test.dir/stubby_test.cc.o"
+  "CMakeFiles/stubby_test.dir/stubby_test.cc.o.d"
+  "stubby_test"
+  "stubby_test.pdb"
+  "stubby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

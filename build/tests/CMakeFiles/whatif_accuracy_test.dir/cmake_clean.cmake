@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_accuracy_test.dir/whatif_accuracy_test.cc.o"
+  "CMakeFiles/whatif_accuracy_test.dir/whatif_accuracy_test.cc.o.d"
+  "whatif_accuracy_test"
+  "whatif_accuracy_test.pdb"
+  "whatif_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

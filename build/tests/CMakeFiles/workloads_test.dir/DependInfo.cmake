@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stubby_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stubby_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
