@@ -16,6 +16,7 @@
 #include "baselines/pig_baseline.h"
 #include "baselines/starfish.h"
 #include "baselines/ysmart.h"
+#include "common/json.h"
 #include "common/result.h"
 #include "exec/workflow_runner.h"
 #include "optimizer/stubby.h"
@@ -51,9 +52,12 @@ inline Result<double> Execute(const PreparedWorkload& pw, const Plan& plan) {
 }
 
 /// Stubby with a transformation-group selection (Figure 11's Stubby /
-/// Vertical / Horizontal configurations).
-inline Result<Plan> RunStubby(const PreparedWorkload& pw, bool vertical,
-                              bool horizontal, uint64_t seed = 17) {
+/// Vertical / Horizontal configurations), returning the full report so
+/// benches can emit the costing instrumentation.
+inline Result<OptimizeReport> RunStubbyReport(const PreparedWorkload& pw,
+                                              bool vertical, bool horizontal,
+                                              uint64_t seed = 17,
+                                              bool enable_cache = true) {
   StubbyOptions opts;
   opts.enable_intra_vertical = vertical;
   opts.enable_inter_vertical = vertical;
@@ -62,11 +66,67 @@ inline Result<Plan> RunStubby(const PreparedWorkload& pw, bool vertical,
   // groups (Section 4).
   opts.enable_partition_function = vertical || horizontal;
   opts.enable_configuration = true;
+  opts.enable_cost_cache = enable_cache;
   opts.unit.seed = seed;
   StubbyOptimizer optimizer(opts);
+  return optimizer.Optimize(pw.workload.plan);
+}
+
+inline Result<Plan> RunStubby(const PreparedWorkload& pw, bool vertical,
+                              bool horizontal, uint64_t seed = 17) {
   STUBBY_ASSIGN_OR_RETURN(OptimizeReport report,
-                          optimizer.Optimize(pw.workload.plan));
+                          RunStubbyReport(pw, vertical, horizontal, seed));
   return std::move(report.plan);
+}
+
+/// Costing-layer counters as a JSON object (for the BENCH_*.json files).
+inline Json InstrumentationJson(const CostInstrumentation& c) {
+  Json j = Json::Object();
+  j["whatif_invocations"] = c.whatif_invocations;
+  j["plan_cache_hits"] = c.plan_cache_hits;
+  j["plan_cache_misses"] = c.plan_cache_misses;
+  j["full_predictions"] = c.full_predictions;
+  j["incremental_predictions"] = c.incremental_predictions;
+  j["job_predictions"] = c.job_predictions;
+  j["job_cache_hits"] = c.job_cache_hits;
+  j["rrs_evaluations"] = c.rrs_evaluations;
+  return j;
+}
+
+/// Optimizer-run summary (cost, wall time, counters, per-phase slices).
+inline Json ReportJson(const OptimizeReport& r) {
+  Json j = Json::Object();
+  j["estimated_cost"] = r.estimated_cost;
+  j["fallback"] = r.fallback;
+  j["optimization_time_sec"] = r.optimization_time_sec;
+  j["units_processed"] = r.units_processed;
+  j["subplans_enumerated"] = r.subplans_enumerated;
+  j["costing"] = InstrumentationJson(r.costing);
+  Json phases = Json::Array();
+  for (const PhaseReport& p : r.phases) {
+    Json pj = Json::Object();
+    pj["name"] = p.name;
+    pj["wall_sec"] = p.wall_sec;
+    pj["units_processed"] = p.units_processed;
+    pj["subplans_enumerated"] = p.subplans_enumerated;
+    phases.Append(std::move(pj));
+  }
+  j["phases"] = std::move(phases);
+  return j;
+}
+
+/// Writes a bench result document next to the working directory.
+inline void WriteBenchJson(const std::string& path, const Json& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  std::string text = doc.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 /// Prints one speedup row: `label  v1 v2 ...`.

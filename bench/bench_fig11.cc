@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %10s | %8s %8s %8s\n", "WF", "Baseline", "Stubby",
               "Vertical", "Horizntl");
 
+  Json rows_json = Json::Array();
   for (const auto& abbr : AllWorkloadAbbrs()) {
     auto pw = Prepare(abbr, rows);
     STUBBY_CHECK_OK(pw.status());
@@ -42,7 +43,9 @@ int main(int argc, char** argv) {
     auto t_base = Execute(*pw, *baseline);
     STUBBY_CHECK_OK(t_base.status());
 
-    auto run = [&](bool vertical, bool horizontal) -> double {
+    OptimizeReport stubby_report;
+    auto run = [&](bool vertical, bool horizontal,
+                   bool keep_report) -> double {
       StubbyOptions opts;
       opts.enable_intra_vertical = vertical;
       opts.enable_inter_vertical = vertical;
@@ -54,15 +57,32 @@ int main(int argc, char** argv) {
       STUBBY_CHECK_OK(report.status());
       auto t = Execute(*pw, report->plan);
       STUBBY_CHECK_OK(t.status());
+      if (keep_report) stubby_report = std::move(*report);
       return *t_base / *t;
     };
 
-    double s_stubby = run(true, true);
-    double s_vertical = run(true, false);
-    double s_horizontal = run(false, true);
+    double s_stubby = run(true, true, true);
+    double s_vertical = run(true, false, false);
+    double s_horizontal = run(false, true, false);
     std::printf("%-6s %9.0fs | %8.2f %8.2f %8.2f\n", abbr.c_str(), *t_base,
                 s_stubby, s_vertical, s_horizontal);
     std::fflush(stdout);
+
+    Json row = Json::Object();
+    row["workload"] = abbr;
+    row["baseline_sec"] = *t_base;
+    row["stubby_speedup"] = s_stubby;
+    row["vertical_speedup"] = s_vertical;
+    row["horizontal_speedup"] = s_horizontal;
+    row["stubby"] = ReportJson(stubby_report);
+    rows_json.Append(std::move(row));
   }
+
+  Json doc = Json::Object();
+  doc["bench"] = "fig11";
+  doc["rows"] = rows;
+  doc["flip_phase_order"] = flip;
+  doc["workloads"] = std::move(rows_json);
+  WriteBenchJson("BENCH_FIG11.json", doc);
   return 0;
 }

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   std::printf("%-6s %10s | %8s %8s %8s %8s\n", "WF", "Baseline", "Stubby",
               "Starfish", "YSmart", "MRShare");
 
+  Json rows_json = Json::Array();
+  CostInstrumentation total_costing;
   for (const auto& abbr : AllWorkloadAbbrs()) {
     auto pw = Prepare(abbr, rows);
     STUBBY_CHECK_OK(pw.status());
@@ -43,13 +45,33 @@ int main(int argc, char** argv) {
       return *t_base / *t;
     };
 
-    double s_stubby = speedup_of(RunStubby(*pw, true, true));
+    auto stubby_report = RunStubbyReport(*pw, true, true);
+    STUBBY_CHECK_OK(stubby_report.status());
+    double s_stubby = speedup_of(Plan(stubby_report->plan));
     double s_starfish = speedup_of(StarfishOptimize(pw->workload.plan));
     double s_ysmart = speedup_of(YSmartOptimize(pw->workload.plan));
     double s_mrshare = speedup_of(MRShareOptimize(pw->workload.plan));
     std::printf("%-6s %9.0fs | %8.2f %8.2f %8.2f %8.2f\n", abbr.c_str(),
                 *t_base, s_stubby, s_starfish, s_ysmart, s_mrshare);
     std::fflush(stdout);
+
+    total_costing.Add(stubby_report->costing);
+    Json row = Json::Object();
+    row["workload"] = abbr;
+    row["baseline_sec"] = *t_base;
+    row["stubby_speedup"] = s_stubby;
+    row["starfish_speedup"] = s_starfish;
+    row["ysmart_speedup"] = s_ysmart;
+    row["mrshare_speedup"] = s_mrshare;
+    row["stubby"] = ReportJson(*stubby_report);
+    rows_json.Append(std::move(row));
   }
+
+  Json doc = Json::Object();
+  doc["bench"] = "fig12";
+  doc["rows"] = rows;
+  doc["workloads"] = std::move(rows_json);
+  doc["stubby_costing_total"] = InstrumentationJson(total_costing);
+  WriteBenchJson("BENCH_FIG12.json", doc);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/json.h"
 #include "baselines/pig_baseline.h"
 #include "exec/workflow_runner.h"
 #include "cost/phase_model.h"
@@ -253,5 +254,21 @@ int main() {
   bool shape_ok = v_good > 1.0 && v_bad < 1.0 && h_big > 1.0 && h_small < 1.0;
   std::printf("\nexpected shape (improve/degrade/improve/degrade): %s\n",
               shape_ok ? "REPRODUCED" : "NOT reproduced");
+
+  Json doc = Json::Object();
+  doc["bench"] = "fig5";
+  doc["vertical_high_cardinality"] = v_good;
+  doc["vertical_two_keys"] = v_bad;
+  doc["horizontal_large_input"] = h_big;
+  doc["horizontal_small_input"] = h_small;
+  doc["shape_reproduced"] = shape_ok;
+  std::FILE* f = std::fopen("BENCH_FIG5.json", "w");
+  if (f != nullptr) {
+    std::string text = doc.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_FIG5.json\n");
+  }
   return 0;
 }

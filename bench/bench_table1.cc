@@ -10,9 +10,11 @@
 using namespace stubby;
 
 int main() {
+  using namespace stubby::bench;
   std::printf("Table 1: MapReduce workflows and corresponding data sizes\n");
-  std::printf("%-6s %-32s %6s %10s %14s\n", "Abbr.", "Workflow", "Jobs",
-              "Size", "Sample rows");
+  std::printf("%-6s %-32s %6s %10s %14s %10s %10s\n", "Abbr.", "Workflow",
+              "Jobs", "Size", "Sample rows", "Opt(off)", "Opt(on)");
+  Json rows_json = Json::Array();
   for (const auto& abbr : AllWorkloadAbbrs()) {
     WorkloadOptions options;
     auto w = MakeWorkload(abbr, options);
@@ -23,10 +25,39 @@ int main() {
       auto stored = w->dfs.Get(id);
       if (stored.ok()) sample_rows += (*stored)->num_rows();
     }
-    std::printf("%-6s %-32s %6zu %10s %14llu\n", w->abbr.c_str(),
-                w->name.c_str(), w->plan.num_jobs(),
+
+    // End-to-end optimizer wall time with the costing cache off and on
+    // (the memo is the only difference; outputs are bit-identical).
+    auto pw = Prepare(abbr, 6000);
+    STUBBY_CHECK_OK(pw.status());
+    auto off = RunStubbyReport(*pw, true, true, 17, /*enable_cache=*/false);
+    STUBBY_CHECK_OK(off.status());
+    auto on = RunStubbyReport(*pw, true, true, 17, /*enable_cache=*/true);
+    STUBBY_CHECK_OK(on.status());
+
+    std::printf("%-6s %-32s %6zu %10s %14llu %9.3fs %9.3fs\n",
+                w->abbr.c_str(), w->name.c_str(), w->plan.num_jobs(),
                 HumanBytes(w->dataset_logical_bytes).c_str(),
-                (unsigned long long)sample_rows);
+                (unsigned long long)sample_rows, off->optimization_time_sec,
+                on->optimization_time_sec);
+    std::fflush(stdout);
+
+    Json row = Json::Object();
+    row["workload"] = abbr;
+    row["name"] = w->name;
+    row["jobs"] = static_cast<uint64_t>(w->plan.num_jobs());
+    row["logical_bytes"] = w->dataset_logical_bytes;
+    row["sample_rows"] = sample_rows;
+    row["optimizer_wall_sec_cache_off"] = off->optimization_time_sec;
+    row["optimizer_wall_sec_cache_on"] = on->optimization_time_sec;
+    row["cache_off"] = ReportJson(*off);
+    row["cache_on"] = ReportJson(*on);
+    rows_json.Append(std::move(row));
   }
+
+  Json doc = Json::Object();
+  doc["bench"] = "table1";
+  doc["workloads"] = std::move(rows_json);
+  WriteBenchJson("BENCH_TABLE1.json", doc);
   return 0;
 }

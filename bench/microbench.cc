@@ -5,7 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
 #include "common/rng.h"
+#include "cost/cost_cache.h"
 #include "cost/schedule.h"
 #include "cost/whatif.h"
 #include "exec/wrappers.h"
@@ -153,6 +158,41 @@ void BM_WhatIfCostIR(benchmark::State& state) {
 }
 BENCHMARK(BM_WhatIfCostIR);
 
+// Same costing loop with the memo attached: after the first iteration every
+// Cost call is a whole-plan cache hit.
+void BM_WhatIfCostIRCached(benchmark::State& state) {
+  WorkloadOptions options;
+  options.sample_rows = 5000;
+  auto w = MakeWorkload("IR", options);
+  Profiler profiler(options.cluster);
+  Dfs dfs = w->dfs;
+  STUBBY_CHECK_OK(profiler.ProfilePlan(&w->plan, &dfs));
+  WhatIfEngine whatif(options.cluster);
+  CostCache cache;
+  whatif.set_cache(&cache);
+  for (auto _ : state) {
+    CostEstimate est = whatif.Cost(w->plan);
+    benchmark::DoNotOptimize(est.cost);
+  }
+}
+BENCHMARK(BM_WhatIfCostIRCached);
+
+// Whole-plan content digest (the costing-cache key) on the profiled BR
+// workload — the per-evaluation overhead the memo adds on a miss.
+void BM_PlanCostDigest(benchmark::State& state) {
+  WorkloadOptions options;
+  options.sample_rows = 5000;
+  auto w = MakeWorkload("BR", options);
+  Profiler profiler(options.cluster);
+  Dfs dfs = w->dfs;
+  STUBBY_CHECK_OK(profiler.ProfilePlan(&w->plan, &dfs));
+  for (auto _ : state) {
+    CostKey key = PlanCostDigest(w->plan);
+    benchmark::DoNotOptimize(key.first);
+  }
+}
+BENCHMARK(BM_PlanCostDigest);
+
 void BM_PlanSignature(benchmark::State& state) {
   WorkloadOptions options;
   options.sample_rows = 2000;
@@ -164,6 +204,56 @@ void BM_PlanSignature(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanSignature);
 
+// Cache-on vs. cache-off optimizer runs on the BR workflow (the paper's
+// Figure 1 running example): verifies transparency and reports how much of
+// the costing work the memo eliminated. Written to BENCH_MICRO.json.
+int RunCostCacheStudy() {
+  using namespace stubby::bench;
+  std::printf("\nCost-cache study (BR, the Figure 1 running example)\n");
+  auto pw = Prepare("BR", 6000);
+  STUBBY_CHECK_OK(pw.status());
+
+  auto off = RunStubbyReport(*pw, true, true, 17, /*enable_cache=*/false);
+  STUBBY_CHECK_OK(off.status());
+  auto on = RunStubbyReport(*pw, true, true, 17, /*enable_cache=*/true);
+  STUBBY_CHECK_OK(on.status());
+
+  const bool transparent =
+      off->estimated_cost == on->estimated_cost &&
+      PlanSignature(off->plan) == PlanSignature(on->plan) &&
+      off->applied == on->applied;
+  const double off_full = static_cast<double>(off->costing.full_predictions);
+  const double on_full = static_cast<double>(
+      std::max<uint64_t>(1, on->costing.full_predictions));
+  const double reduction = off_full / on_full;
+
+  std::printf("  cache off: %s\n", off->costing.ToString().c_str());
+  std::printf("  cache on : %s\n", on->costing.ToString().c_str());
+  std::printf("  transparency (plan, cost, applied): %s\n",
+              transparent ? "IDENTICAL" : "MISMATCH");
+  std::printf("  full-plan dataflow predictions: %.0f -> %llu (%.1fx fewer)\n",
+              off_full, (unsigned long long)on->costing.full_predictions,
+              reduction);
+  std::printf("  optimizer wall time: %.3fs -> %.3fs\n",
+              off->optimization_time_sec, on->optimization_time_sec);
+
+  Json doc = Json::Object();
+  doc["bench"] = "microbench_cost_cache";
+  doc["workload"] = "BR";
+  doc["transparent"] = transparent;
+  doc["full_prediction_reduction"] = reduction;
+  doc["cache_off"] = ReportJson(*off);
+  doc["cache_on"] = ReportJson(*on);
+  WriteBenchJson("BENCH_MICRO.json", doc);
+  return transparent && reduction >= 2.0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return RunCostCacheStudy();
+}

@@ -1,0 +1,219 @@
+// Transparent costing cache for the what-if engine (Section 6: "Stubby
+// stores and reuses the costs of the common subexpressions among
+// subplans"). Two layers of memoization:
+//
+//   1. A whole-plan memo: CostEstimates keyed by a digest of everything the
+//      what-if engine reads from a plan (job structure, stage statistics,
+//      configurations, base dataset annotations). Repeated costing of the
+//      same plan — the base plan of every unit, re-evaluated RRS seed
+//      points, the final report costing — returns the stored estimate.
+//
+//   2. A per-job incremental memo: PredictJob results (dataflow, task
+//      times, and the output-dataset size predictions) keyed by the job's
+//      content digest plus the digests of its input PredictedDatasets. An
+//      RRS point evaluation perturbs only the unit's job configurations,
+//      so every job outside the unit — and outside the unit's downstream
+//      cone — replays from the memo instead of being re-predicted.
+//
+// Both layers are transparent: cached and uncached costing produce
+// bit-identical CostEstimates (entries store the exact structs that the
+// engine computed, and digests cover every input the computation reads).
+// Capacity-bounded with LRU eviction; an evicted entry is simply
+// recomputed, which yields the same bits again.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cost/phase_model.h"
+#include "cost/whatif.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// 128-bit content digest key. Wide enough that accidental collisions are
+/// out of reach for any realistic optimizer run (the transparency guarantee
+/// would otherwise be probabilistic in a way that matters).
+using CostKey = std::pair<uint64_t, uint64_t>;
+
+struct CostKeyHash {
+  size_t operator()(const CostKey& k) const {
+    // The lanes are already well-mixed; fold them.
+    return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Incremental 128-bit mixer over the cost-relevant content of plans, jobs,
+/// and predicted datasets. Order-sensitive: Mix(a), Mix(b) differs from
+/// Mix(b), Mix(a).
+class CostDigest {
+ public:
+  CostDigest& Mix(uint64_t v);
+  CostDigest& Mix(double v);
+  CostDigest& Mix(bool v) { return Mix(static_cast<uint64_t>(v ? 1 : 2)); }
+  CostDigest& Mix(const std::string& s);
+  CostDigest& Mix(const std::vector<std::string>& strings);
+
+  CostKey value() const { return {a_, b_}; }
+
+ private:
+  uint64_t a_ = 0x6a09e667f3bcc908ull;  // arbitrary distinct seeds
+  uint64_t b_ = 0xbb67ae8584caa73bull;
+};
+
+/// Digest over everything WhatIfEngine::PredictJob and the phase-time model
+/// read from the job itself: id, configuration, effective reduce tasks,
+/// branch structure, stage statistics, partition specs, prune lists, and
+/// profile annotations. Input dataset predictions are mixed in separately
+/// by the caller (they vary per plan evaluation). Equivalent to
+/// JobStructureDigest followed by MixJobConfiguration.
+CostDigest JobContentDigest(const JobVertex& job);
+
+/// The configuration-independent prefix of JobContentDigest: id and branch
+/// structure, but not the JobConfig or the effective reduce-task count.
+/// ApplyConfiguration only changes the latter, so the RRS loop computes
+/// this once per unit job and re-mixes just the configuration per point.
+CostDigest JobStructureDigest(const JobVertex& job);
+
+/// Mixes the configuration-dependent suffix (JobConfig fields and
+/// EffectiveReduceTasks) into a structure digest, completing it to
+/// JobContentDigest(job).
+void MixJobConfiguration(CostDigest* d, const JobVertex& job);
+
+/// Mixes one input PredictedDataset (all five fields, bit-exact) into a
+/// job digest.
+void MixPredictedDataset(CostDigest* d, const PredictedDataset& p);
+
+/// Digest over everything WhatIfEngine::Cost reads from a plan: every
+/// job's content digest plus the base datasets' size/layout annotations.
+/// Graph topology is covered through the jobs' input/output dataset ids.
+/// When `job_digests` is given, the per-job content digests are also
+/// deposited there so the caller can reuse them for job-memo keys instead
+/// of digesting every job a second time.
+CostKey PlanCostDigest(const Plan& plan,
+                       std::map<std::string, CostDigest>* job_digests =
+                           nullptr);
+
+/// Content digests of every job in the plan, keyed by job id. A caller
+/// that re-costs many single-job variations of one plan (the RRS loop)
+/// computes this once and refreshes only the perturbed jobs' entries.
+std::map<std::string, CostDigest> JobContentDigests(const Plan& plan);
+
+/// PlanCostDigest assembled from precomputed per-job digests. The caller
+/// guarantees `job_digests` holds JobContentDigest(job) for every job of
+/// the plan; the result is identical to PlanCostDigest(plan).
+CostKey PlanCostDigestFrom(
+    const Plan& plan, const std::map<std::string, CostDigest>& job_digests);
+
+/// Counters describing what the costing layer did during one optimizer run
+/// (or any other instrumented sequence of what-if calls).
+struct CostInstrumentation {
+  /// WhatIfEngine::Cost invocations.
+  uint64_t whatif_invocations = 0;
+  /// Whole-plan memo hits / misses (misses only counted when a cache is
+  /// attached; without a cache every Cost call is a full computation).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  /// Dataflow prediction passes that predicted every job from scratch vs.
+  /// passes that replayed at least one job from the memo.
+  uint64_t full_predictions = 0;
+  uint64_t incremental_predictions = 0;
+  /// Individual jobs predicted fresh vs. replayed from the memo.
+  uint64_t job_predictions = 0;
+  uint64_t job_cache_hits = 0;
+  /// RRS configuration-point evaluations (counted by the unit optimizer).
+  uint64_t rrs_evaluations = 0;
+
+  void Add(const CostInstrumentation& other);
+  std::string ToString() const;
+};
+
+/// The two memo layers plus eviction bookkeeping. One instance lives for
+/// the duration of one StubbyOptimizer::Optimize call, shared across
+/// phases and units.
+class CostCache {
+ public:
+  struct Options {
+    size_t plan_capacity = 1024;
+    size_t job_capacity = 16384;
+  };
+
+  CostCache() : CostCache(Options{}) {}
+  explicit CostCache(Options options) : options_(options) {}
+
+  /// Whole-plan memo. Find refreshes LRU recency; the returned pointer is
+  /// valid until the next Insert.
+  const CostEstimate* FindPlan(const CostKey& key) {
+    return plans_.Find(key);
+  }
+  void InsertPlan(const CostKey& key, CostEstimate est) {
+    plans_.Insert(key, std::move(est), options_.plan_capacity);
+  }
+
+  /// One memoized PredictJob outcome: the dataflow, the task times derived
+  /// from it, and the size predictions the job recorded for its outputs.
+  struct JobEntry {
+    JobDataflow dataflow;
+    JobTaskTimes times;
+    std::vector<std::pair<std::string, PredictedDataset>> outputs;
+  };
+  const JobEntry* FindJob(const CostKey& key) { return jobs_.Find(key); }
+  void InsertJob(const CostKey& key, JobEntry entry) {
+    jobs_.Insert(key, std::move(entry), options_.job_capacity);
+  }
+
+  size_t plan_entries() const { return plans_.size(); }
+  size_t job_entries() const { return jobs_.size(); }
+  uint64_t plan_evictions() const { return plans_.evictions(); }
+  uint64_t job_evictions() const { return jobs_.evictions(); }
+
+ private:
+  template <typename V>
+  class LruMap {
+   public:
+    const V* Find(const CostKey& key) {
+      auto it = index_.find(key);
+      if (it == index_.end()) return nullptr;
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return &it->second->second;
+    }
+
+    void Insert(const CostKey& key, V value, size_t capacity) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        it->second->second = std::move(value);
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return;
+      }
+      entries_.emplace_front(key, std::move(value));
+      index_[key] = entries_.begin();
+      while (entries_.size() > capacity) {
+        index_.erase(entries_.back().first);
+        entries_.pop_back();
+        ++evictions_;
+      }
+    }
+
+    size_t size() const { return entries_.size(); }
+    uint64_t evictions() const { return evictions_; }
+
+   private:
+    std::list<std::pair<CostKey, V>> entries_;
+    std::unordered_map<CostKey, typename std::list<std::pair<CostKey, V>>::iterator,
+                       CostKeyHash>
+        index_;
+    uint64_t evictions_ = 0;
+  };
+
+  Options options_;
+  LruMap<CostEstimate> plans_;
+  LruMap<JobEntry> jobs_;
+};
+
+}  // namespace stubby

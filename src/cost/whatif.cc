@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cost/cost_cache.h"
 #include "cost/schedule.h"
 
 namespace stubby {
@@ -427,6 +428,12 @@ Result<JobDataflow> WhatIfEngine::PredictJob(
 
 Result<WorkflowDataflow> WhatIfEngine::PredictDataflow(
     const Plan& plan) const {
+  return PredictDataflowImpl(plan, nullptr);
+}
+
+Result<WorkflowDataflow> WhatIfEngine::PredictDataflowImpl(
+    const Plan& plan,
+    const std::map<std::string, CostDigest>* job_digests) const {
   // Seed predictions from base dataset annotations.
   std::map<std::string, PredictedDataset> predicted;
   for (const auto& [id, ds] : plan.datasets()) {
@@ -458,17 +465,96 @@ Result<WorkflowDataflow> WhatIfEngine::PredictDataflow(
                           plan.TopologicalOrder());
   WorkflowDataflow flow;
   std::vector<ScheduledJob> scheduled;
+  uint64_t replayed = 0;
+  uint64_t predicted_fresh = 0;
+  // Counts this pass as full (every job predicted from scratch) or
+  // incremental (at least one job replayed from the memo) once any
+  // job-level work happened.
+  auto count_pass = [&] {
+    if (stats_ == nullptr || (replayed == 0 && predicted_fresh == 0)) return;
+    if (replayed == 0) {
+      ++stats_->full_predictions;
+    } else {
+      ++stats_->incremental_predictions;
+    }
+  };
   for (const auto& jid : order) {
-    STUBBY_ASSIGN_OR_RETURN(const JobVertex* job, plan.GetJob(jid));
-    STUBBY_ASSIGN_OR_RETURN(JobDataflow df,
-                            PredictJob(plan, *job, &predicted));
+    auto job_or = plan.GetJob(jid);
+    if (!job_or.ok()) {
+      count_pass();
+      return job_or.status();
+    }
+    const JobVertex* job = *job_or;
+
+    // Per-job memo: key = job content digest + the predictions of its
+    // inputs. A hit replays the stored dataflow, task times, and output
+    // predictions — bit-identical to recomputing them.
+    CostKey key{};
+    bool have_key = false;
+    if (cache_ != nullptr) {
+      CostDigest digest;
+      if (job_digests != nullptr) {
+        auto dit = job_digests->find(jid);
+        digest = dit != job_digests->end() ? dit->second
+                                           : JobContentDigest(*job);
+      } else {
+        digest = JobContentDigest(*job);
+      }
+      bool inputs_known = true;
+      for (const std::string& in : job->InputDatasets()) {
+        auto it = predicted.find(in);
+        if (it == predicted.end()) {
+          // Missing input prediction: fall through to PredictJob, which
+          // reports the precise error.
+          inputs_known = false;
+          break;
+        }
+        digest.Mix(in);
+        MixPredictedDataset(&digest, it->second);
+      }
+      if (inputs_known) {
+        key = digest.value();
+        have_key = true;
+        if (const CostCache::JobEntry* entry = cache_->FindJob(key)) {
+          ++replayed;
+          if (stats_ != nullptr) ++stats_->job_cache_hits;
+          for (const auto& [id, p] : entry->outputs) predicted[id] = p;
+          ScheduledJob sj;
+          sj.id = jid;
+          sj.deps = plan.UpstreamJobs(jid);
+          sj.times = entry->times;
+          scheduled.push_back(std::move(sj));
+          flow.jobs.push_back(entry->dataflow);
+          continue;
+        }
+      }
+    }
+
+    auto df_or = PredictJob(plan, *job, &predicted);
+    if (!df_or.ok()) {
+      count_pass();
+      return df_or.status();
+    }
+    ++predicted_fresh;
+    if (stats_ != nullptr) ++stats_->job_predictions;
     ScheduledJob sj;
     sj.id = jid;
     sj.deps = plan.UpstreamJobs(jid);
-    sj.times = model_.TaskTimes(df, job->config);
+    sj.times = model_.TaskTimes(*df_or, job->config);
+    if (have_key) {
+      CostCache::JobEntry entry;
+      entry.dataflow = *df_or;
+      entry.times = sj.times;
+      for (const std::string& out : job->OutputDatasets()) {
+        auto it = predicted.find(out);
+        if (it != predicted.end()) entry.outputs.emplace_back(out, it->second);
+      }
+      cache_->InsertJob(key, std::move(entry));
+    }
     scheduled.push_back(std::move(sj));
-    flow.jobs.push_back(std::move(df));
+    flow.jobs.push_back(std::move(*df_or));
   }
+  count_pass();
   STUBBY_ASSIGN_OR_RETURN(ScheduleResult sched,
                           SimulateCluster(scheduled, model_.cluster()));
   flow.makespan_sec = sched.makespan_sec;
@@ -477,8 +563,37 @@ Result<WorkflowDataflow> WhatIfEngine::PredictDataflow(
 }
 
 CostEstimate WhatIfEngine::Cost(const Plan& plan) const {
+  return CostImpl(plan, nullptr);
+}
+
+CostEstimate WhatIfEngine::CostWithDigests(
+    const Plan& plan,
+    const std::map<std::string, CostDigest>& job_digests) const {
+  return CostImpl(plan, &job_digests);
+}
+
+CostEstimate WhatIfEngine::CostImpl(
+    const Plan& plan,
+    const std::map<std::string, CostDigest>* job_digests) const {
+  if (stats_ != nullptr) ++stats_->whatif_invocations;
+  CostKey key{};
+  std::map<std::string, CostDigest> local_digests;
+  if (cache_ != nullptr) {
+    if (job_digests == nullptr) {
+      key = PlanCostDigest(plan, &local_digests);
+      job_digests = &local_digests;
+    } else {
+      key = PlanCostDigestFrom(plan, *job_digests);
+    }
+    if (const CostEstimate* hit = cache_->FindPlan(key)) {
+      if (stats_ != nullptr) ++stats_->plan_cache_hits;
+      return *hit;
+    }
+    if (stats_ != nullptr) ++stats_->plan_cache_misses;
+  }
   CostEstimate est;
-  auto flow = PredictDataflow(plan);
+  auto flow = PredictDataflowImpl(
+      plan, cache_ != nullptr ? job_digests : nullptr);
   if (flow.ok()) {
     est.cost = flow->makespan_sec;
     est.fallback = false;
@@ -488,6 +603,7 @@ CostEstimate WhatIfEngine::Cost(const Plan& plan) const {
     est.cost = static_cast<double>(plan.num_jobs());
     est.fallback = true;
   }
+  if (cache_ != nullptr) cache_->InsertPlan(key, est);
   return est;
 }
 

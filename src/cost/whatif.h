@@ -21,6 +21,10 @@
 
 namespace stubby {
 
+class CostCache;
+class CostDigest;
+struct CostInstrumentation;
+
 /// Predicted size of a (possibly intermediate) dataset.
 struct PredictedDataset {
   double records = 0.0;
@@ -56,10 +60,31 @@ class WhatIfEngine {
   /// detailed prediction is not possible.
   CostEstimate Cost(const Plan& plan) const;
 
+  /// Cost with caller-provided per-job content digests. The caller
+  /// guarantees each entry equals JobContentDigest(job) for that job in
+  /// `plan` — how the RRS loop avoids re-digesting jobs it did not touch.
+  /// Behaves exactly like Cost(plan) (and ignores the digests) when no
+  /// cache is attached.
+  CostEstimate CostWithDigests(
+      const Plan& plan,
+      const std::map<std::string, CostDigest>& job_digests) const;
+
   /// True if all annotations needed for detailed costing are present.
   bool IsCostable(const Plan& plan) const;
 
   const PhaseTimeModel& model() const { return model_; }
+
+  /// Attaches a memoization cache (nullptr detaches). Caching is
+  /// transparent: cached and uncached costing return bit-identical
+  /// estimates. The cache must outlive the engine or be detached first.
+  void set_cache(CostCache* cache) { cache_ = cache; }
+  CostCache* cache() const { return cache_; }
+
+  /// Attaches a counter block updated by every Cost/PredictDataflow call
+  /// (nullptr detaches). Callers that drive the engine — e.g. the unit
+  /// optimizer's RRS loop — may also bump counters through this pointer.
+  void set_instrumentation(CostInstrumentation* stats) { stats_ = stats; }
+  CostInstrumentation* instrumentation() const { return stats_; }
 
  private:
   /// Predicts one job's dataflow given predictions for its inputs, and
@@ -68,7 +93,20 @@ class WhatIfEngine {
       const Plan& plan, const JobVertex& job,
       std::map<std::string, PredictedDataset>* datasets) const;
 
+  /// PredictDataflow with optional precomputed per-job content digests
+  /// (avoids digesting every job twice when Cost already computed them for
+  /// the whole-plan memo key).
+  Result<WorkflowDataflow> PredictDataflowImpl(
+      const Plan& plan,
+      const std::map<std::string, CostDigest>* job_digests) const;
+
+  CostEstimate CostImpl(
+      const Plan& plan,
+      const std::map<std::string, CostDigest>* job_digests) const;
+
   PhaseTimeModel model_;
+  CostCache* cache_ = nullptr;
+  CostInstrumentation* stats_ = nullptr;
 };
 
 }  // namespace stubby

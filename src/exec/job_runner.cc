@@ -68,34 +68,6 @@ struct DatasetBuilder {
   }
 };
 
-/// Resolves a branch's effective range split points: explicit ones win;
-/// otherwise candidates from the `split_points_from` dataset are thinned to
-/// R-1 evenly spaced boundaries.
-Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
-                                           const Dfs& dfs) {
-  PartitionSpec spec = branch.partition;
-  if (spec.type != PartitionType::kRange || !spec.split_points.empty() ||
-      spec.split_points_from.empty()) {
-    return spec;
-  }
-  STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs.Get(spec.split_points_from));
-  std::vector<Row> candidates = ds->AllRows();
-  std::sort(candidates.begin(), candidates.end());
-  int want = std::max(0, R - 1);
-  if (static_cast<int>(candidates.size()) <= want) {
-    spec.split_points = std::move(candidates);
-  } else {
-    for (int i = 1; i <= want; ++i) {
-      size_t idx = static_cast<size_t>(
-          static_cast<double>(i) * static_cast<double>(candidates.size()) /
-          (want + 1));
-      idx = std::min(idx, candidates.size() - 1);
-      spec.split_points.push_back(candidates[idx]);
-    }
-  }
-  return spec;
-}
-
 /// Physical partitions of `ds` selected by a prune list (all when empty).
 std::vector<int> SelectedPartitions(const StoredDataset& ds,
                                     const std::vector<int>& prune) {
@@ -115,6 +87,35 @@ std::vector<int> SelectedPartitions(const StoredDataset& ds,
 }
 
 }  // namespace
+
+Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
+                                           const Dfs& dfs) {
+  PartitionSpec spec = branch.partition;
+  if (spec.type != PartitionType::kRange || !spec.split_points.empty() ||
+      spec.split_points_from.empty()) {
+    return spec;
+  }
+  STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs.Get(spec.split_points_from));
+  std::vector<Row> candidates = ds->AllRows();
+  std::sort(candidates.begin(), candidates.end());
+  // Duplicate candidates would become duplicate split points, i.e. ranges
+  // that can never receive a record; only distinct boundaries qualify.
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  int want = std::max(0, R - 1);
+  if (static_cast<int>(candidates.size()) <= want) {
+    spec.split_points = std::move(candidates);
+  } else {
+    for (int i = 1; i <= want; ++i) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(i) * static_cast<double>(candidates.size()) /
+          (want + 1));
+      idx = std::min(idx, candidates.size() - 1);
+      spec.split_points.push_back(candidates[idx]);
+    }
+  }
+  return spec;
+}
 
 Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
                                    Dfs* dfs) const {

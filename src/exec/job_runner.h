@@ -15,6 +15,12 @@
 
 namespace stubby {
 
+/// Resolves a branch's effective range split points: explicit ones win;
+/// otherwise sorted, de-duplicated candidates from the `split_points_from`
+/// dataset are thinned to R-1 evenly spaced distinct boundaries.
+Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
+                                           const Dfs& dfs);
+
 /// Executes single jobs against a Dfs.
 class JobRunner {
  public:

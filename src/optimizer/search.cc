@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "cost/cost_cache.h"
 #include "optimizer/configuration.h"
 
 namespace stubby {
@@ -101,11 +102,12 @@ Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
   for (EnumState& state : subplans) {
     std::vector<std::string> scope =
         MappedUnitJobs(original_jobs, state.renames);
-    STUBBY_ASSIGN_OR_RETURN(auto configured,
+    STUBBY_ASSIGN_OR_RETURN(ConfiguredPlan configured,
                             OptimizeConfigurations(state.plan, scope));
     SubplanCandidate cand;
-    cand.plan = std::move(configured.first);
-    cand.cost = configured.second;
+    cand.plan = std::move(configured.plan);
+    cand.cost = configured.cost;
+    cand.fallback = configured.fallback;
     cand.applied = std::move(state.applied);
     cand.renames = std::move(state.renames);
     out.push_back(std::move(cand));
@@ -113,13 +115,13 @@ Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
   return out;
 }
 
-Result<std::pair<Plan, double>> UnitOptimizer::OptimizeConfigurations(
+Result<UnitOptimizer::ConfiguredPlan> UnitOptimizer::OptimizeConfigurations(
     const Plan& plan, const std::vector<std::string>& unit_jobs) const {
   CostEstimate base = whatif_->Cost(plan);
   if (!options_.enable_configuration || base.fallback) {
     // Without profiles the configuration subspace cannot be costed; the
     // search degrades gracefully to the job-count model (Section 5).
-    return std::make_pair(plan, base.cost);
+    return ConfiguredPlan{plan, base.cost, base.fallback};
   }
 
   // Joint configuration space of the unit's (surviving) jobs.
@@ -138,25 +140,57 @@ Result<std::pair<Plan, double>> UnitOptimizer::OptimizeConfigurations(
     spaces.push_back(JobSpace{jid, std::move(space), dims});
     dims += spaces.back().space.size();
   }
-  if (dims == 0) return std::make_pair(plan, base.cost);
+  if (dims == 0) return ConfiguredPlan{plan, base.cost, base.fallback};
 
-  auto apply_point = [&](const std::vector<double>& point) -> Result<Plan> {
-    Plan candidate = plan;
+  auto apply_point_to = [&](Plan* candidate,
+                            const std::vector<double>& point) -> Status {
     for (const JobSpace& js : spaces) {
       std::vector<double> slice(
           point.begin() + static_cast<long>(js.offset),
           point.begin() + static_cast<long>(js.offset + js.space.size()));
-      STUBBY_ASSIGN_OR_RETURN(const JobVertex* job, candidate.GetJob(js.id));
+      STUBBY_ASSIGN_OR_RETURN(const JobVertex* job, candidate->GetJob(js.id));
       JobConfig config = js.space.PointToConfig(slice, job->config);
-      STUBBY_RETURN_NOT_OK(ApplyConfiguration(&candidate, js.id, config));
+      STUBBY_RETURN_NOT_OK(ApplyConfiguration(candidate, js.id, config));
     }
-    return candidate;
+    return Status::OK();
   };
 
-  auto eval = [&](const std::vector<double>& point) -> double {
-    auto candidate = apply_point(point);
-    if (!candidate.ok()) return std::numeric_limits<double>::infinity();
-    return whatif_->Cost(*candidate).cost;
+  CostInstrumentation* stats = whatif_->instrumentation();
+  // RRS points differ only in the unit jobs' configurations, and
+  // ApplyConfiguration overwrites those deterministically (uncontrolled
+  // fields pass through PointToConfig unchanged), so reapplying each point
+  // on one persistent scratch plan is equivalent to configuring a fresh
+  // copy — without deep-copying the plan per evaluation.
+  Plan scratch = plan;
+  // With a cache attached, only the unit jobs' digests change between
+  // points, and within each such job only the configuration suffix does:
+  // digest the base subplan once, precompute the unit jobs' structural
+  // prefixes, and refresh just the configuration mix per point.
+  const bool incremental_digests = whatif_->cache() != nullptr;
+  std::map<std::string, CostDigest> digests;
+  std::vector<CostDigest> structure;
+  if (incremental_digests) {
+    digests = JobContentDigests(plan);
+    structure.reserve(spaces.size());
+    for (const JobSpace& js : spaces) {
+      auto jr = plan.GetJob(js.id);
+      structure.push_back(jr.ok() ? JobStructureDigest(**jr) : CostDigest{});
+    }
+  }
+  auto eval = [&, stats](const std::vector<double>& point) -> double {
+    if (stats != nullptr) ++stats->rrs_evaluations;
+    if (!apply_point_to(&scratch, point).ok()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (!incremental_digests) return whatif_->Cost(scratch).cost;
+    for (size_t i = 0; i < spaces.size(); ++i) {
+      auto jr = scratch.GetJob(spaces[i].id);
+      if (!jr.ok()) continue;
+      CostDigest jd = structure[i];
+      MixJobConfiguration(&jd, **jr);
+      digests[spaces[i].id] = jd;
+    }
+    return whatif_->CostWithDigests(scratch, digests).cost;
   };
 
   // Seeds: the current configurations and the rule-of-thumb settings.
@@ -175,10 +209,13 @@ Result<std::pair<Plan, double>> UnitOptimizer::OptimizeConfigurations(
   auto [best_point, best_value] =
       rrs.Minimize(dims, eval, {current_seed, thumb_seed});
   if (!std::isfinite(best_value) || best_value >= base.cost) {
-    return std::make_pair(plan, base.cost);
+    return ConfiguredPlan{plan, base.cost, base.fallback};
   }
-  STUBBY_ASSIGN_OR_RETURN(Plan best_plan, apply_point(best_point));
-  return std::make_pair(std::move(best_plan), best_value);
+  Plan best_plan = plan;
+  STUBBY_RETURN_NOT_OK(apply_point_to(&best_plan, best_point));
+  // base was costable (no fallback), and configuration changes never remove
+  // the annotations that made it so.
+  return ConfiguredPlan{std::move(best_plan), best_value, false};
 }
 
 Result<UnitResult> UnitOptimizer::Optimize(const Plan& plan,
@@ -195,7 +232,7 @@ Result<UnitResult> UnitOptimizer::Optimize(const Plan& plan,
   UnitResult result;
   result.plan = std::move(candidates[best].plan);
   result.cost = candidates[best].cost;
-  result.fallback = whatif_->Cost(result.plan).fallback;
+  result.fallback = candidates[best].fallback;
   result.renames = std::move(candidates[best].renames);
   result.applied = std::move(candidates[best].applied);
   result.subplans_enumerated = static_cast<int>(candidates.size());

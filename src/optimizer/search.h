@@ -49,6 +49,7 @@ struct UnitResult {
 struct SubplanCandidate {
   Plan plan;
   double cost = 0.0;
+  bool fallback = false;  ///< costed with the job-count fallback model
   std::vector<std::string> applied;
   std::map<std::string, std::string> renames;
 };
@@ -73,9 +74,17 @@ class UnitOptimizer {
       const Plan& plan, const OptimizationUnit& unit) const;
 
  private:
+  /// Outcome of the configuration pass over one subplan.
+  struct ConfiguredPlan {
+    Plan plan;
+    double cost = 0.0;
+    bool fallback = false;
+  };
+
   /// RRS over the configurations of the unit's jobs in `plan`; returns the
-  /// plan with the best configurations applied and its cost.
-  Result<std::pair<Plan, double>> OptimizeConfigurations(
+  /// plan with the best configurations applied, its cost, and whether that
+  /// cost came from the fallback model.
+  Result<ConfiguredPlan> OptimizeConfigurations(
       const Plan& plan, const std::vector<std::string>& unit_jobs) const;
 
   std::vector<std::shared_ptr<Transformation>> transforms_;

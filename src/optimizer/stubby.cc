@@ -1,6 +1,7 @@
 #include "optimizer/stubby.h"
 
 #include <chrono>
+#include <optional>
 #include <set>
 
 #include "common/logging.h"
@@ -45,6 +46,16 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
 
   WhatIfEngine whatif(plan.cluster());
   OptimizeReport report;
+  whatif.set_instrumentation(&report.costing);
+  // One cache per Optimize call, shared across phases and units: the base
+  // plan of every unit, RRS seed points, and all jobs outside an RRS
+  // point's perturbation cone hit the memo.
+  std::optional<CostCache> cache;
+  if (options_.enable_cost_cache) {
+    cache.emplace(CostCache::Options{options_.cost_cache_plan_capacity,
+                                     options_.cost_cache_job_capacity});
+    whatif.set_cache(&*cache);
+  }
 
   std::vector<std::shared_ptr<Transformation>> vertical_group;
   if (options_.enable_intra_vertical) {
@@ -69,18 +80,40 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
 
   Plan current = plan;
   std::vector<std::vector<std::shared_ptr<Transformation>>> phases;
+  std::vector<std::string> phase_names;
   if (options_.flip_phase_order) {
     phases = {horizontal_group, vertical_group};
+    phase_names = {"horizontal", "vertical"};
   } else {
     phases = {vertical_group, horizontal_group};
+    phase_names = {"vertical", "horizontal"};
   }
-  for (const auto& group : phases) {
-    bool phase_useful =
-        !group.empty() || options_.enable_configuration;
-    if (!phase_useful) continue;
+  bool configuration_pass_done = false;
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const auto& group = phases[i];
+    std::string name = phase_names[i];
+    if (group.empty()) {
+      // A traversal with no structural transformations is a pure
+      // configuration pass. Under a fixed RRS seed it is idempotent, so
+      // running it once per empty group would repeat identical work.
+      if (!options_.enable_configuration || configuration_pass_done) continue;
+      configuration_pass_done = true;
+      name = "configuration";
+    }
+    auto p0 = std::chrono::steady_clock::now();
+    const int units_before = report.units_processed;
+    const int subplans_before = report.subplans_enumerated;
     STUBBY_ASSIGN_OR_RETURN(current,
                             RunPhase(std::move(current), group, whatif,
                                      &report));
+    PhaseReport phase;
+    phase.name = std::move(name);
+    phase.wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+            .count();
+    phase.units_processed = report.units_processed - units_before;
+    phase.subplans_enumerated = report.subplans_enumerated - subplans_before;
+    report.phases.push_back(std::move(phase));
   }
 
   CostEstimate final_cost = whatif.Cost(current);

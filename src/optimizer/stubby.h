@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "cost/cost_cache.h"
 #include "cost/whatif.h"
 #include "optimizer/search.h"
 #include "workflow/plan.h"
@@ -36,7 +37,23 @@ struct StubbyOptions {
   /// (the paper argues Vertical-first is the right order, Section 4).
   bool flip_phase_order = false;
 
+  /// Costing cache (Section 6's cost reuse): memoize whole-plan estimates
+  /// and per-job dataflow predictions across phases and units. Transparent:
+  /// the chosen plans, costs, and applied transforms are bit-identical with
+  /// the cache on or off.
+  bool enable_cost_cache = true;
+  size_t cost_cache_plan_capacity = 1024;
+  size_t cost_cache_job_capacity = 16384;
+
   UnitSearchOptions unit;
+};
+
+/// Per-phase slice of an optimizer run.
+struct PhaseReport {
+  std::string name;  ///< "vertical", "horizontal", or "configuration"
+  double wall_sec = 0.0;
+  int units_processed = 0;
+  int subplans_enumerated = 0;
 };
 
 /// What the optimizer did, for reporting and the Figure 13 bench.
@@ -48,6 +65,10 @@ struct OptimizeReport {
   int units_processed = 0;
   int subplans_enumerated = 0;
   std::vector<std::string> applied;  ///< transformation log
+  /// Costing-layer counters for the whole run (what-if calls, cache
+  /// hits/misses, full vs. incremental predictions, RRS evaluations).
+  CostInstrumentation costing;
+  std::vector<PhaseReport> phases;
 };
 
 /// Cost-based transformation-based workflow optimizer.

@@ -95,6 +95,7 @@ std::vector<std::string> JobVertex::OutputDatasets() const {
     for (const BranchInput& in : b.inputs) {
       for (const Stage& s : in.map_stages) add(s.tee_dataset);
     }
+    for (const Stage& s : b.merged_map_stages) add(s.tee_dataset);
     for (const Stage& s : b.reduce_stages) add(s.tee_dataset);
     add(b.output_dataset);
   }

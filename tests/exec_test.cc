@@ -193,6 +193,33 @@ TEST(JobRunnerTest, MapOnlyJobWritesPerTaskPartitions) {
             flow.jobs[0].num_map_tasks);
 }
 
+TEST(JobRunnerTest, ResolvePartitionSpecDeduplicatesSplitCandidates) {
+  // A sampler output with repeated boundary rows must not yield duplicate
+  // split points: equal adjacent boundaries define ranges that can never
+  // receive a record, silently wasting reduce partitions.
+  Dfs dfs;
+  Layout layout;
+  std::vector<Row> rows;
+  for (int i = 0; i < 4; ++i) {
+    rows.push_back(Row{int64_t{5}});
+    rows.push_back(Row{int64_t{9}});
+  }
+  auto ds = StoredDataset::FromRows("SPLITS", Schema({"k"}), layout,
+                                    std::move(rows), 1);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(dfs.Put(*ds).ok());
+
+  Branch branch;
+  branch.partition.type = PartitionType::kRange;
+  branch.partition.partition_fields = {"k"};
+  branch.partition.split_points_from = "SPLITS";
+
+  auto spec = ResolvePartitionSpec(branch, /*R=*/8, dfs);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->split_points.size(), 2u);  // the two distinct boundaries
+  EXPECT_LT(spec->split_points[0], spec->split_points[1]);
+}
+
 TEST(JobRunnerTest, OutputDatasetInheritsLogicalScale) {
   auto f = MakeChain(1000, 10, 5, /*logical_bytes=*/64 * testing::kGB);
   ASSERT_TRUE(f.ok());

@@ -85,6 +85,28 @@ TEST_P(StubbyOnWorkload, BeatsOrMatchesTheBaseline) {
   EXPECT_LE(ts->makespan_sec, tb->makespan_sec * 1.02) << GetParam();
 }
 
+TEST_P(StubbyOnWorkload, CostCacheIsTransparent) {
+  auto w = MakeProfiled();
+  ASSERT_TRUE(w.ok()) << w.status();
+  StubbyOptions uncached_options;
+  uncached_options.enable_cost_cache = false;
+  auto cached = StubbyOptimizer().Optimize(w->plan);
+  auto uncached = StubbyOptimizer(uncached_options).Optimize(w->plan);
+  ASSERT_TRUE(cached.ok() && uncached.ok());
+  // Memoization must be invisible: same plan, same cost bits, same
+  // transformation trail, same search trajectory.
+  EXPECT_EQ(PlanSignature(cached->plan), PlanSignature(uncached->plan));
+  EXPECT_EQ(cached->estimated_cost, uncached->estimated_cost);
+  EXPECT_EQ(cached->applied, uncached->applied);
+  EXPECT_EQ(cached->costing.rrs_evaluations,
+            uncached->costing.rrs_evaluations);
+  // ... while actually engaging: jobs replay from the memo and full-plan
+  // prediction passes collapse to (nearly) one.
+  EXPECT_GT(cached->costing.job_cache_hits, 0u);
+  EXPECT_LT(cached->costing.full_predictions,
+            uncached->costing.full_predictions);
+}
+
 TEST_P(StubbyOnWorkload, OptimizationIsDeterministic) {
   auto w = MakeProfiled();
   ASSERT_TRUE(w.ok()) << w.status();
