@@ -6,7 +6,10 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <string>
@@ -18,12 +21,34 @@
 #include "baselines/ysmart.h"
 #include "common/json.h"
 #include "common/result.h"
+#include "common/threading.h"
 #include "exec/workflow_runner.h"
 #include "optimizer/stubby.h"
 #include "profiler/profiler.h"
 #include "workloads/registry.h"
 
 namespace stubby::bench {
+
+/// Parses an integer `--name N` command-line flag.
+inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], name)) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+/// `--threads N` (default: all hardware threads). Any value produces
+/// bit-identical bench results; it only moves wall time.
+inline int ThreadsFlag(int argc, char** argv) {
+  return std::max(1, IntFlag(argc, argv, "--threads",
+                             ThreadPool::HardwareThreads()));
+}
+
+/// Wall-clock seconds since `t0`.
+inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// One workload, profiled and ready for plan comparisons.
 struct PreparedWorkload {
@@ -44,8 +69,11 @@ inline Result<PreparedWorkload> Prepare(const std::string& abbr,
 }
 
 /// Simulated wall-clock of a plan, run on a fresh copy of the base data.
-inline Result<double> Execute(const PreparedWorkload& pw, const Plan& plan) {
-  WorkflowRunner runner(pw.options.cluster);
+/// The pool, when given, parallelizes the executor's map/reduce tasks; the
+/// simulated makespan is bit-identical either way.
+inline Result<double> Execute(const PreparedWorkload& pw, const Plan& plan,
+                              ThreadPool* pool = nullptr) {
+  WorkflowRunner runner(pw.options.cluster, pool);
   Dfs dfs = pw.workload.dfs;
   STUBBY_ASSIGN_OR_RETURN(WorkflowDataflow flow, runner.Run(plan, &dfs));
   return flow.makespan_sec;
@@ -57,7 +85,8 @@ inline Result<double> Execute(const PreparedWorkload& pw, const Plan& plan) {
 inline Result<OptimizeReport> RunStubbyReport(const PreparedWorkload& pw,
                                               bool vertical, bool horizontal,
                                               uint64_t seed = 17,
-                                              bool enable_cache = true) {
+                                              bool enable_cache = true,
+                                              ThreadPool* pool = nullptr) {
   StubbyOptions opts;
   opts.enable_intra_vertical = vertical;
   opts.enable_inter_vertical = vertical;
@@ -68,6 +97,7 @@ inline Result<OptimizeReport> RunStubbyReport(const PreparedWorkload& pw,
   opts.enable_configuration = true;
   opts.enable_cost_cache = enable_cache;
   opts.unit.seed = seed;
+  opts.pool = pool;
   StubbyOptimizer optimizer(opts);
   return optimizer.Optimize(pw.workload.plan);
 }

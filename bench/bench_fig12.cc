@@ -4,7 +4,9 @@
 // configuration), and MRShare (cost-based horizontal packing + rule-based
 // configuration) — for all eight workflows.
 //
-// Flags: --rows N  physical sample rows (default 20000)
+// Flags: --rows N     physical sample rows (default 20000)
+//        --threads N  worker threads (default: hardware); workflows run as
+//                     concurrent tasks, results are identical at any count
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,20 +18,24 @@ using namespace stubby;
 using namespace stubby::bench;
 
 int main(int argc, char** argv) {
-  int rows = 20000;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
-      rows = std::atoi(argv[++i]);
-    }
-  }
+  const int rows = IntFlag(argc, argv, "--rows", 20000);
+  const int threads = ThreadsFlag(argc, argv);
+  ThreadPool pool(threads);
 
   std::printf("Figure 12: speedup over Baseline\n");
   std::printf("%-6s %10s | %8s %8s %8s %8s\n", "WF", "Baseline", "Stubby",
               "Starfish", "YSmart", "MRShare");
 
-  Json rows_json = Json::Array();
-  CostInstrumentation total_costing;
-  for (const auto& abbr : AllWorkloadAbbrs()) {
+  const std::vector<std::string> abbrs = AllWorkloadAbbrs();
+  struct WorkloadRow {
+    std::string line;
+    Json row;
+    CostInstrumentation costing;
+  };
+  std::vector<WorkloadRow> results(abbrs.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  RunTasks(&pool, abbrs.size(), [&](size_t i) {
+    const std::string& abbr = abbrs[i];
     auto pw = Prepare(abbr, rows);
     STUBBY_CHECK_OK(pw.status());
 
@@ -51,11 +57,13 @@ int main(int argc, char** argv) {
     double s_starfish = speedup_of(StarfishOptimize(pw->workload.plan));
     double s_ysmart = speedup_of(YSmartOptimize(pw->workload.plan));
     double s_mrshare = speedup_of(MRShareOptimize(pw->workload.plan));
-    std::printf("%-6s %9.0fs | %8.2f %8.2f %8.2f %8.2f\n", abbr.c_str(),
-                *t_base, s_stubby, s_starfish, s_ysmart, s_mrshare);
-    std::fflush(stdout);
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "%-6s %9.0fs | %8.2f %8.2f %8.2f %8.2f\n", abbr.c_str(),
+                  *t_base, s_stubby, s_starfish, s_ysmart, s_mrshare);
+    results[i].line = line;
+    results[i].costing = stubby_report->costing;
 
-    total_costing.Add(stubby_report->costing);
     Json row = Json::Object();
     row["workload"] = abbr;
     row["baseline_sec"] = *t_base;
@@ -64,12 +72,24 @@ int main(int argc, char** argv) {
     row["ysmart_speedup"] = s_ysmart;
     row["mrshare_speedup"] = s_mrshare;
     row["stubby"] = ReportJson(*stubby_report);
-    rows_json.Append(std::move(row));
+    results[i].row = std::move(row);
+  });
+  const double total_wall = SecondsSince(t0);
+
+  Json rows_json = Json::Array();
+  CostInstrumentation total_costing;
+  for (WorkloadRow& r : results) {
+    std::fputs(r.line.c_str(), stdout);
+    total_costing.Add(r.costing);
+    rows_json.Append(std::move(r.row));
   }
+  std::printf("total: %.3fs at %d threads\n", total_wall, threads);
 
   Json doc = Json::Object();
   doc["bench"] = "fig12";
   doc["rows"] = rows;
+  doc["threads"] = static_cast<uint64_t>(threads);
+  doc["total_wall_sec"] = total_wall;
   doc["workloads"] = std::move(rows_json);
   doc["stubby_costing_total"] = InstrumentationJson(total_costing);
   WriteBenchJson("BENCH_FIG12.json", doc);

@@ -5,8 +5,10 @@
 // cluster (actual). As in the paper, the estimates are good enough to
 // identify the best and worst subplans even when absolute values deviate.
 //
-// Flags: --rows N   sample rows (default 20000)
-//        --noise F  profiling noise factor (default 0.05)
+// Flags: --rows N     sample rows (default 20000)
+//        --noise F    profiling noise factor (default 0.05)
+//        --threads N  worker threads (default: hardware); subplans run as
+//                     concurrent tasks, results are identical at any count
 
 #include <algorithm>
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include <set>
 #include <vector>
 
+#include "bench_common.h"
 #include "cost/phase_model.h"
 #include "cost/whatif.h"
 #include "exec/workflow_runner.h"
@@ -52,15 +55,16 @@ double RankCorrelation(const std::vector<double>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int rows = 20000;
+  using namespace stubby::bench;
+  const int rows = IntFlag(argc, argv, "--rows", 20000);
+  const int threads = ThreadsFlag(argc, argv);
   double noise = 0.05;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
-      rows = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--noise") && i + 1 < argc) {
-      noise = std::atof(argv[++i]);
+    if (!std::strcmp(argv[i], "--noise") && i + 1 < argc) {
+      noise = std::atof(argv[i + 1]);
     }
   }
+  ThreadPool pool(threads);
 
   WorkloadOptions options;
   options.sample_rows = rows;
@@ -80,12 +84,13 @@ int main(int argc, char** argv) {
       std::make_shared<PartitionFunctionTransform>(),
   };
   UnitSearchOptions uopts;
-  UnitOptimizer unit_optimizer(group, &whatif, uopts);
+  UnitOptimizer unit_optimizer(group, &whatif, uopts, &pool);
   auto unit = NextUnit(workload->plan, {});
   if (!unit) {
     std::fprintf(stderr, "no optimization unit\n");
     return 1;
   }
+  auto t0 = std::chrono::steady_clock::now();
   auto subplans = unit_optimizer.EnumerateSubplans(workload->plan, *unit);
   STUBBY_CHECK_OK(subplans.status());
 
@@ -109,24 +114,29 @@ int main(int argc, char** argv) {
     return total;
   };
 
+  // Each subplan executes against its own Dfs copy and the engine is
+  // cache-less here, so subplans are independent tasks.
   WorkflowRunner runner(options.cluster);
-  std::vector<double> estimated, actual;
-  std::vector<std::string> labels;
-  for (const auto& sp : *subplans) {
+  const size_t n = subplans->size();
+  std::vector<double> estimated(n), actual(n);
+  std::vector<std::string> labels(n);
+  RunTasks(&pool, n, [&](size_t i) {
+    const SubplanCandidate& sp = (*subplans)[i];
     Dfs dfs = workload->dfs;
     auto flow = runner.Run(sp.plan, &dfs);
     STUBBY_CHECK_OK(flow.status());
     auto predicted = whatif.PredictDataflow(sp.plan);
     STUBBY_CHECK_OK(predicted.status());
-    estimated.push_back(unit_cost(sp.plan, *predicted, sp.renames));
-    actual.push_back(unit_cost(sp.plan, *flow, sp.renames));
+    estimated[i] = unit_cost(sp.plan, *predicted, sp.renames);
+    actual[i] = unit_cost(sp.plan, *flow, sp.renames);
     std::string label;
     for (const auto& a : sp.applied) {
       if (!label.empty()) label += " + ";
       label += a.substr(0, a.find(" ("));
     }
-    labels.push_back(label.empty() ? "(original)" : label);
-  }
+    labels[i] = label.empty() ? "(original)" : label;
+  });
+  const double total_wall = SecondsSince(t0);
   double est_max = *std::max_element(estimated.begin(), estimated.end());
   double act_max = *std::max_element(actual.begin(), actual.end());
 
@@ -135,9 +145,17 @@ int main(int argc, char** argv) {
       "unit of IR (%zu subplans, profiling noise %.2f)\n\n",
       estimated.size(), noise);
   std::printf("%-58s %10s %10s\n", "subplan", "estimated", "actual");
+  Json subplans_json = Json::Array();
   for (size_t i = 0; i < estimated.size(); ++i) {
     std::printf("%-58.58s %10.3f %10.3f\n", labels[i].c_str(),
                 estimated[i] / est_max, actual[i] / act_max);
+    Json row = Json::Object();
+    row["subplan"] = labels[i];
+    row["estimated_sec"] = estimated[i];
+    row["actual_sec"] = actual[i];
+    row["estimated_norm"] = estimated[i] / est_max;
+    row["actual_norm"] = actual[i] / act_max;
+    subplans_json.Append(std::move(row));
   }
   size_t best_est = std::min_element(estimated.begin(), estimated.end()) -
                     estimated.begin();
@@ -147,8 +165,8 @@ int main(int argc, char** argv) {
                      estimated.begin();
   size_t worst_act =
       std::max_element(actual.begin(), actual.end()) - actual.begin();
-  std::printf("\nrank correlation (Spearman): %.2f\n",
-              RankCorrelation(estimated, actual));
+  const double rank_corr = RankCorrelation(estimated, actual);
+  std::printf("\nrank correlation (Spearman): %.2f\n", rank_corr);
   // "Identified" in the paper's sense: the chosen subplan actually performs
   // within 2% of the true best/worst (ties between near-identical subplans
   // do not count as misses).
@@ -156,5 +174,17 @@ int main(int argc, char** argv) {
   bool worst_ok = actual[worst_est] >= actual[worst_act] * 0.98;
   std::printf("best subplan identified : %s\n", best_ok ? "YES" : "no");
   std::printf("worst subplan identified: %s\n", worst_ok ? "YES" : "no");
+
+  Json doc = Json::Object();
+  doc["bench"] = "fig14";
+  doc["rows"] = rows;
+  doc["noise"] = noise;
+  doc["threads"] = static_cast<uint64_t>(threads);
+  doc["total_wall_sec"] = total_wall;
+  doc["rank_correlation"] = rank_corr;
+  doc["best_identified"] = best_ok;
+  doc["worst_identified"] = worst_ok;
+  doc["subplans"] = std::move(subplans_json);
+  WriteBenchJson("BENCH_FIG14.json", doc);
   return 0;
 }

@@ -206,8 +206,8 @@ BENCHMARK(BM_PlanSignature);
 
 // Cache-on vs. cache-off optimizer runs on the BR workflow (the paper's
 // Figure 1 running example): verifies transparency and reports how much of
-// the costing work the memo eliminated. Written to BENCH_MICRO.json.
-int RunCostCacheStudy() {
+// the costing work the memo eliminated.
+bool RunCostCacheStudy(Json* doc) {
   using namespace stubby::bench;
   std::printf("\nCost-cache study (BR, the Figure 1 running example)\n");
   auto pw = Prepare("BR", 6000);
@@ -237,15 +237,89 @@ int RunCostCacheStudy() {
   std::printf("  optimizer wall time: %.3fs -> %.3fs\n",
               off->optimization_time_sec, on->optimization_time_sec);
 
-  Json doc = Json::Object();
-  doc["bench"] = "microbench_cost_cache";
-  doc["workload"] = "BR";
-  doc["transparent"] = transparent;
-  doc["full_prediction_reduction"] = reduction;
-  doc["cache_off"] = ReportJson(*off);
-  doc["cache_on"] = ReportJson(*on);
-  WriteBenchJson("BENCH_MICRO.json", doc);
-  return transparent && reduction >= 2.0 ? 0 : 1;
+  Json study = Json::Object();
+  study["workload"] = "BR";
+  study["transparent"] = transparent;
+  study["full_prediction_reduction"] = reduction;
+  study["cache_off"] = ReportJson(*off);
+  study["cache_on"] = ReportJson(*on);
+  (*doc)["cost_cache"] = std::move(study);
+  return transparent && reduction >= 2.0;
+}
+
+// Executor and optimizer wall time at 1/2/4/8 worker threads on BR.
+// Results must be bit-identical at every thread count (the determinism
+// invariant of the task-parallel core); the speedups depend on the host's
+// core count and are recorded, not gated here.
+bool RunThreadScalingStudy(Json* doc) {
+  using namespace stubby::bench;
+  std::printf("\nThread-scaling study (BR): threads vs wall time\n");
+  auto pw = Prepare("BR", 6000);
+  STUBBY_CHECK_OK(pw.status());
+  auto baseline = PigBaseline(pw->workload.plan);
+  STUBBY_CHECK_OK(baseline.status());
+  std::printf("  hardware threads: %d\n", ThreadPool::HardwareThreads());
+
+  bool identical = true;
+  double exec_wall_1 = 0.0;
+  double opt_wall_1 = 0.0;
+  double ref_makespan = 0.0;
+  double ref_cost = 0.0;
+  std::string ref_sig;
+  Json points = Json::Array();
+  for (int t : {1, 2, 4, 8}) {
+    ThreadPool pool(t);
+    double exec_wall = 0.0;
+    double makespan = 0.0;
+    constexpr int kReps = 3;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto m = Execute(*pw, *baseline, &pool);
+      STUBBY_CHECK_OK(m.status());
+      const double wall = SecondsSince(t0);
+      if (rep == 0 || wall < exec_wall) exec_wall = wall;
+      makespan = *m;
+    }
+    auto report = RunStubbyReport(*pw, true, true, 17, true, &pool);
+    STUBBY_CHECK_OK(report.status());
+    const double opt_wall = report->optimization_time_sec;
+    const std::string sig = PlanSignature(report->plan);
+
+    if (t == 1) {
+      exec_wall_1 = exec_wall;
+      opt_wall_1 = opt_wall;
+      ref_makespan = makespan;
+      ref_cost = report->estimated_cost;
+      ref_sig = sig;
+    } else if (makespan != ref_makespan || report->estimated_cost != ref_cost ||
+               sig != ref_sig) {
+      identical = false;
+    }
+    const double exec_speedup = exec_wall > 0 ? exec_wall_1 / exec_wall : 1.0;
+    const double opt_speedup = opt_wall > 0 ? opt_wall_1 / opt_wall : 1.0;
+    std::printf(
+        "  threads=%d  executor %.3fs (%.2fx)  optimizer %.3fs (%.2fx)\n", t,
+        exec_wall, exec_speedup, opt_wall, opt_speedup);
+
+    Json point = Json::Object();
+    point["threads"] = static_cast<uint64_t>(t);
+    point["executor_wall_sec"] = exec_wall;
+    point["executor_speedup"] = exec_speedup;
+    point["optimizer_wall_sec"] = opt_wall;
+    point["optimizer_speedup"] = opt_speedup;
+    points.Append(std::move(point));
+  }
+  std::printf("  results across thread counts: %s\n",
+              identical ? "IDENTICAL" : "MISMATCH");
+
+  Json study = Json::Object();
+  study["workload"] = "BR";
+  study["hardware_threads"] =
+      static_cast<uint64_t>(ThreadPool::HardwareThreads());
+  study["identical_results"] = identical;
+  study["points"] = std::move(points);
+  (*doc)["thread_scaling"] = std::move(study);
+  return identical;
 }
 
 }  // namespace
@@ -255,5 +329,11 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return RunCostCacheStudy();
+
+  Json doc = Json::Object();
+  doc["bench"] = "microbench";
+  const bool cache_ok = RunCostCacheStudy(&doc);
+  const bool scaling_ok = RunThreadScalingStudy(&doc);
+  stubby::bench::WriteBenchJson("BENCH_MICRO.json", doc);
+  return cache_ok && scaling_ok ? 0 : 1;
 }

@@ -1,0 +1,111 @@
+#include "common/threading.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace stubby {
+
+namespace {
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+int ThreadPool::HardwareThreads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::DrainBatch(Batch* batch) {
+  const bool was_in_region = t_in_parallel_region;
+  t_in_parallel_region = true;
+  for (;;) {
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (batch->next >= batch->n) break;
+      i = batch->next++;
+    }
+    (*batch->fn)(i);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++batch->done == batch->n) {
+        done_cv_.notify_all();
+        break;
+      }
+    }
+  }
+  t_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    // Hold a shared reference while draining so the batch outlives any
+    // straggler worker that is between tasks when the caller returns.
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && batch_->next < batch_->n);
+      });
+      if (stop_) return;
+      batch = batch_;
+    }
+    DrainBatch(batch.get());
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Nested (or single-threaded) execution is inline: identical semantics,
+  // and a task blocking on its own pool can never deadlock.
+  if (threads_ == 1 || t_in_parallel_region) {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    for (size_t i = 0; i < n; ++i) fn(i);
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = batch;
+  }
+  work_cv_.notify_all();
+  DrainBatch(batch.get());
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return batch->done == batch->n; });
+    batch_ = nullptr;
+  }
+}
+
+void RunTasks(ThreadPool* pool, size_t n,
+              const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace stubby

@@ -1,0 +1,92 @@
+// Deterministic task parallelism: a fixed-size worker pool with fork-join
+// primitives (ParallelFor / ordered ParallelMap). The pool only decides
+// *when* a task runs, never *what* it computes or *how* results combine:
+// callers submit index-addressed pure tasks, collect results in submission
+// order, and perform all shared-state merges serially afterwards. Under
+// that discipline every computation is bit-identical for any thread count,
+// which is the invariant the executor, the unit search, and the benches
+// rely on.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stubby {
+
+/// Fixed-size worker pool. One ParallelFor batch runs at a time (concurrent
+/// top-level calls serialize); nested calls from inside a task execute
+/// inline on the calling thread, so fork-join nesting can never deadlock a
+/// fixed pool and scheduling depth never affects results.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates in every
+  /// batch, so `threads` is the true parallel width). Values < 1 clamp to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static int HardwareThreads();
+
+  /// Runs fn(0), ..., fn(n-1) across the pool and the calling thread,
+  /// blocking until every task finished. Tasks must not touch shared
+  /// mutable state except through their own index's slot. Called from
+  /// inside a running task, executes the whole loop inline.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// ParallelFor that collects fn(i) into a vector in index order —
+  /// submission order, not completion order.
+  template <typename T, typename Fn>
+  std::vector<T> ParallelMap(size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// True while the current thread is executing a ParallelFor task (worker
+  /// or participating caller) of any pool.
+  static bool InParallelRegion();
+
+ private:
+  /// Shared state of one in-flight ParallelFor.
+  struct Batch {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t next = 0;  // next unclaimed index (under mutex_)
+    size_t done = 0;  // finished tasks (under mutex_)
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks of the current batch until none remain; returns
+  /// the number of tasks this thread completed.
+  void DrainBatch(Batch* batch);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a batch arrived / shutdown
+  std::condition_variable done_cv_;  // caller: batch completed
+  std::shared_ptr<Batch> batch_;     // in-flight batch (null when idle)
+  bool stop_ = false;
+
+  std::mutex submit_mutex_;  // serializes top-level ParallelFor calls
+};
+
+/// Convenience: runs fn(0..n-1) on `pool`, or inline (in index order) when
+/// `pool` is null, single-threaded, or the caller is already inside a
+/// ParallelFor task. The semantics are identical in every case.
+void RunTasks(ThreadPool* pool, size_t n,
+              const std::function<void(size_t)>& fn);
+
+}  // namespace stubby

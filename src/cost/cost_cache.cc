@@ -268,4 +268,70 @@ std::string CostInstrumentation::ToString() const {
       (unsigned long long)rrs_evaluations);
 }
 
+CostCache::CostCache(Options options)
+    : plans_(options.plan_capacity), jobs_(options.job_capacity) {}
+
+const CostEstimate* CostCacheOverlay::PeekPlan(const CostKey& key) const {
+  auto it = plans_.find(key);
+  if (it != plans_.end()) return &it->second;
+  return parent_ != nullptr ? parent_->PeekPlan(key) : nullptr;
+}
+
+const CostJobEntry* CostCacheOverlay::PeekJob(const CostKey& key) const {
+  auto it = jobs_.find(key);
+  if (it != jobs_.end()) return &it->second;
+  return parent_ != nullptr ? parent_->PeekJob(key) : nullptr;
+}
+
+const CostEstimate* CostCacheOverlay::FindPlan(const CostKey& key) {
+  const CostEstimate* hit = PeekPlan(key);
+  if (hit != nullptr) journal_.emplace_back(Op::kTouchPlan, key);
+  return hit;
+}
+
+void CostCacheOverlay::InsertPlan(const CostKey& key, CostEstimate est) {
+  journal_.emplace_back(Op::kInsertPlan, key);
+  plans_[key] = std::move(est);
+}
+
+void CostCacheOverlay::TouchPlan(const CostKey& key) {
+  journal_.emplace_back(Op::kTouchPlan, key);
+}
+
+const CostJobEntry* CostCacheOverlay::FindJob(const CostKey& key) {
+  const CostJobEntry* hit = PeekJob(key);
+  if (hit != nullptr) journal_.emplace_back(Op::kTouchJob, key);
+  return hit;
+}
+
+void CostCacheOverlay::InsertJob(const CostKey& key, CostJobEntry entry) {
+  journal_.emplace_back(Op::kInsertJob, key);
+  jobs_[key] = std::move(entry);
+}
+
+void CostCacheOverlay::TouchJob(const CostKey& key) {
+  journal_.emplace_back(Op::kTouchJob, key);
+}
+
+void CostCacheOverlay::MergeInto(CostStore* store) const {
+  for (const auto& [op, key] : journal_) {
+    switch (op) {
+      case Op::kTouchPlan:
+        store->TouchPlan(key);
+        break;
+      case Op::kInsertPlan:
+        // Repeated inserts of one key replay the final value each time —
+        // transparency makes them bit-identical anyway.
+        store->InsertPlan(key, plans_.at(key));
+        break;
+      case Op::kTouchJob:
+        store->TouchJob(key);
+        break;
+      case Op::kInsertJob:
+        store->InsertJob(key, jobs_.at(key));
+        break;
+    }
+  }
+}
+
 }  // namespace stubby

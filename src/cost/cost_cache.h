@@ -20,12 +20,29 @@
 // engine computed, and digests cover every input the computation reads).
 // Capacity-bounded with LRU eviction; an evicted entry is simply
 // recomputed, which yields the same bits again.
+//
+// Concurrency model. CostCache is internally synchronized (the memo maps
+// are sharded, each shard behind its own mutex), so stray concurrent use
+// is memory-safe — but lock interleaving alone cannot make hit/miss
+// counters or LRU victims deterministic. Parallel optimizer stages
+// therefore use the snapshot/overlay protocol instead: the shared cache is
+// frozen for the duration of a task batch (readers go through PeekPlan /
+// PeekJob, which never mutate recency), each task routes its reads and
+// writes through a private CostCacheOverlay, and after the batch the
+// overlays merge into the shared cache serially in task submission order.
+// Every task sees exactly the frozen snapshot plus its own writes, and the
+// merged cache state is a pure function of the submission order — so
+// costing results AND instrumentation counters are bit-identical for any
+// thread count. The protocol is applied identically in single-threaded
+// runs, making thread count unobservable.
 
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -134,10 +151,48 @@ struct CostInstrumentation {
   std::string ToString() const;
 };
 
+/// One memoized PredictJob outcome: the dataflow, the task times derived
+/// from it, and the size predictions the job recorded for its outputs.
+struct CostJobEntry {
+  JobDataflow dataflow;
+  JobTaskTimes times;
+  std::vector<std::pair<std::string, PredictedDataset>> outputs;
+};
+
+/// Read-only view of a costing memo: lookups that never change recency or
+/// contents. This is how overlay tasks read the frozen shared cache (and
+/// how overlays chain). Returned pointers stay valid while the source is
+/// frozen (no concurrent Insert).
+class CostSource {
+ public:
+  virtual ~CostSource() = default;
+  virtual const CostEstimate* PeekPlan(const CostKey& key) const = 0;
+  virtual const CostJobEntry* PeekJob(const CostKey& key) const = 0;
+};
+
+/// Mutable costing memo: what WhatIfEngine drives. Find refreshes LRU
+/// recency (or records that it would have); Touch refreshes recency
+/// without returning the entry (used when replaying an overlay's access
+/// log during a merge).
+class CostStore : public CostSource {
+ public:
+  virtual const CostEstimate* FindPlan(const CostKey& key) = 0;
+  virtual void InsertPlan(const CostKey& key, CostEstimate est) = 0;
+  virtual void TouchPlan(const CostKey& key) = 0;
+
+  virtual const CostJobEntry* FindJob(const CostKey& key) = 0;
+  virtual void InsertJob(const CostKey& key, CostJobEntry entry) = 0;
+  virtual void TouchJob(const CostKey& key) = 0;
+};
+
 /// The two memo layers plus eviction bookkeeping. One instance lives for
 /// the duration of one StubbyOptimizer::Optimize call, shared across
-/// phases and units.
-class CostCache {
+/// phases and units. Sharded: keys map to one of up to 16 shards (the
+/// count derives from the capacity, never from the thread count), each an
+/// independently locked LRU map — concurrent Peeks never contend across
+/// shards, and caches small enough to need global LRU order (capacity
+/// < 128) keep a single shard.
+class CostCache final : public CostStore {
  public:
   struct Options {
     size_t plan_capacity = 1024;
@@ -145,27 +200,34 @@ class CostCache {
   };
 
   CostCache() : CostCache(Options{}) {}
-  explicit CostCache(Options options) : options_(options) {}
+  explicit CostCache(Options options);
 
   /// Whole-plan memo. Find refreshes LRU recency; the returned pointer is
-  /// valid until the next Insert.
-  const CostEstimate* FindPlan(const CostKey& key) {
+  /// valid until the next Insert into the key's shard.
+  const CostEstimate* FindPlan(const CostKey& key) override {
     return plans_.Find(key);
   }
-  void InsertPlan(const CostKey& key, CostEstimate est) {
-    plans_.Insert(key, std::move(est), options_.plan_capacity);
+  void InsertPlan(const CostKey& key, CostEstimate est) override {
+    plans_.Insert(key, std::move(est));
+  }
+  void TouchPlan(const CostKey& key) override { plans_.Touch(key); }
+  const CostEstimate* PeekPlan(const CostKey& key) const override {
+    return plans_.Peek(key);
   }
 
-  /// One memoized PredictJob outcome: the dataflow, the task times derived
-  /// from it, and the size predictions the job recorded for its outputs.
-  struct JobEntry {
-    JobDataflow dataflow;
-    JobTaskTimes times;
-    std::vector<std::pair<std::string, PredictedDataset>> outputs;
-  };
-  const JobEntry* FindJob(const CostKey& key) { return jobs_.Find(key); }
-  void InsertJob(const CostKey& key, JobEntry entry) {
-    jobs_.Insert(key, std::move(entry), options_.job_capacity);
+  /// Backwards-compatible alias (entries were a nested type before the
+  /// store interface was factored out).
+  using JobEntry = CostJobEntry;
+
+  const CostJobEntry* FindJob(const CostKey& key) override {
+    return jobs_.Find(key);
+  }
+  void InsertJob(const CostKey& key, CostJobEntry entry) override {
+    jobs_.Insert(key, std::move(entry));
+  }
+  void TouchJob(const CostKey& key) override { jobs_.Touch(key); }
+  const CostJobEntry* PeekJob(const CostKey& key) const override {
+    return jobs_.Peek(key);
   }
 
   size_t plan_entries() const { return plans_.size(); }
@@ -182,6 +244,18 @@ class CostCache {
       if (it == index_.end()) return nullptr;
       entries_.splice(entries_.begin(), entries_, it->second);
       return &it->second->second;
+    }
+
+    const V* Peek(const CostKey& key) const {
+      auto it = index_.find(key);
+      return it == index_.end() ? nullptr : &it->second->second;
+    }
+
+    void Touch(const CostKey& key) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        entries_.splice(entries_.begin(), entries_, it->second);
+      }
     }
 
     void Insert(const CostKey& key, V value, size_t capacity) {
@@ -211,9 +285,119 @@ class CostCache {
     uint64_t evictions_ = 0;
   };
 
-  Options options_;
-  LruMap<CostEstimate> plans_;
-  LruMap<JobEntry> jobs_;
+  /// LruMap partitioned into independently locked shards. The shard of a
+  /// key and the shard count depend only on the key and the capacity, so
+  /// eviction behavior is identical across runs and thread counts.
+  template <typename V>
+  class ShardedLru {
+   public:
+    /// Shard count derives from the capacity: default-sized caches spread
+    /// lock contention 16 ways, but below 128 entries a single shard keeps
+    /// exact global LRU order. A pure function of the capacity — never of
+    /// the thread count.
+    explicit ShardedLru(size_t capacity) {
+      size_t n = capacity / 64;
+      if (n < 1) n = 1;
+      if (n > 16) n = 16;
+      shard_capacity_ = (capacity + n - 1) / n;
+      shards_.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+      }
+    }
+
+    const V* Find(const CostKey& key) {
+      Shard& s = ShardOf(key);
+      std::lock_guard<std::mutex> lock(s.mu);
+      return s.map.Find(key);
+    }
+    const V* Peek(const CostKey& key) const {
+      const Shard& s = ShardOf(key);
+      std::lock_guard<std::mutex> lock(s.mu);
+      return s.map.Peek(key);
+    }
+    void Touch(const CostKey& key) {
+      Shard& s = ShardOf(key);
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.Touch(key);
+    }
+    void Insert(const CostKey& key, V value) {
+      Shard& s = ShardOf(key);
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.Insert(key, std::move(value), shard_capacity_);
+    }
+    size_t size() const {
+      size_t total = 0;
+      for (const auto& s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total += s->map.size();
+      }
+      return total;
+    }
+    uint64_t evictions() const {
+      uint64_t total = 0;
+      for (const auto& s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total += s->map.evictions();
+      }
+      return total;
+    }
+
+   private:
+    struct Shard {
+      mutable std::mutex mu;
+      LruMap<V> map;
+    };
+    Shard& ShardOf(const CostKey& key) const {
+      return *shards_[CostKeyHash{}(key) % shards_.size()];
+    }
+
+    size_t shard_capacity_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+  };
+
+  ShardedLru<CostEstimate> plans_;
+  ShardedLru<CostJobEntry> jobs_;
+};
+
+/// A task-private write layer over a frozen CostSource: reads fall through
+/// to the parent, writes stay local, and every recency-relevant access is
+/// journaled. After the parallel batch, MergeInto replays the journal into
+/// the shared store serially — the shared cache ends up in the exact state
+/// a single thread running the tasks in submission order would have left
+/// behind (modulo the frozen snapshot: tasks of one batch do not observe
+/// each other's inserts, by design, at every thread count). Overlays nest:
+/// an RRS point block's overlay parents on its candidate's overlay.
+///
+/// Not internally synchronized — each overlay belongs to exactly one task.
+class CostCacheOverlay final : public CostStore {
+ public:
+  /// `parent` may be null (no backing memo: all reads miss until written).
+  explicit CostCacheOverlay(const CostSource* parent) : parent_(parent) {}
+
+  const CostEstimate* PeekPlan(const CostKey& key) const override;
+  const CostJobEntry* PeekJob(const CostKey& key) const override;
+
+  const CostEstimate* FindPlan(const CostKey& key) override;
+  void InsertPlan(const CostKey& key, CostEstimate est) override;
+  void TouchPlan(const CostKey& key) override;
+
+  const CostJobEntry* FindJob(const CostKey& key) override;
+  void InsertJob(const CostKey& key, CostJobEntry entry) override;
+  void TouchJob(const CostKey& key) override;
+
+  /// Replays this overlay's journal into `store` in access order: touches
+  /// re-assert recency, inserts write the overlay's (final) value. Call
+  /// serially, in task submission order.
+  void MergeInto(CostStore* store) const;
+
+ private:
+  enum class Op : uint8_t { kTouchPlan, kInsertPlan, kTouchJob, kInsertJob };
+
+  const CostSource* parent_;
+  std::unordered_map<CostKey, CostEstimate, CostKeyHash> plans_;
+  std::unordered_map<CostKey, CostJobEntry, CostKeyHash> jobs_;
+  std::vector<std::pair<Op, CostKey>> journal_;
 };
 
 }  // namespace stubby

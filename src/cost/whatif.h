@@ -21,8 +21,8 @@
 
 namespace stubby {
 
-class CostCache;
 class CostDigest;
+class CostStore;
 struct CostInstrumentation;
 
 /// Predicted size of a (possibly intermediate) dataset.
@@ -74,11 +74,13 @@ class WhatIfEngine {
 
   const PhaseTimeModel& model() const { return model_; }
 
-  /// Attaches a memoization cache (nullptr detaches). Caching is
-  /// transparent: cached and uncached costing return bit-identical
-  /// estimates. The cache must outlive the engine or be detached first.
-  void set_cache(CostCache* cache) { cache_ = cache; }
-  CostCache* cache() const { return cache_; }
+  /// Attaches a memoization store (nullptr detaches) — the shared
+  /// CostCache, or a task-private CostCacheOverlay during parallel costing
+  /// batches. Caching is transparent: cached and uncached costing return
+  /// bit-identical estimates. The store must outlive the engine or be
+  /// detached first.
+  void set_cache(CostStore* cache) { cache_ = cache; }
+  CostStore* cache() const { return cache_; }
 
   /// Attaches a counter block updated by every Cost/PredictDataflow call
   /// (nullptr detaches). Callers that drive the engine — e.g. the unit
@@ -105,7 +107,7 @@ class WhatIfEngine {
       const std::map<std::string, CostDigest>* job_digests) const;
 
   PhaseTimeModel model_;
-  CostCache* cache_ = nullptr;
+  CostStore* cache_ = nullptr;
   CostInstrumentation* stats_ = nullptr;
 };
 

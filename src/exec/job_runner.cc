@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/threading.h"
 #include "exec/wrappers.h"
 
 namespace stubby {
@@ -31,6 +32,8 @@ class TaskTeeSink : public TeeSink {
  private:
   std::map<std::string, std::vector<Row>> rows_;
 };
+
+using TeeRows = std::map<std::string, std::vector<Row>>;
 
 /// Accumulates a dataset under construction (per-partition rows + scaled
 /// accounting so the stored dataset gets the right logical scale).
@@ -86,6 +89,24 @@ std::vector<int> SelectedPartitions(const StoredDataset& ds,
   return parts;
 }
 
+/// One sorted (and possibly combined) reduce bucket produced by a map task.
+struct ShuffleBucket {
+  size_t r = 0;
+  uint64_t sorted_bytes = 0;   ///< pre-combine, post-sort
+  uint64_t pre_records = 0;    ///< pre-combine
+  std::vector<Row> post_rows;  ///< after the (physical) combiner
+};
+
+/// Partitioned/sorted/combined map output of one task for one branch. Pure
+/// task-side data: all dataflow accounting happens when it is merged, in
+/// task order.
+struct ShuffledOutput {
+  uint64_t out_bytes = 0;
+  size_t out_records = 0;
+  std::vector<uint64_t> group_hashes;  ///< one per map-output row
+  std::vector<ShuffleBucket> buckets;  ///< ascending r, non-empty only
+};
+
 }  // namespace
 
 Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
@@ -117,6 +138,13 @@ Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
   return spec;
 }
 
+// Tasks (map chunks, merge-mode tasks, reduce partitions) are pure: they
+// run pipelines, partition/sort/combine, and return unaggregated
+// per-task pieces. All mutation of the dataflow record, the branch
+// accumulators, and the tee builders happens in a serial merge that walks
+// the pieces in task order — replaying the exact accumulation sequence of
+// a serial run. Results are therefore bit-identical (including
+// floating-point sums) at any thread count.
 Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
                                    Dfs* dfs) const {
   JobDataflow df;
@@ -191,37 +219,29 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     }
   }
 
-  auto drain_tee = [&](TaskTeeSink* sink, double scale) {
-    for (auto& [id, rows] : sink->rows()) {
+  auto drain_tee = [&](TeeRows& tee_rows, double scale) {
+    for (auto& [id, rows] : tee_rows) {
       uint64_t b = RowsBytes(rows);
       df.tee_bytes += static_cast<uint64_t>(static_cast<double>(b) * scale);
       tee_builders[id].Add(std::move(rows), scale);
     }
-    sink->rows().clear();
+    tee_rows.clear();
   };
 
-  // Partition/sort/combine one map task's output for branch `bi` and stash
-  // it into the reduce buckets. The combiner still runs physically (so the
-  // reduce functions see combined rows), but the shuffle-volume accounting
-  // is pre-combine: combine effectiveness at logical scale is modeled
-  // analytically after the map phase, because the physical sample cannot
-  // exhibit logical-scale duplicate density.
-  auto shuffle_map_output = [&](size_t bi, std::vector<Row> rows,
-                                double scale) {
+  // Task side of the shuffle: partition one map task's output for branch
+  // `bi`, sort each bucket, and run the combiner physically (so the reduce
+  // functions see combined rows). Reads branch state, never writes it.
+  auto compute_shuffle = [&](size_t bi,
+                             std::vector<Row> rows) -> ShuffledOutput {
     const Branch& b = job.branches[bi];
-    BranchState& st = bstate[bi];
-    uint64_t out_bytes = RowsBytes(rows);
-    double scaled_records = static_cast<double>(rows.size()) * scale;
-    double scaled_bytes = static_cast<double>(out_bytes) * scale;
-    df.map_output_records += static_cast<uint64_t>(scaled_records);
-    df.map_output_bytes += static_cast<uint64_t>(scaled_bytes);
-    st.raw_scaled_records += scaled_records;
-    st.raw_scaled_bytes += scaled_bytes;
-    st.task_logical_records.push_back(scaled_records);
+    const BranchState& st = bstate[bi];
+    ShuffledOutput so;
+    so.out_bytes = RowsBytes(rows);
+    so.out_records = rows.size();
+    so.group_hashes.reserve(rows.size());
     for (const Row& row : rows) {
-      st.group_hashes.insert(HashOnFields(row, st.group_indices));
+      so.group_hashes.push_back(HashOnFields(row, st.group_indices));
     }
-
     std::vector<std::vector<Row>> buckets(static_cast<size_t>(R));
     for (Row& row : rows) {
       int r = st.partitioner->PartitionOf(row, R);
@@ -235,20 +255,45 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
                          return CompareOnFields(a, bb,
                                                 st.partition_sort_indices) < 0;
                        });
-      uint64_t bb = RowsBytes(bucket);
-      st.bucket_scaled_bytes[r] += static_cast<double>(bb) * scale;
-      st.bucket_scaled_records[r] +=
-          static_cast<double>(bucket.size()) * scale;
-      st.bucket_physical_records[r] += bucket.size();
+      ShuffleBucket sb;
+      sb.r = r;
+      sb.sorted_bytes = RowsBytes(bucket);
+      sb.pre_records = bucket.size();
       if (job.config.use_combiner && b.combiner != nullptr) {
         double combine_cpu = 0.0;
         bucket =
             RunCombiner(*b.combiner, bucket, st.group_indices, &combine_cpu);
       }
-      st.bucket_physical_post_records[r] += bucket.size();
-      auto& dst = st.reduce_buckets[r];
-      dst.insert(dst.end(), std::make_move_iterator(bucket.begin()),
-                 std::make_move_iterator(bucket.end()));
+      sb.post_rows = std::move(bucket);
+      so.buckets.push_back(std::move(sb));
+    }
+    return so;
+  };
+
+  // Merge side of the shuffle: stash the buckets into the branch state and
+  // account shuffle volume pre-combine — combine effectiveness at logical
+  // scale is modeled analytically after the map phase, because the
+  // physical sample cannot exhibit logical-scale duplicate density.
+  auto merge_shuffle = [&](size_t bi, ShuffledOutput so, double scale) {
+    BranchState& st = bstate[bi];
+    double scaled_records = static_cast<double>(so.out_records) * scale;
+    double scaled_bytes = static_cast<double>(so.out_bytes) * scale;
+    df.map_output_records += static_cast<uint64_t>(scaled_records);
+    df.map_output_bytes += static_cast<uint64_t>(scaled_bytes);
+    st.raw_scaled_records += scaled_records;
+    st.raw_scaled_bytes += scaled_bytes;
+    st.task_logical_records.push_back(scaled_records);
+    for (uint64_t h : so.group_hashes) st.group_hashes.insert(h);
+    for (ShuffleBucket& sb : so.buckets) {
+      st.bucket_scaled_bytes[sb.r] +=
+          static_cast<double>(sb.sorted_bytes) * scale;
+      st.bucket_scaled_records[sb.r] +=
+          static_cast<double>(sb.pre_records) * scale;
+      st.bucket_physical_records[sb.r] += sb.pre_records;
+      st.bucket_physical_post_records[sb.r] += sb.post_rows.size();
+      auto& dst = st.reduce_buckets[sb.r];
+      dst.insert(dst.end(), std::make_move_iterator(sb.post_rows.begin()),
+                 std::make_move_iterator(sb.post_rows.end()));
     }
   };
 
@@ -269,6 +314,15 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
 
   // ---- Map phase: shared-scan input groups --------------------------------
   std::vector<InputGroup> groups = GroupBranchInputs(job);
+
+  // Serial task formation: one task per (group, chunk).
+  struct MapTask {
+    const InputGroup* group = nullptr;
+    DatasetPtr ds;
+    double scale = 1.0;
+    std::vector<Row> chunk;
+  };
+  std::vector<MapTask> map_tasks;
   for (const InputGroup& g : groups) {
     STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs->Get(g.dataset_id));
     const double scale = ds->logical_scale();
@@ -305,116 +359,231 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     df.num_map_tasks += static_cast<int>(chunks.size());
     df.pipelines_per_task = std::max(
         df.pipelines_per_task, static_cast<int>(g.subscribers.size()));
-
-    for (const std::vector<Row>& chunk : chunks) {
-      uint64_t logical =
-          account_input(*ds, RowsBytes(chunk), chunk.size());
-      df.max_map_task_input_bytes =
-          std::max(df.max_map_task_input_bytes, logical);
-
-      // Run every subscribing branch pipeline over the shared scan.
-      for (const auto& [bi, ii] : g.subscribers) {
-        const Branch& b = job.branches[bi];
-        const BranchInput& input = b.inputs[ii];
-        TaskTeeSink tee;
-        VectorEmitter out;
-        STUBBY_ASSIGN_OR_RETURN(
-            std::unique_ptr<PipelineRunner> runner,
-            PipelineRunner::Make(input.map_stages, ds->schema(), &out, &tee));
-        for (const Row& row : chunk) runner->Emit(row);
-        runner->Finish();
-        df.map_cpu_units += runner->counters().cpu_units * scale;
-        drain_tee(&tee, scale);
-
-        if (b.map_only()) {
-          bstate[bi].output.Add(std::move(out.rows()), scale);
-        } else {
-          shuffle_map_output(bi, std::move(out.rows()), scale);
-        }
-      }
+    for (std::vector<Row>& chunk : chunks) {
+      map_tasks.push_back(MapTask{&g, ds, scale, std::move(chunk)});
     }
   }
 
+  // Parallel compute: every subscribing branch pipeline over the shared
+  // scan, plus the per-branch shuffle work.
+  struct SubscriberPiece {
+    Status status = Status::OK();
+    double cpu_units = 0.0;
+    TeeRows tee;
+    std::vector<Row> out_rows;  // map-only branches
+    ShuffledOutput shuffled;    // shuffle branches
+  };
+  struct MapTaskResult {
+    uint64_t chunk_bytes = 0;
+    size_t chunk_rows = 0;
+    std::vector<SubscriberPiece> pieces;
+  };
+  std::vector<MapTaskResult> map_results(map_tasks.size());
+  RunTasks(pool_, map_tasks.size(), [&](size_t ti) {
+    MapTask& t = map_tasks[ti];
+    MapTaskResult& res = map_results[ti];
+    res.chunk_bytes = RowsBytes(t.chunk);
+    res.chunk_rows = t.chunk.size();
+    for (const auto& [bi, ii] : t.group->subscribers) {
+      SubscriberPiece& piece = res.pieces.emplace_back();
+      const Branch& b = job.branches[bi];
+      const BranchInput& input = b.inputs[ii];
+      TaskTeeSink tee;
+      VectorEmitter out;
+      auto runner =
+          PipelineRunner::Make(input.map_stages, t.ds->schema(), &out, &tee);
+      if (!runner.ok()) {
+        piece.status = runner.status();
+        continue;
+      }
+      for (const Row& row : t.chunk) (*runner)->Emit(row);
+      (*runner)->Finish();
+      piece.cpu_units = (*runner)->counters().cpu_units;
+      piece.tee = std::move(tee.rows());
+      if (b.map_only()) {
+        piece.out_rows = std::move(out.rows());
+      } else {
+        piece.shuffled = compute_shuffle(bi, std::move(out.rows()));
+      }
+    }
+    t.chunk.clear();
+    t.chunk.shrink_to_fit();
+  });
+
+  // Serial merge in task order.
+  for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+    MapTask& t = map_tasks[ti];
+    MapTaskResult& res = map_results[ti];
+    uint64_t logical = account_input(*t.ds, res.chunk_bytes, res.chunk_rows);
+    df.max_map_task_input_bytes =
+        std::max(df.max_map_task_input_bytes, logical);
+    for (size_t si = 0; si < res.pieces.size(); ++si) {
+      SubscriberPiece& piece = res.pieces[si];
+      if (!piece.status.ok()) return piece.status;
+      const auto& [bi, ii] = t.group->subscribers[si];
+      (void)ii;
+      df.map_cpu_units += piece.cpu_units * t.scale;
+      drain_tee(piece.tee, t.scale);
+      if (job.branches[bi].map_only()) {
+        bstate[bi].output.Add(std::move(piece.out_rows), t.scale);
+      } else {
+        merge_shuffle(bi, std::move(piece.shuffled), t.scale);
+      }
+    }
+  }
+  map_results.clear();
+  map_tasks.clear();
+
   // ---- Map phase: merge-mode branches (co-aligned inputs) -----------------
+  struct MergeBranchCtx {
+    size_t bi = 0;
+    std::vector<DatasetPtr> inputs_ds;
+    std::vector<std::vector<int>> inputs_parts;
+    std::vector<size_t> merge_sort_idx;
+  };
+  std::vector<MergeBranchCtx> merge_ctx;
+  struct MergeTask {
+    size_t ctx = 0;
+    size_t t = 0;
+  };
+  std::vector<MergeTask> merge_tasks;
   for (size_t bi = 0; bi < nb; ++bi) {
     const Branch& b = job.branches[bi];
     if (!b.merge_mode()) continue;
 
-    std::vector<DatasetPtr> inputs_ds;
-    std::vector<std::vector<int>> inputs_parts;
+    MergeBranchCtx ctx;
+    ctx.bi = bi;
     size_t max_parts = 0;
     for (const BranchInput& in : b.inputs) {
       STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs->Get(in.dataset_id));
       std::vector<int> parts = SelectedPartitions(*ds, in.prune_partitions);
       max_parts = std::max(max_parts, parts.size());
-      inputs_ds.push_back(std::move(ds));
-      inputs_parts.push_back(std::move(parts));
+      ctx.inputs_ds.push_back(std::move(ds));
+      ctx.inputs_parts.push_back(std::move(parts));
     }
     if (max_parts == 0) max_parts = 1;
     df.num_map_tasks += static_cast<int>(max_parts);
     df.pipelines_per_task = std::max(df.pipelines_per_task, 1);
-
-    STUBBY_ASSIGN_OR_RETURN(std::vector<size_t> merge_sort_idx,
+    STUBBY_ASSIGN_OR_RETURN(ctx.merge_sort_idx,
                             b.merge_schema.IndicesOf(b.merge_sort_fields));
-
+    merge_ctx.push_back(std::move(ctx));
     for (size_t t = 0; t < max_parts; ++t) {
-      std::vector<Row> merged;
-      double task_scaled_bytes = 0.0;
-      uint64_t task_physical_bytes = 0;
-      uint64_t task_logical_bytes = 0;
-      TaskTeeSink tee;
-      for (size_t i = 0; i < b.inputs.size(); ++i) {
-        if (t >= inputs_parts[i].size()) continue;
-        const StoredDataset& ds = *inputs_ds[i];
-        const std::vector<Row>& part =
-            ds.partition(static_cast<size_t>(inputs_parts[i][t]));
-        uint64_t pb = RowsBytes(part);
-        uint64_t logical = account_input(ds, pb, part.size());
-        task_logical_bytes += logical;
-        task_scaled_bytes += static_cast<double>(logical);
-        task_physical_bytes += pb;
-
-        VectorEmitter out;
-        STUBBY_ASSIGN_OR_RETURN(std::unique_ptr<PipelineRunner> runner,
-                                PipelineRunner::Make(b.inputs[i].map_stages,
-                                                     ds.schema(), &out, &tee));
-        for (const Row& row : part) runner->Emit(row);
-        runner->Finish();
-        df.map_cpu_units += runner->counters().cpu_units * ds.logical_scale();
-        drain_tee(&tee, ds.logical_scale());
-        merged.insert(merged.end(),
-                      std::make_move_iterator(out.rows().begin()),
-                      std::make_move_iterator(out.rows().end()));
-      }
-      df.max_map_task_input_bytes =
-          std::max(df.max_map_task_input_bytes, task_logical_bytes);
-      double task_scale =
-          task_physical_bytes > 0
-              ? task_scaled_bytes / static_cast<double>(task_physical_bytes)
-              : 1.0;
-
-      // Co-aligned merge: interleave the per-input streams by sort order.
-      std::stable_sort(merged.begin(), merged.end(),
-                       [&](const Row& a, const Row& bb) {
-                         return CompareOnFields(a, bb, merge_sort_idx) < 0;
-                       });
-      VectorEmitter out;
-      STUBBY_ASSIGN_OR_RETURN(
-          std::unique_ptr<PipelineRunner> runner,
-          PipelineRunner::Make(b.merged_map_stages, b.merge_schema, &out,
-                               &tee));
-      for (const Row& row : merged) runner->Emit(row);
-      runner->Finish();
-      df.map_cpu_units += runner->counters().cpu_units * task_scale;
-      drain_tee(&tee, task_scale);
-
-      if (b.map_only()) {
-        bstate[bi].output.Add(std::move(out.rows()), task_scale);
-      } else {
-        shuffle_map_output(bi, std::move(out.rows()), task_scale);
-      }
+      merge_tasks.push_back(MergeTask{merge_ctx.size() - 1, t});
     }
   }
+
+  struct MergeInputPiece {
+    size_t input_index = 0;
+    uint64_t pb = 0;  ///< physical bytes read
+    size_t nrows = 0;
+    double cpu_units = 0.0;
+    TeeRows tee;
+  };
+  struct MergeTaskResult {
+    Status status = Status::OK();
+    std::vector<MergeInputPiece> pieces;
+    uint64_t task_logical_bytes = 0;
+    double task_scale = 1.0;
+    double merged_cpu_units = 0.0;
+    TeeRows merged_tee;
+    std::vector<Row> out_rows;  // map-only branches
+    ShuffledOutput shuffled;    // shuffle branches
+  };
+  std::vector<MergeTaskResult> merge_results(merge_tasks.size());
+  RunTasks(pool_, merge_tasks.size(), [&](size_t ti) {
+    const MergeBranchCtx& ctx = merge_ctx[merge_tasks[ti].ctx];
+    const size_t t = merge_tasks[ti].t;
+    MergeTaskResult& res = merge_results[ti];
+    const Branch& b = job.branches[ctx.bi];
+
+    std::vector<Row> merged;
+    double task_scaled_bytes = 0.0;
+    uint64_t task_physical_bytes = 0;
+    for (size_t i = 0; i < b.inputs.size(); ++i) {
+      if (t >= ctx.inputs_parts[i].size()) continue;
+      const StoredDataset& ds = *ctx.inputs_ds[i];
+      const std::vector<Row>& part =
+          ds.partition(static_cast<size_t>(ctx.inputs_parts[i][t]));
+      uint64_t pb = RowsBytes(part);
+      // Same arithmetic as account_input's `logical`, without the dataflow
+      // mutation (that happens at merge).
+      uint64_t logical = static_cast<uint64_t>(static_cast<double>(pb) *
+                                               ds.logical_scale());
+      res.task_logical_bytes += logical;
+      task_scaled_bytes += static_cast<double>(logical);
+      task_physical_bytes += pb;
+
+      MergeInputPiece& piece = res.pieces.emplace_back();
+      piece.input_index = i;
+      piece.pb = pb;
+      piece.nrows = part.size();
+      TaskTeeSink tee;
+      VectorEmitter out;
+      auto runner = PipelineRunner::Make(b.inputs[i].map_stages, ds.schema(),
+                                         &out, &tee);
+      if (!runner.ok()) {
+        res.status = runner.status();
+        return;
+      }
+      for (const Row& row : part) (*runner)->Emit(row);
+      (*runner)->Finish();
+      piece.cpu_units = (*runner)->counters().cpu_units;
+      piece.tee = std::move(tee.rows());
+      merged.insert(merged.end(), std::make_move_iterator(out.rows().begin()),
+                    std::make_move_iterator(out.rows().end()));
+    }
+    res.task_scale =
+        task_physical_bytes > 0
+            ? task_scaled_bytes / static_cast<double>(task_physical_bytes)
+            : 1.0;
+
+    // Co-aligned merge: interleave the per-input streams by sort order.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [&](const Row& a, const Row& bb) {
+                       return CompareOnFields(a, bb, ctx.merge_sort_idx) < 0;
+                     });
+    TaskTeeSink tee;
+    VectorEmitter out;
+    auto runner =
+        PipelineRunner::Make(b.merged_map_stages, b.merge_schema, &out, &tee);
+    if (!runner.ok()) {
+      res.status = runner.status();
+      return;
+    }
+    for (const Row& row : merged) (*runner)->Emit(row);
+    (*runner)->Finish();
+    res.merged_cpu_units = (*runner)->counters().cpu_units;
+    res.merged_tee = std::move(tee.rows());
+    if (b.map_only()) {
+      res.out_rows = std::move(out.rows());
+    } else {
+      res.shuffled = compute_shuffle(ctx.bi, std::move(out.rows()));
+    }
+  });
+
+  for (size_t ti = 0; ti < merge_tasks.size(); ++ti) {
+    const MergeBranchCtx& ctx = merge_ctx[merge_tasks[ti].ctx];
+    MergeTaskResult& res = merge_results[ti];
+    if (!res.status.ok()) return res.status;
+    const Branch& b = job.branches[ctx.bi];
+    for (MergeInputPiece& piece : res.pieces) {
+      const StoredDataset& ds = *ctx.inputs_ds[piece.input_index];
+      account_input(ds, piece.pb, piece.nrows);
+      df.map_cpu_units += piece.cpu_units * ds.logical_scale();
+      drain_tee(piece.tee, ds.logical_scale());
+    }
+    df.max_map_task_input_bytes =
+        std::max(df.max_map_task_input_bytes, res.task_logical_bytes);
+    df.map_cpu_units += res.merged_cpu_units * res.task_scale;
+    drain_tee(res.merged_tee, res.task_scale);
+    if (b.map_only()) {
+      bstate[ctx.bi].output.Add(std::move(res.out_rows), res.task_scale);
+    } else {
+      merge_shuffle(ctx.bi, std::move(res.shuffled), res.task_scale);
+    }
+  }
+  merge_results.clear();
+  merge_tasks.clear();
 
   // Combine-effectiveness accounting at logical scale: a map task emitting
   // n records over G distinct groups combines down to about
@@ -445,7 +614,56 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
 
   // ---- Reduce phase --------------------------------------------------------
   if (!map_only) {
+    // One task per reduce partition; task r exclusively owns every branch's
+    // bucket r, so sorting in place and draining the rows is race-free.
+    struct ReducePiece {
+      Status status = Status::OK();
+      bool had_rows = false;
+      double cpu_units = 0.0;
+      TeeRows tee;
+      std::vector<Row> out_rows;
+    };
+    struct ReduceTaskResult {
+      std::vector<ReducePiece> pieces;  // indexed by branch
+    };
+    std::vector<ReduceTaskResult> reduce_results(static_cast<size_t>(R));
+    RunTasks(pool_, static_cast<size_t>(R), [&](size_t ri) {
+      ReduceTaskResult& res = reduce_results[ri];
+      res.pieces.resize(nb);
+      for (size_t bi = 0; bi < nb; ++bi) {
+        const Branch& b = job.branches[bi];
+        if (b.map_only()) continue;
+        BranchState& st = bstate[bi];
+        ReducePiece& piece = res.pieces[bi];
+        auto& rows = st.reduce_buckets[ri];
+        piece.had_rows = !rows.empty();
+
+        // Merge the per-map sorted segments (modeled as one stable sort).
+        std::stable_sort(rows.begin(), rows.end(),
+                         [&](const Row& a, const Row& bb) {
+                           return CompareOnFields(
+                                      a, bb, st.partition_sort_indices) < 0;
+                         });
+        TaskTeeSink tee;
+        VectorEmitter out;
+        auto runner = PipelineRunner::Make(b.reduce_stages,
+                                           b.map_output_schema, &out, &tee);
+        if (!runner.ok()) {
+          piece.status = runner.status();
+          continue;
+        }
+        for (const Row& row : rows) (*runner)->Emit(row);
+        (*runner)->Finish();
+        piece.cpu_units = (*runner)->counters().cpu_units;
+        piece.tee = std::move(tee.rows());
+        piece.out_rows = std::move(out.rows());
+        rows.clear();
+        rows.shrink_to_fit();
+      }
+    });
+
     for (int r = 0; r < R; ++r) {
+      ReduceTaskResult& res = reduce_results[static_cast<size_t>(r)];
       double partition_scaled_bytes = 0.0;
       bool nonempty = false;
       for (size_t bi = 0; bi < nb; ++bi) {
@@ -453,7 +671,8 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
         if (b.map_only()) continue;
         BranchState& st = bstate[bi];
         const size_t ri = static_cast<size_t>(r);
-        auto& rows = st.reduce_buckets[ri];
+        ReducePiece& piece = res.pieces[bi];
+        if (!piece.status.ok()) return piece.status;
         partition_scaled_bytes +=
             st.bucket_scaled_bytes[ri] * st.combine_ratio;
         // Plain logical/physical data ratio (combine-independent): scales
@@ -470,33 +689,16 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
                 ? st.bucket_scaled_records[ri] * st.combine_ratio /
                       static_cast<double>(st.bucket_physical_post_records[ri])
                 : 1.0;
-        if (!rows.empty()) nonempty = true;
+        if (piece.had_rows) nonempty = true;
 
         df.reduce_input_records += static_cast<uint64_t>(
             st.bucket_scaled_records[ri] * st.combine_ratio);
         df.reduce_input_bytes += static_cast<uint64_t>(
             st.bucket_scaled_bytes[ri] * st.combine_ratio);
-
-        // Merge the per-map sorted segments (modeled as one stable sort).
-        std::stable_sort(rows.begin(), rows.end(),
-                         [&](const Row& a, const Row& bb) {
-                           return CompareOnFields(
-                                      a, bb, st.partition_sort_indices) < 0;
-                         });
-
-        TaskTeeSink tee;
-        VectorEmitter out;
-        STUBBY_ASSIGN_OR_RETURN(
-            std::unique_ptr<PipelineRunner> runner,
-            PipelineRunner::Make(b.reduce_stages, b.map_output_schema, &out,
-                                 &tee));
-        for (const Row& row : rows) runner->Emit(row);
-        runner->Finish();
-        df.reduce_cpu_units += runner->counters().cpu_units * cpu_scale;
-        drain_tee(&tee, scale);
-        st.output.AddTo(static_cast<size_t>(r), std::move(out.rows()), scale);
-        rows.clear();
-        rows.shrink_to_fit();
+        df.reduce_cpu_units += piece.cpu_units * cpu_scale;
+        drain_tee(piece.tee, scale);
+        st.output.AddTo(static_cast<size_t>(r), std::move(piece.out_rows),
+                        scale);
       }
       if (nonempty) df.nonempty_reduce_partitions++;
       df.max_reduce_input_bytes =

@@ -4,6 +4,11 @@
 // the scan, partition/sort/combine the map output per branch, and reduce
 // tasks merge and run the reduce-side pipelines. Observed dataflow is
 // returned in logical units for the phase-time model.
+//
+// With a thread pool, map and reduce tasks execute concurrently as pure
+// tasks whose per-task pieces are merged serially in task order, so
+// outputs and every dataflow metric (including floating-point sums) are
+// bit-identical to a single-threaded run.
 
 #pragma once
 
@@ -15,16 +20,20 @@
 
 namespace stubby {
 
+class ThreadPool;
+
 /// Resolves a branch's effective range split points: explicit ones win;
 /// otherwise sorted, de-duplicated candidates from the `split_points_from`
 /// dataset are thinned to R-1 evenly spaced distinct boundaries.
 Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
                                            const Dfs& dfs);
 
-/// Executes single jobs against a Dfs.
+/// Executes single jobs against a Dfs. The pool, when given, is borrowed
+/// for the duration of each Run call.
 class JobRunner {
  public:
-  explicit JobRunner(ClusterSpec cluster) : cluster_(std::move(cluster)) {}
+  explicit JobRunner(ClusterSpec cluster, ThreadPool* pool = nullptr)
+      : cluster_(std::move(cluster)), pool_(pool) {}
 
   /// Runs `job`, reading inputs from and writing outputs to `dfs`. The plan
   /// provides dataset schemas and layouts. Returns the observed dataflow.
@@ -37,6 +46,7 @@ class JobRunner {
 
  private:
   ClusterSpec cluster_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace stubby

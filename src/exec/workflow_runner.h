@@ -13,11 +13,15 @@
 
 namespace stubby {
 
-/// Executes plans end-to-end.
+class ThreadPool;
+
+/// Executes plans end-to-end. The pool, when given, is borrowed and lets
+/// each job's map/reduce tasks run concurrently; results stay bit-identical
+/// to a single-threaded run.
 class WorkflowRunner {
  public:
-  explicit WorkflowRunner(ClusterSpec cluster)
-      : cluster_(std::move(cluster)) {}
+  explicit WorkflowRunner(ClusterSpec cluster, ThreadPool* pool = nullptr)
+      : cluster_(std::move(cluster)), pool_(pool) {}
 
   /// Validates and runs `plan`. Base inputs must already exist in `dfs`;
   /// intermediate and output datasets are (re)created there. Returns the
@@ -26,6 +30,7 @@ class WorkflowRunner {
 
  private:
   ClusterSpec cluster_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace stubby

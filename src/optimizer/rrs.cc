@@ -9,23 +9,47 @@ std::pair<std::vector<double>, double> RecursiveRandomSearch::Minimize(
     size_t dims,
     const std::function<double(const std::vector<double>&)>& eval,
     const std::vector<std::vector<double>>& seeds) {
+  return MinimizeBatches(
+      dims,
+      [&](const std::vector<std::vector<double>>& points) {
+        std::vector<double> values;
+        values.reserve(points.size());
+        for (const auto& p : points) values.push_back(eval(p));
+        return values;
+      },
+      seeds);
+}
+
+std::pair<std::vector<double>, double>
+RecursiveRandomSearch::MinimizeBatches(
+    size_t dims, const RrsBatchEval& eval,
+    const std::vector<std::vector<double>>& seeds) {
   std::vector<double> best_point(dims, 0.5);
   double best_value = std::numeric_limits<double>::infinity();
-  int evals = 0;
+  int budget_left = options_.budget;
 
-  auto consider = [&](const std::vector<double>& p) {
-    double v = eval(p);
-    ++evals;
+  auto consider = [&](const std::vector<double>& p, double v) {
     if (v < best_value) {
       best_value = v;
       best_point = p;
-      return true;
     }
-    return false;
+  };
+  auto run_batch = [&](const std::vector<std::vector<double>>& points) {
+    budget_left -= static_cast<int>(points.size());
+    return eval(points);
   };
 
+  // Seed batch: the provided starting points, budget permitting.
+  std::vector<std::vector<double>> batch;
   for (const auto& s : seeds) {
-    if (s.size() == dims && evals < options_.budget) consider(s);
+    if (s.size() == dims &&
+        static_cast<int>(batch.size()) < budget_left) {
+      batch.push_back(s);
+    }
+  }
+  if (!batch.empty()) {
+    std::vector<double> values = run_batch(batch);
+    for (size_t i = 0; i < batch.size(); ++i) consider(batch[i], values[i]);
   }
   if (dims == 0) return {best_point, best_value};
 
@@ -43,48 +67,43 @@ std::pair<std::vector<double>, double> RecursiveRandomSearch::Minimize(
     return p;
   };
 
-  while (evals < options_.budget) {
-    // Explore: uniform sampling to find a promising region.
-    std::vector<double> incumbent = random_point();
-    double incumbent_value = eval(incumbent);
-    ++evals;
-    for (int i = 1; i < options_.explore_samples && evals < options_.budget;
-         ++i) {
-      std::vector<double> p = random_point();
-      double v = eval(p);
-      ++evals;
-      if (v < incumbent_value) {
-        incumbent = std::move(p);
-        incumbent_value = v;
-      }
+  while (budget_left > 0) {
+    // Explore: one batch of uniform samples; the first strict minimum is
+    // the round's incumbent.
+    int k = std::clamp(options_.explore_samples, 1, budget_left);
+    batch.clear();
+    for (int i = 0; i < k; ++i) batch.push_back(random_point());
+    std::vector<double> values = run_batch(batch);
+    size_t inc = 0;
+    for (size_t i = 1; i < batch.size(); ++i) {
+      if (values[i] < values[inc]) inc = i;
     }
-    if (incumbent_value < best_value) {
-      best_value = incumbent_value;
-      best_point = incumbent;
-    }
+    std::vector<double> incumbent = batch[inc];
+    double incumbent_value = values[inc];
+    consider(incumbent, incumbent_value);
 
-    // Exploit: recursive sampling in a shrinking/re-centering ball.
+    // Exploit: batches in a shrinking ball around the incumbent. The scan
+    // re-centers greedily on every improving value (points later in the
+    // batch were drawn around the old center but remain valid samples);
+    // the next batch is drawn around the final incumbent.
     double radius = options_.init_radius;
-    while (radius > options_.min_radius && evals < options_.budget) {
+    while (radius > options_.min_radius && budget_left > 0 &&
+           options_.exploit_samples > 0) {
+      int k2 = std::min(options_.exploit_samples, budget_left);
+      batch.clear();
+      for (int i = 0; i < k2; ++i) batch.push_back(point_near(incumbent, radius));
+      values = run_batch(batch);
       bool improved = false;
-      for (int i = 0; i < options_.exploit_samples && evals < options_.budget;
-           ++i) {
-        std::vector<double> p = point_near(incumbent, radius);
-        double v = eval(p);
-        ++evals;
-        if (v < incumbent_value) {
-          incumbent = std::move(p);
-          incumbent_value = v;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (values[i] < incumbent_value) {
+          incumbent = batch[i];
+          incumbent_value = values[i];
           improved = true;
-          break;  // re-center immediately
         }
       }
       if (!improved) radius *= options_.shrink;
     }
-    if (incumbent_value < best_value) {
-      best_value = incumbent_value;
-      best_point = incumbent;
-    }
+    consider(incumbent, incumbent_value);
   }
   return {best_point, best_value};
 }

@@ -4,6 +4,15 @@
 // sampling to find a promising region) with an exploitation phase (sampling
 // in a ball around the incumbent that re-centers on improvement and shrinks
 // otherwise), restarting exploration when the ball bottoms out.
+//
+// The search is batch-structured: every round's sample points are drawn
+// up front from the seeded RNG, the whole round is handed to the evaluator
+// at once, and the selection rule is applied to the returned values in
+// point order. The trajectory is therefore a pure function of the seed and
+// the values — an evaluator that computes the batch in parallel (but
+// returns bit-identical values in order) reproduces the exact same search
+// as a serial one, which is how the unit optimizer parallelizes point
+// costing without perturbing results.
 
 #pragma once
 
@@ -31,17 +40,31 @@ struct RrsOptions {
   double min_radius = 0.02;
 };
 
+/// Evaluates one round of points; returns one value per point, in order.
+using RrsBatchEval = std::function<std::vector<double>(
+    const std::vector<std::vector<double>>&)>;
+
 /// Minimizes a black-box function over [0,1]^d.
 class RecursiveRandomSearch {
  public:
   RecursiveRandomSearch(RrsOptions options, uint64_t seed)
       : options_(options), rng_(seed) {}
 
-  /// Runs the search. `seeds` are evaluated first (e.g. the current and the
-  /// rule-of-thumb configurations) and count against the budget. Returns
-  /// the best point and its value.
+  /// Runs the search with a point-at-a-time evaluator (evaluated serially,
+  /// in order — a thin adapter over MinimizeBatches). `seeds` are evaluated
+  /// first (e.g. the current and the rule-of-thumb configurations) and
+  /// count against the budget. Returns the best point and its value.
   std::pair<std::vector<double>, double> Minimize(
       size_t dims, const std::function<double(const std::vector<double>&)>& eval,
+      const std::vector<std::vector<double>>& seeds);
+
+  /// Runs the search with a batch evaluator. Rounds: the seed batch, then
+  /// alternating exploration batches (uniform points; the first strict
+  /// minimum becomes the incumbent) and exploitation batches (points in a
+  /// ball around the incumbent; the scan re-centers greedily on every
+  /// improving value, and the radius shrinks when none improves).
+  std::pair<std::vector<double>, double> MinimizeBatches(
+      size_t dims, const RrsBatchEval& eval,
       const std::vector<std::vector<double>>& seeds);
 
  private:

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/threading.h"
 #include "cost/cost_cache.h"
 #include "optimizer/configuration.h"
 
@@ -98,26 +99,60 @@ Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
   }
 
   // Cost each subplan after an RRS pass over its unit-job configurations.
+  // Candidates are independent tasks: each costs through a private engine
+  // whose cache is an overlay over the shared store (frozen for the whole
+  // batch) and whose instrumentation is a private delta. Overlays and
+  // deltas merge serially in candidate order afterwards. The protocol is
+  // the same at every thread count, so costs, chosen plans, and counters
+  // never depend on how many threads ran the tasks.
+  const size_t n = subplans.size();
+  std::vector<std::vector<std::string>> scopes(n);
+  for (size_t i = 0; i < n; ++i) {
+    scopes[i] = MappedUnitJobs(original_jobs, subplans[i].renames);
+  }
+  CostStore* shared_cache = whatif_->cache();
+  CostInstrumentation* shared_stats = whatif_->instrumentation();
+  std::vector<std::unique_ptr<CostCacheOverlay>> overlays(n);
+  std::vector<CostInstrumentation> deltas(n);
+  std::vector<Result<ConfiguredPlan>> configured(
+      n, Result<ConfiguredPlan>(Status::Internal("candidate not costed")));
+  RunTasks(pool_, n, [&](size_t i) {
+    WhatIfEngine engine(whatif_->model().cluster());
+    if (shared_cache != nullptr) {
+      overlays[i] = std::make_unique<CostCacheOverlay>(shared_cache);
+      engine.set_cache(overlays[i].get());
+    }
+    if (shared_stats != nullptr) engine.set_instrumentation(&deltas[i]);
+    configured[i] =
+        OptimizeConfigurations(&engine, subplans[i].plan, scopes[i]);
+  });
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    if (shared_cache != nullptr) overlays[i]->MergeInto(shared_cache);
+    if (shared_stats != nullptr) shared_stats->Add(deltas[i]);
+    if (first_error.ok() && !configured[i].ok()) {
+      first_error = configured[i].status();
+    }
+  }
+  if (!first_error.ok()) return first_error;
+
   std::vector<SubplanCandidate> out;
-  for (EnumState& state : subplans) {
-    std::vector<std::string> scope =
-        MappedUnitJobs(original_jobs, state.renames);
-    STUBBY_ASSIGN_OR_RETURN(ConfiguredPlan configured,
-                            OptimizeConfigurations(state.plan, scope));
+  for (size_t i = 0; i < n; ++i) {
     SubplanCandidate cand;
-    cand.plan = std::move(configured.plan);
-    cand.cost = configured.cost;
-    cand.fallback = configured.fallback;
-    cand.applied = std::move(state.applied);
-    cand.renames = std::move(state.renames);
+    cand.plan = std::move(configured[i]->plan);
+    cand.cost = configured[i]->cost;
+    cand.fallback = configured[i]->fallback;
+    cand.applied = std::move(subplans[i].applied);
+    cand.renames = std::move(subplans[i].renames);
     out.push_back(std::move(cand));
   }
   return out;
 }
 
 Result<UnitOptimizer::ConfiguredPlan> UnitOptimizer::OptimizeConfigurations(
-    const Plan& plan, const std::vector<std::string>& unit_jobs) const {
-  CostEstimate base = whatif_->Cost(plan);
+    const WhatIfEngine* engine, const Plan& plan,
+    const std::vector<std::string>& unit_jobs) const {
+  CostEstimate base = engine->Cost(plan);
   if (!options_.enable_configuration || base.fallback) {
     // Without profiles the configuration subspace cannot be costed; the
     // search degrades gracefully to the job-count model (Section 5).
@@ -155,18 +190,11 @@ Result<UnitOptimizer::ConfiguredPlan> UnitOptimizer::OptimizeConfigurations(
     return Status::OK();
   };
 
-  CostInstrumentation* stats = whatif_->instrumentation();
-  // RRS points differ only in the unit jobs' configurations, and
-  // ApplyConfiguration overwrites those deterministically (uncontrolled
-  // fields pass through PointToConfig unchanged), so reapplying each point
-  // on one persistent scratch plan is equivalent to configuring a fresh
-  // copy — without deep-copying the plan per evaluation.
-  Plan scratch = plan;
   // With a cache attached, only the unit jobs' digests change between
   // points, and within each such job only the configuration suffix does:
   // digest the base subplan once, precompute the unit jobs' structural
   // prefixes, and refresh just the configuration mix per point.
-  const bool incremental_digests = whatif_->cache() != nullptr;
+  const bool incremental_digests = engine->cache() != nullptr;
   std::map<std::string, CostDigest> digests;
   std::vector<CostDigest> structure;
   if (incremental_digests) {
@@ -177,20 +205,65 @@ Result<UnitOptimizer::ConfiguredPlan> UnitOptimizer::OptimizeConfigurations(
       structure.push_back(jr.ok() ? JobStructureDigest(**jr) : CostDigest{});
     }
   }
-  auto eval = [&, stats](const std::vector<double>& point) -> double {
-    if (stats != nullptr) ++stats->rrs_evaluations;
-    if (!apply_point_to(&scratch, point).ok()) {
-      return std::numeric_limits<double>::infinity();
+
+  // Batch evaluator for the RRS rounds. Points are split into fixed-size
+  // blocks — the block size is a constant, never derived from the thread
+  // count, because block boundaries decide which memo entries each point
+  // can see and therefore shape the instrumentation counters. Each block
+  // is an independent task with its own scratch plan, digest map, overlay
+  // over the engine's store, and instrumentation delta; blocks merge
+  // serially in block order. RRS points differ only in the unit jobs'
+  // configurations, and ApplyConfiguration overwrites those
+  // deterministically (uncontrolled fields pass through PointToConfig
+  // unchanged), so a per-block scratch copy evaluates each point exactly
+  // as a per-point fresh copy would.
+  constexpr size_t kBlock = 4;
+  CostStore* parent_cache = engine->cache();
+  CostInstrumentation* parent_stats = engine->instrumentation();
+  auto batch_eval =
+      [&](const std::vector<std::vector<double>>& points) -> std::vector<double> {
+    const size_t blocks = (points.size() + kBlock - 1) / kBlock;
+    std::vector<std::unique_ptr<CostCacheOverlay>> overlays(blocks);
+    std::vector<CostInstrumentation> deltas(blocks);
+    std::vector<double> values(points.size());
+    RunTasks(pool_, blocks, [&](size_t b) {
+      WhatIfEngine block_engine(engine->model().cluster());
+      if (parent_cache != nullptr) {
+        overlays[b] = std::make_unique<CostCacheOverlay>(parent_cache);
+        block_engine.set_cache(overlays[b].get());
+      }
+      if (parent_stats != nullptr) {
+        block_engine.set_instrumentation(&deltas[b]);
+      }
+      Plan scratch = plan;
+      std::map<std::string, CostDigest> block_digests = digests;
+      const size_t begin = b * kBlock;
+      const size_t end = std::min(points.size(), begin + kBlock);
+      for (size_t p = begin; p < end; ++p) {
+        if (parent_stats != nullptr) ++deltas[b].rrs_evaluations;
+        if (!apply_point_to(&scratch, points[p]).ok()) {
+          values[p] = std::numeric_limits<double>::infinity();
+          continue;
+        }
+        if (!incremental_digests) {
+          values[p] = block_engine.Cost(scratch).cost;
+          continue;
+        }
+        for (size_t i = 0; i < spaces.size(); ++i) {
+          auto jr = scratch.GetJob(spaces[i].id);
+          if (!jr.ok()) continue;
+          CostDigest jd = structure[i];
+          MixJobConfiguration(&jd, **jr);
+          block_digests[spaces[i].id] = jd;
+        }
+        values[p] = block_engine.CostWithDigests(scratch, block_digests).cost;
+      }
+    });
+    for (size_t b = 0; b < blocks; ++b) {
+      if (parent_cache != nullptr) overlays[b]->MergeInto(parent_cache);
+      if (parent_stats != nullptr) parent_stats->Add(deltas[b]);
     }
-    if (!incremental_digests) return whatif_->Cost(scratch).cost;
-    for (size_t i = 0; i < spaces.size(); ++i) {
-      auto jr = scratch.GetJob(spaces[i].id);
-      if (!jr.ok()) continue;
-      CostDigest jd = structure[i];
-      MixJobConfiguration(&jd, **jr);
-      digests[spaces[i].id] = jd;
-    }
-    return whatif_->CostWithDigests(scratch, digests).cost;
+    return values;
   };
 
   // Seeds: the current configurations and the rule-of-thumb settings.
@@ -207,7 +280,7 @@ Result<UnitOptimizer::ConfiguredPlan> UnitOptimizer::OptimizeConfigurations(
 
   RecursiveRandomSearch rrs(options_.rrs, options_.seed);
   auto [best_point, best_value] =
-      rrs.Minimize(dims, eval, {current_seed, thumb_seed});
+      rrs.MinimizeBatches(dims, batch_eval, {current_seed, thumb_seed});
   if (!std::isfinite(best_value) || best_value >= base.cost) {
     return ConfiguredPlan{plan, base.cost, base.fallback};
   }

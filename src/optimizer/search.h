@@ -19,6 +19,8 @@
 
 namespace stubby {
 
+class ThreadPool;
+
 /// Knobs of the in-unit search.
 struct UnitSearchOptions {
   /// Caps on the exhaustive structural enumeration (defensive; real units
@@ -55,13 +57,24 @@ struct SubplanCandidate {
 };
 
 /// Enumerates and costs a unit's subplan space.
+///
+/// With a pool, subplan candidates are costed as parallel tasks, and each
+/// RRS round's points in parallel blocks. Every task works against a
+/// private engine whose cache is a CostCacheOverlay over the (frozen)
+/// shared store and whose instrumentation is a private delta; overlays and
+/// deltas merge serially in task order once the batch completes. The same
+/// protocol runs at every thread count — including one — so plans, costs,
+/// RRS trajectories, and instrumentation counters are bit-identical no
+/// matter how many threads execute the tasks.
 class UnitOptimizer {
  public:
   UnitOptimizer(std::vector<std::shared_ptr<Transformation>> transforms,
-                const WhatIfEngine* whatif, UnitSearchOptions options)
+                const WhatIfEngine* whatif, UnitSearchOptions options,
+                ThreadPool* pool = nullptr)
       : transforms_(std::move(transforms)),
         whatif_(whatif),
-        options_(options) {}
+        options_(options),
+        pool_(pool) {}
 
   /// Optimizes `unit` within `plan`; returns the plan with the best subplan
   /// and configurations applied.
@@ -83,13 +96,17 @@ class UnitOptimizer {
 
   /// RRS over the configurations of the unit's jobs in `plan`; returns the
   /// plan with the best configurations applied, its cost, and whether that
-  /// cost came from the fallback model.
+  /// cost came from the fallback model. `engine` is the candidate-private
+  /// engine to cost through (its cache/instrumentation may themselves be a
+  /// task overlay and delta).
   Result<ConfiguredPlan> OptimizeConfigurations(
-      const Plan& plan, const std::vector<std::string>& unit_jobs) const;
+      const WhatIfEngine* engine, const Plan& plan,
+      const std::vector<std::string>& unit_jobs) const;
 
   std::vector<std::shared_ptr<Transformation>> transforms_;
   const WhatIfEngine* whatif_;
   UnitSearchOptions options_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace stubby

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/threading.h"
 #include "optimizer/horizontal.h"
 #include "optimizer/partition_fn.h"
 #include "optimizer/vertical.h"
@@ -13,10 +14,11 @@ namespace stubby {
 
 Result<Plan> StubbyOptimizer::RunPhase(
     Plan plan, const std::vector<std::shared_ptr<Transformation>>& group,
-    const WhatIfEngine& whatif, OptimizeReport* report) const {
+    const WhatIfEngine& whatif, ThreadPool* pool,
+    OptimizeReport* report) const {
   UnitSearchOptions unit_options = options_.unit;
   unit_options.enable_configuration = options_.enable_configuration;
-  UnitOptimizer optimizer(group, &whatif, unit_options);
+  UnitOptimizer optimizer(group, &whatif, unit_options, pool);
 
   std::set<std::string> processed;
   const size_t max_iterations = plan.num_jobs() * 8 + 8;
@@ -55,6 +57,14 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
     cache.emplace(CostCache::Options{options_.cost_cache_plan_capacity,
                                      options_.cost_cache_job_capacity});
     whatif.set_cache(&*cache);
+  }
+  // Search tasks produce bit-identical results at any thread count, so the
+  // pool is a pure wall-time knob.
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = options_.pool;
+  if (pool == nullptr && options_.threads > 1) {
+    owned_pool.emplace(options_.threads);
+    pool = &*owned_pool;
   }
 
   std::vector<std::shared_ptr<Transformation>> vertical_group;
@@ -104,7 +114,7 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
     const int units_before = report.units_processed;
     const int subplans_before = report.subplans_enumerated;
     STUBBY_ASSIGN_OR_RETURN(current,
-                            RunPhase(std::move(current), group, whatif,
+                            RunPhase(std::move(current), group, whatif, pool,
                                      &report));
     PhaseReport phase;
     phase.name = std::move(name);

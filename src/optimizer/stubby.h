@@ -45,6 +45,14 @@ struct StubbyOptions {
   size_t cost_cache_plan_capacity = 1024;
   size_t cost_cache_job_capacity = 16384;
 
+  /// Task parallelism for the in-unit search: subplan candidates and RRS
+  /// point blocks run as pool tasks, with results bit-identical at any
+  /// thread count. When `pool` is set it is borrowed (and must outlive the
+  /// Optimize call); otherwise a pool with `threads` threads is created
+  /// per call when threads > 1.
+  int threads = 1;
+  ThreadPool* pool = nullptr;
+
   UnitSearchOptions unit;
 };
 
@@ -84,7 +92,8 @@ class StubbyOptimizer {
   /// One full traversal of the graph applying a transformation group.
   Result<Plan> RunPhase(
       Plan plan, const std::vector<std::shared_ptr<Transformation>>& group,
-      const WhatIfEngine& whatif, OptimizeReport* report) const;
+      const WhatIfEngine& whatif, ThreadPool* pool,
+      OptimizeReport* report) const;
 
   StubbyOptions options_;
 };

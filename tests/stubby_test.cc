@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/pig_baseline.h"
+#include "common/threading.h"
 #include "exec/workflow_runner.h"
 #include "optimizer/stubby.h"
 #include "profiler/profiler.h"
@@ -167,6 +168,132 @@ TEST(StubbyTest, FlippedPhaseOrderStillValidAndEquivalent) {
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->plan.Validate().ok());
   ::stubby::testing::ExpectEquivalent(*f, f->plan(), report->plan);
+}
+
+// The task-parallel core's contract: thread count moves wall time only.
+// Execute and optimize the BR workflow (the largest: 7 jobs, the Figure 1
+// running example) at 1, 2, and all hardware threads, and require every
+// observable — output rows, makespan, chosen plan, cost bits, applied
+// trail, and the full costing-counter set — to be identical.
+class ThreadCountInvariance : public ::testing::Test {
+ protected:
+  static std::vector<int> ThreadCounts() {
+    std::vector<int> counts = {1, 2};
+    if (ThreadPool::HardwareThreads() > 2) {
+      counts.push_back(ThreadPool::HardwareThreads());
+    }
+    return counts;
+  }
+
+  static Result<Workload> MakeProfiledBR() {
+    WorkloadOptions options;
+    options.sample_rows = 6000;
+    STUBBY_ASSIGN_OR_RETURN(Workload w, MakeWorkload("BR", options));
+    Profiler profiler(options.cluster);
+    Dfs dfs = w.dfs;
+    STUBBY_RETURN_NOT_OK(profiler.ProfilePlan(&w.plan, &dfs));
+    return w;
+  }
+
+  /// Exact textual digest of every workflow output dataset, in dataset-id
+  /// order then row order — any bit-level divergence shows up here.
+  static std::string OutputDigest(const Plan& plan, const Dfs& dfs) {
+    std::string digest;
+    for (const auto& [id, ds] : plan.datasets()) {
+      if (!ds.is_workflow_output) continue;
+      digest += id + ":\n";
+      auto data = dfs.Get(id);
+      if (!data.ok()) continue;
+      for (const Row& row : (*data)->AllRows()) {
+        digest += row.ToString();
+        digest += '\n';
+      }
+    }
+    return digest;
+  }
+
+  static void ExpectSameCounters(const CostInstrumentation& a,
+                                 const CostInstrumentation& b) {
+    EXPECT_EQ(a.whatif_invocations, b.whatif_invocations);
+    EXPECT_EQ(a.plan_cache_hits, b.plan_cache_hits);
+    EXPECT_EQ(a.plan_cache_misses, b.plan_cache_misses);
+    EXPECT_EQ(a.full_predictions, b.full_predictions);
+    EXPECT_EQ(a.incremental_predictions, b.incremental_predictions);
+    EXPECT_EQ(a.job_predictions, b.job_predictions);
+    EXPECT_EQ(a.job_cache_hits, b.job_cache_hits);
+    EXPECT_EQ(a.rrs_evaluations, b.rrs_evaluations);
+  }
+};
+
+TEST_F(ThreadCountInvariance, ExecutionIsBitIdentical) {
+  auto w = MakeProfiledBR();
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  std::string ref_digest;
+  double ref_makespan = 0.0;
+  bool first = true;
+  for (int threads : ThreadCounts()) {
+    ThreadPool pool(threads);
+    WorkflowRunner runner(w->plan.cluster(), &pool);
+    Dfs dfs = w->dfs;
+    auto flow = runner.Run(w->plan, &dfs);
+    ASSERT_TRUE(flow.ok()) << flow.status();
+    const std::string digest = OutputDigest(w->plan, dfs);
+    ASSERT_FALSE(digest.empty());
+    if (first) {
+      ref_digest = digest;
+      ref_makespan = flow->makespan_sec;
+      first = false;
+    } else {
+      EXPECT_EQ(digest, ref_digest) << "threads=" << threads;
+      EXPECT_EQ(flow->makespan_sec, ref_makespan) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ThreadCountInvariance, OptimizationIsBitIdentical) {
+  auto w = MakeProfiledBR();
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  std::optional<OptimizeReport> ref;
+  for (int threads : ThreadCounts()) {
+    ThreadPool pool(threads);
+    StubbyOptions opts;
+    opts.pool = &pool;
+    auto report = StubbyOptimizer(opts).Optimize(w->plan);
+    ASSERT_TRUE(report.ok()) << report.status();
+    if (!ref) {
+      ref = std::move(*report);
+      continue;
+    }
+    EXPECT_EQ(PlanSignature(report->plan), PlanSignature(ref->plan))
+        << "threads=" << threads;
+    EXPECT_EQ(report->estimated_cost, ref->estimated_cost)
+        << "threads=" << threads;
+    EXPECT_EQ(report->applied, ref->applied) << "threads=" << threads;
+    EXPECT_EQ(report->units_processed, ref->units_processed);
+    EXPECT_EQ(report->subplans_enumerated, ref->subplans_enumerated);
+    ExpectSameCounters(report->costing, ref->costing);
+  }
+}
+
+TEST_F(ThreadCountInvariance, OwnedPoolViaThreadsOptionMatchesBorrowedPool) {
+  auto w = MakeProfiledBR();
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  StubbyOptions serial;
+  auto base = StubbyOptimizer(serial).Optimize(w->plan);
+  ASSERT_TRUE(base.ok());
+
+  StubbyOptions owned;
+  owned.threads = 2;  // optimizer creates (and owns) the pool itself
+  auto parallel = StubbyOptimizer(owned).Optimize(w->plan);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(PlanSignature(parallel->plan), PlanSignature(base->plan));
+  EXPECT_EQ(parallel->estimated_cost, base->estimated_cost);
+  EXPECT_EQ(parallel->applied, base->applied);
+  ExpectSameCounters(parallel->costing, base->costing);
 }
 
 TEST(StubbyTest, ReportsOverheadAndUnits) {

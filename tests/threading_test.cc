@@ -1,0 +1,336 @@
+// Tests of the deterministic task-parallel core: the fixed-size ThreadPool
+// and its fork-join primitives, the CostCacheOverlay snapshot/merge
+// protocol, and the batch-structured RRS — the three pieces whose contract
+// is "any thread count, identical bits".
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/threading.h"
+#include "cost/cost_cache.h"
+#include "optimizer/rrs.h"
+
+namespace stubby {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, HandlesEdgeSizes) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+  // Fewer tasks than threads.
+  pool.ParallelFor(2, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountAndReportsHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  ThreadPool pool2(-5);
+  EXPECT_EQ(pool2.threads(), 1);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesSubmissionOrder) {
+  for (int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    auto out =
+        pool.ParallelMap<int>(257, [](size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(out.size(), 257u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], static_cast<int>(i) * 3);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForExecutesInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  std::vector<int> outer_sums(16, 0);
+  pool.ParallelFor(16, [&](size_t i) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // The nested call must run inline on this thread — a fixed pool whose
+    // workers all block on inner batches would deadlock here.
+    int sum = 0;
+    pool.ParallelFor(64, [&](size_t j) { sum += static_cast<int>(j); });
+    outer_sums[i] = sum;
+  });
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  for (int s : outer_sums) EXPECT_EQ(s, 64 * 63 / 2);
+}
+
+TEST(ThreadPoolTest, ConcurrentTopLevelCallsSerialize) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  auto submit = [&] {
+    for (int k = 0; k < 20; ++k) {
+      pool.ParallelFor(50, [&](size_t) { total.fetch_add(1); });
+    }
+  };
+  std::thread a(submit), b(submit);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * 20 * 50);
+}
+
+TEST(RunTasksTest, NullPoolRunsInlineInIndexOrder) {
+  std::vector<size_t> order;
+  RunTasks(nullptr, 10, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(RunTasksTest, OrderedMergeIsBitIdenticalAcrossThreadCounts) {
+  // The idiom all call sites use: pure tasks fill their own slot, a serial
+  // in-order merge accumulates. Float accumulation order is then fixed, so
+  // the sum is bit-identical at every thread count.
+  constexpr size_t kN = 500;
+  auto run = [&](ThreadPool* pool) {
+    std::vector<double> slots(kN);
+    RunTasks(pool, kN, [&](size_t i) {
+      slots[i] = std::sin(static_cast<double>(i)) * 1e-3 + 1.0 / (i + 1.0);
+    });
+    double sum = 0.0;
+    for (double v : slots) sum += v;
+    return sum;
+  };
+  const double serial = run(nullptr);
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(run(&pool), serial) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CostCacheOverlay
+
+CostKey Key(uint64_t n) { return {n, ~n}; }
+
+CostEstimate Est(double cost) {
+  CostEstimate e;
+  e.cost = cost;
+  return e;
+}
+
+TEST(CostCacheOverlayTest, ReadsFallThroughWritesStayLocal) {
+  CostCache cache;
+  cache.InsertPlan(Key(1), Est(10.0));
+
+  CostCacheOverlay overlay(&cache);
+  const CostEstimate* hit = overlay.FindPlan(Key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cost, 10.0);
+  EXPECT_EQ(overlay.FindPlan(Key(2)), nullptr);
+
+  overlay.InsertPlan(Key(2), Est(20.0));
+  ASSERT_NE(overlay.FindPlan(Key(2)), nullptr);
+  EXPECT_EQ(overlay.FindPlan(Key(2))->cost, 20.0);
+  // The shared store must not see the overlay's write until the merge.
+  EXPECT_EQ(cache.PeekPlan(Key(2)), nullptr);
+}
+
+TEST(CostCacheOverlayTest, LocalWriteShadowsParent) {
+  CostCache cache;
+  cache.InsertPlan(Key(1), Est(10.0));
+  CostCacheOverlay overlay(&cache);
+  overlay.InsertPlan(Key(1), Est(99.0));
+  EXPECT_EQ(overlay.FindPlan(Key(1))->cost, 99.0);
+  EXPECT_EQ(overlay.PeekPlan(Key(1))->cost, 99.0);
+  EXPECT_EQ(cache.PeekPlan(Key(1))->cost, 10.0);
+}
+
+TEST(CostCacheOverlayTest, MergeReplaysInsertsAndRecency) {
+  // plan_capacity 2 → a single shard with exact global LRU order, so the
+  // journaled Touch must decide the eviction victim after the merge.
+  CostCache::Options opts;
+  opts.plan_capacity = 2;
+  CostCache cache(opts);
+  cache.InsertPlan(Key(1), Est(1.0));
+  cache.InsertPlan(Key(2), Est(2.0));  // LRU order now: 2 (fresh), 1
+
+  CostCacheOverlay overlay(&cache);
+  ASSERT_NE(overlay.FindPlan(Key(1)), nullptr);  // journals a touch of 1
+  overlay.MergeInto(&cache);                     // LRU order now: 1, 2
+
+  cache.InsertPlan(Key(3), Est(3.0));  // evicts 2, the least recent
+  EXPECT_NE(cache.PeekPlan(Key(1)), nullptr);
+  EXPECT_EQ(cache.PeekPlan(Key(2)), nullptr);
+  EXPECT_NE(cache.PeekPlan(Key(3)), nullptr);
+}
+
+TEST(CostCacheOverlayTest, MergeWritesLocalInsertsIntoStore) {
+  CostCache cache;
+  CostCacheOverlay overlay(&cache);
+  overlay.InsertPlan(Key(7), Est(7.0));
+  CostJobEntry job;
+  job.times.map_avg_sec = 3.5;
+  overlay.InsertJob(Key(8), job);
+  overlay.MergeInto(&cache);
+  ASSERT_NE(cache.PeekPlan(Key(7)), nullptr);
+  EXPECT_EQ(cache.PeekPlan(Key(7))->cost, 7.0);
+  ASSERT_NE(cache.PeekJob(Key(8)), nullptr);
+  EXPECT_EQ(cache.PeekJob(Key(8))->times.map_avg_sec, 3.5);
+}
+
+TEST(CostCacheOverlayTest, OverlaysNestOverOverlays) {
+  CostCache cache;
+  cache.InsertPlan(Key(1), Est(1.0));
+  CostCacheOverlay outer(&cache);
+  outer.InsertPlan(Key(2), Est(2.0));
+
+  CostCacheOverlay inner(&outer);
+  EXPECT_EQ(inner.FindPlan(Key(1))->cost, 1.0);  // through both layers
+  EXPECT_EQ(inner.FindPlan(Key(2))->cost, 2.0);  // from the outer overlay
+  inner.InsertPlan(Key(3), Est(3.0));
+  EXPECT_EQ(outer.PeekPlan(Key(3)), nullptr);
+
+  inner.MergeInto(&outer);
+  ASSERT_NE(outer.PeekPlan(Key(3)), nullptr);
+  EXPECT_EQ(outer.PeekPlan(Key(3))->cost, 3.0);
+  outer.MergeInto(&cache);
+  ASSERT_NE(cache.PeekPlan(Key(3)), nullptr);
+  EXPECT_EQ(cache.PeekPlan(Key(2))->cost, 2.0);
+}
+
+TEST(CostCacheOverlayTest, NullParentMissesUntilWritten) {
+  CostCacheOverlay overlay(nullptr);
+  EXPECT_EQ(overlay.FindPlan(Key(1)), nullptr);
+  overlay.InsertPlan(Key(1), Est(5.0));
+  EXPECT_EQ(overlay.FindPlan(Key(1))->cost, 5.0);
+}
+
+TEST(CostCacheOverlayTest, SnapshotMergeMatchesSerialExecution) {
+  // Two identical optimizer runs, one routing all cache traffic through
+  // per-task overlays merged in submission order, one writing the shared
+  // cache directly in the same order — the final cache contents must agree.
+  auto direct = std::make_unique<CostCache>();
+  auto overlaid = std::make_unique<CostCache>();
+  for (uint64_t task = 0; task < 4; ++task) {
+    // Direct, serial.
+    for (uint64_t k = 0; k < 3; ++k) {
+      if (direct->FindPlan(Key(task * 3 + k)) == nullptr) {
+        direct->InsertPlan(Key(task * 3 + k), Est(double(task * 3 + k)));
+      }
+    }
+  }
+  std::vector<std::unique_ptr<CostCacheOverlay>> overlays;
+  for (uint64_t task = 0; task < 4; ++task) {
+    overlays.push_back(std::make_unique<CostCacheOverlay>(overlaid.get()));
+    for (uint64_t k = 0; k < 3; ++k) {
+      if (overlays.back()->FindPlan(Key(task * 3 + k)) == nullptr) {
+        overlays.back()->InsertPlan(Key(task * 3 + k),
+                                    Est(double(task * 3 + k)));
+      }
+    }
+  }
+  for (const auto& o : overlays) o->MergeInto(overlaid.get());
+  EXPECT_EQ(direct->plan_entries(), overlaid->plan_entries());
+  for (uint64_t n = 0; n < 12; ++n) {
+    const CostEstimate* a = direct->PeekPlan(Key(n));
+    const CostEstimate* b = overlaid->PeekPlan(Key(n));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->cost, b->cost);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-structured RRS
+
+TEST(RrsBatchTest, MinimizeMatchesMinimizeBatchesBitForBit) {
+  auto f = [](const std::vector<double>& x) {
+    double v = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      double d = x[i] - (0.2 + 0.1 * static_cast<double>(i));
+      v += d * d;
+    }
+    return v;
+  };
+  RrsOptions opts;
+  std::vector<std::vector<double>> seeds = {{0.5, 0.5, 0.5}, {0.9, 0.1, 0.9}};
+
+  RecursiveRandomSearch serial(opts, 42);
+  auto [p1, v1] = serial.Minimize(3, f, seeds);
+
+  RecursiveRandomSearch batched(opts, 42);
+  auto [p2, v2] = batched.MinimizeBatches(
+      3,
+      [&](const std::vector<std::vector<double>>& batch) {
+        std::vector<double> values(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) values[i] = f(batch[i]);
+        return values;
+      },
+      seeds);
+
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(v1, v2);
+  EXPECT_LT(v2, f(seeds[0]));  // it actually optimized
+}
+
+TEST(RrsBatchTest, TrajectoryIsAPureFunctionOfSeedAndValues) {
+  // The sequence of evaluated points must depend only on the RNG seed and
+  // the values returned so far — never on batch timing. Record both runs'
+  // full point streams and compare bit-for-bit.
+  auto f = [](const std::vector<double>& x) {
+    return std::abs(x[0] - 0.3) + std::abs(x[1] - 0.6);
+  };
+  auto run = [&] {
+    std::vector<std::vector<double>> stream;
+    RecursiveRandomSearch rrs(RrsOptions{}, 7);
+    rrs.MinimizeBatches(
+        2,
+        [&](const std::vector<std::vector<double>>& batch) {
+          std::vector<double> values(batch.size());
+          for (size_t i = 0; i < batch.size(); ++i) {
+            stream.push_back(batch[i]);
+            values[i] = f(batch[i]);
+          }
+          return values;
+        },
+        {{0.5, 0.5}});
+    return stream;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RrsBatchTest, BatchesRespectTheEvaluationBudget) {
+  RrsOptions opts;
+  opts.budget = 23;
+  size_t evaluated = 0;
+  RecursiveRandomSearch rrs(opts, 3);
+  rrs.MinimizeBatches(
+      2,
+      [&](const std::vector<std::vector<double>>& batch) {
+        evaluated += batch.size();
+        std::vector<double> values(batch.size(), 1.0);
+        for (size_t i = 0; i < batch.size(); ++i) values[i] = batch[i][0];
+        return values;
+      },
+      {{0.5, 0.5}});
+  EXPECT_EQ(evaluated, 23u);
+}
+
+}  // namespace
+}  // namespace stubby
