@@ -1,0 +1,275 @@
+// Cross-workflow result-reuse bench: submits a shared session — two
+// hand-built map-only workflows (Q2 extends Q1's map pipeline, the ReStore
+// sub-job scenario) followed by the eight Table-1 workflows — twice against
+// one ResultStore, and compares against recompute-from-scratch.
+//
+// Checks the subsystem's contract end to end:
+//   - every pass's final outputs are bit-identical to the no-store baseline
+//     at 1 thread and at --threads threads;
+//   - hits/misses/registrations are identical across thread counts;
+//   - pass 2 reuses pass 1's work: whole-workflow elisions (even-index
+//     submissions), whole-job rewrites (odd-index), and map-prefix reuse,
+//     with lower total simulated cost and lower optimize+execute wall time.
+//
+// Flags: --rows N (sample rows, default 8000), --threads N, --passes N
+// (default 2), --budget-mb N (store byte budget, 0 = unlimited).
+// Writes BENCH_REUSE.json.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "reuse/session.h"
+#include "workloads/builder.h"
+#include "workloads/udfs.h"
+
+namespace stubby::bench {
+namespace {
+
+constexpr uint64_t kGB = 1ull << 30;
+
+struct Submission {
+  std::string name;
+  Plan plan;
+  Dfs dfs;
+};
+
+// Q1 = [filter], Q2 = [filter, project] over identical base content: Q2's
+// pipeline extends Q1's, so a session that saw Q1 serves Q2's first stage
+// from the store (sub-job reuse) even though no whole job matches.
+Result<Submission> MakeMapOnlyQuery(const std::string& tag, int num_stages,
+                                    int rows) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Schema s({"K", "V"});
+  Rng rng(11);
+  std::vector<Row> data;
+  for (int i = 0; i < rows; ++i) {
+    data.push_back(Row{rng.NextInt(0, 99), rng.NextDouble(0, 10)});
+  }
+  STUBBY_RETURN_NOT_OK(
+      f.AddBase("B" + tag, s, Layout{}, 6, std::move(data), 4 * kGB));
+  std::vector<Stage> stages = {
+      Stage::Map(FilterRangeMap("keep_mid", s, "V", 2.0, 9.0))};
+  Schema out_schema = s;
+  if (num_stages > 1) {
+    stages.push_back(Stage::Map(ProjectMap("just_k", s, {"K"})));
+    out_schema = Schema({"K"});
+  }
+  STUBBY_RETURN_NOT_OK(
+      f.AddDataset("OUT" + tag, out_schema, /*workflow_output=*/true));
+  WorkflowFactory::JobDef j;
+  j.id = "J" + tag;
+  j.inputs = {In("B" + tag, std::move(stages))};
+  j.map_output_schema = out_schema;
+  j.output = "OUT" + tag;
+  STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  return Submission{"Q" + tag, f.plan(), f.dfs()};
+}
+
+Result<std::vector<Submission>> BuildSession(int rows) {
+  std::vector<Submission> subs;
+  STUBBY_ASSIGN_OR_RETURN(Submission q1, MakeMapOnlyQuery("1", 1, rows));
+  STUBBY_ASSIGN_OR_RETURN(Submission q2, MakeMapOnlyQuery("2", 2, rows));
+  subs.push_back(std::move(q1));
+  subs.push_back(std::move(q2));
+  for (const std::string& abbr : AllWorkloadAbbrs()) {
+    STUBBY_ASSIGN_OR_RETURN(PreparedWorkload pw, Prepare(abbr, rows));
+    subs.push_back(Submission{abbr, std::move(pw.workload.plan),
+                              std::move(pw.workload.dfs)});
+  }
+  return subs;
+}
+
+struct PassTotals {
+  double simulated_cost = 0.0;
+  double optimize_sec = 0.0;
+  double execute_sec = 0.0;
+  ReuseStats reuse;
+};
+
+struct SessionRun {
+  std::vector<PassTotals> passes;
+  /// outputs[pass][submission][dataset id] -> rows
+  std::vector<std::vector<std::map<std::string, std::vector<Row>>>> outputs;
+};
+
+Result<SessionRun> RunSession(ResultStore* store,
+                              const std::vector<Submission>& subs, int passes,
+                              ThreadPool* pool) {
+  SessionRun run;
+  ReuseSession session(store);
+  for (int p = 0; p < passes; ++p) {
+    PassTotals totals;
+    run.outputs.emplace_back();
+    for (size_t i = 0; i < subs.size(); ++i) {
+      StubbyOptions opts;
+      // Alternate the whole-workflow tier so one repeated session
+      // exercises both full elision and per-job rewriting.
+      opts.reuse_whole_workflow = (i % 2 == 0);
+      STUBBY_ASSIGN_OR_RETURN(
+          ReuseSessionResult r,
+          session.Run(subs[i].plan, subs[i].dfs, opts, pool));
+      totals.simulated_cost += r.simulated_cost;
+      totals.optimize_sec += r.optimize_sec;
+      totals.execute_sec += r.execute_sec;
+      totals.reuse.Add(r.reuse);
+      run.outputs.back().push_back(std::move(r.outputs));
+    }
+    run.passes.push_back(totals);
+  }
+  return run;
+}
+
+bool OutputsMatch(const std::map<std::string, std::vector<Row>>& a,
+                  const std::map<std::string, std::vector<Row>>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [id, rows] : a) {
+    auto it = b.find(id);
+    if (it == b.end() || !RowsBitIdentical(rows, it->second)) return false;
+  }
+  return true;
+}
+
+Json ReuseJson(const ReuseStats& s) {
+  Json j = Json::Object();
+  j["lookups"] = s.lookups;
+  j["whole_job_hits"] = s.whole_job_hits;
+  j["prefix_hits"] = s.prefix_hits;
+  j["workflow_hits"] = s.workflow_hits;
+  j["jobs_elided"] = s.jobs_elided;
+  j["bytes_saved"] = s.bytes_saved;
+  j["registered"] = s.registered;
+  return j;
+}
+
+int Main(int argc, char** argv) {
+  const int rows = IntFlag(argc, argv, "--rows", 8000);
+  const int threads = ThreadsFlag(argc, argv);
+  const int passes = std::max(1, IntFlag(argc, argv, "--passes", 2));
+  const int budget_mb = IntFlag(argc, argv, "--budget-mb", 0);
+
+  std::printf("bench_reuse: rows=%d threads=%d passes=%d budget_mb=%d\n",
+              rows, threads, passes, budget_mb);
+  auto subs = BuildSession(rows);
+  STUBBY_CHECK_OK(subs.status());
+
+  bool bit_identical = true;
+  bool deterministic = true;
+  SessionRun reference;  // with-store run at --threads (reported run)
+  struct StoreSummary {
+    uint64_t entries = 0, snapshots = 0, stored_bytes = 0, evictions = 0,
+             total_hits = 0;
+  } summary;
+  ResultStore::Options store_opts;
+  store_opts.byte_budget = static_cast<uint64_t>(budget_mb) * (1ull << 20);
+
+  std::vector<std::string> pass_stats_at_one_thread;
+  for (int t : std::vector<int>{1, threads}) {
+    ThreadPool pool(t);
+    // Recompute baseline: no store, one pass (outputs are pass-invariant).
+    auto baseline = RunSession(nullptr, *subs, 1, &pool);
+    STUBBY_CHECK_OK(baseline.status());
+    // Shared-store session.
+    ResultStore store(store_opts);
+    auto with_store = RunSession(&store, *subs, passes, &pool);
+    STUBBY_CHECK_OK(with_store.status());
+
+    for (int p = 0; p < passes; ++p) {
+      for (size_t i = 0; i < subs->size(); ++i) {
+        if (!OutputsMatch(with_store->outputs[p][i],
+                          baseline.value().outputs[0][i])) {
+          std::fprintf(stderr,
+                       "BIT-IDENTITY VIOLATION: %s pass %d threads %d\n",
+                       (*subs)[i].name.c_str(), p + 1, t);
+          bit_identical = false;
+        }
+      }
+    }
+    std::vector<std::string> pass_stats;
+    for (const PassTotals& pt : with_store->passes) {
+      pass_stats.push_back(pt.reuse.ToString());
+    }
+    if (t == 1) {
+      pass_stats_at_one_thread = pass_stats;
+    } else if (pass_stats != pass_stats_at_one_thread) {
+      std::fprintf(stderr, "NONDETERMINISM: hit sequence differs at %d "
+                           "threads\n", t);
+      deterministic = false;
+    }
+    if (t == threads) {
+      reference = std::move(*with_store);
+      summary = StoreSummary{store.num_entries(), store.num_snapshots(),
+                             store.stored_bytes(), store.evictions(),
+                             store.total_hits()};
+    }
+    if (threads == 1) break;  // avoid running the same width twice
+  }
+
+  Json doc = Json::Object();
+  doc["bench"] = "reuse";
+  doc["rows"] = rows;
+  doc["threads"] = threads;
+  doc["num_passes"] = passes;
+  doc["budget_mb"] = budget_mb;
+  Json names = Json::Array();
+  for (const Submission& s : *subs) names.Append(s.name);
+  doc["workflows"] = std::move(names);
+  Json pass_array = Json::Array();
+  for (int p = 0; p < static_cast<int>(reference.passes.size()); ++p) {
+    const PassTotals& pt = reference.passes[p];
+    Json j = Json::Object();
+    j["pass"] = p + 1;
+    j["simulated_cost_sec"] = pt.simulated_cost;
+    j["optimize_sec"] = pt.optimize_sec;
+    j["execute_sec"] = pt.execute_sec;
+    j["wall_sec"] = pt.optimize_sec + pt.execute_sec;
+    j["reuse"] = ReuseJson(pt.reuse);
+    pass_array.Append(std::move(j));
+    std::printf(
+        "pass %d: simulated %9.1fs  wall %6.2fs  [%s]\n", p + 1,
+        pt.simulated_cost, pt.optimize_sec + pt.execute_sec,
+        pt.reuse.ToString().c_str());
+  }
+  doc["passes"] = std::move(pass_array);
+  Json store_json = Json::Object();
+  store_json["entries"] = summary.entries;
+  store_json["snapshots"] = summary.snapshots;
+  store_json["stored_bytes"] = summary.stored_bytes;
+  store_json["evictions"] = summary.evictions;
+  store_json["total_hits"] = summary.total_hits;
+  doc["store"] = std::move(store_json);
+  doc["bit_identical"] = bit_identical;
+  doc["deterministic_across_threads"] = deterministic;
+
+  bool pass2_cheaper = true;
+  if (reference.passes.size() >= 2) {
+    const PassTotals& p1 = reference.passes.front();
+    const PassTotals& p2 = reference.passes.back();
+    pass2_cheaper = p2.simulated_cost < p1.simulated_cost;
+    doc["pass2_cost_ratio"] = p1.simulated_cost > 0
+                                  ? p2.simulated_cost / p1.simulated_cost
+                                  : 1.0;
+    std::printf("pass %zu / pass 1: simulated cost %.2f%%, wall %.2f%%\n",
+                reference.passes.size(),
+                100.0 * p2.simulated_cost / p1.simulated_cost,
+                100.0 * (p2.optimize_sec + p2.execute_sec) /
+                    (p1.optimize_sec + p1.execute_sec));
+  }
+  WriteBenchJson("BENCH_REUSE.json", doc);
+
+  if (!bit_identical || !deterministic) return 1;
+  if (!pass2_cheaper) {
+    std::fprintf(stderr, "pass 2 was not cheaper than pass 1\n");
+    return 1;
+  }
+  std::printf("OK: outputs bit-identical, hits deterministic\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace stubby::bench
+
+int main(int argc, char** argv) { return stubby::bench::Main(argc, argv); }

@@ -6,10 +6,13 @@
 //                            baseline|starfish|ysmart|mrshare]
 //                           [--rows N] [--run] [--dot] [--export FILE]
 //   stubbyctl compare <WF> [--rows N]
+//   stubbyctl reuse <WF> [--rows N] [--dot]
 //
 // `optimize --run` executes original and optimized plans on the simulated
 // cluster and verifies result equivalence; `compare` prints the speedup of
-// every optimizer on one workload.
+// every optimizer on one workload; `reuse` submits the workload twice
+// against a shared result store, prints the store catalog, and (with
+// --dot) renders the rewritten second plan with reused scans highlighted.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +27,8 @@
 #include "exec/workflow_runner.h"
 #include "optimizer/stubby.h"
 #include "profiler/profiler.h"
+#include "reuse/session.h"
+#include "reuse/signature.h"
 #include "workflow/dot.h"
 #include "workflow/serialize.h"
 #include "workloads/registry.h"
@@ -38,7 +43,8 @@ int Usage() {
                "       stubbyctl show <WF> [--rows N]\n"
                "       stubbyctl optimize <WF> [--optimizer NAME] [--rows N]"
                " [--run] [--dot]\n"
-               "       stubbyctl compare <WF> [--rows N]\n");
+               "       stubbyctl compare <WF> [--rows N]\n"
+               "       stubbyctl reuse <WF> [--rows N] [--dot]\n");
   return 2;
 }
 
@@ -172,6 +178,51 @@ int main(int argc, char** argv) {
                   t0 / t1,
                   Equivalent(w->plan, da, db) ? "identical" : "MISMATCH");
     }
+    return 0;
+  }
+
+  if (cmd == "reuse") {
+    auto w = LoadProfiled(wf, rows);
+    STUBBY_CHECK_OK(w.status());
+    ResultStore store;
+    ReuseSession session(&store);
+    StubbyOptions opts;
+
+    auto first = session.Run(w->plan, w->dfs, opts);
+    STUBBY_CHECK_OK(first.status());
+    std::printf("pass 1: %zu job(s), simulated %s  [%s]\n",
+                first->report.plan.num_jobs(),
+                HumanSeconds(first->simulated_cost).c_str(),
+                first->reuse.ToString().c_str());
+
+    // Keep the whole-workflow tier off for the second pass so the rewrite
+    // (rather than full elision) is what gets rendered.
+    StubbyOptions second_opts = opts;
+    second_opts.reuse_whole_workflow = false;
+    auto second = session.Run(w->plan, w->dfs, second_opts);
+    STUBBY_CHECK_OK(second.status());
+    std::printf("pass 2: %zu job(s), simulated %s  [%s]\n",
+                second->report.plan.num_jobs(),
+                HumanSeconds(second->simulated_cost).c_str(),
+                second->reuse.ToString().c_str());
+
+    std::printf("\ncatalog: %zu entries, %zu snapshot(s), %s stored, "
+                "%llu eviction(s)\n",
+                store.num_entries(), store.num_snapshots(),
+                HumanBytes(store.stored_bytes()).c_str(),
+                (unsigned long long)store.evictions());
+    std::printf("%-32s %-16s %12s %12s %6s\n", "key", "kind",
+                "logical", "rows", "hits");
+    for (const auto& [key, entry] : store.catalog()) {
+      std::printf("%-32s %-16s %12s %12llu %6llu\n",
+                  CostKeyToHex(key).c_str(), ReuseKindName(entry.kind),
+                  HumanBytes(entry.logical_bytes).c_str(),
+                  (unsigned long long)entry.logical_rows,
+                  (unsigned long long)entry.hits);
+    }
+    std::printf("\nrewritten plan (pass 2):\n%s",
+                second->report.plan.ToString().c_str());
+    if (dot) std::printf("%s", PlanToDot(second->report.plan).c_str());
     return 0;
   }
 

@@ -37,28 +37,6 @@ void MixStage(CostDigest* d, const Stage& s) {
   MixStats(d, s.stats);
 }
 
-void MixValue(CostDigest* d, const Value& v) {
-  if (v.is_int()) {
-    d->Mix(uint64_t{1}).Mix(static_cast<uint64_t>(v.AsInt()));
-  } else if (v.is_double()) {
-    d->Mix(uint64_t{2}).Mix(v.AsDouble());
-  } else {
-    d->Mix(uint64_t{3}).Mix(v.AsString());
-  }
-}
-
-void MixPartition(CostDigest* d, const PartitionSpec& p) {
-  d->Mix(static_cast<uint64_t>(p.type));
-  d->Mix(p.partition_fields);
-  d->Mix(p.sort_fields);
-  d->Mix(static_cast<uint64_t>(p.split_points.size()));
-  for (const Row& r : p.split_points) {
-    d->Mix(static_cast<uint64_t>(r.size()));
-    for (const Value& v : r.values()) MixValue(d, v);
-  }
-  d->Mix(p.split_points_from);
-}
-
 void MixHistogram(CostDigest* d, const KeyHistogram& h) {
   d->Mix(h.field);
   d->Mix(h.min);
@@ -100,6 +78,28 @@ void MixConfig(CostDigest* d, const JobConfig& c) {
 }
 
 }  // namespace
+
+void MixValueDigest(CostDigest* d, const Value& v) {
+  if (v.is_int()) {
+    d->Mix(uint64_t{1}).Mix(static_cast<uint64_t>(v.AsInt()));
+  } else if (v.is_double()) {
+    d->Mix(uint64_t{2}).Mix(v.AsDouble());
+  } else {
+    d->Mix(uint64_t{3}).Mix(v.AsString());
+  }
+}
+
+void MixPartitionSpecDigest(CostDigest* d, const PartitionSpec& p) {
+  d->Mix(static_cast<uint64_t>(p.type));
+  d->Mix(p.partition_fields);
+  d->Mix(p.sort_fields);
+  d->Mix(static_cast<uint64_t>(p.split_points.size()));
+  for (const Row& r : p.split_points) {
+    d->Mix(static_cast<uint64_t>(r.size()));
+    for (const Value& v : r.values()) MixValueDigest(d, v);
+  }
+  d->Mix(p.split_points_from);
+}
 
 CostDigest& CostDigest::Mix(uint64_t v) {
   a_ = Mix64(a_ ^ v);
@@ -154,7 +154,7 @@ CostDigest JobStructureDigest(const JobVertex& job) {
     d.Mix(b.merge_sort_fields);
     d.Mix(static_cast<uint64_t>(b.reduce_stages.size()));
     for (const Stage& s : b.reduce_stages) MixStage(&d, s);
-    MixPartition(&d, b.partition);
+    MixPartitionSpecDigest(&d, b.partition);
     d.Mix(b.combiner != nullptr);
     d.Mix(b.output_dataset);
     MixProfile(&d, b.annotations.profile);

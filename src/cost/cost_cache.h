@@ -107,6 +107,14 @@ void MixJobConfiguration(CostDigest* d, const JobVertex& job);
 /// job digest.
 void MixPredictedDataset(CostDigest* d, const PredictedDataset& p);
 
+/// Mixes one Value (type tag + payload, bit-exact for doubles). Exposed for
+/// digests over row contents — the reuse subsystem's dataset content keys.
+void MixValueDigest(CostDigest* d, const Value& v);
+
+/// Mixes a PartitionSpec (type, fields, split points, split_points_from).
+/// Exposed for the reuse subsystem's layout and job-identity digests.
+void MixPartitionSpecDigest(CostDigest* d, const PartitionSpec& p);
+
 /// Digest over everything WhatIfEngine::Cost reads from a plan: every
 /// job's content digest plus the base datasets' size/layout annotations.
 /// Graph topology is covered through the jobs' input/output dataset ids.

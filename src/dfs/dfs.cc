@@ -32,6 +32,26 @@ void Dfs::Drop(const std::string& id) { datasets_.erase(id); }
 
 void Dfs::Clear() { datasets_.clear(); }
 
+std::vector<std::string> Dfs::Collect(const std::set<std::string>& live) {
+  std::vector<std::string> collected;
+  for (auto it = datasets_.begin(); it != datasets_.end();) {
+    if (live.count(it->first) == 0) {
+      collected.push_back(it->first);
+      it = datasets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+std::vector<std::string> Dfs::Ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(datasets_.size());
+  for (const auto& [id, ds] : datasets_) ids.push_back(id);
+  return ids;
+}
+
 uint64_t Dfs::TotalRawBytes() const {
   uint64_t total = 0;
   for (const auto& [id, ds] : datasets_) total += ds->raw_bytes();

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "dfs/dataset.h"
@@ -31,7 +33,17 @@ class Dfs {
   /// Removes everything.
   void Clear();
 
+  /// Garbage collection: drops every dataset whose id is not in `live`.
+  /// Returns the ids that were collected (in id order — deterministic).
+  /// Callers (result-store eviction, plan-rewrite cleanup) are responsible
+  /// for putting every dataset still referenced by a live plan or a pinned
+  /// store entry into `live`.
+  std::vector<std::string> Collect(const std::set<std::string>& live);
+
   size_t size() const { return datasets_.size(); }
+
+  /// All dataset ids, in id order.
+  std::vector<std::string> Ids() const;
 
   /// Total raw bytes across all stored datasets.
   uint64_t TotalRawBytes() const;

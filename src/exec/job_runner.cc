@@ -72,6 +72,9 @@ struct DatasetBuilder {
 };
 
 /// Physical partitions of `ds` selected by a prune list (all when empty).
+/// Pruning selects a partition *set*: the list is canonicalized (sorted,
+/// deduplicated) so permuted or duplicated prune entries read the same
+/// physical data in the same order.
 std::vector<int> SelectedPartitions(const StoredDataset& ds,
                                     const std::vector<int>& prune) {
   std::vector<int> parts;
@@ -80,7 +83,7 @@ std::vector<int> SelectedPartitions(const StoredDataset& ds,
       parts.push_back(static_cast<int>(i));
     }
   } else {
-    for (int p : prune) {
+    for (int p : CanonicalPrunePartitions(prune)) {
       if (p >= 0 && static_cast<size_t>(p) < ds.num_partitions()) {
         parts.push_back(p);
       }

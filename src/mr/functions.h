@@ -61,6 +61,15 @@ class MapFn {
   /// trivial pass-through).
   virtual double cpu_cost_per_record() const { return 1.0; }
 
+  /// True when the function is row-wise pure: output depends only on the
+  /// current input row (no cross-row task state, nothing emitted from
+  /// Finish). Stateless pipelines produce the same concatenated output
+  /// stream regardless of how the input is chunked into tasks — the
+  /// property the result-reuse subsystem needs to match map-only prefixes
+  /// across jobs with different task boundaries. Conservatively false for
+  /// hand-written subclasses (samplers, top-K).
+  virtual bool stateless() const { return false; }
+
   /// Fresh instance with reset state for a new task.
   virtual std::shared_ptr<MapFn> Clone() const = 0;
 };
@@ -101,7 +110,10 @@ class CombineFn {
 // do not need per-task state.
 // ---------------------------------------------------------------------------
 
-/// MapFn from a lambda `(const Row&, Emitter*)`.
+/// MapFn from a lambda `(const Row&, Emitter*)`. The lambda must be
+/// row-wise pure (it cannot be otherwise through this interface: there is
+/// no Finish hook and captures are copied per Clone), so lambda maps are
+/// stateless by construction.
 class LambdaMapFn : public MapFn {
  public:
   using Fn = std::function<void(const Row&, Emitter*)>;
@@ -119,6 +131,7 @@ class LambdaMapFn : public MapFn {
   const Schema& input_schema() const override { return in_; }
   const Schema& output_schema() const override { return out_; }
   double cpu_cost_per_record() const override { return cpu_weight_; }
+  bool stateless() const override { return true; }
   std::shared_ptr<MapFn> Clone() const override {
     return std::make_shared<LambdaMapFn>(*this);
   }

@@ -9,8 +9,32 @@
 #include "optimizer/horizontal.h"
 #include "optimizer/partition_fn.h"
 #include "optimizer/vertical.h"
+#include "reuse/rewriter.h"
 
 namespace stubby {
+
+CostKey ReuseSaltFromOptions(const StubbyOptions& options) {
+  CostDigest d;
+  d.Mix(uint64_t{0x5265557353616c74ull});  // "ReUsSalt"
+  d.Mix(options.enable_intra_vertical);
+  d.Mix(options.enable_inter_vertical);
+  d.Mix(options.enable_horizontal);
+  d.Mix(options.extended_horizontal);
+  d.Mix(options.enable_partition_function);
+  d.Mix(options.enable_configuration);
+  d.Mix(options.flip_phase_order);
+  d.Mix(static_cast<uint64_t>(options.unit.max_subplans));
+  d.Mix(static_cast<uint64_t>(options.unit.max_depth));
+  d.Mix(options.unit.enable_configuration);
+  d.Mix(options.unit.seed);
+  d.Mix(static_cast<uint64_t>(options.unit.rrs.budget));
+  d.Mix(static_cast<uint64_t>(options.unit.rrs.explore_samples));
+  d.Mix(static_cast<uint64_t>(options.unit.rrs.exploit_samples));
+  d.Mix(options.unit.rrs.init_radius);
+  d.Mix(options.unit.rrs.shrink);
+  d.Mix(options.unit.rrs.min_radius);
+  return d.value();
+}
 
 Result<Plan> StubbyOptimizer::RunPhase(
     Plan plan, const std::vector<std::shared_ptr<Transformation>>& group,
@@ -49,6 +73,32 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
   WhatIfEngine whatif(plan.cluster());
   OptimizeReport report;
   whatif.set_instrumentation(&report.costing);
+
+  const bool reuse_enabled =
+      options_.reuse_store != nullptr && options_.reuse_dfs != nullptr;
+
+  // Tier 1: if every terminal output of the workflow is stored under this
+  // option set, skip optimization and execution planning entirely.
+  if (reuse_enabled && options_.reuse_whole_workflow) {
+    ReuseRewriter rewriter(options_.reuse_store, options_.reuse_dfs);
+    STUBBY_ASSIGN_OR_RETURN(
+        ReuseRewriteResult elided,
+        rewriter.ElideWholeWorkflow(plan, ReuseSaltFromOptions(options_)));
+    report.reuse.Add(elided.stats);
+    if (elided.changed) {
+      CostEstimate cost = whatif.Cost(elided.plan);
+      report.plan = std::move(elided.plan);
+      report.estimated_cost = cost.cost;
+      report.fallback = cost.fallback;
+      report.reuse_materialized = true;
+      report.reuse_lineage_seeds = std::move(elided.materialized_lineage);
+      report.reuse_pinned = std::move(elided.pinned_snapshots);
+      report.optimization_time_sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      return report;
+    }
+  }
   // One cache per Optimize call, shared across phases and units: the base
   // plan of every unit, RRS seed points, and all jobs outside an RRS
   // point's perturbation cone hit the memo.
@@ -124,6 +174,22 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
     phase.units_processed = report.units_processed - units_before;
     phase.subplans_enumerated = report.subplans_enumerated - subplans_before;
     report.phases.push_back(std::move(phase));
+  }
+
+  // Tier 2: rewrite stored whole jobs and map-prefixes of the optimized
+  // plan into snapshot scans. Re-cost after a rewrite — the what-if engine
+  // prices materialized scans from the stored datasets' observed sizes
+  // (their annotations), so the reported estimate reflects the savings.
+  if (reuse_enabled) {
+    ReuseRewriter rewriter(options_.reuse_store, options_.reuse_dfs);
+    STUBBY_ASSIGN_OR_RETURN(ReuseRewriteResult rewritten,
+                            rewriter.Rewrite(current));
+    report.reuse.Add(rewritten.stats);
+    if (rewritten.changed) {
+      current = std::move(rewritten.plan);
+      report.reuse_lineage_seeds = std::move(rewritten.materialized_lineage);
+      report.reuse_pinned = std::move(rewritten.pinned_snapshots);
+    }
   }
 
   CostEstimate final_cost = whatif.Cost(current);

@@ -18,6 +18,7 @@
 #include "cost/cost_cache.h"
 #include "cost/whatif.h"
 #include "optimizer/search.h"
+#include "reuse/result_store.h"
 #include "workflow/plan.h"
 
 namespace stubby {
@@ -54,7 +55,26 @@ struct StubbyOptions {
   ThreadPool* pool = nullptr;
 
   UnitSearchOptions unit;
+
+  /// Cross-workflow result reuse (src/reuse/). When `reuse_store` and
+  /// `reuse_dfs` are both set, Optimize matches the plan against the store
+  /// before and after the transformation phases and rewrites hits into
+  /// stored-snapshot scans. Both pointers are borrowed and must outlive the
+  /// Optimize call. Reuse is bit-transparent on outputs, so none of these
+  /// fields enter the option salt workflow-output keys are registered under.
+  ResultStore* reuse_store = nullptr;
+  const Dfs* reuse_dfs = nullptr;
+  /// Allow the pre-optimization tier that elides the *entire* workflow when
+  /// every terminal output is stored under this option set.
+  bool reuse_whole_workflow = true;
 };
+
+/// Digest of the options that shape what an optimized plan computes —
+/// transform toggles, phase order, and the unit-search/RRS settings (seed
+/// included). Excludes pure wall-time knobs (threads, pool, cost cache) and
+/// the reuse fields themselves. Workflow-terminal store entries are keyed
+/// under this salt: stored bits match a recompute only under equal options.
+CostKey ReuseSaltFromOptions(const StubbyOptions& options);
 
 /// Per-phase slice of an optimizer run.
 struct PhaseReport {
@@ -77,6 +97,18 @@ struct OptimizeReport {
   /// hits/misses, full vs. incremental predictions, RRS evaluations).
   CostInstrumentation costing;
   std::vector<PhaseReport> phases;
+
+  /// Result-reuse counters for this run (all zero when no store was given).
+  ReuseStats reuse;
+  /// True when the whole workflow was elided pre-optimization (the plan has
+  /// zero jobs; every terminal output is a materialized snapshot scan).
+  bool reuse_materialized = false;
+  /// Lineage identity of materialized vertices in `plan` — the session
+  /// seeds post-execution ComputeLineage with this so registrations from
+  /// rewritten runs stay comparable with recomputed runs.
+  std::map<std::string, CostKey> reuse_lineage_seeds;
+  /// Snapshots pinned for this plan; the session unpins them after staging.
+  std::vector<std::string> reuse_pinned;
 };
 
 /// Cost-based transformation-based workflow optimizer.

@@ -1,0 +1,309 @@
+#include "reuse/result_store.h"
+
+#include <bit>
+#include <set>
+
+#include "common/strings.h"
+#include "workflow/serialize.h"
+
+namespace stubby {
+
+const char* ReuseKindName(ReuseKind kind) {
+  switch (kind) {
+    case ReuseKind::kJobOutput:
+      return "job_output";
+    case ReuseKind::kMapStream:
+      return "map_stream";
+    case ReuseKind::kWorkflowOutput:
+      return "workflow_output";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<ReuseKind> ReuseKindFromName(const std::string& name) {
+  if (name == "job_output") return ReuseKind::kJobOutput;
+  if (name == "map_stream") return ReuseKind::kMapStream;
+  if (name == "workflow_output") return ReuseKind::kWorkflowOutput;
+  return Status::InvalidArgument("unknown reuse kind '" + name + "'");
+}
+
+Result<CostKey> CostKeyFromHex(const std::string& hex) {
+  if (hex.size() != 32) {
+    return Status::InvalidArgument("bad key encoding '" + hex + "'");
+  }
+  CostKey key{0, 0};
+  for (size_t i = 0; i < 32; ++i) {
+    char c = hex[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::InvalidArgument("bad key encoding '" + hex + "'");
+    }
+    uint64_t& lane = i < 16 ? key.first : key.second;
+    lane = (lane << 4) | digit;
+  }
+  return key;
+}
+
+}  // namespace
+
+void ReuseStats::Add(const ReuseStats& other) {
+  lookups += other.lookups;
+  whole_job_hits += other.whole_job_hits;
+  prefix_hits += other.prefix_hits;
+  workflow_hits += other.workflow_hits;
+  jobs_elided += other.jobs_elided;
+  bytes_saved += other.bytes_saved;
+  registered += other.registered;
+}
+
+std::string ReuseStats::ToString() const {
+  return StrFormat(
+      "lookups=%llu whole_job=%llu prefix=%llu workflow=%llu elided=%llu "
+      "bytes_saved=%llu registered=%llu",
+      (unsigned long long)lookups, (unsigned long long)whole_job_hits,
+      (unsigned long long)prefix_hits, (unsigned long long)workflow_hits,
+      (unsigned long long)jobs_elided, (unsigned long long)bytes_saved,
+      (unsigned long long)registered);
+}
+
+DatasetPtr CloneDataset(const StoredDataset& ds, std::string new_id) {
+  auto clone = std::make_shared<StoredDataset>(std::move(new_id), ds.schema(),
+                                               ds.layout());
+  for (size_t p = 0; p < ds.num_partitions(); ++p) {
+    clone->AddPartition(ds.partition(p));
+  }
+  clone->set_logical_scale(ds.logical_scale());
+  return clone;
+}
+
+bool RowsBitIdentical(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      const Value& va = a[i][j];
+      const Value& vb = b[i][j];
+      if (va.is_int()) {
+        if (!vb.is_int() || va.AsInt() != vb.AsInt()) return false;
+      } else if (va.is_double()) {
+        if (!vb.is_double() || std::bit_cast<uint64_t>(va.AsDouble()) !=
+                                   std::bit_cast<uint64_t>(vb.AsDouble())) {
+          return false;
+        }
+      } else {
+        if (!vb.is_string() || va.AsString() != vb.AsString()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string ResultStore::Register(
+    const StoredDataset& ds,
+    const std::vector<std::pair<CostKey, ReuseKind>>& keys) {
+  if (keys.empty()) return "";
+  std::vector<std::pair<CostKey, ReuseKind>> fresh;
+  for (const auto& [key, kind] : keys) {
+    if (entries_.count(key) == 0) fresh.emplace_back(key, kind);
+  }
+  if (fresh.empty()) return entries_.at(keys.front().first).snapshot_id;
+
+  std::string snapshot_id = "rs/" + std::to_string(next_snapshot_++);
+  DatasetPtr snapshot = CloneDataset(ds, snapshot_id);
+  snapshots_.PutOrReplace(snapshot);
+  ++clock_;
+  for (const auto& [key, kind] : fresh) {
+    StoredResult entry;
+    entry.key = key;
+    entry.kind = kind;
+    entry.snapshot_id = snapshot_id;
+    entry.raw_bytes = snapshot->raw_bytes();
+    entry.logical_bytes = snapshot->logical_bytes();
+    entry.logical_rows = snapshot->logical_rows();
+    entry.created = clock_;
+    entry.last_used = clock_;
+    entries_.emplace(key, std::move(entry));
+  }
+  EnforceBudget();
+  return snapshot_id;
+}
+
+const StoredResult* ResultStore::Peek(const CostKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const StoredResult* ResultStore::Lookup(const CostKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++clock_;
+  it->second.hits += 1;
+  it->second.last_used = clock_;
+  return &it->second;
+}
+
+Result<DatasetPtr> ResultStore::OpenSnapshot(
+    const std::string& snapshot_id) const {
+  return snapshots_.Get(snapshot_id);
+}
+
+void ResultStore::Pin(const std::string& snapshot_id) { pins_[snapshot_id]++; }
+
+void ResultStore::Unpin(const std::string& snapshot_id) {
+  auto it = pins_.find(snapshot_id);
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
+}
+
+uint64_t ResultStore::total_hits() const {
+  uint64_t total = 0;
+  for (const auto& [key, e] : entries_) total += e.hits;
+  return total;
+}
+
+void ResultStore::EnforceBudget() {
+  if (options_.byte_budget == 0) return;
+  while (stored_bytes() > options_.byte_budget) {
+    // Victim: unpinned entry with the oldest last_used; ties break on the
+    // (ordered) key, so the victim sequence is deterministic.
+    const StoredResult* victim = nullptr;
+    for (const auto& [key, e] : entries_) {
+      if (pins_.count(e.snapshot_id)) continue;
+      if (victim == nullptr || e.last_used < victim->last_used) victim = &e;
+    }
+    if (victim == nullptr) return;  // everything left is pinned
+    entries_.erase(victim->key);
+    ++evictions_;
+    // Collect snapshots no surviving entry references and no pin holds.
+    std::set<std::string> live;
+    for (const auto& [key, e] : entries_) live.insert(e.snapshot_id);
+    for (const auto& [id, refs] : pins_) live.insert(id);
+    snapshots_.Collect(live);
+  }
+}
+
+Json ResultStore::ToJson() const {
+  Json root = Json::Object();
+  root["format"] = "stubby-reuse-catalog";
+  root["version"] = 1;
+  root["clock"] = clock_;
+  root["next_snapshot"] = next_snapshot_;
+  root["evictions"] = evictions_;
+  root["byte_budget"] = options_.byte_budget;
+
+  Json entries = Json::Array();
+  for (const auto& [key, e] : entries_) {
+    Json j = Json::Object();
+    j["key"] = CostKeyToHex(key);
+    j["kind"] = ReuseKindName(e.kind);
+    j["snapshot"] = e.snapshot_id;
+    j["raw_bytes"] = e.raw_bytes;
+    j["logical_bytes"] = e.logical_bytes;
+    j["logical_rows"] = e.logical_rows;
+    j["hits"] = e.hits;
+    j["created"] = e.created;
+    j["last_used"] = e.last_used;
+    entries.Append(std::move(j));
+  }
+  root["entries"] = std::move(entries);
+
+  Json snapshots = Json::Array();
+  for (const std::string& id : snapshots_.Ids()) {
+    DatasetPtr ds = *snapshots_.Get(id);
+    Json j = Json::Object();
+    j["id"] = id;
+    Json schema = Json::Array();
+    for (const auto& f : ds->schema().fields()) schema.Append(f);
+    j["schema"] = std::move(schema);
+    j["layout"] = LayoutToJson(ds->layout());
+    j["logical_scale"] = ds->logical_scale();
+    Json parts = Json::Array();
+    for (size_t p = 0; p < ds->num_partitions(); ++p) {
+      Json rows = Json::Array();
+      for (const Row& r : ds->partition(p)) rows.Append(RowToJson(r));
+      parts.Append(std::move(rows));
+    }
+    j["partitions"] = std::move(parts);
+    snapshots.Append(std::move(j));
+  }
+  root["snapshots"] = std::move(snapshots);
+  return root;
+}
+
+std::string ResultStore::Serialize() const { return ToJson().Dump(2); }
+
+Result<ResultStore> ResultStore::FromJson(const Json& json) {
+  if (json.GetString("format") != "stubby-reuse-catalog") {
+    return Status::InvalidArgument("not a stubby-reuse-catalog document");
+  }
+  ResultStore store;
+  store.clock_ = static_cast<uint64_t>(json.GetNumber("clock"));
+  store.next_snapshot_ =
+      static_cast<uint64_t>(json.GetNumber("next_snapshot"));
+  store.evictions_ = static_cast<uint64_t>(json.GetNumber("evictions"));
+  store.options_.byte_budget =
+      static_cast<uint64_t>(json.GetNumber("byte_budget"));
+
+  const Json* snapshots = json.Find("snapshots");
+  if (snapshots != nullptr && snapshots->is_array()) {
+    for (const Json& j : snapshots->items()) {
+      std::string id = j.GetString("id");
+      std::vector<std::string> fields;
+      if (const Json* schema = j.Find("schema"); schema != nullptr) {
+        for (const Json& f : schema->items()) fields.push_back(f.AsString());
+      }
+      Layout layout;
+      if (const Json* l = j.Find("layout"); l != nullptr) {
+        STUBBY_ASSIGN_OR_RETURN(layout, LayoutFromJson(*l));
+      }
+      auto ds = std::make_shared<StoredDataset>(id, Schema(fields), layout);
+      if (const Json* parts = j.Find("partitions"); parts != nullptr) {
+        for (const Json& part : parts->items()) {
+          std::vector<Row> rows;
+          for (const Json& r : part.items()) {
+            STUBBY_ASSIGN_OR_RETURN(Row row, RowFromJson(r));
+            rows.push_back(std::move(row));
+          }
+          ds->AddPartition(std::move(rows));
+        }
+      }
+      ds->set_logical_scale(j.GetNumber("logical_scale", 1.0));
+      store.snapshots_.PutOrReplace(std::move(ds));
+    }
+  }
+
+  const Json* entries = json.Find("entries");
+  if (entries != nullptr && entries->is_array()) {
+    for (const Json& j : entries->items()) {
+      StoredResult e;
+      STUBBY_ASSIGN_OR_RETURN(e.key, CostKeyFromHex(j.GetString("key")));
+      STUBBY_ASSIGN_OR_RETURN(e.kind, ReuseKindFromName(j.GetString("kind")));
+      e.snapshot_id = j.GetString("snapshot");
+      e.raw_bytes = static_cast<uint64_t>(j.GetNumber("raw_bytes"));
+      e.logical_bytes = static_cast<uint64_t>(j.GetNumber("logical_bytes"));
+      e.logical_rows = static_cast<uint64_t>(j.GetNumber("logical_rows"));
+      e.hits = static_cast<uint64_t>(j.GetNumber("hits"));
+      e.created = static_cast<uint64_t>(j.GetNumber("created"));
+      e.last_used = static_cast<uint64_t>(j.GetNumber("last_used"));
+      if (!store.snapshots_.Exists(e.snapshot_id)) {
+        return Status::InvalidArgument("entry references missing snapshot '" +
+                                       e.snapshot_id + "'");
+      }
+      store.entries_.emplace(e.key, std::move(e));
+    }
+  }
+  return store;
+}
+
+Result<ResultStore> ResultStore::Deserialize(const std::string& text) {
+  STUBBY_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return FromJson(json);
+}
+
+}  // namespace stubby

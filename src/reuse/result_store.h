@@ -1,0 +1,139 @@
+// ResultStore: the cross-workflow materialized-output catalog (ReStore's
+// repository, PVLDB 2012, adapted to the simulated DFS). Executed job
+// outputs are snapshotted into an internal Dfs and indexed by the
+// content-addressed keys of reuse/signature.h; later workflows that contain
+// a logically-equal job (or a map-only prefix of one) are rewritten to scan
+// the snapshot instead of recomputing it.
+//
+// Determinism contract: every byte of store state — snapshot ids, catalog
+// contents, hit counters, eviction victims — is a pure function of the
+// sequence of Register/Lookup/Pin calls. Recency uses a logical clock, not
+// wall time, so repeated sessions evict identically.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "dfs/dfs.h"
+#include "reuse/signature.h"
+
+namespace stubby {
+
+/// What a catalog entry stands for.
+enum class ReuseKind {
+  kJobOutput,       ///< one output dataset of a whole executed job
+  kMapStream,       ///< output stream of a stateless map-only pipeline
+  kWorkflowOutput,  ///< terminal output under optimizer-salted lineage
+};
+
+const char* ReuseKindName(ReuseKind kind);
+
+/// Counters of one optimizer run's interaction with the store.
+struct ReuseStats {
+  uint64_t lookups = 0;         ///< catalog probes issued by the rewriter
+  uint64_t whole_job_hits = 0;  ///< jobs replaced by stored-output scans
+  uint64_t prefix_hits = 0;     ///< map-prefix (sub-job) rewrites
+  uint64_t workflow_hits = 0;   ///< terminal outputs served in a full elision
+  uint64_t jobs_elided = 0;     ///< jobs removed (hits + dead-code cleanup)
+  uint64_t bytes_saved = 0;     ///< logical bytes served from snapshots
+  uint64_t registered = 0;      ///< catalog entries added after execution
+
+  void Add(const ReuseStats& other);
+  std::string ToString() const;
+};
+
+/// One catalog entry. Entries referencing the same snapshot share its
+/// bytes (a job output registered under both a job-output key and a
+/// workflow-output key is stored once).
+struct StoredResult {
+  CostKey key{0, 0};
+  ReuseKind kind = ReuseKind::kJobOutput;
+  std::string snapshot_id;
+  uint64_t raw_bytes = 0;      ///< physical snapshot bytes (budget unit)
+  uint64_t logical_bytes = 0;  ///< scaled bytes the snapshot stands for
+  uint64_t logical_rows = 0;
+  uint64_t hits = 0;
+  uint64_t created = 0;    ///< logical clock at registration
+  uint64_t last_used = 0;  ///< logical clock at last Lookup
+};
+
+/// Byte-budgeted, LRU-evicting snapshot catalog.
+class ResultStore {
+ public:
+  struct Options {
+    /// Physical snapshot-byte budget; 0 = unlimited. Eviction drops the
+    /// least-recently-used unpinned entries until within budget, then
+    /// garbage-collects snapshots no surviving entry references.
+    uint64_t byte_budget = 0;
+  };
+
+  ResultStore() : ResultStore(Options{}) {}
+  explicit ResultStore(Options options) : options_(options) {}
+
+  /// Snapshots `ds` into the store and registers it under every key in
+  /// `keys`. Keys already present keep their existing entry (first
+  /// registration wins — deterministic under replay). Returns the snapshot
+  /// id serving the keys (the existing entry's snapshot when nothing new
+  /// was added), or "" when `keys` is empty.
+  std::string Register(const StoredDataset& ds,
+                       const std::vector<std::pair<CostKey, ReuseKind>>& keys);
+
+  /// Read-only probe: no hit count, no recency update. Use while planning.
+  const StoredResult* Peek(const CostKey& key) const;
+
+  /// Committed lookup: bumps the hit count and LRU recency.
+  const StoredResult* Lookup(const CostKey& key);
+
+  /// The snapshot dataset behind an entry.
+  Result<DatasetPtr> OpenSnapshot(const std::string& snapshot_id) const;
+
+  /// Pin/unpin a snapshot against eviction (refcounted). Rewritten plans
+  /// pin the snapshots they scan until the session has staged and executed
+  /// them; eviction never collects a pinned snapshot.
+  void Pin(const std::string& snapshot_id);
+  void Unpin(const std::string& snapshot_id);
+
+  const std::map<CostKey, StoredResult>& catalog() const { return entries_; }
+  size_t num_entries() const { return entries_.size(); }
+  size_t num_snapshots() const { return snapshots_.size(); }
+  uint64_t stored_bytes() const { return snapshots_.TotalRawBytes(); }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t total_hits() const;
+
+  /// Catalog (and snapshot contents) as JSON, using the same row/layout
+  /// encodings as workflow/serialize.cc so exported artifacts compose.
+  Json ToJson() const;
+  std::string Serialize() const;
+
+  /// Restores a store — catalog, snapshots, clock, pins excluded (pins are
+  /// session-lifetime only). Keys, ids, and counters round-trip exactly.
+  static Result<ResultStore> FromJson(const Json& json);
+  static Result<ResultStore> Deserialize(const std::string& text);
+
+ private:
+  void EnforceBudget();
+
+  Options options_;
+  std::map<CostKey, StoredResult> entries_;
+  Dfs snapshots_;
+  std::map<std::string, int> pins_;
+  uint64_t clock_ = 0;
+  uint64_t next_snapshot_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// Deep copy of a dataset under a new id (partitions, scale, layout).
+DatasetPtr CloneDataset(const StoredDataset& ds, std::string new_id);
+
+/// Bit-exact row-sequence equality: same length, every value the same type
+/// and bit pattern (doubles compared by bits, not tolerance). This is the
+/// reuse subsystem's output-equivalence contract.
+bool RowsBitIdentical(const std::vector<Row>& a, const std::vector<Row>& b);
+
+}  // namespace stubby

@@ -1,0 +1,74 @@
+// ReuseRewriter: the plan pass that turns ResultStore hits into rewrites
+// (ReStore's plan matcher, PVLDB 2012). Two tiers:
+//
+//   ElideWholeWorkflow — before optimization: if every terminal output of
+//   the workflow is stored under its optimizer-salted lineage key, the
+//   whole plan collapses to zero jobs whose outputs are staged snapshots.
+//   Salting with the optimizer options keeps the tier transparent: the
+//   stored bits are exactly what optimizing + executing would produce.
+//
+//   Rewrite — after optimization: (a) whole-job reuse — a job whose every
+//   output is stored is removed and its outputs become materialized base
+//   inputs; (b) sub-job reuse — the longest stored stateless map-prefix of
+//   a branch input is replaced by a scan of the stored stream. Dead jobs
+//   whose outputs nobody consumes anymore are then eliminated.
+//
+// When nothing matches, the returned plan is bit-identical to the input —
+// the pass is a no-op, not a normalization.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "reuse/result_store.h"
+#include "reuse/signature.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Outcome of a rewrite pass.
+struct ReuseRewriteResult {
+  Plan plan;
+  ReuseStats stats;
+  bool changed = false;
+
+  /// Lineage identity of every materialized vertex in `plan` (vertex id ->
+  /// the store key it was served from). The session seeds ComputeLineage
+  /// with this map so post-execution registrations of the rewritten plan
+  /// stay comparable with recomputed runs.
+  std::map<std::string, CostKey> materialized_lineage;
+
+  /// Snapshots the rewritten plan scans, pinned against eviction until the
+  /// session unpins them after staging + execution.
+  std::vector<std::string> pinned_snapshots;
+};
+
+/// Matches a plan against a ResultStore and rewrites hits into scans.
+class ReuseRewriter {
+ public:
+  /// `dfs` supplies base-input contents for lineage keys; both pointers
+  /// must outlive the rewriter.
+  ReuseRewriter(ResultStore* store, const Dfs* dfs)
+      : store_(store), dfs_(dfs) {}
+
+  /// All-or-nothing terminal elision (tier 1). `changed` is true only when
+  /// *every* workflow output hit; the result plan then has zero jobs.
+  Result<ReuseRewriteResult> ElideWholeWorkflow(const Plan& plan,
+                                                const CostKey& options_salt);
+
+  /// Whole-job + map-prefix rewriting (tier 2), then dead-code cleanup.
+  Result<ReuseRewriteResult> Rewrite(const Plan& plan);
+
+ private:
+  /// Rewires one dataset vertex to be served from a stored snapshot.
+  Status MaterializeVertex(Plan* plan, const std::string& dataset_id,
+                           const StoredResult& entry);
+
+  ResultStore* store_;
+  const Dfs* dfs_;
+};
+
+}  // namespace stubby

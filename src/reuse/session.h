@@ -1,0 +1,59 @@
+// ReuseSession: one optimize -> stage -> execute -> register round against
+// a shared ResultStore. This is the cross-workflow loop of ReStore (PVLDB
+// 2012) grafted onto Stubby: every submitted workflow is first matched
+// against the outputs of previously executed workflows, and after running
+// it deposits its own outputs for the workflows that come after it.
+//
+// Determinism contract: with a store, final workflow outputs are
+// bit-identical to a recompute without one, at any thread count; the
+// sequence of store hits, misses, and registrations depends only on the
+// sequence of submitted (plan, options) pairs.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/dataflow.h"
+#include "mr/tuple.h"
+#include "optimizer/stubby.h"
+#include "reuse/result_store.h"
+
+namespace stubby {
+
+class ThreadPool;
+
+/// Everything one workflow submission produced.
+struct ReuseSessionResult {
+  OptimizeReport report;          ///< plan actually executed + reuse counters
+  WorkflowDataflow dataflow;      ///< observed execution (simulated cluster)
+  double optimize_sec = 0.0;      ///< optimizer wall time (incl. rewriting)
+  double execute_sec = 0.0;       ///< staging + execution wall time
+  double simulated_cost = 0.0;    ///< simulated makespan of the executed plan
+  ReuseStats reuse;               ///< rewrite hits + registration counts
+
+  /// Final rows of every workflow-output dataset, by dataset id (all
+  /// partitions concatenated) — the bit-identity comparison unit.
+  std::map<std::string, std::vector<Row>> outputs;
+};
+
+/// Runs workflows against a shared store. A null store degrades to plain
+/// optimize + execute (the recompute baseline).
+class ReuseSession {
+ public:
+  explicit ReuseSession(ResultStore* store) : store_(store) {}
+
+  /// Optimizes `plan` (with reuse rewriting when a store is set), stages
+  /// any materialized snapshots into a copy of `dfs`, executes, registers
+  /// the executed outputs, and unpins what the rewrite pinned.
+  Result<ReuseSessionResult> Run(const Plan& plan, const Dfs& dfs,
+                                 const StubbyOptions& base_options,
+                                 ThreadPool* pool = nullptr) const;
+
+ private:
+  ResultStore* store_;
+};
+
+}  // namespace stubby

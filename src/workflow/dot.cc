@@ -19,8 +19,18 @@ std::string PlanToDot(const Plan& plan) {
   std::ostringstream os;
   os << "digraph workflow {\n  rankdir=TB;\n";
   for (const auto& [id, ds] : plan.datasets()) {
-    os << "  \"" << Escape(id) << "\" [shape=ellipse"
-       << (ds.is_base_input ? ", style=filled, fillcolor=lightgray" : "")
+    // Reused scans (served from the result store) stand out from ordinary
+    // base inputs: green fill plus a "reused" label suffix.
+    std::string suffix;  // appended after escaping: contains dot escapes
+    std::string style;
+    if (!ds.materialized_from.empty()) {
+      suffix = "\\n(reused)";
+      style = ", style=filled, fillcolor=palegreen";
+    } else if (ds.is_base_input) {
+      style = ", style=filled, fillcolor=lightgray";
+    }
+    os << "  \"" << Escape(id) << "\" [shape=ellipse, label=\"" << Escape(id)
+       << suffix << "\"" << style
        << (ds.is_workflow_output ? ", peripheries=2" : "") << "];\n";
   }
   for (const auto& [id, job] : plan.jobs()) {

@@ -123,6 +123,14 @@ int JobVertex::EffectiveReduceTasks() const {
   return std::max(1, config.num_reduce_tasks);
 }
 
+std::vector<int> CanonicalPrunePartitions(const std::vector<int>& prune) {
+  std::vector<int> canonical = prune;
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+  return canonical;
+}
+
 std::vector<InputGroup> GroupBranchInputs(const JobVertex& job) {
   std::vector<InputGroup> groups;
   for (size_t bi = 0; bi < job.branches.size(); ++bi) {
@@ -130,17 +138,18 @@ std::vector<InputGroup> GroupBranchInputs(const JobVertex& job) {
     if (b.merge_mode()) continue;  // merge-mode branches form their own tasks
     for (size_t ii = 0; ii < b.inputs.size(); ++ii) {
       const BranchInput& in = b.inputs[ii];
+      std::vector<int> prune = CanonicalPrunePartitions(in.prune_partitions);
       InputGroup* group = nullptr;
       for (auto& g : groups) {
         if (g.dataset_id == in.dataset_id && g.aligned == in.aligned &&
-            g.prune_partitions == in.prune_partitions) {
+            g.prune_partitions == prune) {
           group = &g;
           break;
         }
       }
       if (group == nullptr) {
         groups.push_back(InputGroup{in.dataset_id, in.aligned,
-                                    in.prune_partitions, in.prune_fraction,
+                                    std::move(prune), in.prune_fraction,
                                     {}});
         group = &groups.back();
       }

@@ -206,6 +206,12 @@ struct DatasetVertex {
   /// Terminal output that must survive (never eliminated by packing).
   bool is_workflow_output = false;
 
+  /// Non-empty when this vertex is served from the cross-workflow
+  /// ResultStore instead of being computed: the stored-result id inside the
+  /// store whose snapshot must be staged into the DFS under `id` before
+  /// execution. Such vertices are base inputs of the rewritten plan.
+  std::string materialized_from;
+
   /// What the *optimizer* knows about this dataset (may be less than the
   /// structural truth above — the information spectrum).
   DatasetAnnotation annotation;
@@ -224,8 +230,15 @@ struct InputGroup {
   std::vector<std::pair<size_t, size_t>> subscribers;
 };
 
+/// Canonical form of a prune-partition list: sorted, deduplicated. Pruning
+/// selects a *set* of partitions, so `{2,1}` and `{1,2,2}` describe the same
+/// physical read; every consumer (scan grouping, the executor, reuse keys)
+/// compares and reads prune lists in this form.
+std::vector<int> CanonicalPrunePartitions(const std::vector<int>& prune);
+
 /// Groups the job's branch inputs by (dataset, aligned, prune set). Shared
 /// by the executor and the what-if engine so both account scans identically.
+/// Group prune lists are canonical (sorted, deduplicated).
 std::vector<InputGroup> GroupBranchInputs(const JobVertex& job);
 
 /// Derives the layout of the dataset produced by `branch` of a job with

@@ -34,6 +34,8 @@ Result<Value> ValueFromJson(const Json& j) {
   return Status::InvalidArgument("unknown value tag '" + tag + "'");
 }
 
+}  // namespace
+
 Json RowToJson(const Row& row) {
   Json arr = Json::Array();
   for (const Value& v : row.values()) arr.Append(ValueToJson(v));
@@ -48,6 +50,8 @@ Result<Row> RowFromJson(const Json& j) {
   }
   return row;
 }
+
+namespace {
 
 Json StringsToJson(const std::vector<std::string>& v) {
   Json arr = Json::Array();
@@ -109,6 +113,8 @@ Result<PartitionSpec> PartitionSpecFromJson(const Json& j) {
   return p;
 }
 
+}  // namespace
+
 Json LayoutToJson(const Layout& layout) {
   Json j = Json::Object();
   if (layout.partitioning) {
@@ -133,6 +139,8 @@ Result<Layout> LayoutFromJson(const Json& j) {
   layout.block_mb = j.GetNumber("block_mb", 64.0);
   return layout;
 }
+
+namespace {
 
 Json ConfigToJson(const JobConfig& c) {
   Json j = Json::Object();
@@ -406,6 +414,9 @@ Json PlanToJson(const Plan& plan) {
     d["layout"] = LayoutToJson(ds.layout);
     d["base_input"] = ds.is_base_input;
     d["workflow_output"] = ds.is_workflow_output;
+    if (!ds.materialized_from.empty()) {
+      d["materialized_from"] = ds.materialized_from;
+    }
     Json ann = Json::Object();
     if (ds.annotation.schema) {
       ann["schema"] = StringsToJson(ds.annotation.schema->fields());
@@ -522,6 +533,7 @@ Result<Plan> PlanFromJson(const Json& json,
     }
     v.is_base_input = d.GetBool("base_input");
     v.is_workflow_output = d.GetBool("workflow_output");
+    v.materialized_from = d.GetString("materialized_from");
     if (const Json* ann = d.Find("annotation"); ann != nullptr) {
       if (const Json* s = ann->Find("schema"); s != nullptr) {
         v.annotation.schema = Schema(StringsFromJson(s));

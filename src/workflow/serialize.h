@@ -50,6 +50,14 @@ class PlanFunctionResolver : public FunctionResolver {
   std::map<std::string, std::shared_ptr<CombineFn>> combines_;
 };
 
+/// Row / layout JSON building blocks, shared with other serializers (the
+/// result-store catalog persists rows and layouts with the same encoding,
+/// so exported artifacts stay mutually diffable).
+Json RowToJson(const Row& row);
+Result<Row> RowFromJson(const Json& j);
+Json LayoutToJson(const Layout& layout);
+Result<Layout> LayoutFromJson(const Json& j);
+
 /// Plan -> JSON document (structure + annotations + configs + conditions).
 Json PlanToJson(const Plan& plan);
 

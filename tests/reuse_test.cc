@@ -1,0 +1,475 @@
+// Tests for src/reuse/: content-addressed signatures, the ResultStore, the
+// ReuseRewriter, and the session loop's bit-identity contract (with reuse
+// enabled, final workflow outputs are bit-identical to a recompute from
+// scratch at any thread count).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/threading.h"
+#include "optimizer/transform.h"
+#include "reuse/result_store.h"
+#include "reuse/rewriter.h"
+#include "reuse/session.h"
+#include "reuse/signature.h"
+#include "test_workflows.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+namespace {
+
+using ::stubby::testing::kGB;
+
+// --- fixtures --------------------------------------------------------------
+
+std::vector<Row> BaseRows(int rows = 3000, uint64_t seed = 11) {
+  Rng rng(seed);
+  std::vector<Row> data;
+  for (int i = 0; i < rows; ++i) {
+    data.push_back(Row{rng.NextInt(0, 99), rng.NextDouble(0, 10)});
+  }
+  return data;
+}
+
+// A map-only workflow over base <K, V>: filter (and optionally a second
+// projection stage), with caller-chosen vertex names so tests can verify
+// that identity is content-based, not name-based.
+Result<WorkflowFactory> MakeMapOnly(const std::string& base_id,
+                                    const std::string& job_id,
+                                    const std::string& out_id,
+                                    int num_stages) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Schema s({"K", "V"});
+  STUBBY_RETURN_NOT_OK(
+      f.AddBase(base_id, s, Layout{}, 6, BaseRows(), 4 * kGB));
+  std::vector<Stage> stages = {
+      Stage::Map(FilterRangeMap("keep_mid", s, "V", 2.0, 9.0))};
+  Schema out_schema = s;
+  if (num_stages > 1) {
+    stages.push_back(Stage::Map(ProjectMap("just_k", s, {"K"})));
+    out_schema = Schema({"K"});
+  }
+  STUBBY_RETURN_NOT_OK(
+      f.AddDataset(out_id, out_schema, /*workflow_output=*/true));
+  WorkflowFactory::JobDef j;
+  j.id = job_id;
+  j.inputs = {In(base_id, std::move(stages))};
+  j.map_output_schema = out_schema;
+  j.output = out_id;
+  STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  return f;
+}
+
+// A two-job chain whose *first* job is identical across variants and whose
+// second differs: the whole-job reuse scenario (workflow B resubmits
+// workflow A's producer under new names with a different consumer).
+Result<WorkflowFactory> MakeChainVariant(const std::string& suffix,
+                                         bool group_by_z) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Rng rng(21);
+  Schema in_schema({"K", "Z", "V"});
+  std::vector<Row> data;
+  for (int i = 0; i < 4000; ++i) {
+    data.push_back(Row{rng.NextInt(0, 49), rng.NextInt(0, 39),
+                       rng.NextDouble(0, 10)});
+  }
+  STUBBY_RETURN_NOT_OK(f.AddBase("IN" + suffix, in_schema, Layout{}, 8,
+                                 std::move(data), 16 * kGB));
+  Schema mid({"K", "Z", "S"});
+  STUBBY_RETURN_NOT_OK(f.AddDataset("MID" + suffix, mid));
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "Jp" + suffix;
+    j.inputs = {In("IN" + suffix, {})};
+    j.map_output_schema = in_schema;
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce("sum_kz", in_schema, {"K", "Z"}, {{"V", AggOp::kSum, "S"}}),
+        {"K", "Z"})};
+    j.output = "MID" + suffix;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+  {
+    WorkflowFactory::JobDef j;
+    j.id = "Jc" + suffix;
+    j.inputs = {In("MID" + suffix, {})};
+    j.map_output_schema = mid;
+    std::vector<std::string> group = group_by_z
+                                         ? std::vector<std::string>{"Z"}
+                                         : std::vector<std::string>{"K"};
+    j.reduce_stages = {Stage::Reduce(
+        AggReduce(group_by_z ? "sum_z" : "sum_k", mid, group,
+                  {{"S", AggOp::kSum, "T"}}),
+        group)};
+    std::string out = "OUT" + suffix;
+    STUBBY_RETURN_NOT_OK(f.AddDataset(out, j.reduce_stages[0].output_schema(),
+                                      /*workflow_output=*/true));
+    j.output = out;
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+  }
+  return f;
+}
+
+// Structural-transform-free options: optimized plans equal input plans, so
+// job reuse keys are predictable across variants.
+StubbyOptions PlainOptions() {
+  StubbyOptions opts;
+  opts.enable_intra_vertical = false;
+  opts.enable_inter_vertical = false;
+  opts.enable_horizontal = false;
+  opts.enable_partition_function = false;
+  opts.enable_configuration = false;
+  return opts;
+}
+
+DatasetPtr MakeStored(const std::string& id, int rows, uint64_t seed = 3) {
+  auto ds = std::make_shared<StoredDataset>(id, Schema({"K", "V"}), Layout{});
+  Rng rng(seed);
+  std::vector<Row> part;
+  for (int i = 0; i < rows; ++i) {
+    part.push_back(Row{rng.NextInt(0, 9), rng.NextDouble(0, 1)});
+  }
+  ds->AddPartition(std::move(part));
+  return ds;
+}
+
+// --- prune canonicalization (bugfix sweep) ---------------------------------
+
+TEST(PruneCanonicalTest, SortsAndDeduplicates) {
+  EXPECT_EQ(CanonicalPrunePartitions({2, 1, 2, 0}),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(CanonicalPrunePartitions({}).empty());
+}
+
+TEST(PruneCanonicalTest, ScanGroupingMergesPermutedPruneLists) {
+  // {1,2} and {2,1,1} select the same partition set; before the fix they
+  // produced two physical scans of the same data.
+  JobVertex job;
+  job.id = "J";
+  Branch b1;
+  b1.tag = "a";
+  BranchInput in1;
+  in1.dataset_id = "D";
+  in1.prune_partitions = {1, 2};
+  b1.inputs = {in1};
+  b1.output_dataset = "O1";
+  Branch b2 = b1;
+  b2.tag = "b";
+  b2.inputs[0].prune_partitions = {2, 1, 1};
+  b2.output_dataset = "O2";
+  job.branches = {b1, b2};
+  auto groups = GroupBranchInputs(job);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].prune_partitions, (std::vector<int>{1, 2}));
+  EXPECT_EQ(groups[0].subscribers.size(), 2u);
+}
+
+// --- signatures ------------------------------------------------------------
+
+TEST(SignatureTest, VertexNamesDoNotEnterIdentity) {
+  auto fa = MakeMapOnly("B", "J1", "OUT", 2);
+  auto fb = MakeMapOnly("BASE_X", "JOB_Y", "RESULT_Z", 2);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  auto la = ComputeLineage(fa->plan(), fa->dfs());
+  auto lb = ComputeLineage(fb->plan(), fb->dfs());
+  ASSERT_TRUE(la.ok() && lb.ok());
+  ASSERT_EQ(la->jobs.size(), 1u);
+  ASSERT_EQ(lb->jobs.size(), 1u);
+  EXPECT_EQ(la->jobs.at("J1"), lb->jobs.at("JOB_Y"));
+  EXPECT_EQ(la->datasets.at("OUT"), lb->datasets.at("RESULT_Z"));
+}
+
+TEST(SignatureTest, ConfigurationAndContentEnterIdentity) {
+  auto fa = MakeMapOnly("B", "J1", "OUT", 1);
+  ASSERT_TRUE(fa.ok());
+  auto base = ComputeLineage(fa->plan(), fa->dfs());
+  ASSERT_TRUE(base.ok());
+
+  // Different job configuration -> different key.
+  Plan tweaked = fa->plan();
+  (*tweaked.GetMutableJob("J1"))->config.split_mb += 32;
+  auto lt = ComputeLineage(tweaked, fa->dfs());
+  ASSERT_TRUE(lt.ok());
+  EXPECT_NE(base->jobs.at("J1"), lt->jobs.at("J1"));
+
+  // Different base-input content -> different key.
+  Dfs other_dfs = fa->dfs();
+  auto stored = other_dfs.Get("B");
+  ASSERT_TRUE(stored.ok());
+  DatasetPtr changed = CloneDataset(**stored, "B");
+  changed->AddPartition({Row{int64_t{1}, 0.5}});
+  other_dfs.PutOrReplace(changed);
+  auto lc = ComputeLineage(fa->plan(), other_dfs);
+  ASSERT_TRUE(lc.ok());
+  EXPECT_NE(base->jobs.at("J1"), lc->jobs.at("J1"));
+}
+
+TEST(SignatureTest, MapOnlyBranchIgnoresInertPartitionSpec) {
+  // Leftover partition specs on a map-only branch are never executed, so
+  // they must not split identities (bugfix sweep: logically-equal jobs got
+  // distinct keys).
+  auto f = MakeMapOnly("B", "J1", "OUT", 1);
+  ASSERT_TRUE(f.ok());
+  auto base = ComputeLineage(f->plan(), f->dfs());
+  ASSERT_TRUE(base.ok());
+  Plan tweaked = f->plan();
+  JobVertex* job = *tweaked.GetMutableJob("J1");
+  ASSERT_TRUE(job->branches[0].map_only());
+  job->branches[0].partition.partition_fields = {"K"};
+  auto lt = ComputeLineage(tweaked, f->dfs());
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(base->jobs.at("J1"), lt->jobs.at("J1"));
+}
+
+TEST(SignatureTest, PruneListOrderDoesNotEnterIdentity) {
+  auto f = MakeMapOnly("B", "J1", "OUT", 1);
+  ASSERT_TRUE(f.ok());
+  Plan a = f->plan();
+  (*a.GetMutableJob("J1"))->branches[0].inputs[0].prune_partitions = {2, 1};
+  Plan b = f->plan();
+  (*b.GetMutableJob("J1"))->branches[0].inputs[0].prune_partitions = {1, 2, 2};
+  auto la = ComputeLineage(a, f->dfs());
+  auto lb = ComputeLineage(b, f->dfs());
+  ASSERT_TRUE(la.ok() && lb.ok());
+  EXPECT_EQ(la->jobs.at("J1"), lb->jobs.at("J1"));
+}
+
+// --- the store -------------------------------------------------------------
+
+TEST(ResultStoreTest, RegisterLookupAndSharedSnapshots) {
+  ResultStore store;
+  DatasetPtr ds = MakeStored("x", 50);
+  CostKey k1{1, 2}, k2{3, 4};
+  std::string snap = store.Register(
+      *ds, {{k1, ReuseKind::kJobOutput}, {k2, ReuseKind::kWorkflowOutput}});
+  EXPECT_EQ(store.num_entries(), 2u);
+  EXPECT_EQ(store.num_snapshots(), 1u);  // both keys share one snapshot
+  EXPECT_EQ(store.Peek(k1)->snapshot_id, snap);
+  EXPECT_EQ(store.Peek(k1)->hits, 0u);
+  EXPECT_NE(store.Lookup(k2), nullptr);
+  EXPECT_EQ(store.Peek(k2)->hits, 1u);
+  EXPECT_EQ(store.total_hits(), 1u);
+
+  // First registration wins; re-registering under the same key is a no-op.
+  DatasetPtr other = MakeStored("y", 10, /*seed=*/99);
+  std::string again = store.Register(*other, {{k1, ReuseKind::kJobOutput}});
+  EXPECT_EQ(again, snap);
+  EXPECT_EQ(store.num_snapshots(), 1u);
+
+  auto opened = store.OpenSnapshot(snap);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(RowsBitIdentical((*opened)->AllRows(), ds->AllRows()));
+}
+
+TEST(ResultStoreTest, BudgetEvictionIsLruAndDeterministic) {
+  DatasetPtr ds = MakeStored("x", 100);
+  ResultStore::Options opts;
+  opts.byte_budget = ds->raw_bytes() * 2;  // room for two snapshots
+  ResultStore a(opts), b(opts);
+  for (ResultStore* s : {&a, &b}) {
+    s->Register(*ds, {{CostKey{1, 0}, ReuseKind::kJobOutput}});
+    s->Register(*ds, {{CostKey{2, 0}, ReuseKind::kJobOutput}});
+    s->Lookup(CostKey{1, 0});  // make key 2 the LRU victim
+    s->Register(*ds, {{CostKey{3, 0}, ReuseKind::kJobOutput}});
+  }
+  EXPECT_EQ(a.num_entries(), 2u);
+  EXPECT_EQ(a.evictions(), 1u);
+  EXPECT_EQ(a.Peek(CostKey{2, 0}), nullptr);  // LRU evicted
+  EXPECT_NE(a.Peek(CostKey{1, 0}), nullptr);
+  EXPECT_NE(a.Peek(CostKey{3, 0}), nullptr);
+  EXPECT_LE(a.stored_bytes(), opts.byte_budget);
+  // Identical call sequences produce byte-identical stores.
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST(ResultStoreTest, EvictionNeverCollectsPinnedSnapshots) {
+  // Satellite regression: a snapshot referenced by a live (rewritten) plan
+  // is pinned by the session; eviction must never delete it, however tight
+  // the budget gets.
+  DatasetPtr ds = MakeStored("x", 100);
+  ResultStore::Options opts;
+  opts.byte_budget = ds->raw_bytes();  // exactly one snapshot fits
+  ResultStore store(opts);
+  CostKey pinned_key{1, 0};
+  std::string snap =
+      store.Register(*ds, {{pinned_key, ReuseKind::kJobOutput}});
+  store.Pin(snap);
+  store.Register(*ds, {{CostKey{2, 0}, ReuseKind::kJobOutput}});
+  // The unpinned entry was evicted; the pinned one survives over-budget.
+  EXPECT_EQ(store.Peek(CostKey{2, 0}), nullptr);
+  ASSERT_NE(store.Peek(pinned_key), nullptr);
+  EXPECT_TRUE(store.OpenSnapshot(snap).ok());
+  // Once unpinned, the next registration may finally evict it.
+  store.Unpin(snap);
+  store.Register(*ds, {{CostKey{3, 0}, ReuseKind::kJobOutput}});
+  EXPECT_EQ(store.Peek(pinned_key), nullptr);
+  EXPECT_FALSE(store.OpenSnapshot(snap).ok());
+}
+
+TEST(DfsTest, CollectDropsExactlyTheNonLiveDatasets) {
+  Dfs dfs;
+  dfs.PutOrReplace(MakeStored("a", 5));
+  dfs.PutOrReplace(MakeStored("b", 5));
+  dfs.PutOrReplace(MakeStored("c", 5));
+  std::vector<std::string> collected = dfs.Collect({"b"});
+  EXPECT_EQ(collected, (std::vector<std::string>{"a", "c"}));
+  EXPECT_TRUE(dfs.Exists("b"));
+  EXPECT_FALSE(dfs.Exists("a"));
+  EXPECT_EQ(dfs.size(), 1u);
+}
+
+TEST(ResultStoreTest, CatalogRoundTripPreservesKeysAndCounters) {
+  ResultStore store;
+  DatasetPtr ds = MakeStored("x", 40);
+  CostKey k1{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  CostKey k2{7, 0};
+  store.Register(*ds, {{k1, ReuseKind::kMapStream}});
+  store.Register(*MakeStored("y", 10, 5), {{k2, ReuseKind::kJobOutput}});
+  store.Lookup(k1);
+
+  auto restored = ResultStore::Deserialize(store.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->Serialize(), store.Serialize());
+  ASSERT_NE(restored->Peek(k1), nullptr);
+  EXPECT_EQ(restored->Peek(k1)->hits, 1u);
+  EXPECT_EQ(restored->Peek(k1)->kind, ReuseKind::kMapStream);
+  auto snap = restored->OpenSnapshot(restored->Peek(k1)->snapshot_id);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(RowsBitIdentical((*snap)->AllRows(), ds->AllRows()));
+  EXPECT_FALSE(ResultStore::Deserialize("{\"format\":\"nope\"}").ok());
+}
+
+// --- rewriting + session bit-identity --------------------------------------
+
+TEST(ReuseRewriterTest, NoHitsLeavesPlanBitIdentical) {
+  auto f = MakeMapOnly("B", "J1", "OUT", 2);
+  ASSERT_TRUE(f.ok());
+  ResultStore store;
+  ReuseRewriter rewriter(&store, &f->dfs());
+  auto result = rewriter.Rewrite(f->plan());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->changed);
+  EXPECT_EQ(result->stats.whole_job_hits, 0u);
+  EXPECT_EQ(PlanSignature(result->plan), PlanSignature(f->plan()));
+  EXPECT_EQ(result->plan.ToString(), f->plan().ToString());
+}
+
+TEST(ReuseSessionTest, RepeatedWorkflowIsElidedWholesale) {
+  auto f = MakeMapOnly("B", "J1", "OUT", 1);
+  ASSERT_TRUE(f.ok());
+  ResultStore store;
+  ReuseSession session(&store);
+  StubbyOptions opts;  // default option set, salt included in terminal keys
+
+  auto first = session.Run(f->plan(), f->dfs(), opts);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->report.reuse_materialized);
+  EXPECT_GT(first->reuse.registered, 0u);
+
+  auto second = session.Run(f->plan(), f->dfs(), opts);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->report.reuse_materialized);
+  EXPECT_GE(second->reuse.workflow_hits, 1u);
+  EXPECT_EQ(second->report.plan.num_jobs(), 0u);
+  ASSERT_EQ(second->outputs.count("OUT"), 1u);
+  EXPECT_TRUE(
+      RowsBitIdentical(second->outputs.at("OUT"), first->outputs.at("OUT")));
+
+  // A different option set must not match the stored terminals.
+  StubbyOptions other = opts;
+  other.unit.seed += 1;
+  EXPECT_NE(ReuseSaltFromOptions(opts), ReuseSaltFromOptions(other));
+  auto third = session.Run(f->plan(), f->dfs(), other);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->report.reuse_materialized);
+}
+
+TEST(ReuseSessionTest, MapPrefixReuseIsBitIdenticalAtAnyThreadCount) {
+  // Q1 = [filter], Q2 = [filter, project] over identical base content (under
+  // different vertex names): running Q2 after Q1 must reuse Q1's stream as
+  // the length-1 prefix and still produce recompute-identical bits.
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    auto q1 = MakeMapOnly("B", "J1", "OUT1", 1);
+    auto q2 = MakeMapOnly("BB", "J2", "OUT2", 2);
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    StubbyOptions opts;
+
+    ReuseSession recompute(nullptr);
+    auto baseline = recompute.Run(q2->plan(), q2->dfs(), opts, &pool);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+    ResultStore store;
+    ReuseSession session(&store);
+    auto r1 = session.Run(q1->plan(), q1->dfs(), opts, &pool);
+    ASSERT_TRUE(r1.ok()) << r1.status();
+    auto r2 = session.Run(q2->plan(), q2->dfs(), opts, &pool);
+    ASSERT_TRUE(r2.ok()) << r2.status();
+
+    EXPECT_GE(r2->reuse.prefix_hits, 1u) << r2->reuse.ToString();
+    EXPECT_GT(r2->reuse.bytes_saved, 0u);
+    ASSERT_EQ(r2->outputs.count("OUT2"), 1u);
+    EXPECT_TRUE(RowsBitIdentical(r2->outputs.at("OUT2"),
+                                 baseline->outputs.at("OUT2")));
+  }
+}
+
+TEST(ReuseSessionTest, WholeJobReuseAcrossWorkflowsIsBitIdentical) {
+  // Workflow A and workflow B share their producer job (same computation,
+  // different vertex names); B's consumer differs, so only whole-job reuse
+  // applies — B's producer is elided and its consumer reads the snapshot.
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    auto wa = MakeChainVariant("_a", /*group_by_z=*/false);
+    auto wb = MakeChainVariant("_b", /*group_by_z=*/true);
+    ASSERT_TRUE(wa.ok() && wb.ok());
+    StubbyOptions opts = PlainOptions();
+
+    ReuseSession recompute(nullptr);
+    auto baseline = recompute.Run(wb->plan(), wb->dfs(), opts, &pool);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+    ResultStore store;
+    ReuseSession session(&store);
+    auto ra = session.Run(wa->plan(), wa->dfs(), opts, &pool);
+    ASSERT_TRUE(ra.ok()) << ra.status();
+    auto rb = session.Run(wb->plan(), wb->dfs(), opts, &pool);
+    ASSERT_TRUE(rb.ok()) << rb.status();
+
+    EXPECT_GE(rb->reuse.whole_job_hits, 1u) << rb->reuse.ToString();
+    EXPECT_GE(rb->reuse.jobs_elided, 1u);
+    EXPECT_LT(rb->report.plan.num_jobs(), wb->plan().num_jobs());
+    ASSERT_EQ(rb->outputs.count("OUT_b"), 1u);
+    EXPECT_TRUE(RowsBitIdentical(rb->outputs.at("OUT_b"),
+                                 baseline->outputs.at("OUT_b")));
+  }
+}
+
+TEST(ReuseSessionTest, HitsSurviveCatalogSaveAndReload) {
+  // Key stability across serialization: a store saved after workflow A and
+  // reloaded must still produce the same hits for workflow B.
+  auto wa = MakeChainVariant("_a", false);
+  auto wb = MakeChainVariant("_b", true);
+  ASSERT_TRUE(wa.ok() && wb.ok());
+  StubbyOptions opts = PlainOptions();
+
+  ResultStore store;
+  ReuseSession session(&store);
+  auto ra = session.Run(wa->plan(), wa->dfs(), opts);
+  ASSERT_TRUE(ra.ok());
+
+  auto reloaded = ResultStore::Deserialize(store.Serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ReuseSession resumed(&*reloaded);
+  auto rb = resumed.Run(wb->plan(), wb->dfs(), opts);
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  EXPECT_GE(rb->reuse.whole_job_hits, 1u) << rb->reuse.ToString();
+}
+
+}  // namespace
+}  // namespace stubby

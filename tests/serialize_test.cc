@@ -103,6 +103,25 @@ TEST(SerializeTest, RoundTripPreservesAnnotationsAndConfigs) {
   EXPECT_EQ(*schema->k2, (FieldSet{"K", "Z"}));
 }
 
+TEST(SerializeTest, MaterializedFromRoundTrips) {
+  // Reuse-rewritten plans mark stored-dataset scans via materialized_from;
+  // exported artifacts must keep the marker so re-imported plans still
+  // render and cost as reused scans.
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok());
+  Plan plan = f->plan();
+  auto in = plan.GetMutableDataset("IN");
+  ASSERT_TRUE(in.ok());
+  (*in)->materialized_from = "rs/7";
+
+  PlanFunctionResolver resolver(plan);
+  auto imported = ImportPlan(ExportPlan(plan), resolver);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ((*imported->GetDataset("IN"))->materialized_from, "rs/7");
+  // Unmarked datasets stay unmarked.
+  EXPECT_TRUE((*imported->GetDataset("OUT"))->materialized_from.empty());
+}
+
 TEST(SerializeTest, OptimizedPlansRoundTripToo) {
   // Transformed plans (merged stages, tees, conditions) must survive the
   // round trip — the scenario where an integration persists the optimized
