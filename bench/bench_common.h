@@ -37,6 +37,15 @@ inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
   return fallback;
 }
 
+/// Parses a string `--name VALUE` command-line flag.
+inline std::string StringFlag(int argc, char** argv, const char* name,
+                              const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], name)) return argv[i + 1];
+  }
+  return fallback;
+}
+
 /// `--threads N` (default: all hardware threads). Any value produces
 /// bit-identical bench results; it only moves wall time.
 inline int ThreadsFlag(int argc, char** argv) {

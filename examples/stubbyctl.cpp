@@ -6,13 +6,17 @@
 //                            baseline|starfish|ysmart|mrshare]
 //                           [--rows N] [--run] [--dot] [--export FILE]
 //   stubbyctl compare <WF> [--rows N]
-//   stubbyctl reuse <WF> [--rows N] [--dot]
+//   stubbyctl reuse <WF> [--rows N] [--dot] [--store FILE]
+//                        [--policy lru|benefit]
 //
 // `optimize --run` executes original and optimized plans on the simulated
 // cluster and verifies result equivalence; `compare` prints the speedup of
 // every optimizer on one workload; `reuse` submits the workload twice
 // against a shared result store, prints the store catalog, and (with
 // --dot) renders the rewritten second plan with reused scans highlighted.
+// `reuse --store FILE` loads the catalog from FILE when it exists (exact
+// Serialize round-trip, so hits continue across invocations) and saves it
+// back after the run; --policy picks the eviction policy.
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +48,8 @@ int Usage() {
                "       stubbyctl optimize <WF> [--optimizer NAME] [--rows N]"
                " [--run] [--dot]\n"
                "       stubbyctl compare <WF> [--rows N]\n"
-               "       stubbyctl reuse <WF> [--rows N] [--dot]\n");
+               "       stubbyctl reuse <WF> [--rows N] [--dot]"
+               " [--store FILE] [--policy lru|benefit]\n");
   return 2;
 }
 
@@ -112,6 +117,8 @@ int main(int argc, char** argv) {
   std::string wf = argc > 2 && argv[2][0] != '-' ? argv[2] : "";
   std::string optimizer = "stubby";
   std::string export_path;
+  std::string store_path;
+  std::string policy_name;
   int rows = 20000;
   bool run = false, dot = false;
   for (int i = 2; i < argc; ++i) {
@@ -125,6 +132,10 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (!std::strcmp(argv[i], "--export") && i + 1 < argc) {
       export_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--store") && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--policy") && i + 1 < argc) {
+      policy_name = argv[++i];
     }
   }
 
@@ -185,6 +196,25 @@ int main(int argc, char** argv) {
     auto w = LoadProfiled(wf, rows);
     STUBBY_CHECK_OK(w.status());
     ResultStore store;
+    if (!store_path.empty()) {
+      auto loaded = ResultStore::LoadFromFile(store_path);
+      if (loaded.ok()) {
+        store = std::move(*loaded);
+        std::printf("loaded %zu catalog entr%s from %s\n",
+                    store.num_entries(),
+                    store.num_entries() == 1 ? "y" : "ies",
+                    store_path.c_str());
+      } else {
+        std::printf("starting a fresh catalog (%s)\n", store_path.c_str());
+      }
+    }
+    if (!policy_name.empty()) {
+      auto policy = EvictionPolicyFromName(policy_name);
+      STUBBY_CHECK_OK(policy.status());
+      ResultStore::Options store_opts = store.options();
+      store_opts.policy = *policy;
+      store.set_options(store_opts);
+    }
     ReuseSession session(&store);
     StubbyOptions opts;
 
@@ -223,6 +253,10 @@ int main(int argc, char** argv) {
     std::printf("\nrewritten plan (pass 2):\n%s",
                 second->report.plan.ToString().c_str());
     if (dot) std::printf("%s", PlanToDot(second->report.plan).c_str());
+    if (!store_path.empty()) {
+      STUBBY_CHECK_OK(store.SaveToFile(store_path));
+      std::printf("saved catalog to %s\n", store_path.c_str());
+    }
     return 0;
   }
 

@@ -252,12 +252,13 @@ void CostInstrumentation::Add(const CostInstrumentation& other) {
   job_predictions += other.job_predictions;
   job_cache_hits += other.job_cache_hits;
   rrs_evaluations += other.rrs_evaluations;
+  reuse_priced_candidates += other.reuse_priced_candidates;
 }
 
 std::string CostInstrumentation::ToString() const {
   return StrFormat(
       "whatif=%llu plan_hits=%llu plan_misses=%llu full=%llu incr=%llu "
-      "job_pred=%llu job_hits=%llu rrs=%llu",
+      "job_pred=%llu job_hits=%llu rrs=%llu reuse_priced=%llu",
       (unsigned long long)whatif_invocations,
       (unsigned long long)plan_cache_hits,
       (unsigned long long)plan_cache_misses,
@@ -265,7 +266,8 @@ std::string CostInstrumentation::ToString() const {
       (unsigned long long)incremental_predictions,
       (unsigned long long)job_predictions,
       (unsigned long long)job_cache_hits,
-      (unsigned long long)rrs_evaluations);
+      (unsigned long long)rrs_evaluations,
+      (unsigned long long)reuse_priced_candidates);
 }
 
 CostCache::CostCache(Options options)

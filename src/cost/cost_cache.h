@@ -154,6 +154,11 @@ struct CostInstrumentation {
   uint64_t job_cache_hits = 0;
   /// RRS configuration-point evaluations (counted by the unit optimizer).
   uint64_t rrs_evaluations = 0;
+  /// Reuse-rewritten subplan candidates priced through the engine (counted
+  /// by the reuse-aware unit search via the same per-task instrumentation
+  /// deltas as every other counter, so the value is thread-count
+  /// invariant).
+  uint64_t reuse_priced_candidates = 0;
 
   void Add(const CostInstrumentation& other);
   std::string ToString() const;

@@ -7,9 +7,11 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "common/threading.h"
 #include "cost/cost_cache.h"
 #include "optimizer/configuration.h"
+#include "reuse/rewriter.h"
 
 namespace stubby {
 
@@ -56,7 +58,8 @@ std::map<std::string, std::string> ComposeRenames(
 }  // namespace
 
 Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
-    const Plan& plan, const OptimizationUnit& unit) const {
+    const Plan& plan, const OptimizationUnit& unit,
+    ReuseStats* search_totals) const {
   // Exhaustive BFS over sequences of structural transformations, with
   // signature-based de-duplication.
   std::vector<EnumState> subplans;
@@ -116,6 +119,22 @@ Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
   std::vector<CostInstrumentation> deltas(n);
   std::vector<Result<ConfiguredPlan>> configured(
       n, Result<ConfiguredPlan>(Status::Internal("candidate not costed")));
+  // Reuse-aware pricing happens inside each candidate's task, against the
+  // candidate's *configured* plan: store entries are keyed under the job
+  // configurations that actually executed, so probing before the RRS pass
+  // would systematically miss tuned jobs. Probes are read-only
+  // (PlanForScope never touches hit counts, recency, or pins), and a
+  // rewritten form is re-priced through the same per-candidate overlay
+  // engine, so the whole path follows the existing merge-in-order
+  // determinism protocol unchanged.
+  struct ReuseOutcome {
+    ReuseStats probe;  ///< this candidate's probe/priced counters
+    ReuseStats hits;   ///< the rewrite's hit counters (when it won)
+    std::map<std::string, CostKey> materialized_lineage;
+    bool rewritten = false;
+  };
+  std::vector<ReuseOutcome> reuse_outcomes(n);
+  ReuseRewriter rewriter(reuse_.store, reuse_.dfs);
   RunTasks(pool_, n, [&](size_t i) {
     WhatIfEngine engine(whatif_->model().cluster());
     if (shared_cache != nullptr) {
@@ -125,11 +144,46 @@ Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
     if (shared_stats != nullptr) engine.set_instrumentation(&deltas[i]);
     configured[i] =
         OptimizeConfigurations(&engine, subplans[i].plan, scopes[i]);
+    if (!configured[i].ok() || !reuse_.active()) return;
+
+    auto probe =
+        rewriter.PlanForScope(configured[i]->plan, &scopes[i], reuse_.seeds);
+    if (!probe.ok()) {
+      configured[i] = probe.status();
+      return;
+    }
+    reuse_outcomes[i].probe.search_probes += probe->stats.lookups;
+    if (!probe->changed) return;
+    ++reuse_outcomes[i].probe.search_priced;
+    if (shared_stats != nullptr) ++deltas[i].reuse_priced_candidates;
+    // Re-tune the surviving jobs on the rewritten landscape (cheap: an
+    // all-elided scope has no configuration space left) and keep the
+    // rewritten form only when it strictly beats recomputing.
+    auto repriced = OptimizeConfigurations(&engine, probe->plan, scopes[i]);
+    if (!repriced.ok()) {
+      configured[i] = repriced.status();
+      return;
+    }
+    // Under the job-count fallback model both forms of a prefix rewrite
+    // price identically (same number of jobs), so a tie there goes to the
+    // rewrite: scanning stored bytes can't be worse than recomputing them,
+    // the fallback model just can't see it. Detailed-cost ties keep the
+    // unrewritten form (closer to the reuse-blind bits).
+    const bool fallback_tie = repriced->fallback && configured[i]->fallback &&
+                              repriced->cost == configured[i]->cost;
+    if (repriced->cost < configured[i]->cost || fallback_tie) {
+      reuse_outcomes[i].hits = probe->stats;
+      reuse_outcomes[i].materialized_lineage =
+          std::move(probe->materialized_lineage);
+      reuse_outcomes[i].rewritten = true;
+      configured[i] = std::move(repriced);
+    }
   });
   Status first_error = Status::OK();
   for (size_t i = 0; i < n; ++i) {
     if (shared_cache != nullptr) overlays[i]->MergeInto(shared_cache);
     if (shared_stats != nullptr) shared_stats->Add(deltas[i]);
+    if (search_totals != nullptr) search_totals->Add(reuse_outcomes[i].probe);
     if (first_error.ok() && !configured[i].ok()) {
       first_error = configured[i].status();
     }
@@ -144,6 +198,16 @@ Result<std::vector<SubplanCandidate>> UnitOptimizer::EnumerateSubplans(
     cand.fallback = configured[i]->fallback;
     cand.applied = std::move(subplans[i].applied);
     cand.renames = std::move(subplans[i].renames);
+    if (reuse_outcomes[i].rewritten) {
+      cand.reuse_rewritten = true;
+      cand.reuse = reuse_outcomes[i].hits;
+      cand.materialized_lineage =
+          std::move(reuse_outcomes[i].materialized_lineage);
+      cand.applied.push_back(StrFormat(
+          "reuse: %llu whole-job + %llu map-prefix hit(s) priced from store",
+          (unsigned long long)cand.reuse.whole_job_hits,
+          (unsigned long long)cand.reuse.prefix_hits));
+    }
     out.push_back(std::move(cand));
   }
   return out;
@@ -293,8 +357,9 @@ Result<UnitOptimizer::ConfiguredPlan> UnitOptimizer::OptimizeConfigurations(
 
 Result<UnitResult> UnitOptimizer::Optimize(const Plan& plan,
                                            const OptimizationUnit& unit) const {
+  ReuseStats search_totals;
   STUBBY_ASSIGN_OR_RETURN(std::vector<SubplanCandidate> candidates,
-                          EnumerateSubplans(plan, unit));
+                          EnumerateSubplans(plan, unit, &search_totals));
   if (candidates.empty()) {
     return Status::Internal("unit enumeration produced no subplans");
   }
@@ -309,6 +374,17 @@ Result<UnitResult> UnitOptimizer::Optimize(const Plan& plan,
   result.renames = std::move(candidates[best].renames);
   result.applied = std::move(candidates[best].applied);
   result.subplans_enumerated = static_cast<int>(candidates.size());
+  result.reuse = search_totals;
+  if (candidates[best].reuse_rewritten) {
+    result.reuse_won = true;
+    ++result.reuse.search_won;
+    result.reuse.whole_job_hits += candidates[best].reuse.whole_job_hits;
+    result.reuse.prefix_hits += candidates[best].reuse.prefix_hits;
+    result.reuse.jobs_elided += candidates[best].reuse.jobs_elided;
+    result.reuse.bytes_saved += candidates[best].reuse.bytes_saved;
+    result.materialized_lineage =
+        std::move(candidates[best].materialized_lineage);
+  }
   return result;
 }
 

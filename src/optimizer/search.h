@@ -16,10 +16,28 @@
 #include "optimizer/rrs.h"
 #include "optimizer/transform.h"
 #include "optimizer/unit.h"
+#include "reuse/result_store.h"
 
 namespace stubby {
 
 class ThreadPool;
+
+/// Store context for reuse-aware candidate pricing. When `store` and `dfs`
+/// are both set, the unit search matches every configured candidate
+/// against the catalog (read-only Peek probes — store state never changes
+/// during a search) and additionally prices the candidate's rewritten
+/// form through the same engine, so the unit minimum is taken over
+/// reuse-aware costs instead of reuse-blind ones. `seeds` pre-resolves
+/// lineage keys — base-input content keys plus the identities of vertices
+/// materialized by earlier units — so probes never re-digest base rows and
+/// chained rewrites across units resolve.
+struct ReuseSearchContext {
+  ResultStore* store = nullptr;
+  const Dfs* dfs = nullptr;
+  const std::map<std::string, CostKey>* seeds = nullptr;
+
+  bool active() const { return store != nullptr && dfs != nullptr; }
+};
 
 /// Knobs of the in-unit search.
 struct UnitSearchOptions {
@@ -44,6 +62,14 @@ struct UnitResult {
   /// Structural transformations applied in the chosen subplan.
   std::vector<std::string> applied;
   int subplans_enumerated = 0;
+
+  /// Reuse-aware search outcome: probe/priced totals over all candidates,
+  /// plus the winner's hit counters when a rewritten candidate won.
+  ReuseStats reuse;
+  bool reuse_won = false;
+  /// Lineage identity (vertex id -> store key) of vertices the winning
+  /// candidate materialized; empty unless `reuse_won`.
+  std::map<std::string, CostKey> materialized_lineage;
 };
 
 /// One enumerated subplan with its best configuration and cost (exposed for
@@ -54,6 +80,14 @@ struct SubplanCandidate {
   bool fallback = false;  ///< costed with the job-count fallback model
   std::vector<std::string> applied;
   std::map<std::string, std::string> renames;
+
+  /// True when this candidate is the store-rewritten form of its subplan
+  /// (it priced cheaper than recomputing); `reuse` then carries the
+  /// planning-rewrite counters and `materialized_lineage` the identities
+  /// of the snapshot scans the plan gained.
+  bool reuse_rewritten = false;
+  ReuseStats reuse;
+  std::map<std::string, CostKey> materialized_lineage;
 };
 
 /// Enumerates and costs a unit's subplan space.
@@ -70,11 +104,12 @@ class UnitOptimizer {
  public:
   UnitOptimizer(std::vector<std::shared_ptr<Transformation>> transforms,
                 const WhatIfEngine* whatif, UnitSearchOptions options,
-                ThreadPool* pool = nullptr)
+                ThreadPool* pool = nullptr, ReuseSearchContext reuse = {})
       : transforms_(std::move(transforms)),
         whatif_(whatif),
         options_(options),
-        pool_(pool) {}
+        pool_(pool),
+        reuse_(reuse) {}
 
   /// Optimizes `unit` within `plan`; returns the plan with the best subplan
   /// and configurations applied.
@@ -83,8 +118,13 @@ class UnitOptimizer {
 
   /// Enumerates all subplans of the unit with their RRS-optimized costs
   /// (most expensive entry point; used by benches and deep-dive examples).
+  /// With an active reuse context, each candidate is additionally matched
+  /// against the store after configuration and replaced by its rewritten
+  /// form when that prices cheaper; `search_totals` (optional) accumulates
+  /// the probe/priced counters across all candidates.
   Result<std::vector<SubplanCandidate>> EnumerateSubplans(
-      const Plan& plan, const OptimizationUnit& unit) const;
+      const Plan& plan, const OptimizationUnit& unit,
+      ReuseStats* search_totals = nullptr) const;
 
  private:
   /// Outcome of the configuration pass over one subplan.
@@ -107,6 +147,7 @@ class UnitOptimizer {
   const WhatIfEngine* whatif_;
   UnitSearchOptions options_;
   ThreadPool* pool_ = nullptr;
+  ReuseSearchContext reuse_;
 };
 
 }  // namespace stubby

@@ -38,11 +38,17 @@ CostKey ReuseSaltFromOptions(const StubbyOptions& options) {
 
 Result<Plan> StubbyOptimizer::RunPhase(
     Plan plan, const std::vector<std::shared_ptr<Transformation>>& group,
-    const WhatIfEngine& whatif, ThreadPool* pool,
-    OptimizeReport* report) const {
+    const WhatIfEngine& whatif, ThreadPool* pool, OptimizeReport* report,
+    ReuseSearchState* reuse_state) const {
   UnitSearchOptions unit_options = options_.unit;
   unit_options.enable_configuration = options_.enable_configuration;
-  UnitOptimizer optimizer(group, &whatif, unit_options, pool);
+  ReuseSearchContext reuse_ctx;
+  if (reuse_state != nullptr) {
+    reuse_ctx.store = options_.reuse_store;
+    reuse_ctx.dfs = options_.reuse_dfs;
+    reuse_ctx.seeds = &reuse_state->seeds;
+  }
+  UnitOptimizer optimizer(group, &whatif, unit_options, pool, reuse_ctx);
 
   std::set<std::string> processed;
   const size_t max_iterations = plan.num_jobs() * 8 + 8;
@@ -57,6 +63,22 @@ Result<Plan> StubbyOptimizer::RunPhase(
     report->units_processed++;
     report->subplans_enumerated += result.subplans_enumerated;
     for (const auto& d : result.applied) report->applied.push_back(d);
+    if (reuse_state != nullptr) {
+      report->reuse.search_probes += result.reuse.search_probes;
+      report->reuse.search_priced += result.reuse.search_priced;
+      report->reuse.search_won += result.reuse.search_won;
+      if (result.reuse_won) {
+        ++reuse_state->won_units;
+        reuse_state->stats.whole_job_hits += result.reuse.whole_job_hits;
+        reuse_state->stats.prefix_hits += result.reuse.prefix_hits;
+        reuse_state->stats.jobs_elided += result.reuse.jobs_elided;
+        reuse_state->stats.bytes_saved += result.reuse.bytes_saved;
+        // New materialized vertices become lineage seeds for later units.
+        for (const auto& [id, key] : result.materialized_lineage) {
+          reuse_state->seeds[id] = key;
+        }
+      }
+    }
     // Producers whose id survived are done; producers packed into a new
     // job serve as producers again in a later unit (Figure 9's J4').
     for (const auto& p : unit->producers) {
@@ -148,39 +170,61 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
     phases = {vertical_group, horizontal_group};
     phase_names = {"vertical", "horizontal"};
   }
-  bool configuration_pass_done = false;
-  for (size_t i = 0; i < phases.size(); ++i) {
-    const auto& group = phases[i];
-    std::string name = phase_names[i];
-    if (group.empty()) {
-      // A traversal with no structural transformations is a pure
-      // configuration pass. Under a fixed RRS seed it is idempotent, so
-      // running it once per empty group would repeat identical work.
-      if (!options_.enable_configuration || configuration_pass_done) continue;
-      configuration_pass_done = true;
-      name = "configuration";
-    }
-    auto p0 = std::chrono::steady_clock::now();
-    const int units_before = report.units_processed;
-    const int subplans_before = report.subplans_enumerated;
-    STUBBY_ASSIGN_OR_RETURN(current,
-                            RunPhase(std::move(current), group, whatif, pool,
-                                     &report));
-    PhaseReport phase;
-    phase.name = std::move(name);
-    phase.wall_sec =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
-            .count();
-    phase.units_processed = report.units_processed - units_before;
-    phase.subplans_enumerated = report.subplans_enumerated - subplans_before;
-    report.phases.push_back(std::move(phase));
+  // Reuse-aware search: the unit search prices every candidate's rewritten
+  // form too, so the greedy minimum is taken over reuse-aware costs.
+  const bool aware_search = reuse_enabled && options_.reuse_aware_search;
+  ReuseSearchState reuse_state;
+  std::map<std::string, CostKey> base_seeds;
+  if (aware_search) {
+    base_seeds = BaseInputContentSeeds(plan, *options_.reuse_dfs);
+    reuse_state.seeds = base_seeds;
   }
+  auto run_phases = [&](Plan p, OptimizeReport* r,
+                        ReuseSearchState* rs) -> Result<Plan> {
+    bool configuration_pass_done = false;
+    for (size_t i = 0; i < phases.size(); ++i) {
+      const auto& group = phases[i];
+      std::string name = phase_names[i];
+      if (group.empty()) {
+        // A traversal with no structural transformations is a pure
+        // configuration pass. Under a fixed RRS seed it is idempotent, so
+        // running it once per empty group would repeat identical work.
+        if (!options_.enable_configuration || configuration_pass_done) {
+          continue;
+        }
+        configuration_pass_done = true;
+        name = "configuration";
+      }
+      auto p0 = std::chrono::steady_clock::now();
+      const int units_before = r->units_processed;
+      const int subplans_before = r->subplans_enumerated;
+      STUBBY_ASSIGN_OR_RETURN(
+          p, RunPhase(std::move(p), group, whatif, pool, r, rs));
+      PhaseReport phase;
+      phase.name = std::move(name);
+      phase.wall_sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+              .count();
+      phase.units_processed = r->units_processed - units_before;
+      phase.subplans_enumerated = r->subplans_enumerated - subplans_before;
+      r->phases.push_back(std::move(phase));
+    }
+    return p;
+  };
+  STUBBY_ASSIGN_OR_RETURN(
+      current, run_phases(std::move(current), &report,
+                          aware_search ? &reuse_state : nullptr));
 
-  // Tier 2: rewrite stored whole jobs and map-prefixes of the optimized
-  // plan into snapshot scans. Re-cost after a rewrite — the what-if engine
-  // prices materialized scans from the stored datasets' observed sizes
-  // (their annotations), so the reported estimate reflects the savings.
-  if (reuse_enabled) {
+  // A run with no structural groups and configuration off executes no
+  // phase at all — the aware search never saw the plan, so the post-hoc
+  // rewrite must still run.
+  const bool search_ran = !report.phases.empty();
+  if (reuse_enabled && (!aware_search || !search_ran)) {
+    // Tier 2 (post-hoc mode): rewrite stored whole jobs and map-prefixes
+    // of the optimized plan into snapshot scans. Re-cost after a rewrite —
+    // the what-if engine prices materialized scans from the stored
+    // datasets' observed sizes (their annotations), so the reported
+    // estimate reflects the savings.
     ReuseRewriter rewriter(options_.reuse_store, options_.reuse_dfs);
     STUBBY_ASSIGN_OR_RETURN(ReuseRewriteResult rewritten,
                             rewriter.Rewrite(current));
@@ -189,6 +233,68 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
       current = std::move(rewritten.plan);
       report.reuse_lineage_seeds = std::move(rewritten.materialized_lineage);
       report.reuse_pinned = std::move(rewritten.pinned_snapshots);
+    }
+  } else if (aware_search && reuse_state.won_units > 0) {
+    // Post-hoc floor: greedy per-unit reuse choices are path-dependent (an
+    // early elision reshapes later units' RRS landscapes), so guarantee
+    // the aware plan never prices above the blind-search-plus-rewrite
+    // baseline by computing that baseline and keeping the cheaper plan.
+    // Skipped when no unit chose a rewritten candidate — the aware run IS
+    // the blind run then.
+    auto f0 = std::chrono::steady_clock::now();
+    OptimizeReport floor_report;
+    STUBBY_ASSIGN_OR_RETURN(Plan blind,
+                            run_phases(plan, &floor_report, nullptr));
+    ReuseRewriter rewriter(options_.reuse_store, options_.reuse_dfs);
+    STUBBY_ASSIGN_OR_RETURN(
+        ReuseRewriteResult posthoc,
+        rewriter.PlanForScope(blind, /*scope=*/nullptr, &base_seeds));
+    report.units_processed += floor_report.units_processed;
+    report.subplans_enumerated += floor_report.subplans_enumerated;
+    report.reuse.lookups += posthoc.stats.lookups;
+    PhaseReport floor_phase;
+    floor_phase.name = "reuse-floor";
+    floor_phase.wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - f0)
+            .count();
+    floor_phase.units_processed = floor_report.units_processed;
+    floor_phase.subplans_enumerated = floor_report.subplans_enumerated;
+    report.phases.push_back(std::move(floor_phase));
+
+    const double aware_cost = whatif.Cost(current).cost;
+    const double floor_cost =
+        whatif.Cost(posthoc.changed ? posthoc.plan : blind).cost;
+    if (floor_cost < aware_cost) {
+      current = posthoc.changed ? std::move(posthoc.plan) : std::move(blind);
+      report.applied = std::move(floor_report.applied);
+      report.applied.push_back("reuse: post-hoc rewrite won the floor");
+      reuse_state.stats = ReuseStats{};
+      reuse_state.stats.whole_job_hits = posthoc.stats.whole_job_hits;
+      reuse_state.stats.prefix_hits = posthoc.stats.prefix_hits;
+      reuse_state.stats.jobs_elided = posthoc.stats.jobs_elided;
+      reuse_state.stats.bytes_saved = posthoc.stats.bytes_saved;
+      reuse_state.seeds = std::move(posthoc.materialized_lineage);
+    }
+  }
+  if (aware_search && search_ran) {
+    // Commit the chosen plan's hits: bump hit counts and recency for, and
+    // pin, every snapshot the plan scans (dataset-id order, so store state
+    // evolves deterministically), and fold the winning rewrites' counters
+    // into the report. Planning probes never touched the store, so this is
+    // the only store mutation of the whole optimization.
+    report.reuse.whole_job_hits += reuse_state.stats.whole_job_hits;
+    report.reuse.prefix_hits += reuse_state.stats.prefix_hits;
+    report.reuse.jobs_elided += reuse_state.stats.jobs_elided;
+    report.reuse.bytes_saved += reuse_state.stats.bytes_saved;
+    for (const auto& [id, v] : current.datasets()) {
+      if (v.materialized_from.empty()) continue;
+      auto it = reuse_state.seeds.find(id);
+      if (it == reuse_state.seeds.end()) continue;
+      const StoredResult* entry = options_.reuse_store->Lookup(it->second);
+      if (entry == nullptr) continue;
+      options_.reuse_store->Pin(entry->snapshot_id);
+      report.reuse_pinned.push_back(entry->snapshot_id);
+      report.reuse_lineage_seeds.emplace(id, it->second);
     }
   }
 

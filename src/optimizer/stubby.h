@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,16 @@ struct StubbyOptions {
   /// Allow the pre-optimization tier that elides the *entire* workflow when
   /// every terminal output is stored under this option set.
   bool reuse_whole_workflow = true;
+  /// Reuse-conscious plan selection (MRShare/ReStore §5): fold store probes
+  /// into the unit search so every candidate is also priced in its
+  /// rewritten form and the search minimizes over reuse-aware costs,
+  /// instead of only rewriting the winner in a post-pass. A post-hoc floor
+  /// guarantees the chosen plan never prices above what the blind search
+  /// plus the tier-2 rewrite would have produced. With a cold store the
+  /// probes all miss and the result is bit-identical to the reuse-blind
+  /// search. Like the other reuse fields this stays out of the option salt:
+  /// reuse is bit-transparent on outputs.
+  bool reuse_aware_search = true;
 };
 
 /// Digest of the options that shape what an optimized plan computes —
@@ -121,11 +132,23 @@ class StubbyOptimizer {
   Result<OptimizeReport> Optimize(const Plan& plan) const;
 
  private:
+  /// Mutable state of the reuse-aware search threaded through the phases:
+  /// lineage seeds (base-input content keys plus the identities of
+  /// vertices materialized by earlier units, so chained rewrites resolve),
+  /// the accumulated hit counters of winning rewritten candidates, and how
+  /// many units a rewritten candidate won.
+  struct ReuseSearchState {
+    std::map<std::string, CostKey> seeds;
+    ReuseStats stats;
+    uint64_t won_units = 0;
+  };
+
   /// One full traversal of the graph applying a transformation group.
+  /// `reuse_state` non-null makes the unit search reuse-aware.
   Result<Plan> RunPhase(
       Plan plan, const std::vector<std::shared_ptr<Transformation>>& group,
-      const WhatIfEngine& whatif, ThreadPool* pool,
-      OptimizeReport* report) const;
+      const WhatIfEngine& whatif, ThreadPool* pool, OptimizeReport* report,
+      ReuseSearchState* reuse_state) const;
 
   StubbyOptions options_;
 };

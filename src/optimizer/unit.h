@@ -31,6 +31,11 @@ struct OptimizationUnit {
 /// Generates the next unit: producers are the jobs not yet processed whose
 /// upstream jobs have all been processed; consumers are their downstream
 /// jobs. Returns nullopt when the traversal has covered the graph.
+///
+/// The traversal tolerates jobs vanishing between units: the reuse-aware
+/// search can elide a unit's jobs into materialized scans, after which a
+/// previously-seen consumer simply never surfaces as a producer (and a
+/// processed id with no surviving job is ignored).
 std::optional<OptimizationUnit> NextUnit(
     const Plan& plan, const std::set<std::string>& processed);
 

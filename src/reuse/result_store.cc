@@ -1,6 +1,7 @@
 #include "reuse/result_store.h"
 
 #include <bit>
+#include <cstdio>
 #include <set>
 
 #include "common/strings.h"
@@ -52,6 +53,12 @@ Result<CostKey> CostKeyFromHex(const std::string& hex) {
 
 }  // namespace
 
+Result<EvictionPolicy> EvictionPolicyFromName(const std::string& name) {
+  if (name == "lru") return EvictionPolicy::kLru;
+  if (name == "benefit") return EvictionPolicy::kBenefitWeighted;
+  return Status::InvalidArgument("unknown eviction policy '" + name + "'");
+}
+
 void ReuseStats::Add(const ReuseStats& other) {
   lookups += other.lookups;
   whole_job_hits += other.whole_job_hits;
@@ -60,16 +67,30 @@ void ReuseStats::Add(const ReuseStats& other) {
   jobs_elided += other.jobs_elided;
   bytes_saved += other.bytes_saved;
   registered += other.registered;
+  search_probes += other.search_probes;
+  search_priced += other.search_priced;
+  search_won += other.search_won;
 }
 
 std::string ReuseStats::ToString() const {
   return StrFormat(
       "lookups=%llu whole_job=%llu prefix=%llu workflow=%llu elided=%llu "
-      "bytes_saved=%llu registered=%llu",
+      "bytes_saved=%llu registered=%llu probes=%llu priced=%llu won=%llu",
       (unsigned long long)lookups, (unsigned long long)whole_job_hits,
       (unsigned long long)prefix_hits, (unsigned long long)workflow_hits,
       (unsigned long long)jobs_elided, (unsigned long long)bytes_saved,
-      (unsigned long long)registered);
+      (unsigned long long)registered, (unsigned long long)search_probes,
+      (unsigned long long)search_priced, (unsigned long long)search_won);
+}
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kBenefitWeighted:
+      return "benefit";
+  }
+  return "unknown";
 }
 
 DatasetPtr CloneDataset(const StoredDataset& ds, std::string new_id) {
@@ -167,15 +188,46 @@ uint64_t ResultStore::total_hits() const {
   return total;
 }
 
+void ResultStore::set_options(Options options) {
+  options_ = options;
+  EnforceBudget();
+}
+
 void ResultStore::EnforceBudget() {
   if (options_.byte_budget == 0) return;
+  // Benefit of keeping an entry: logical_bytes * (hits + 1) per unit of
+  // raw storage and logical idle time. Compared as exact integer fractions
+  // (num/den) via 128-bit cross-multiplication; lowest benefit evicts
+  // first. The +1 terms keep fresh, never-hit entries comparable and the
+  // denominators nonzero.
+  auto benefit_less = [this](const StoredResult& a,
+                             const StoredResult& b) -> bool {
+    const unsigned __int128 a_num =
+        static_cast<unsigned __int128>(a.logical_bytes) * (a.hits + 1);
+    const unsigned __int128 b_num =
+        static_cast<unsigned __int128>(b.logical_bytes) * (b.hits + 1);
+    const unsigned __int128 a_den =
+        static_cast<unsigned __int128>(a.raw_bytes) *
+        (clock_ - a.last_used + 1);
+    const unsigned __int128 b_den =
+        static_cast<unsigned __int128>(b.raw_bytes) *
+        (clock_ - b.last_used + 1);
+    if (a_num * b_den != b_num * a_den) return a_num * b_den < b_num * a_den;
+    return a.last_used < b.last_used;  // then ties break on the key
+  };
   while (stored_bytes() > options_.byte_budget) {
-    // Victim: unpinned entry with the oldest last_used; ties break on the
-    // (ordered) key, so the victim sequence is deterministic.
+    // Victim: lowest-ranked unpinned entry under the active policy; ties
+    // break on the (ordered) key, so the victim sequence is deterministic.
     const StoredResult* victim = nullptr;
     for (const auto& [key, e] : entries_) {
       if (pins_.count(e.snapshot_id)) continue;
-      if (victim == nullptr || e.last_used < victim->last_used) victim = &e;
+      if (victim == nullptr) {
+        victim = &e;
+      } else if (options_.policy == EvictionPolicy::kBenefitWeighted) {
+        if (benefit_less(e, *victim)) victim = &e;
+      } else if (e.last_used < victim->last_used) {
+        victim = &e;
+      }
     }
     if (victim == nullptr) return;  // everything left is pinned
     entries_.erase(victim->key);
@@ -196,6 +248,7 @@ Json ResultStore::ToJson() const {
   root["next_snapshot"] = next_snapshot_;
   root["evictions"] = evictions_;
   root["byte_budget"] = options_.byte_budget;
+  root["policy"] = EvictionPolicyName(options_.policy);
 
   Json entries = Json::Array();
   for (const auto& [key, e] : entries_) {
@@ -249,6 +302,10 @@ Result<ResultStore> ResultStore::FromJson(const Json& json) {
   store.evictions_ = static_cast<uint64_t>(json.GetNumber("evictions"));
   store.options_.byte_budget =
       static_cast<uint64_t>(json.GetNumber("byte_budget"));
+  if (const Json* policy = json.Find("policy"); policy != nullptr) {
+    STUBBY_ASSIGN_OR_RETURN(store.options_.policy,
+                            EvictionPolicyFromName(policy->AsString()));
+  }
 
   const Json* snapshots = json.Find("snapshots");
   if (snapshots != nullptr && snapshots->is_array()) {
@@ -304,6 +361,35 @@ Result<ResultStore> ResultStore::FromJson(const Json& json) {
 Result<ResultStore> ResultStore::Deserialize(const std::string& text) {
   STUBBY_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
   return FromJson(json);
+}
+
+Status ResultStore::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  const std::string text = Serialize();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<ResultStore> ResultStore::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for reading");
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read error on '" + path + "'");
+  return Deserialize(text);
 }
 
 }  // namespace stubby

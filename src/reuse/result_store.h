@@ -44,6 +44,14 @@ struct ReuseStats {
   uint64_t bytes_saved = 0;     ///< logical bytes served from snapshots
   uint64_t registered = 0;      ///< catalog entries added after execution
 
+  /// Reuse-aware unit search (src/optimizer/search.cc): read-only store
+  /// probes issued while enumerating candidates, rewritten candidates that
+  /// were costed through the what-if engine, and units whose winner was a
+  /// rewritten candidate.
+  uint64_t search_probes = 0;
+  uint64_t search_priced = 0;
+  uint64_t search_won = 0;
+
   void Add(const ReuseStats& other);
   std::string ToString() const;
 };
@@ -63,14 +71,35 @@ struct StoredResult {
   uint64_t last_used = 0;  ///< logical clock at last Lookup
 };
 
-/// Byte-budgeted, LRU-evicting snapshot catalog.
+/// How EnforceBudget picks eviction victims. Both policies are pure
+/// functions of the logical-clock store state, so eviction sequences are
+/// deterministic and replayable.
+enum class EvictionPolicy {
+  /// Unpinned entry with the oldest last_used; ties break on the key.
+  kLru,
+  /// Benefit-weighted (ReStore §6): evict the entry with the lowest
+  ///   benefit = logical_bytes * (hits + 1) / (raw_bytes * (age + 1)),
+  /// age = clock - last_used — i.e. bytes_saved x hit rate / raw storage
+  /// cost. Compared by exact 128-bit cross-multiplication (no floating
+  /// point); ties break on older last_used, then on the key.
+  kBenefitWeighted,
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+/// Inverse of EvictionPolicyName ("lru" / "benefit"); InvalidArgument on
+/// anything else.
+Result<EvictionPolicy> EvictionPolicyFromName(const std::string& name);
+
+/// Byte-budgeted, deterministically-evicting snapshot catalog.
 class ResultStore {
  public:
   struct Options {
-    /// Physical snapshot-byte budget; 0 = unlimited. Eviction drops the
-    /// least-recently-used unpinned entries until within budget, then
+    /// Physical snapshot-byte budget; 0 = unlimited. Eviction drops
+    /// unpinned entries chosen by `policy` until within budget, then
     /// garbage-collects snapshots no surviving entry references.
     uint64_t byte_budget = 0;
+    EvictionPolicy policy = EvictionPolicy::kLru;
   };
 
   ResultStore() : ResultStore(Options{}) {}
@@ -99,6 +128,12 @@ class ResultStore {
   void Pin(const std::string& snapshot_id);
   void Unpin(const std::string& snapshot_id);
 
+  const Options& options() const { return options_; }
+
+  /// Swaps the budget/policy (e.g. after LoadFromFile, to apply a CLI
+  /// override on top of the persisted options) and re-enforces the budget.
+  void set_options(Options options);
+
   const std::map<CostKey, StoredResult>& catalog() const { return entries_; }
   size_t num_entries() const { return entries_.size(); }
   size_t num_snapshots() const { return snapshots_.size(); }
@@ -115,6 +150,12 @@ class ResultStore {
   /// session-lifetime only). Keys, ids, and counters round-trip exactly.
   static Result<ResultStore> FromJson(const Json& json);
   static Result<ResultStore> Deserialize(const std::string& text);
+
+  /// Exact catalog persistence across processes: SaveToFile writes
+  /// Serialize() to `path`; LoadFromFile restores it via Deserialize. A
+  /// reloaded store produces bit-identical hit/eviction sequences.
+  Status SaveToFile(const std::string& path) const;
+  static Result<ResultStore> LoadFromFile(const std::string& path);
 
  private:
   void EnforceBudget();

@@ -7,7 +7,7 @@ namespace stubby {
 
 Status ReuseRewriter::MaterializeVertex(Plan* plan,
                                         const std::string& dataset_id,
-                                        const StoredResult& entry) {
+                                        const StoredResult& entry) const {
   STUBBY_ASSIGN_OR_RETURN(DatasetPtr snapshot,
                           store_->OpenSnapshot(entry.snapshot_id));
   STUBBY_ASSIGN_OR_RETURN(DatasetVertex * v,
@@ -73,11 +73,29 @@ Result<ReuseRewriteResult> ReuseRewriter::ElideWholeWorkflow(
 }
 
 Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan) {
+  return RewriteImpl(plan, /*scope=*/nullptr, /*seeds=*/nullptr,
+                     /*commit=*/true);
+}
+
+Result<ReuseRewriteResult> ReuseRewriter::PlanForScope(
+    const Plan& plan, const std::vector<std::string>* scope,
+    const std::map<std::string, CostKey>* seeds) const {
+  if (scope == nullptr) {
+    return RewriteImpl(plan, nullptr, seeds, /*commit=*/false);
+  }
+  std::set<std::string> scope_set(scope->begin(), scope->end());
+  return RewriteImpl(plan, &scope_set, seeds, /*commit=*/false);
+}
+
+Result<ReuseRewriteResult> ReuseRewriter::RewriteImpl(
+    const Plan& plan, const std::set<std::string>* scope,
+    const std::map<std::string, CostKey>* seeds, bool commit) const {
   ReuseRewriteResult result;
   result.plan = plan;
   const size_t original_jobs = plan.num_jobs();
 
-  STUBBY_ASSIGN_OR_RETURN(PlanLineage lineage, ComputeLineage(plan, *dfs_));
+  STUBBY_ASSIGN_OR_RETURN(PlanLineage lineage,
+                          ComputeLineage(plan, *dfs_, seeds));
   STUBBY_ASSIGN_OR_RETURN(std::vector<std::string> order,
                           plan.TopologicalOrder());
 
@@ -86,6 +104,7 @@ Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan) {
   // as jobs are removed: a produced dataset's key derives from its
   // producer's key whether or not the producer still exists.
   for (const std::string& jid : order) {
+    if (scope != nullptr && scope->count(jid) == 0) continue;
     auto kit = lineage.jobs.find(jid);
     if (kit == lineage.jobs.end()) continue;
     const JobVertex& job = **plan.GetJob(jid);
@@ -105,11 +124,12 @@ Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan) {
 
     result.plan.RemoveJob(jid);
     for (size_t i = 0; i < outputs.size(); ++i) {
-      const StoredResult* entry = store_->Lookup(JobOutputKey(kit->second, i));
+      const CostKey key = JobOutputKey(kit->second, i);
+      const StoredResult* entry =
+          commit ? store_->Lookup(key) : store_->Peek(key);
       Status s = MaterializeVertex(&result.plan, outputs[i], *entry);
       if (!s.ok()) return s;
-      result.materialized_lineage.emplace(outputs[i],
-                                          JobOutputKey(kit->second, i));
+      result.materialized_lineage.emplace(outputs[i], key);
       result.stats.bytes_saved += entry->logical_bytes;
     }
     ++result.stats.whole_job_hits;
@@ -118,6 +138,7 @@ Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan) {
   // --- tier 2b: sub-job (map-prefix) reuse --------------------------------
   for (const std::string& jid : order) {
     if (!result.plan.HasJob(jid)) continue;  // removed above
+    if (scope != nullptr && scope->count(jid) == 0) continue;
     STUBBY_ASSIGN_OR_RETURN(JobVertex * job, result.plan.GetMutableJob(jid));
     for (Branch& b : job->branches) {
       for (BranchInput& in : b.inputs) {
@@ -134,7 +155,7 @@ Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan) {
           ++result.stats.lookups;
           const StoredResult* e = store_->Peek(key);
           if (e != nullptr) {
-            hit = store_->Lookup(key);
+            hit = commit ? store_->Lookup(key) : e;
             hit_len = k;
             hit_key = key;
             break;
@@ -207,13 +228,16 @@ Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan) {
     result.materialized_lineage.erase(id);
   }
 
-  // Pin the snapshots the surviving plan scans.
-  std::set<std::string> pinned;
-  for (const auto& [id, v] : result.plan.datasets()) {
-    if (v.materialized_from.empty()) continue;
-    if (pinned.insert(v.materialized_from).second) {
-      store_->Pin(v.materialized_from);
-      result.pinned_snapshots.push_back(v.materialized_from);
+  // Pin the snapshots the surviving plan scans (commit mode only; a
+  // planning probe must leave the store untouched).
+  if (commit) {
+    std::set<std::string> pinned;
+    for (const auto& [id, v] : result.plan.datasets()) {
+      if (v.materialized_from.empty()) continue;
+      if (pinned.insert(v.materialized_from).second) {
+        store_->Pin(v.materialized_from);
+        result.pinned_snapshots.push_back(v.materialized_from);
+      }
     }
   }
 

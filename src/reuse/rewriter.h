@@ -19,6 +19,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -60,12 +61,34 @@ class ReuseRewriter {
                                                 const CostKey& options_salt);
 
   /// Whole-job + map-prefix rewriting (tier 2), then dead-code cleanup.
+  /// Commits hits to the store: Lookup bumps hit counts and recency, and
+  /// the snapshots the rewritten plan scans are pinned.
   Result<ReuseRewriteResult> Rewrite(const Plan& plan);
 
+  /// Planning-mode variant for the reuse-aware unit search: the same
+  /// whole-job + map-prefix matching and cleanup, but read-only — probes
+  /// use Peek (no hit counts, no recency, no pins), so candidate
+  /// enumeration never mutates store state and stays bit-deterministic at
+  /// any thread count. `scope` restricts matching to those job ids
+  /// (nullptr = every job); cleanup still runs plan-wide. `seeds`
+  /// pre-resolves lineage keys — the search passes base-input content keys
+  /// plus the keys of vertices materialized by earlier units, so chained
+  /// rewrites across units resolve without the vertices existing in the
+  /// dfs. The caller commits the winning plan's hits afterwards.
+  Result<ReuseRewriteResult> PlanForScope(
+      const Plan& plan, const std::vector<std::string>* scope,
+      const std::map<std::string, CostKey>* seeds) const;
+
  private:
+  /// Shared tier-2 implementation behind Rewrite (commit = true) and
+  /// PlanForScope (commit = false).
+  Result<ReuseRewriteResult> RewriteImpl(
+      const Plan& plan, const std::set<std::string>* scope,
+      const std::map<std::string, CostKey>* seeds, bool commit) const;
+
   /// Rewires one dataset vertex to be served from a stored snapshot.
   Status MaterializeVertex(Plan* plan, const std::string& dataset_id,
-                           const StoredResult& entry);
+                           const StoredResult& entry) const;
 
   ResultStore* store_;
   const Dfs* dfs_;

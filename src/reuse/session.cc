@@ -14,6 +14,18 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Releases the optimizer's snapshot pins on every exit path — staging or
+/// execution failures must not leave snapshots pinned against eviction
+/// forever.
+struct PinReleaser {
+  ResultStore* store = nullptr;
+  const std::vector<std::string>* pins = nullptr;
+  ~PinReleaser() {
+    if (store == nullptr || pins == nullptr) return;
+    for (const std::string& snapshot : *pins) store->Unpin(snapshot);
+  }
+};
+
 }  // namespace
 
 Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
@@ -32,6 +44,10 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
   StubbyOptimizer optimizer(options);
   STUBBY_ASSIGN_OR_RETURN(result.report, optimizer.Optimize(plan));
   result.optimize_sec = SecondsSince(t_opt);
+  // With the reuse-aware search (single-tier path), the optimizer commits
+  // hits and pins scanned snapshots itself; either way the pins last until
+  // this session run ends, success or failure.
+  PinReleaser pin_releaser{store_, &result.report.reuse_pinned};
 
   auto t_exec = std::chrono::steady_clock::now();
   // Stage every materialized vertex: its snapshot becomes a base input of
@@ -118,9 +134,6 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
       store_->Register(**stored, {{key, ReuseKind::kWorkflowOutput}});
     }
 
-    for (const std::string& snapshot : result.report.reuse_pinned) {
-      store_->Unpin(snapshot);
-    }
     result.reuse = result.report.reuse;
     result.reuse.Add(reg);
   }

@@ -206,6 +206,18 @@ Result<PlanLineage> ComputeLineage(const Plan& plan, const Dfs& dfs,
   return lineage;
 }
 
+std::map<std::string, CostKey> BaseInputContentSeeds(const Plan& plan,
+                                                     const Dfs& dfs) {
+  std::map<std::string, CostKey> seeds;
+  for (const auto& [id, ds] : plan.datasets()) {
+    if (!ds.is_base_input) continue;
+    auto stored = dfs.Get(id);
+    if (!stored.ok()) continue;
+    seeds.emplace(id, DatasetContentKey(**stored));
+  }
+  return seeds;
+}
+
 std::string CostKeyToHex(const CostKey& key) {
   return StrFormat("%016llx%016llx", (unsigned long long)key.first,
                    (unsigned long long)key.second);

@@ -90,6 +90,14 @@ Result<PlanLineage> ComputeLineage(
     const Plan& plan, const Dfs& dfs,
     const std::map<std::string, CostKey>* seed = nullptr);
 
+/// Content keys of every base-input dataset of `plan` resolvable in `dfs`
+/// (exactly what ComputeLineage would derive for them). The reuse-aware
+/// search precomputes this once per Optimize call and seeds every
+/// candidate-probe lineage with it, so the per-candidate rewrites never
+/// re-digest base dataset rows.
+std::map<std::string, CostKey> BaseInputContentSeeds(const Plan& plan,
+                                                     const Dfs& dfs);
+
 /// The job reuse key of `job` given the lineage keys of its input
 /// datasets (and of any split_points_from sample datasets). Returns an
 /// error if a required lineage key is missing from `datasets`.

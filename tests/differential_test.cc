@@ -1,0 +1,348 @@
+// Differential plan-equivalence harness: seeded random workflows executed
+// unoptimized as the oracle, then through every optimizer/reuse mode — the
+// reuse-blind search, a cold-store reuse-aware search, a warm-store
+// reuse-aware search (twice, so the second run prices store hits inside the
+// unit search), and the post-hoc rewrite path — at 1 and 4 threads. Every
+// emitted plan must produce bit-identical workflow outputs (after a
+// canonical row sort; optimized plans may emit rows in a different order),
+// and plans, cost bits, and reuse counters must not depend on thread count.
+//
+// The generator sticks to integer-valued fields: integer sums stay exact in
+// doubles (≤ 2^53), so kSum/kMax/kMin/kCount/kAvg are bit-exact and
+// order-invariant and the oracle comparison is meaningful down to the bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threading.h"
+#include "exec/workflow_runner.h"
+#include "optimizer/stubby.h"
+#include "optimizer/transform.h"
+#include "profiler/profiler.h"
+#include "reuse/result_store.h"
+#include "reuse/session.h"
+#include "workloads/builder.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+namespace {
+
+constexpr uint64_t kGB = 1ull << 30;
+
+// --- seeded workflow generator ---------------------------------------------
+
+struct JobSpec {
+  WorkflowFactory::JobDef def;
+  std::string output_id;
+  Schema output_schema;
+  bool consumed = false;  ///< some later job reads output_id
+};
+
+/// Random 1–4 job workflow over one integer base: chains and siblings of
+/// map-only jobs (filter / project / append-const stages) and annotated
+/// group-by aggregation jobs. Pure function of `seed`.
+Result<WorkflowFactory> MakeRandomWorkflow(uint64_t seed) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Rng rng(seed * 2654435761ull + 17);
+
+  Schema base_schema({"K", "G", "V"});
+  const int rows = 600 + static_cast<int>(rng.NextInt(0, 600));
+  std::vector<Row> data;
+  data.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    data.push_back(Row{rng.NextInt(0, 19), rng.NextInt(0, 9),
+                       rng.NextInt(0, 99)});
+  }
+  STUBBY_RETURN_NOT_OK(
+      f.AddBase("BASE", base_schema, Layout{}, 4, std::move(data), 2 * kGB));
+
+  struct Avail {
+    std::string id;
+    Schema schema;
+    int spec_index;  ///< producing JobSpec, or -1 for the base
+  };
+  std::vector<Avail> avail = {{"BASE", base_schema, -1}};
+  std::vector<JobSpec> specs;
+
+  const int num_jobs = 1 + static_cast<int>(rng.NextInt(0, 3));
+  int const_counter = 0;
+  for (int j = 0; j < num_jobs; ++j) {
+    // Chain off the newest dataset most of the time; occasionally branch
+    // off an earlier one to get sibling consumers (horizontal candidates).
+    size_t pick = avail.size() - 1;
+    if (avail.size() > 1 && rng.NextInt(0, 2) == 0) {
+      pick = static_cast<size_t>(rng.NextInt(0, avail.size() - 1));
+    }
+    Avail& in = avail[pick];
+    if (in.spec_index >= 0) specs[in.spec_index].consumed = true;
+
+    Schema cur = in.schema;
+    std::vector<Stage> stages;
+    const int num_stages = static_cast<int>(rng.NextInt(0, 2));
+    for (int s = 0; s < num_stages; ++s) {
+      const std::string tag =
+          "j" + std::to_string(j) + "s" + std::to_string(s);
+      switch (rng.NextInt(0, 2)) {
+        case 0: {  // filter on a random field over an integer range
+          const auto& field = cur.fields()[static_cast<size_t>(
+              rng.NextInt(0, cur.fields().size() - 1))];
+          const double lo = static_cast<double>(rng.NextInt(0, 30));
+          const double hi = lo + static_cast<double>(rng.NextInt(10, 80));
+          stages.push_back(
+              Stage::Map(FilterRangeMap("filter_" + tag, cur, field, lo, hi)));
+          break;
+        }
+        case 1: {  // project onto a random subset (≥ 2 fields, order kept)
+          std::vector<std::string> keep;
+          for (const std::string& field : cur.fields()) {
+            if (rng.NextInt(0, 1) == 0) keep.push_back(field);
+          }
+          for (size_t k = 0; keep.size() < 2 && k < cur.fields().size(); ++k) {
+            const std::string& field = cur.fields()[k];
+            if (std::find(keep.begin(), keep.end(), field) == keep.end()) {
+              keep.push_back(field);
+            }
+          }
+          std::sort(keep.begin(), keep.end(), [&](const auto& a,
+                                                  const auto& b) {
+            return cur.IndexOf(a) < cur.IndexOf(b);
+          });
+          stages.push_back(Stage::Map(ProjectMap("project_" + tag, cur, keep)));
+          cur = Schema(keep);
+          break;
+        }
+        default: {  // append an integer constant column
+          const std::string field = "C" + std::to_string(const_counter++);
+          std::vector<std::string> fields = cur.fields();
+          stages.push_back(Stage::Map(
+              AppendConstMap("append_" + tag, cur, field,
+                             Value(rng.NextInt(0, 5)))));
+          fields.push_back(field);
+          cur = Schema(fields);
+          break;
+        }
+      }
+    }
+
+    JobSpec spec;
+    spec.def.id = "J" + std::to_string(j);
+    spec.def.inputs = {In(in.id, std::move(stages))};
+    spec.def.map_output_schema = cur;
+    spec.output_id = "D" + std::to_string(j);
+
+    const bool reduce = cur.fields().size() >= 2 && rng.NextInt(0, 2) != 0;
+    if (reduce) {
+      const std::string group = cur.fields()[0];
+      std::vector<AggSpec> aggs;
+      const int num_aggs = 1 + static_cast<int>(rng.NextInt(0, 1));
+      for (int a = 0; a < num_aggs; ++a) {
+        const auto& field = cur.fields()[static_cast<size_t>(
+            rng.NextInt(1, cur.fields().size() - 1))];
+        static const AggOp kOps[] = {AggOp::kSum, AggOp::kMax, AggOp::kMin,
+                                     AggOp::kCount, AggOp::kAvg};
+        aggs.push_back({field, kOps[rng.NextInt(0, 4)],
+                        "A" + std::to_string(j) + "_" + std::to_string(a)});
+      }
+      spec.output_schema = AggOutputSchema({group}, aggs);
+      spec.def.reduce_stages = {Stage::Reduce(
+          AggReduce("agg_j" + std::to_string(j), cur, {group}, aggs),
+          {group})};
+      SchemaAnnotation sa;
+      sa.k1 = FieldSet{group};
+      sa.k2 = FieldSet{group};
+      sa.k3 = FieldSet{group};
+      FieldSet rest;
+      for (const std::string& field : cur.fields()) {
+        if (field != group) rest.insert(field);
+      }
+      sa.v1 = rest;
+      sa.v2 = rest;
+      FieldSet produced;
+      for (const AggSpec& a : aggs) produced.insert(a.out_field);
+      sa.v3 = produced;
+      spec.def.schema_ann = sa;
+    } else {
+      spec.output_schema = cur;
+    }
+    spec.def.output = spec.output_id;
+    avail.push_back({spec.output_id, spec.output_schema,
+                     static_cast<int>(specs.size())});
+    specs.push_back(std::move(spec));
+  }
+
+  // Unconsumed outputs are the workflow terminals (the last job's always is).
+  for (JobSpec& spec : specs) {
+    STUBBY_RETURN_NOT_OK(
+        f.AddDataset(spec.output_id, spec.output_schema, !spec.consumed));
+  }
+  for (JobSpec& spec : specs) {
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(spec.def)));
+  }
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  return f;
+}
+
+// --- oracle + comparison helpers -------------------------------------------
+
+using Outputs = std::map<std::string, std::vector<Row>>;
+
+Outputs Canonical(const Outputs& raw) {
+  Outputs sorted = raw;
+  for (auto& [id, rows] : sorted) std::sort(rows.begin(), rows.end());
+  return sorted;
+}
+
+/// Bit-level equality after the canonical sort (doubles by bit pattern).
+void ExpectBitIdentical(const Outputs& got, const Outputs& want,
+                        const std::string& label) {
+  Outputs a = Canonical(got);
+  Outputs b = Canonical(want);
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (const auto& [id, rows] : a) {
+    ASSERT_EQ(b.count(id), 1u) << label << " missing output " << id;
+    EXPECT_TRUE(RowsBitIdentical(rows, b.at(id)))
+        << label << " output " << id << " differs";
+  }
+}
+
+/// Runs the plan as written — no optimizer, no reuse — and collects the
+/// terminal outputs. This is the oracle every emitted plan must match.
+Result<Outputs> RunUnoptimized(const Plan& plan, const Dfs& dfs) {
+  Dfs run_dfs = dfs;
+  WorkflowRunner runner(plan.cluster());
+  STUBBY_RETURN_NOT_OK(runner.Run(plan, &run_dfs).status());
+  Outputs outputs;
+  for (const auto& [id, v] : plan.datasets()) {
+    if (!v.is_workflow_output) continue;
+    STUBBY_ASSIGN_OR_RETURN(DatasetPtr out, run_dfs.Get(id));
+    outputs.emplace(id, out->AllRows());
+  }
+  return outputs;
+}
+
+/// Everything one mode run produced that must be thread-count invariant.
+struct ModeResult {
+  std::string plan_signature;
+  double estimated_cost = 0.0;
+  std::string reuse_counters;
+  Outputs outputs;
+};
+
+ModeResult Capture(const ReuseSessionResult& r) {
+  ModeResult m;
+  m.plan_signature = PlanSignature(r.report.plan);
+  m.estimated_cost = r.report.estimated_cost;
+  m.reuse_counters = r.reuse.ToString();
+  m.outputs = r.outputs;
+  return m;
+}
+
+bool SameCostBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// --- the harness ------------------------------------------------------------
+
+class DifferentialEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  auto f = MakeRandomWorkflow(seed);
+  ASSERT_TRUE(f.ok()) << f.status();
+
+  // Odd seeds get full stage profiles: detailed costing and the RRS
+  // configuration search run for real. Even seeds stay unprofiled and
+  // exercise the job-count fallback path (including its reuse tie rule).
+  if (seed % 2 == 1) {
+    Profiler profiler(ClusterSpec{});
+    Dfs profile_dfs = f->dfs();
+    ASSERT_TRUE(profiler.ProfilePlan(&f->plan(), &profile_dfs).ok());
+  }
+
+  auto oracle = RunUnoptimized(f->plan(), f->dfs());
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+  // Modes, per thread count: blind, cold, warm1, warm2, posthoc.
+  std::map<int, std::vector<ModeResult>> by_threads;
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    StubbyOptions opts;
+
+    // Reuse-blind: no store at all.
+    ReuseSession blind_session(nullptr);
+    auto blind = blind_session.Run(f->plan(), f->dfs(), opts, &pool);
+    ASSERT_TRUE(blind.ok()) << blind.status();
+    ExpectBitIdentical(blind->outputs, *oracle, "blind");
+
+    // Cold store: the aware search probes but every probe misses — the
+    // emitted plan and its cost bits must equal the blind search's.
+    ResultStore store;
+    ReuseSession session(&store);
+    auto cold = session.Run(f->plan(), f->dfs(), opts, &pool);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    ExpectBitIdentical(cold->outputs, *oracle, "cold");
+    EXPECT_EQ(PlanSignature(cold->report.plan),
+              PlanSignature(blind->report.plan));
+    EXPECT_TRUE(SameCostBits(cold->report.estimated_cost,
+                             blind->report.estimated_cost))
+        << cold->report.estimated_cost << " vs "
+        << blind->report.estimated_cost;
+
+    // Warm store, whole-workflow elision off: the unit search itself must
+    // price and apply the store hits. Run twice — the second run sees the
+    // first rewritten run's registrations too.
+    StubbyOptions warm_opts = opts;
+    warm_opts.reuse_whole_workflow = false;
+    auto warm1 = session.Run(f->plan(), f->dfs(), warm_opts, &pool);
+    ASSERT_TRUE(warm1.ok()) << warm1.status();
+    ExpectBitIdentical(warm1->outputs, *oracle, "warm1");
+    auto warm2 = session.Run(f->plan(), f->dfs(), warm_opts, &pool);
+    ASSERT_TRUE(warm2.ok()) << warm2.status();
+    ExpectBitIdentical(warm2->outputs, *oracle, "warm2");
+
+    // Post-hoc path (reuse-aware search off): rewrite only after the blind
+    // search — the pre-tentpole behavior, still bit-transparent.
+    StubbyOptions posthoc_opts = warm_opts;
+    posthoc_opts.reuse_aware_search = false;
+    auto posthoc = session.Run(f->plan(), f->dfs(), posthoc_opts, &pool);
+    ASSERT_TRUE(posthoc.ok()) << posthoc.status();
+    ExpectBitIdentical(posthoc->outputs, *oracle, "posthoc");
+
+    by_threads[threads] = {Capture(*blind), Capture(*cold), Capture(*warm1),
+                           Capture(*warm2), Capture(*posthoc)};
+  }
+
+  // Thread-count invariance: plans, cost bits, reuse counters, and raw
+  // (pre-sort) outputs of every mode are identical at 1 and 4 threads.
+  const std::vector<ModeResult>& t1 = by_threads.at(1);
+  const std::vector<ModeResult>& t4 = by_threads.at(4);
+  ASSERT_EQ(t1.size(), t4.size());
+  static const char* kModes[] = {"blind", "cold", "warm1", "warm2", "posthoc"};
+  for (size_t i = 0; i < t1.size(); ++i) {
+    SCOPED_TRACE(kModes[i]);
+    EXPECT_EQ(t1[i].plan_signature, t4[i].plan_signature);
+    EXPECT_TRUE(SameCostBits(t1[i].estimated_cost, t4[i].estimated_cost))
+        << t1[i].estimated_cost << " vs " << t4[i].estimated_cost;
+    EXPECT_EQ(t1[i].reuse_counters, t4[i].reuse_counters);
+    ASSERT_EQ(t1[i].outputs.size(), t4[i].outputs.size());
+    for (const auto& [id, rows] : t1[i].outputs) {
+      ASSERT_EQ(t4[i].outputs.count(id), 1u);
+      EXPECT_TRUE(RowsBitIdentical(rows, t4[i].outputs.at(id)))
+          << "output " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialEquivalence,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace stubby

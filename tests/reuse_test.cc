@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -469,6 +470,237 @@ TEST(ReuseSessionTest, HitsSurviveCatalogSaveAndReload) {
   auto rb = resumed.Run(wb->plan(), wb->dfs(), opts);
   ASSERT_TRUE(rb.ok()) << rb.status();
   EXPECT_GE(rb->reuse.whole_job_hits, 1u) << rb->reuse.ToString();
+}
+
+// --- benefit-weighted eviction ---------------------------------------------
+
+TEST(ResultStoreTest, BenefitWeightedEvictionKeepsHotEntriesLruWouldDrop) {
+  // A: small, hit often, but oldest recency. B: large, never hit, fresher.
+  // LRU evicts A (recency only); the benefit policy evicts B (low
+  // bytes-saved-per-raw-byte). Same call sequence, different victims.
+  DatasetPtr small = MakeStored("small", 40);
+  DatasetPtr big = MakeStored("big", 100);
+  const uint64_t budget = big->raw_bytes() + small->raw_bytes();
+
+  ResultStore lru({budget, EvictionPolicy::kLru});
+  ResultStore benefit({budget, EvictionPolicy::kBenefitWeighted});
+  CostKey a{1, 0}, b{2, 0}, c{3, 0};
+  for (ResultStore* s : {&lru, &benefit}) {
+    s->Register(*small, {{a, ReuseKind::kJobOutput}});
+    for (int i = 0; i < 5; ++i) s->Lookup(a);
+    s->Register(*big, {{b, ReuseKind::kJobOutput}});
+    s->Register(*small, {{c, ReuseKind::kJobOutput}});  // over budget
+  }
+  EXPECT_EQ(lru.evictions(), 1u);
+  EXPECT_EQ(lru.Peek(a), nullptr);  // oldest recency loses under LRU
+  EXPECT_NE(lru.Peek(b), nullptr);
+
+  EXPECT_EQ(benefit.evictions(), 1u);
+  EXPECT_NE(benefit.Peek(a), nullptr);  // 6 hits on 40 rows: high benefit
+  EXPECT_EQ(benefit.Peek(b), nullptr);  // 0 hits on 100 rows: victim
+  EXPECT_NE(benefit.Peek(c), nullptr);
+  EXPECT_LE(benefit.stored_bytes(), budget);
+
+  // Identical call sequences replay to byte-identical stores.
+  ResultStore replay({budget, EvictionPolicy::kBenefitWeighted});
+  replay.Register(*small, {{a, ReuseKind::kJobOutput}});
+  for (int i = 0; i < 5; ++i) replay.Lookup(a);
+  replay.Register(*big, {{b, ReuseKind::kJobOutput}});
+  replay.Register(*small, {{c, ReuseKind::kJobOutput}});
+  EXPECT_EQ(replay.Serialize(), benefit.Serialize());
+}
+
+TEST(ResultStoreTest, BenefitEvictionTieBreaksOnOlderRecency) {
+  // Equal benefit fractions: A has hits=1, age=1 (2/2); B has hits=0,
+  // age=0 (1/1) at enforcement time — the tie goes to the older last_used.
+  DatasetPtr ds = MakeStored("x", 50);
+  ResultStore store;
+  CostKey a{1, 0}, b{2, 0};
+  store.Register(*ds, {{a, ReuseKind::kJobOutput}});  // clock 1
+  store.Lookup(a);                                    // clock 2: hits=1
+  store.Register(*ds, {{b, ReuseKind::kJobOutput}});  // clock 3
+  store.set_options({ds->raw_bytes(), EvictionPolicy::kBenefitWeighted});
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.Peek(a), nullptr);  // older recency evicts on the tie
+  EXPECT_NE(store.Peek(b), nullptr);
+}
+
+TEST(ResultStoreTest, PolicySurvivesSerialization) {
+  ResultStore store({1234, EvictionPolicy::kBenefitWeighted});
+  store.Register(*MakeStored("x", 5), {{CostKey{1, 0},
+                                        ReuseKind::kJobOutput}});
+  auto restored = ResultStore::Deserialize(store.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->options().byte_budget, 1234u);
+  EXPECT_EQ(restored->options().policy, EvictionPolicy::kBenefitWeighted);
+  EXPECT_EQ(restored->Serialize(), store.Serialize());
+}
+
+// --- file persistence --------------------------------------------------------
+
+TEST(ResultStoreTest, FileRoundTripRestoresIdenticalHits) {
+  // Save → reload through an actual file → the reloaded store produces the
+  // same hits for the next workflow as the in-memory original would.
+  auto wa = MakeChainVariant("_a", false);
+  auto wb = MakeChainVariant("_b", true);
+  ASSERT_TRUE(wa.ok() && wb.ok());
+  StubbyOptions opts = PlainOptions();
+
+  ResultStore store;
+  ReuseSession session(&store);
+  auto ra = session.Run(wa->plan(), wa->dfs(), opts);
+  ASSERT_TRUE(ra.ok());
+
+  const std::string path =
+      ::testing::TempDir() + "/stubby_reuse_catalog_test.json";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  auto reloaded = ResultStore::LoadFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->Serialize(), store.Serialize());
+
+  auto in_memory = session.Run(wb->plan(), wb->dfs(), opts);
+  ReuseSession resumed(&*reloaded);
+  auto from_file = resumed.Run(wb->plan(), wb->dfs(), opts);
+  ASSERT_TRUE(in_memory.ok() && from_file.ok());
+  EXPECT_GE(from_file->reuse.whole_job_hits, 1u);
+  EXPECT_EQ(from_file->reuse.ToString(), in_memory->reuse.ToString());
+  ASSERT_EQ(from_file->outputs.count("OUT_b"), 1u);
+  EXPECT_TRUE(RowsBitIdentical(from_file->outputs.at("OUT_b"),
+                               in_memory->outputs.at("OUT_b")));
+
+  EXPECT_FALSE(ResultStore::LoadFromFile(path + ".does-not-exist").ok());
+}
+
+// --- reuse-aware unit search -------------------------------------------------
+
+TEST(ReuseSearchTest, AwareSearchPricesAndAppliesStoreHits) {
+  // Default options: the unit search runs, probes the warm store while
+  // costing candidates, prices the rewritten form, and picks it.
+  auto q1 = MakeMapOnly("B", "J1", "OUT1", 1);
+  auto q2 = MakeMapOnly("BB", "J2", "OUT2", 2);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  StubbyOptions opts;
+  opts.reuse_whole_workflow = false;  // force the in-search path
+
+  ResultStore store;
+  ReuseSession session(&store);
+  auto r1 = session.Run(q1->plan(), q1->dfs(), opts);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  auto r2 = session.Run(q2->plan(), q2->dfs(), opts);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+
+  EXPECT_GT(r2->reuse.search_probes, 0u) << r2->reuse.ToString();
+  EXPECT_GE(r2->reuse.search_priced, 1u);
+  EXPECT_GE(r2->reuse.search_won, 1u);
+  EXPECT_GE(r2->reuse.prefix_hits, 1u);
+  bool logged = false;
+  for (const std::string& line : r2->report.applied) {
+    if (line.find("reuse:") != std::string::npos) logged = true;
+  }
+  EXPECT_TRUE(logged) << "no reuse entry in the transformation log";
+}
+
+TEST(ReuseSearchTest, ColdStoreSearchIsBitIdenticalToBlindSearch) {
+  auto f = ::stubby::testing::MakeChain();
+  ASSERT_TRUE(f.ok());
+  ::stubby::testing::ProfileInPlace(&*f);
+
+  StubbyOptions blind_opts;
+  auto blind = StubbyOptimizer(blind_opts).Optimize(f->plan());
+  ASSERT_TRUE(blind.ok());
+
+  ResultStore store;  // empty: every probe misses
+  StubbyOptions cold_opts;
+  cold_opts.reuse_store = &store;
+  cold_opts.reuse_dfs = &f->dfs();
+  auto cold = StubbyOptimizer(cold_opts).Optimize(f->plan());
+  ASSERT_TRUE(cold.ok());
+
+  EXPECT_GT(cold->reuse.search_probes, 0u);
+  EXPECT_EQ(cold->reuse.search_won, 0u);
+  EXPECT_EQ(PlanSignature(cold->plan), PlanSignature(blind->plan));
+  EXPECT_EQ(cold->estimated_cost, blind->estimated_cost);
+  EXPECT_EQ(cold->applied, blind->applied);
+}
+
+TEST(ReuseSearchTest, AwareSearchNeverPricesAboveThePostHocPath) {
+  // Warm the store with one profiled run, then optimize the same workflow
+  // through the aware search and through the post-hoc rewrite: the aware
+  // plan's estimated cost must never exceed the post-hoc plan's (the floor
+  // guarantees it by construction).
+  auto f = ::stubby::testing::MakeChain();
+  ASSERT_TRUE(f.ok());
+  ::stubby::testing::ProfileInPlace(&*f);
+
+  ResultStore store;
+  ReuseSession warmup(&store);
+  StubbyOptions opts;
+  opts.reuse_whole_workflow = false;
+  auto first = warmup.Run(f->plan(), f->dfs(), opts);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  auto aware_store = ResultStore::Deserialize(store.Serialize());
+  auto posthoc_store = ResultStore::Deserialize(store.Serialize());
+  ASSERT_TRUE(aware_store.ok() && posthoc_store.ok());
+
+  StubbyOptions aware_opts = opts;
+  aware_opts.reuse_store = &*aware_store;
+  aware_opts.reuse_dfs = &f->dfs();
+  auto aware = StubbyOptimizer(aware_opts).Optimize(f->plan());
+  ASSERT_TRUE(aware.ok());
+
+  StubbyOptions posthoc_opts = aware_opts;
+  posthoc_opts.reuse_store = &*posthoc_store;
+  posthoc_opts.reuse_aware_search = false;
+  auto posthoc = StubbyOptimizer(posthoc_opts).Optimize(f->plan());
+  ASSERT_TRUE(posthoc.ok());
+
+  EXPECT_LE(aware->estimated_cost, posthoc->estimated_cost)
+      << "aware " << aware->estimated_cost << " vs posthoc "
+      << posthoc->estimated_cost;
+}
+
+TEST(ReuseSearchTest, WarmSearchIsThreadCountInvariant) {
+  // Plans, cost bits, reuse counters, and the mutated store itself must be
+  // identical whether the aware search ran serially or on 4 threads.
+  auto q1 = MakeMapOnly("B", "J1", "OUT1", 1);
+  auto q2 = MakeMapOnly("BB", "J2", "OUT2", 2);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  StubbyOptions base;
+  base.reuse_whole_workflow = false;
+
+  ResultStore warm;
+  ReuseSession warmup(&warm);
+  auto r1 = warmup.Run(q1->plan(), q1->dfs(), base);
+  ASSERT_TRUE(r1.ok());
+  const std::string warm_bytes = warm.Serialize();
+
+  std::optional<std::string> ref_plan, ref_counters, ref_store;
+  std::optional<double> ref_cost;
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto store = ResultStore::Deserialize(warm_bytes);
+    ASSERT_TRUE(store.ok());
+    ThreadPool pool(threads);
+    StubbyOptions opts = base;
+    opts.reuse_store = &*store;
+    opts.reuse_dfs = &q2->dfs();
+    opts.pool = &pool;
+    auto report = StubbyOptimizer(opts).Optimize(q2->plan());
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_GE(report->reuse.search_won, 1u) << report->reuse.ToString();
+    if (!ref_plan) {
+      ref_plan = PlanSignature(report->plan);
+      ref_cost = report->estimated_cost;
+      ref_counters = report->reuse.ToString();
+      ref_store = store->Serialize();
+    } else {
+      EXPECT_EQ(PlanSignature(report->plan), *ref_plan);
+      EXPECT_EQ(report->estimated_cost, *ref_cost);
+      EXPECT_EQ(report->reuse.ToString(), *ref_counters);
+      EXPECT_EQ(store->Serialize(), *ref_store);
+    }
+  }
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include "exec/workflow_runner.h"
 #include "optimizer/stubby.h"
 #include "profiler/profiler.h"
+#include "reuse/result_store.h"
+#include "reuse/session.h"
 #include "test_workflows.h"
 #include "workloads/registry.h"
 
@@ -222,6 +224,7 @@ class ThreadCountInvariance : public ::testing::Test {
     EXPECT_EQ(a.job_predictions, b.job_predictions);
     EXPECT_EQ(a.job_cache_hits, b.job_cache_hits);
     EXPECT_EQ(a.rrs_evaluations, b.rrs_evaluations);
+    EXPECT_EQ(a.reuse_priced_candidates, b.reuse_priced_candidates);
   }
 };
 
@@ -274,6 +277,52 @@ TEST_F(ThreadCountInvariance, OptimizationIsBitIdentical) {
     EXPECT_EQ(report->units_processed, ref->units_processed);
     EXPECT_EQ(report->subplans_enumerated, ref->subplans_enumerated);
     ExpectSameCounters(report->costing, ref->costing);
+  }
+}
+
+TEST_F(ThreadCountInvariance, ReuseAwareSearchIsBitIdentical) {
+  // The reuse-aware unit search (store probes + rewritten-candidate pricing
+  // inside the parallel costing batch) must keep the whole determinism
+  // contract: plans, cost bits, applied logs, costing counters, reuse
+  // counters, and the store's post-run state are identical at every width.
+  auto w = MakeProfiledBR();
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  // Warm a store with one session run, then freeze its bytes: every width
+  // starts from a byte-identical catalog.
+  ResultStore warm;
+  ReuseSession warmup(&warm);
+  StubbyOptions warmup_opts;
+  warmup_opts.reuse_whole_workflow = false;
+  auto first = warmup.Run(w->plan, w->dfs, warmup_opts);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string warm_bytes = warm.Serialize();
+
+  std::optional<OptimizeReport> ref;
+  std::optional<std::string> ref_store;
+  for (int threads : ThreadCounts()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto store = ResultStore::Deserialize(warm_bytes);
+    ASSERT_TRUE(store.ok());
+    ThreadPool pool(threads);
+    StubbyOptions opts = warmup_opts;
+    opts.reuse_store = &*store;
+    opts.reuse_dfs = &w->dfs;
+    opts.pool = &pool;
+    auto report = StubbyOptimizer(opts).Optimize(w->plan);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_GT(report->reuse.search_probes, 0u) << report->reuse.ToString();
+    if (!ref) {
+      ref = std::move(*report);
+      ref_store = store->Serialize();
+      continue;
+    }
+    EXPECT_EQ(PlanSignature(report->plan), PlanSignature(ref->plan));
+    EXPECT_EQ(report->estimated_cost, ref->estimated_cost);
+    EXPECT_EQ(report->applied, ref->applied);
+    EXPECT_EQ(report->reuse.ToString(), ref->reuse.ToString());
+    ExpectSameCounters(report->costing, ref->costing);
+    EXPECT_EQ(store->Serialize(), *ref_store);
   }
 }
 
