@@ -198,16 +198,28 @@ int Main(int argc, char** argv) {
   std::string initial_bytes;
   ResultStore::Options store_opts;
   if (!store_path.empty()) {
-    auto loaded = ResultStore::LoadFromFile(store_path);
-    if (loaded.ok()) {
+    // Only a missing file means "fresh catalog"; an existing-but-unloadable
+    // file would be overwritten at save time, so refuse to run instead of
+    // silently destroying a possibly recoverable catalog.
+    std::FILE* probe = std::fopen(store_path.c_str(), "rb");
+    if (probe == nullptr) {
+      std::printf("starting a fresh catalog (%s)\n", store_path.c_str());
+    } else {
+      std::fclose(probe);
+      auto loaded = ResultStore::LoadFromFile(store_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr,
+                     "refusing to overwrite unreadable catalog %s: %s\n",
+                     store_path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
       initial_bytes = loaded->Serialize();
       store_opts = loaded->options();
       std::printf("loaded %zu catalog entr%s from %s\n",
                   loaded->num_entries(),
                   loaded->num_entries() == 1 ? "y" : "ies",
                   store_path.c_str());
-    } else {
-      std::printf("starting a fresh catalog (%s)\n", store_path.c_str());
     }
   }
   if (budget_mb > 0) {

@@ -197,15 +197,27 @@ int main(int argc, char** argv) {
     STUBBY_CHECK_OK(w.status());
     ResultStore store;
     if (!store_path.empty()) {
-      auto loaded = ResultStore::LoadFromFile(store_path);
-      if (loaded.ok()) {
+      // Only a missing file means "fresh catalog". A file that exists but
+      // fails to load is likely corrupt or foreign; overwriting it on exit
+      // would destroy a possibly recoverable catalog, so bail out instead.
+      std::FILE* probe = std::fopen(store_path.c_str(), "rb");
+      if (probe == nullptr) {
+        std::printf("starting a fresh catalog (%s)\n", store_path.c_str());
+      } else {
+        std::fclose(probe);
+        auto loaded = ResultStore::LoadFromFile(store_path);
+        if (!loaded.ok()) {
+          std::fprintf(stderr,
+                       "refusing to overwrite unreadable catalog %s: %s\n",
+                       store_path.c_str(),
+                       loaded.status().ToString().c_str());
+          return 1;
+        }
         store = std::move(*loaded);
         std::printf("loaded %zu catalog entr%s from %s\n",
                     store.num_entries(),
                     store.num_entries() == 1 ? "y" : "ies",
                     store_path.c_str());
-      } else {
-        std::printf("starting a fresh catalog (%s)\n", store_path.c_str());
       }
     }
     if (!policy_name.empty()) {

@@ -234,17 +234,24 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
       report.reuse_lineage_seeds = std::move(rewritten.materialized_lineage);
       report.reuse_pinned = std::move(rewritten.pinned_snapshots);
     }
-  } else if (aware_search && reuse_state.won_units > 0) {
+  } else if (aware_search && options_.reuse_store->num_entries() > 0) {
     // Post-hoc floor: greedy per-unit reuse choices are path-dependent (an
     // early elision reshapes later units' RRS landscapes), so guarantee
     // the aware plan never prices above the blind-search-plus-rewrite
     // baseline by computing that baseline and keeping the cheaper plan.
-    // Skipped when no unit chose a rewritten candidate — the aware run IS
-    // the blind run then.
+    // When no unit chose a rewritten candidate the aware run IS the blind
+    // run, so the blind phases need not re-run — but the whole-plan
+    // post-hoc probe must still run: per-unit repricing can reject
+    // rewrites that cross-unit cost interactions make profitable at the
+    // whole-plan level.
     auto f0 = std::chrono::steady_clock::now();
     OptimizeReport floor_report;
-    STUBBY_ASSIGN_OR_RETURN(Plan blind,
-                            run_phases(plan, &floor_report, nullptr));
+    Plan blind;
+    if (reuse_state.won_units > 0) {
+      STUBBY_ASSIGN_OR_RETURN(blind, run_phases(plan, &floor_report, nullptr));
+    } else {
+      blind = current;
+    }
     ReuseRewriter rewriter(options_.reuse_store, options_.reuse_dfs);
     STUBBY_ASSIGN_OR_RETURN(
         ReuseRewriteResult posthoc,
@@ -266,7 +273,11 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
         whatif.Cost(posthoc.changed ? posthoc.plan : blind).cost;
     if (floor_cost < aware_cost) {
       current = posthoc.changed ? std::move(posthoc.plan) : std::move(blind);
-      report.applied = std::move(floor_report.applied);
+      if (reuse_state.won_units > 0) {
+        // The aware plan's transform trail is stale; swap in the blind
+        // run's. With no won units, report.applied already IS that trail.
+        report.applied = std::move(floor_report.applied);
+      }
       report.applied.push_back("reuse: post-hoc rewrite won the floor");
       reuse_state.stats = ReuseStats{};
       reuse_state.stats.whole_job_hits = posthoc.stats.whole_job_hits;

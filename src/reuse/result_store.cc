@@ -59,6 +59,30 @@ Result<EvictionPolicy> EvictionPolicyFromName(const std::string& name) {
   return Status::InvalidArgument("unknown eviction policy '" + name + "'");
 }
 
+int ExactFractionCompare(unsigned __int128 a_num, unsigned __int128 a_den,
+                         unsigned __int128 b_num, unsigned __int128 b_den) {
+  while (true) {
+    const unsigned __int128 qa = a_num / a_den;
+    const unsigned __int128 qb = b_num / b_den;
+    if (qa != qb) return qa < qb ? -1 : 1;
+    a_num -= qa * a_den;
+    b_num -= qb * b_den;
+    if (a_num == 0 && b_num == 0) return 0;
+    if (a_num == 0) return -1;
+    if (b_num == 0) return 1;
+    // Both fractional parts are proper: a_num/a_den < b_num/b_den iff
+    // b_den/b_num < a_den/a_num, and the Euclid-style descent terminates.
+    const unsigned __int128 next_a_num = b_den;
+    const unsigned __int128 next_a_den = b_num;
+    const unsigned __int128 next_b_num = a_den;
+    const unsigned __int128 next_b_den = a_num;
+    a_num = next_a_num;
+    a_den = next_a_den;
+    b_num = next_b_num;
+    b_den = next_b_den;
+  }
+}
+
 void ReuseStats::Add(const ReuseStats& other) {
   lookups += other.lookups;
   whole_job_hits += other.whole_job_hits;
@@ -197,8 +221,10 @@ void ResultStore::EnforceBudget() {
   if (options_.byte_budget == 0) return;
   // Benefit of keeping an entry: logical_bytes * (hits + 1) per unit of
   // raw storage and logical idle time. Compared as exact integer fractions
-  // (num/den) via 128-bit cross-multiplication; lowest benefit evicts
-  // first. The +1 terms keep fresh, never-hit entries comparable and the
+  // (num/den); lowest benefit evicts first. Each operand is a 64x64-bit
+  // product, so the fractions are compared by continued-fraction descent
+  // rather than cross-multiplication, which could exceed 128 bits and wrap.
+  // The +1 terms keep fresh, never-hit entries comparable and the
   // denominators nonzero.
   auto benefit_less = [this](const StoredResult& a,
                              const StoredResult& b) -> bool {
@@ -212,7 +238,17 @@ void ResultStore::EnforceBudget() {
     const unsigned __int128 b_den =
         static_cast<unsigned __int128>(b.raw_bytes) *
         (clock_ - b.last_used + 1);
-    if (a_num * b_den != b_num * a_den) return a_num * b_den < b_num * a_den;
+    // A zero denominator (zero raw bytes) means free storage: infinite
+    // benefit, never the eviction victim.
+    int cmp;
+    if (a_den == 0 && b_den == 0) {
+      cmp = 0;
+    } else if (a_den == 0 || b_den == 0) {
+      cmp = a_den == 0 ? 1 : -1;
+    } else {
+      cmp = ExactFractionCompare(a_num, a_den, b_num, b_den);
+    }
+    if (cmp != 0) return cmp < 0;
     return a.last_used < b.last_used;  // then ties break on the key
   };
   while (stored_bytes() > options_.byte_budget) {

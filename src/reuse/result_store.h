@@ -80,12 +80,20 @@ enum class EvictionPolicy {
   /// Benefit-weighted (ReStore §6): evict the entry with the lowest
   ///   benefit = logical_bytes * (hits + 1) / (raw_bytes * (age + 1)),
   /// age = clock - last_used — i.e. bytes_saved x hit rate / raw storage
-  /// cost. Compared by exact 128-bit cross-multiplication (no floating
-  /// point); ties break on older last_used, then on the key.
+  /// cost. Compared exactly via ExactFractionCompare (no floating point);
+  /// ties break on older last_used, then on the key.
   kBenefitWeighted,
 };
 
 const char* EvictionPolicyName(EvictionPolicy policy);
+
+/// Exact three-way comparison (-1/0/1) of a_num/a_den vs b_num/b_den for
+/// nonnegative numerators and positive denominators. Each operand may fill
+/// all 128 bits (the benefit fractions are 64x64-bit products), so the
+/// comparison uses continued-fraction descent instead of cross-
+/// multiplication, which could exceed 2^128 and wrap.
+int ExactFractionCompare(unsigned __int128 a_num, unsigned __int128 a_den,
+                         unsigned __int128 b_num, unsigned __int128 b_den);
 
 /// Inverse of EvictionPolicyName ("lru" / "benefit"); InvalidArgument on
 /// anything else.
@@ -127,6 +135,11 @@ class ResultStore {
   /// them; eviction never collects a pinned snapshot.
   void Pin(const std::string& snapshot_id);
   void Unpin(const std::string& snapshot_id);
+
+  /// Snapshots currently pinned (distinct ids, not refcounts). Pins are
+  /// session-lifetime: a balanced Pin/Unpin discipline leaves this at zero
+  /// between session runs.
+  size_t num_pins() const { return pins_.size(); }
 
   const Options& options() const { return options_; }
 

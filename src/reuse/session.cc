@@ -16,13 +16,16 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 
 /// Releases the optimizer's snapshot pins on every exit path — staging or
 /// execution failures must not leave snapshots pinned against eviction
-/// forever.
+/// forever. Owns a copy of the pin list: the report it came from is
+/// move-constructed into the return value before this destructor runs, so a
+/// pointer back into it would observe a moved-from (empty) vector on the
+/// success path and leak every pin.
 struct PinReleaser {
   ResultStore* store = nullptr;
-  const std::vector<std::string>* pins = nullptr;
+  std::vector<std::string> pins;
   ~PinReleaser() {
-    if (store == nullptr || pins == nullptr) return;
-    for (const std::string& snapshot : *pins) store->Unpin(snapshot);
+    if (store == nullptr) return;
+    for (const std::string& snapshot : pins) store->Unpin(snapshot);
   }
 };
 
@@ -47,7 +50,7 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
   // With the reuse-aware search (single-tier path), the optimizer commits
   // hits and pins scanned snapshots itself; either way the pins last until
   // this session run ends, success or failure.
-  PinReleaser pin_releaser{store_, &result.report.reuse_pinned};
+  PinReleaser pin_releaser{store_, result.report.reuse_pinned};
 
   auto t_exec = std::chrono::steady_clock::now();
   // Stage every materialized vertex: its snapshot becomes a base input of

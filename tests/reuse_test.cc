@@ -286,6 +286,26 @@ TEST(ResultStoreTest, BudgetEvictionIsLruAndDeterministic) {
   EXPECT_EQ(a.Serialize(), b.Serialize());
 }
 
+TEST(ResultStoreTest, ExactFractionCompareSurvives128BitOperands) {
+  using u128 = unsigned __int128;
+  EXPECT_EQ(ExactFractionCompare(1, 3, 2, 5), -1);
+  EXPECT_EQ(ExactFractionCompare(2, 5, 1, 3), 1);
+  EXPECT_EQ(ExactFractionCompare(2, 4, 3, 6), 0);
+  EXPECT_EQ(ExactFractionCompare(7, 2, 5, 2), 1);
+  EXPECT_EQ(ExactFractionCompare(0, 7, 0, 11), 0);
+  // Regression: operands where naive cross-multiplication wraps mod 2^128.
+  // Both cross products here are ≡ 0 (mod 2^128), which would falsely
+  // report a tie, yet the fractions differ by a factor of 2^125.
+  const u128 big = u128{1} << 127;
+  EXPECT_EQ(ExactFractionCompare(big, 4, big >> 1, big >> 1), 1);
+  EXPECT_EQ(ExactFractionCompare(big >> 1, big >> 1, big, 4), -1);
+  // Near-equal giants exercise the continued-fraction descent:
+  // 1 + 1/(2^127-1)  <  1 + 1/(2^127-2).
+  EXPECT_EQ(ExactFractionCompare(big, big - 1, big - 1, big - 2), -1);
+  EXPECT_EQ(ExactFractionCompare(big - 1, big - 2, big, big - 1), 1);
+  EXPECT_EQ(ExactFractionCompare(big, big - 1, big, big - 1), 0);
+}
+
 TEST(ResultStoreTest, EvictionNeverCollectsPinnedSnapshots) {
   // Satellite regression: a snapshot referenced by a live (rewritten) plan
   // is pinned by the session; eviction must never delete it, however tight
@@ -417,6 +437,36 @@ TEST(ReuseSessionTest, MapPrefixReuseIsBitIdenticalAtAnyThreadCount) {
     EXPECT_TRUE(RowsBitIdentical(r2->outputs.at("OUT2"),
                                  baseline->outputs.at("OUT2")));
   }
+}
+
+TEST(ReuseSessionTest, SuccessfulWarmRunReleasesEveryPin) {
+  // Regression: the session's pin releaser must observe the pinned-snapshot
+  // list, not a pointer into the result that `return` has already moved
+  // from — otherwise every successful warm run leaks its pins and the byte
+  // budget is silently defeated (EnforceBudget skips pinned entries).
+  auto q1 = MakeMapOnly("B", "J1", "OUT1", 1);
+  auto q2 = MakeMapOnly("BB", "J2", "OUT2", 2);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  StubbyOptions opts;
+
+  ResultStore store;
+  ReuseSession session(&store);
+  auto r1 = session.Run(q1->plan(), q1->dfs(), opts);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(store.num_pins(), 0u);
+
+  auto r2 = session.Run(q2->plan(), q2->dfs(), opts);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  // The warm run reused a snapshot (so pins were taken during planning)...
+  EXPECT_FALSE(r2->report.reuse_pinned.empty());
+  // ...and released every one of them before returning.
+  EXPECT_EQ(store.num_pins(), 0u);
+
+  // With no pins outstanding, a tightened budget can evict everything.
+  ResultStore::Options tight = store.options();
+  tight.byte_budget = 1;
+  store.set_options(tight);
+  EXPECT_EQ(store.num_entries(), 0u);
 }
 
 TEST(ReuseSessionTest, WholeJobReuseAcrossWorkflowsIsBitIdentical) {
