@@ -4,22 +4,166 @@
 // optimization overhead is small relative to the achieved speedups and is
 // amortized over repeated workflow runs.
 //
-// Flags: --rows N     physical sample rows (default 20000)
-//        --threads N  worker threads (default: hardware); workflows run as
-//                     concurrent tasks, results are identical at any count
+// Flags: --rows N      physical sample rows (default 20000)
+//        --threads N   worker threads (default: hardware); workflows run as
+//                      concurrent tasks, results are identical at any count
+//        --exhaustive  also run the whole-graph ablation: one optimization
+//                      unit spanning the entire plan, exhaustively
+//                      enumerated and RRS-costed on the ThreadPool at
+//                      1/2/4/8 threads (identical best plan required),
+//                      measuring how far exhaustive search scales before
+//                      unit scoping is still needed
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <set>
 
 #include "bench_common.h"
+#include "optimizer/horizontal.h"
+#include "optimizer/partition_fn.h"
+#include "optimizer/search.h"
+#include "optimizer/unit.h"
+#include "optimizer/vertical.h"
 
 using namespace stubby;
 using namespace stubby::bench;
 
+namespace {
+
+/// One unit spanning the whole plan: producers are the root jobs (no input
+/// produced by another job), consumers everything downstream — so the
+/// in-unit exhaustive enumeration searches the full graph at once instead
+/// of Stubby's scoped units.
+OptimizationUnit WholeGraphUnit(const Plan& plan) {
+  std::set<std::string> produced;
+  for (const auto& [jid, job] : plan.jobs()) {
+    for (const std::string& out : job.OutputDatasets()) produced.insert(out);
+  }
+  OptimizationUnit unit;
+  for (const auto& [jid, job] : plan.jobs()) {
+    bool root = true;
+    for (const std::string& in : job.InputDatasets()) {
+      if (produced.count(in)) {
+        root = false;
+        break;
+      }
+    }
+    (root ? unit.producers : unit.consumers).push_back(jid);
+  }
+  return unit;
+}
+
+/// Whole-graph exhaustive enumeration at 1/2/4/8 threads. Candidates are
+/// costed as parallel pool tasks (the unit search's own parallelism); the
+/// chosen plan, its cost bits, and the candidate count must be identical
+/// at every width. Only small plans are searched whole-graph — that
+/// blowup is exactly the point of unit scoping (§4.1), and the guard is
+/// recorded in the JSON.
+bool RunExhaustiveAblation(int rows, Json* doc) {
+  constexpr size_t kMaxJobs = 5;
+  std::printf("\nExhaustive whole-graph ablation (<= %zu jobs)\n", kMaxJobs);
+  std::printf("%-6s %6s %9s %10s %10s %10s %10s\n", "WF", "Jobs", "Subplans",
+              "t=1", "t=2", "t=4", "t=8");
+
+  std::vector<std::shared_ptr<Transformation>> transforms = {
+      std::make_shared<IntraJobVerticalPacking>(),
+      std::make_shared<InterJobVerticalPacking>(),
+      std::make_shared<HorizontalPacking>(/*extended=*/true),
+      std::make_shared<PartitionFunctionTransform>(),
+  };
+  UnitSearchOptions unit_options;
+  unit_options.max_subplans = 512;
+  unit_options.max_depth = 8;
+  unit_options.seed = 17;
+
+  bool identical = true;
+  Json workloads = Json::Array();
+  for (const std::string& abbr : AllWorkloadAbbrs()) {
+    auto pw = Prepare(abbr, rows);
+    STUBBY_CHECK_OK(pw.status());
+    const Plan& plan = pw->workload.plan;
+    if (plan.num_jobs() > kMaxJobs) continue;
+    const OptimizationUnit unit = WholeGraphUnit(plan);
+    WhatIfEngine whatif(plan.cluster());
+
+    std::string ref_sig;
+    double ref_cost = 0.0;
+    size_t ref_count = 0;
+    double wall_1 = 0.0;
+    char line[160];
+    int written = std::snprintf(line, sizeof(line), "%-6s %6zu", abbr.c_str(),
+                                plan.num_jobs());
+    Json points = Json::Array();
+    for (int t : {1, 2, 4, 8}) {
+      ThreadPool thread_pool(t);
+      UnitOptimizer optimizer(transforms, &whatif, unit_options,
+                              &thread_pool);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto subplans = optimizer.EnumerateSubplans(plan, unit);
+      const double wall = SecondsSince(t0);
+      STUBBY_CHECK_OK(subplans.status());
+
+      size_t best = 0;
+      for (size_t i = 1; i < subplans->size(); ++i) {
+        if ((*subplans)[i].cost < (*subplans)[best].cost) best = i;
+      }
+      const std::string sig =
+          subplans->empty() ? "" : PlanSignature((*subplans)[best].plan);
+      const double cost = subplans->empty() ? 0.0 : (*subplans)[best].cost;
+      if (t == 1) {
+        ref_sig = sig;
+        ref_cost = cost;
+        ref_count = subplans->size();
+        wall_1 = wall;
+        written += std::snprintf(line + written,
+                                 sizeof(line) - static_cast<size_t>(written),
+                                 " %9zu", subplans->size());
+      } else if (sig != ref_sig || cost != ref_cost ||
+                 subplans->size() != ref_count) {
+        identical = false;
+      }
+      written += std::snprintf(line + written,
+                               sizeof(line) - static_cast<size_t>(written),
+                               " %9.3fs", wall);
+
+      Json point = Json::Object();
+      point["threads"] = static_cast<uint64_t>(t);
+      point["wall_sec"] = wall;
+      point["speedup"] = wall > 0 ? wall_1 / wall : 1.0;
+      points.Append(std::move(point));
+    }
+    std::printf("%s\n", line);
+
+    Json row = Json::Object();
+    row["workload"] = abbr;
+    row["jobs"] = static_cast<uint64_t>(plan.num_jobs());
+    row["subplans"] = static_cast<uint64_t>(ref_count);
+    row["best_cost"] = ref_cost;
+    row["scaling"] = std::move(points);
+    workloads.Append(std::move(row));
+  }
+  std::printf("  best plan identical across thread counts: %s\n",
+              identical ? "YES" : "NO");
+
+  Json study = Json::Object();
+  study["max_jobs"] = static_cast<uint64_t>(kMaxJobs);
+  study["identical_results"] = identical;
+  study["workloads"] = std::move(workloads);
+  (*doc)["exhaustive"] = std::move(study);
+  return identical;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int rows = IntFlag(argc, argv, "--rows", 20000);
   const int threads = ThreadsFlag(argc, argv);
+  bool exhaustive = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--exhaustive")) exhaustive = true;
+  }
   ThreadPool pool(threads);
 
   std::printf("Figure 13: optimization overhead\n");
@@ -84,6 +228,11 @@ int main(int argc, char** argv) {
   doc["threads"] = static_cast<uint64_t>(threads);
   doc["total_wall_sec"] = total_wall;
   doc["workloads"] = std::move(rows_json);
+
+  bool exhaustive_ok = true;
+  if (exhaustive) {
+    exhaustive_ok = RunExhaustiveAblation(rows, &doc);
+  }
   WriteBenchJson("BENCH_FIG13.json", doc);
-  return 0;
+  return exhaustive_ok ? 0 : 1;
 }

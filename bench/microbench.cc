@@ -18,6 +18,8 @@
 #include "optimizer/rrs.h"
 #include "optimizer/transform.h"
 #include "profiler/profiler.h"
+#include "reuse/result_store.h"
+#include "reuse/session.h"
 #include "workloads/registry.h"
 #include "workloads/udfs.h"
 
@@ -322,6 +324,228 @@ bool RunThreadScalingStudy(Json* doc) {
   return identical;
 }
 
+// Work-stealing vs the static round-robin schedule on a skewed batch.
+// The batch mimics a BR unit search: most candidates are light, a few are
+// an order of magnitude heavier (the whole-graph repack candidates), and
+// the round-robin deal concentrates the heavy chunks on two deques — the
+// exact shape that strands cores under the pre-stealing fork-join
+// schedule. Each task prices the profiled BR plan through a private
+// what-if engine `reps` times, so the kernel is the optimizer's real inner
+// loop, not a spin. Reports wall time, steal counts, and idle time
+// (threads x wall - summed busy) for stealing on and off at 1/2/4/8
+// threads; the gate requires stealing to beat the static schedule at 8
+// threads.
+bool RunSkewedBatchStudy(Json* doc) {
+  using namespace stubby::bench;
+  std::printf("\nSkewed-batch study (BR-style mixed candidate sizes)\n");
+  auto pw = Prepare("BR", 6000);
+  STUBBY_CHECK_OK(pw.status());
+  const Plan& plan = pw->workload.plan;
+
+  constexpr size_t kTasks = 96;
+  constexpr uint64_t kHeavyReps = 24;
+  std::vector<uint64_t> reps(kTasks, 1);
+  for (size_t i = 0; i < kTasks; i += 12) reps[i] = kHeavyReps;
+
+  bool stealing_wins = true;
+  double static_wall_8 = 0.0;
+  double steal_wall_8 = 0.0;
+  Json points = Json::Array();
+  for (bool stealing : {false, true}) {
+    for (int t : {1, 2, 4, 8}) {
+      ThreadPool::Options pool_opts;
+      pool_opts.work_stealing = stealing;
+      ThreadPool pool(t, pool_opts);
+      double wall = 0.0;
+      constexpr int kBenchReps = 3;
+      for (int rep = 0; rep < kBenchReps; ++rep) {
+        pool.ResetStats();
+        const auto t0 = std::chrono::steady_clock::now();
+        pool.ParallelFor(kTasks, [&](size_t i) {
+          WhatIfEngine whatif(plan.cluster());
+          for (uint64_t r = 0; r < reps[i]; ++r) {
+            CostEstimate est = whatif.Cost(plan);
+            benchmark::DoNotOptimize(est.cost);
+          }
+        });
+        const double w = SecondsSince(t0);
+        if (rep == 0 || w < wall) wall = w;
+      }
+      const ThreadPool::Stats stats = pool.stats();  // last rep's counters
+      const double busy_sec = static_cast<double>(stats.busy_usec) / 1e6 /
+                              kBenchReps;  // rough per-rep average
+      const double idle_sec = std::max(0.0, wall * t - busy_sec);
+      const uint64_t steals = stats.steals / kBenchReps;
+      std::printf(
+          "  stealing=%-3s threads=%d  wall %.3fs  steals %llu  idle %.3fs\n",
+          stealing ? "on" : "off", t, wall, (unsigned long long)steals,
+          idle_sec);
+      if (t == 8 && !stealing) static_wall_8 = wall;
+      if (t == 8 && stealing) steal_wall_8 = wall;
+
+      Json point = Json::Object();
+      point["work_stealing"] = stealing;
+      point["threads"] = static_cast<uint64_t>(t);
+      point["wall_sec"] = wall;
+      point["steals"] = steals;
+      point["busy_sec"] = busy_sec;
+      point["idle_sec"] = idle_sec;
+      points.Append(std::move(point));
+    }
+  }
+  const double speedup =
+      steal_wall_8 > 0.0 ? static_wall_8 / steal_wall_8 : 1.0;
+  std::printf("  8-thread skewed batch: static %.3fs -> stealing %.3fs "
+              "(%.2fx)\n",
+              static_wall_8, steal_wall_8, speedup);
+  // Single-core hosts cannot demonstrate a scheduling win; record only.
+  if (ThreadPool::HardwareThreads() >= 2) {
+    stealing_wins = steal_wall_8 < static_wall_8;
+  }
+  std::printf("  stealing beats static at 8 threads: %s\n",
+              stealing_wins ? "YES" : "NO");
+
+  Json study = Json::Object();
+  study["workload"] = "BR";
+  study["tasks"] = static_cast<uint64_t>(kTasks);
+  study["heavy_reps"] = kHeavyReps;
+  study["hardware_threads"] =
+      static_cast<uint64_t>(ThreadPool::HardwareThreads());
+  study["stealing_beats_static_at_8"] = stealing_wins;
+  study["static_wall_8_sec"] = static_wall_8;
+  study["stealing_wall_8_sec"] = steal_wall_8;
+  study["speedup_at_8"] = speedup;
+  study["points"] = std::move(points);
+  (*doc)["skewed_batch"] = std::move(study);
+  return stealing_wins;
+}
+
+// Cross-candidate probe memoization in the reuse-aware search. Warms a
+// result store with one BR session, then re-optimizes against the warm
+// store with the signature memo on and off. The memo is pure wall-time:
+// the chosen plan and cost bits must be identical either way. The gate
+// additionally requires hits > 0 and misses (i.e. actual signature
+// computations) strictly below the number of candidates priced — each
+// distinct subplan signature is resolved once, not once per candidate.
+bool RunProbeMemoStudy(Json* doc) {
+  using namespace stubby::bench;
+  std::printf("\nProbe-memo study (reuse-aware search, warm stores)\n");
+
+  struct Run {
+    std::string sig;
+    double cost = 0.0;
+    ReuseStats reuse;
+    uint64_t candidates = 0;
+    double wall = 0.0;
+  };
+
+  bool transparent = true;
+  uint64_t total_candidates = 0;
+  uint64_t total_hits = 0;
+  uint64_t total_computed_on = 0;
+  uint64_t total_computed_off = 0;
+  double total_on = 0.0;
+  double total_off = 0.0;
+  Json workloads = Json::Array();
+  for (const std::string& abbr : AllWorkloadAbbrs()) {
+    auto pw = Prepare(abbr, 3000);
+    STUBBY_CHECK_OK(pw.status());
+
+    ResultStore warm;
+    ReuseSession warmup(&warm);
+    StubbyOptions base_opts;
+    base_opts.reuse_whole_workflow = false;
+    auto first = warmup.Run(pw->workload.plan, pw->workload.dfs, base_opts);
+    STUBBY_CHECK_OK(first.status());
+    const std::string warm_bytes = warm.Serialize();
+
+    auto run = [&](bool memo) {
+      auto store = ResultStore::Deserialize(warm_bytes);
+      STUBBY_CHECK_OK(store.status());
+      ThreadPool pool(8);
+      StubbyOptions opts = base_opts;
+      opts.reuse_store = &*store;
+      opts.reuse_dfs = &pw->workload.dfs;
+      opts.pool = &pool;
+      opts.reuse_probe_cache = memo;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto report = StubbyOptimizer(opts).Optimize(pw->workload.plan);
+      const double wall = SecondsSince(t0);
+      STUBBY_CHECK_OK(report.status());
+      return Run{PlanSignature(report->plan), report->estimated_cost,
+                 report->reuse,
+                 static_cast<uint64_t>(report->subplans_enumerated), wall};
+    };
+    const Run with = run(true);
+    const Run without = run(false);
+
+    if (with.sig != without.sig || with.cost != without.cost) {
+      transparent = false;
+    }
+    total_candidates += with.candidates;
+    total_hits += with.reuse.probe_cache_hits;
+    total_computed_on += with.reuse.signature_keys_computed;
+    total_computed_off += without.reuse.signature_keys_computed;
+    total_on += with.wall;
+    total_off += without.wall;
+    std::printf("  %-4s candidates %5llu  memo_hits %5llu  sig_keys "
+                "%5llu -> %5llu  wall %.2fs -> %.2fs\n",
+                abbr.c_str(), (unsigned long long)with.candidates,
+                (unsigned long long)with.reuse.probe_cache_hits,
+                (unsigned long long)without.reuse.signature_keys_computed,
+                (unsigned long long)with.reuse.signature_keys_computed,
+                without.wall, with.wall);
+
+    Json row = Json::Object();
+    row["workload"] = abbr;
+    row["candidates_priced"] = with.candidates;
+    row["probe_cache_hits"] = with.reuse.probe_cache_hits;
+    row["probe_cache_misses"] = with.reuse.probe_cache_misses;
+    row["signature_keys_computed_memo_on"] = with.reuse.signature_keys_computed;
+    row["signature_keys_computed_memo_off"] =
+        without.reuse.signature_keys_computed;
+    row["memo_on_wall_sec"] = with.wall;
+    row["memo_off_wall_sec"] = without.wall;
+    workloads.Append(std::move(row));
+  }
+
+  // Every candidate priced by the reuse-aware search is probed, and
+  // without the memo each probe recomputes JobReuseKey digests for the
+  // candidate's whole upstream closure. `signature_keys_computed` counts
+  // the digests actually computed on the probe path in both runs — the
+  // memo-off number is the measured baseline, not an inference — and the
+  // gate requires the memo to (a) hit and (b) strictly reduce it: digests
+  // collapse to once per distinct subplan signature instead of once per
+  // RRS-configured candidate.
+  const bool memo_pays =
+      total_hits > 0 && total_computed_on < total_computed_off;
+  std::printf(
+      "  total: candidates %llu  memo_hits %llu  sig_keys %llu -> %llu\n",
+      (unsigned long long)total_candidates, (unsigned long long)total_hits,
+      (unsigned long long)total_computed_off,
+      (unsigned long long)total_computed_on);
+  std::printf(
+      "  identical plan+cost: %s   hits>0 and fewer computations: %s\n",
+      transparent ? "YES" : "NO", memo_pays ? "YES" : "NO");
+
+  Json study = Json::Object();
+  study["identical_results"] = transparent;
+  study["candidates_priced"] = total_candidates;
+  study["probe_cache_hits"] = total_hits;
+  study["signature_keys_computed_memo_on"] = total_computed_on;
+  study["signature_keys_computed_memo_off"] = total_computed_off;
+  study["signature_computations_saved"] =
+      total_computed_off > total_computed_on
+          ? total_computed_off - total_computed_on
+          : 0;
+  study["memo_on_wall_sec"] = total_on;
+  study["memo_off_wall_sec"] = total_off;
+  study["speedup"] = total_on > 0.0 ? total_off / total_on : 1.0;
+  study["workloads"] = std::move(workloads);
+  (*doc)["probe_memo"] = std::move(study);
+  return transparent && memo_pays;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +558,8 @@ int main(int argc, char** argv) {
   doc["bench"] = "microbench";
   const bool cache_ok = RunCostCacheStudy(&doc);
   const bool scaling_ok = RunThreadScalingStudy(&doc);
+  const bool skew_ok = RunSkewedBatchStudy(&doc);
+  const bool memo_ok = RunProbeMemoStudy(&doc);
   stubby::bench::WriteBenchJson("BENCH_MICRO.json", doc);
-  return cache_ok && scaling_ok ? 0 : 1;
+  return cache_ok && scaling_ok && skew_ok && memo_ok ? 0 : 1;
 }

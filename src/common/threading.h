@@ -1,16 +1,32 @@
 // Deterministic task parallelism: a fixed-size worker pool with fork-join
-// primitives (ParallelFor / ordered ParallelMap). The pool only decides
-// *when* a task runs, never *what* it computes or *how* results combine:
-// callers submit index-addressed pure tasks, collect results in submission
-// order, and perform all shared-state merges serially afterwards. Under
-// that discipline every computation is bit-identical for any thread count,
-// which is the invariant the executor, the unit search, and the benches
-// rely on.
+// primitives (ParallelFor / ordered ParallelMap) scheduled by chunked
+// work stealing. The pool only decides *when* a task runs, never *what* it
+// computes or *how* results combine: callers submit index-addressed pure
+// tasks, collect results in submission order, and perform all shared-state
+// merges serially afterwards. Under that discipline every computation is
+// bit-identical for any thread count — and for any steal schedule, because
+// stealing only permutes execution order, which the discipline already
+// makes unobservable. This is the invariant the executor, the unit search,
+// and the benches rely on.
+//
+// Scheduling. A ParallelFor batch splits [0, n) into fixed-size chunks (a
+// pure function of n and the pool width, never of load or timing) and
+// deals them round-robin into one deque per participant (the caller is
+// participant 0). Each participant pops from the back of its own deque;
+// when that runs dry it steals from the front of the other deques
+// (mutex-sharded: one mutex per deque, so a steal contends with exactly
+// one victim). Stealing keeps every core busy through skewed batches —
+// one expensive candidate no longer strands the chunks queued behind it —
+// and can be disabled per pool for A/B measurement, which degrades to the
+// static round-robin schedule.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -25,15 +41,48 @@ namespace stubby {
 /// fixed pool and scheduling depth never affects results.
 class ThreadPool {
  public:
+  /// Scheduling knobs. None of these can affect computed results — they
+  /// only move work between threads — so they are safe to flip per pool
+  /// for measurement.
+  struct Options {
+    /// When false, participants only drain their own deque (the pre-steal
+    /// static round-robin schedule). Kept as an A/B switch for the
+    /// skewed-batch benchmarks.
+    bool work_stealing = true;
+    /// Target chunks dealt per participant. More chunks = finer stealing
+    /// granularity, more scheduling overhead. The chunk size derived from
+    /// this is a pure function of (n, threads, chunks_per_thread).
+    size_t chunks_per_thread = 4;
+  };
+
+  /// Cumulative scheduling counters. Observability only: steals and the
+  /// time totals depend on thread timing, so they must never feed any
+  /// deterministic output (plans, costs, instrumentation counters).
+  struct Stats {
+    uint64_t batches = 0;    ///< top-level ParallelFor batches run
+    uint64_t chunks = 0;     ///< chunks dealt across all batches
+    uint64_t tasks = 0;      ///< indices executed across all batches
+    uint64_t steals = 0;     ///< chunks claimed from another deque
+    uint64_t busy_usec = 0;  ///< summed per-participant drain time
+    uint64_t wall_usec = 0;  ///< summed caller-side batch wall time
+  };
+
   /// Spawns `threads - 1` workers (the calling thread participates in every
   /// batch, so `threads` is the true parallel width). Values < 1 clamp to 1.
-  explicit ThreadPool(int threads);
+  explicit ThreadPool(int threads) : ThreadPool(threads, Options{}) {}
+  ThreadPool(int threads, Options options);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int threads() const { return threads_; }
+  const Options& options() const { return options_; }
+
+  /// Snapshot of the cumulative scheduling counters (racy with an
+  /// in-flight batch only in the sense of being mid-batch fresh).
+  Stats stats() const;
+  void ResetStats();
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
   static int HardwareThreads();
@@ -58,20 +107,37 @@ class ThreadPool {
   static bool InParallelRegion();
 
  private:
+  /// A contiguous run of task indices, the unit of scheduling and stealing.
+  struct Chunk {
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  /// One participant's deque, behind its own mutex so a steal contends
+  /// with exactly one victim.
+  struct Deque {
+    std::mutex mu;
+    std::deque<Chunk> chunks;
+  };
+
   /// Shared state of one in-flight ParallelFor.
   struct Batch {
     size_t n = 0;
     const std::function<void(size_t)>* fn = nullptr;
-    size_t next = 0;  // next unclaimed index (under mutex_)
-    size_t done = 0;  // finished tasks (under mutex_)
+    std::vector<std::unique_ptr<Deque>> deques;  // one per participant
+    std::atomic<size_t> unclaimed{0};  ///< tasks still in some deque
+    std::atomic<size_t> done{0};       ///< tasks finished
   };
 
-  void WorkerLoop();
-  /// Claims and runs tasks of the current batch until none remain; returns
-  /// the number of tasks this thread completed.
-  void DrainBatch(Batch* batch);
+  void WorkerLoop(size_t self);
+  /// Claims chunks (own deque first, then steals when enabled) and runs
+  /// their tasks until no chunk is claimable anywhere.
+  void DrainBatch(Batch* batch, size_t self);
+  /// Pops the next chunk: own back, else (stealing) another deque's front.
+  bool ClaimChunk(Batch* batch, size_t self, Chunk* out, bool* stolen);
 
   int threads_ = 1;
+  Options options_;
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;
@@ -81,6 +147,13 @@ class ThreadPool {
   bool stop_ = false;
 
   std::mutex submit_mutex_;  // serializes top-level ParallelFor calls
+
+  std::atomic<uint64_t> stat_batches_{0};
+  std::atomic<uint64_t> stat_chunks_{0};
+  std::atomic<uint64_t> stat_tasks_{0};
+  std::atomic<uint64_t> stat_steals_{0};
+  std::atomic<uint64_t> stat_busy_usec_{0};
+  std::atomic<uint64_t> stat_wall_usec_{0};
 };
 
 /// Convenience: runs fn(0..n-1) on `pool`, or inline (in index order) when

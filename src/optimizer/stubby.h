@@ -78,6 +78,13 @@ struct StubbyOptions {
   /// search. Like the other reuse fields this stays out of the option salt:
   /// reuse is bit-transparent on outputs.
   bool reuse_aware_search = true;
+  /// Signature memo for the reuse-aware search (reuse/probe_cache.h): one
+  /// Optimize-call-wide ReuseProbeCache memoizes JobReuseKey digests, so
+  /// each distinct job signature is derived once instead of once per
+  /// RRS-configured candidate. A pure wall-time knob: plans, costs, and
+  /// every counter except ReuseStats::probe_cache_{hits,misses} are
+  /// bit-identical on or off, so it stays out of the option salt.
+  bool reuse_probe_cache = true;
 };
 
 /// Digest of the options that shape what an optimized plan computes —
@@ -141,6 +148,9 @@ class StubbyOptimizer {
     std::map<std::string, CostKey> seeds;
     ReuseStats stats;
     uint64_t won_units = 0;
+    /// Optimize-call-wide signature memo (nullptr when reuse_probe_cache is
+    /// off); borrowed from the stack frame of Optimize.
+    ProbeStore* probe_cache = nullptr;
   };
 
   /// One full traversal of the graph applying a transformation group.

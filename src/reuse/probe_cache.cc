@@ -1,0 +1,57 @@
+#include "reuse/probe_cache.h"
+
+namespace stubby {
+
+ReuseProbeCache::ReuseProbeCache() {
+  shards_.reserve(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ReuseProbeCache::Shard& ReuseProbeCache::ShardOf(const CostKey& key) const {
+  return *shards_[CostKeyHash{}(key) % kShards];
+}
+
+const CostKey* ReuseProbeCache::Peek(const CostKey& memo_key) const {
+  const Shard& s = ShardOf(memo_key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(memo_key);
+  return it == s.map.end() ? nullptr : &it->second;
+}
+
+void ReuseProbeCache::Insert(const CostKey& memo_key, const CostKey& job_key) {
+  Shard& s = ShardOf(memo_key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map.emplace(memo_key, job_key);  // first write wins
+}
+
+size_t ReuseProbeCache::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->map.size();
+  }
+  return total;
+}
+
+const CostKey* ProbeCacheOverlay::Peek(const CostKey& memo_key) const {
+  auto it = local_.find(memo_key);
+  if (it != local_.end()) return &it->second;
+  return parent_ == nullptr ? nullptr : parent_->Peek(memo_key);
+}
+
+void ProbeCacheOverlay::Insert(const CostKey& memo_key,
+                               const CostKey& job_key) {
+  if (local_.emplace(memo_key, job_key).second) {
+    journal_.push_back(memo_key);
+  }
+}
+
+void ProbeCacheOverlay::MergeInto(ProbeStore* store) const {
+  for (const CostKey& key : journal_) {
+    store->Insert(key, local_.at(key));
+  }
+}
+
+}  // namespace stubby

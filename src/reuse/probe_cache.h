@@ -1,0 +1,102 @@
+// ReuseProbeCache: signature memo for the reuse-aware unit search. The
+// tier-2 rewriter resolves a JobReuseKey for every job of every plan it
+// probes, and the search probes every RRS-configured candidate of every
+// unit — so without memoization the same job identity is re-digested once
+// per candidate (JobReuseKey walks branches, stages, schemas, partition
+// lineage; it is the expensive half of a probe; the store Peeks behind it
+// are plain map lookups and stay live). The cache maps a cheap memo key —
+// H(JobContentDigest, input/sample lineage keys, output schemas, cluster
+// compression) — to the resolved JobReuseKey, collapsing the per-candidate
+// digest work to one computation per distinct job signature.
+//
+// Transparency: a memo hit returns the exact key the digest would have
+// produced (the memo key covers a superset of what JobReuseKey reads), and
+// store probes are unaffected — plans, costs, and every ReuseStats counter
+// except probe_cache_{hits,misses} are bit-identical with the cache on,
+// off, cold, or warm.
+//
+// Concurrency model: the same snapshot/overlay/ordered-merge protocol as
+// CostCache. One instance lives for one StubbyOptimizer::Optimize call
+// (store membership is frozen for that window, so cached keys cannot go
+// stale). During a parallel candidate batch the shared cache is frozen;
+// each task reads through a private ProbeCacheOverlay and its inserts
+// merge serially in candidate order. Entries are insert-only (no LRU, no
+// recency), so the merged state is a pure function of submission order.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_cache.h"
+
+namespace stubby {
+
+/// Read-only view of a probe memo (how overlay tasks read the frozen
+/// shared cache, and how overlays chain). Returned pointers stay valid
+/// while the source is frozen (no concurrent Insert).
+class ProbeSource {
+ public:
+  virtual ~ProbeSource() = default;
+  virtual const CostKey* Peek(const CostKey& memo_key) const = 0;
+};
+
+/// Mutable probe memo. Insert is first-write-wins: memo keys are content
+/// addresses, so any two writers of one key hold equal values.
+class ProbeStore : public ProbeSource {
+ public:
+  virtual void Insert(const CostKey& memo_key, const CostKey& job_key) = 0;
+};
+
+/// Sharded, insert-only memo shared across a whole Optimize call. Shard
+/// count is a pure function of nothing at all (a fixed constant), so
+/// layout never depends on the thread count.
+class ReuseProbeCache final : public ProbeStore {
+ public:
+  ReuseProbeCache();
+
+  const CostKey* Peek(const CostKey& memo_key) const override;
+  void Insert(const CostKey& memo_key, const CostKey& job_key) override;
+
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CostKey, CostKey, CostKeyHash> map;
+  };
+  Shard& ShardOf(const CostKey& key) const;
+
+  static constexpr size_t kShards = 16;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// A task-private write layer over a frozen ProbeSource: reads fall
+/// through to the parent, inserts stay local and are journaled in access
+/// order. After the parallel batch, MergeInto replays the journal into the
+/// shared cache serially in task submission order — tasks of one batch do
+/// not observe each other's inserts, by design, at every thread count.
+///
+/// Not internally synchronized — each overlay belongs to exactly one task.
+class ProbeCacheOverlay final : public ProbeStore {
+ public:
+  /// `parent` may be null (no backing memo: all reads miss until written).
+  explicit ProbeCacheOverlay(const ProbeSource* parent) : parent_(parent) {}
+
+  const CostKey* Peek(const CostKey& memo_key) const override;
+  void Insert(const CostKey& memo_key, const CostKey& job_key) override;
+
+  /// Replays this overlay's inserts into `store` in insertion order. Call
+  /// serially, in task submission order.
+  void MergeInto(ProbeStore* store) const;
+
+ private:
+  const ProbeSource* parent_;
+  std::unordered_map<CostKey, CostKey, CostKeyHash> local_;
+  std::vector<CostKey> journal_;
+};
+
+}  // namespace stubby

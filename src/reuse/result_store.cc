@@ -94,17 +94,24 @@ void ReuseStats::Add(const ReuseStats& other) {
   search_probes += other.search_probes;
   search_priced += other.search_priced;
   search_won += other.search_won;
+  probe_cache_hits += other.probe_cache_hits;
+  probe_cache_misses += other.probe_cache_misses;
+  signature_keys_computed += other.signature_keys_computed;
 }
 
 std::string ReuseStats::ToString() const {
   return StrFormat(
       "lookups=%llu whole_job=%llu prefix=%llu workflow=%llu elided=%llu "
-      "bytes_saved=%llu registered=%llu probes=%llu priced=%llu won=%llu",
+      "bytes_saved=%llu registered=%llu probes=%llu priced=%llu won=%llu "
+      "memo_hits=%llu memo_misses=%llu sig_keys=%llu",
       (unsigned long long)lookups, (unsigned long long)whole_job_hits,
       (unsigned long long)prefix_hits, (unsigned long long)workflow_hits,
       (unsigned long long)jobs_elided, (unsigned long long)bytes_saved,
       (unsigned long long)registered, (unsigned long long)search_probes,
-      (unsigned long long)search_priced, (unsigned long long)search_won);
+      (unsigned long long)search_priced, (unsigned long long)search_won,
+      (unsigned long long)probe_cache_hits,
+      (unsigned long long)probe_cache_misses,
+      (unsigned long long)signature_keys_computed);
 }
 
 const char* EvictionPolicyName(EvictionPolicy policy) {

@@ -52,6 +52,18 @@ struct ReuseStats {
   uint64_t search_priced = 0;
   uint64_t search_won = 0;
 
+  /// Signature memo (reuse/probe_cache.h): JobReuseKey resolutions served
+  /// from the memo vs computed fresh, plus the count of actual JobReuseKey
+  /// digest computations on the probe path (`signature_keys_computed` —
+  /// the measured baseline when the memo is off). Pure wall-time
+  /// observability — every other counter, and every key bit, is identical
+  /// with the memo on or off — but still deterministic at any thread count
+  /// (memo state follows the same snapshot/overlay/ordered-merge protocol
+  /// as the cost cache).
+  uint64_t probe_cache_hits = 0;
+  uint64_t probe_cache_misses = 0;
+  uint64_t signature_keys_computed = 0;
+
   void Add(const ReuseStats& other);
   std::string ToString() const;
 };

@@ -72,30 +72,50 @@ Result<ReuseRewriteResult> ReuseRewriter::ElideWholeWorkflow(
   return result;
 }
 
-Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan) {
+Result<ReuseRewriteResult> ReuseRewriter::Rewrite(const Plan& plan,
+                                                  const RewriteProbe* probe) {
   return RewriteImpl(plan, /*scope=*/nullptr, /*seeds=*/nullptr,
-                     /*commit=*/true);
+                     /*commit=*/true, probe);
 }
 
 Result<ReuseRewriteResult> ReuseRewriter::PlanForScope(
     const Plan& plan, const std::vector<std::string>* scope,
-    const std::map<std::string, CostKey>* seeds) const {
+    const std::map<std::string, CostKey>* seeds,
+    const RewriteProbe* probe) const {
   if (scope == nullptr) {
-    return RewriteImpl(plan, nullptr, seeds, /*commit=*/false);
+    return RewriteImpl(plan, nullptr, seeds, /*commit=*/false, probe);
   }
   std::set<std::string> scope_set(scope->begin(), scope->end());
-  return RewriteImpl(plan, &scope_set, seeds, /*commit=*/false);
+  return RewriteImpl(plan, &scope_set, seeds, /*commit=*/false, probe);
 }
 
 Result<ReuseRewriteResult> ReuseRewriter::RewriteImpl(
     const Plan& plan, const std::set<std::string>* scope,
-    const std::map<std::string, CostKey>* seeds, bool commit) const {
+    const std::map<std::string, CostKey>* seeds, bool commit,
+    const RewriteProbe* probe) const {
   ReuseRewriteResult result;
   result.plan = plan;
   const size_t original_jobs = plan.num_jobs();
 
+  // Lineage acceleration: restrict key derivation to the upstream closure
+  // of the scope (a scoped probe can only observe those keys — applied
+  // with or without the memo so probe sequences stay identical), and
+  // memoize JobReuseKey resolutions across candidates via the probe memo.
+  LineageMemo accel;
+  if (probe != nullptr) {
+    accel.memo = probe->memo;
+    accel.content_digests = probe->content_digests;
+  }
+  std::set<std::string> closure;
+  if (scope != nullptr) {
+    STUBBY_ASSIGN_OR_RETURN(closure, UpstreamJobClosure(plan, *scope));
+    accel.restrict_to = &closure;
+  }
   STUBBY_ASSIGN_OR_RETURN(PlanLineage lineage,
-                          ComputeLineage(plan, *dfs_, seeds));
+                          ComputeLineage(plan, *dfs_, seeds, &accel));
+  result.stats.probe_cache_hits += accel.hits;
+  result.stats.probe_cache_misses += accel.misses;
+  result.stats.signature_keys_computed += accel.computed;
   STUBBY_ASSIGN_OR_RETURN(std::vector<std::string> order,
                           plan.TopologicalOrder());
 

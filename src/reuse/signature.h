@@ -29,7 +29,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,8 @@
 #include "workflow/plan.h"
 
 namespace stubby {
+
+class ProbeStore;  // reuse/probe_cache.h
 
 /// Digest of the full stored content of a dataset: schema, layout,
 /// logical scale, and every partition's rows (boundaries included). Two
@@ -80,15 +84,61 @@ struct PlanLineage {
   std::map<std::string, CostKey> jobs;      ///< job id -> job reuse key
 };
 
+/// Optional acceleration state for ComputeLineage. Everything here is a
+/// pure wall-time knob: lineage keys are bit-identical with or without it.
+struct LineageMemo {
+  /// Signature memo (reuse/probe_cache.h): resolved JobReuseKeys keyed by
+  /// JobProbeMemoKey. Hits skip the JobReuseKey digest; misses compute and
+  /// insert it. Null = no memoization.
+  ProbeStore* memo = nullptr;
+  /// Precomputed JobContentDigest per job id (the costing layer already
+  /// holds these for a configured plan). Jobs absent from the map get
+  /// their content digest computed on the fly.
+  const std::map<std::string, CostDigest>* content_digests = nullptr;
+  /// When set, job reuse keys are computed only for these job ids. The
+  /// caller must pass an upstream-closed set (see UpstreamJobClosure):
+  /// a restricted job's key computation still needs every ancestor's key.
+  const std::set<std::string>* restrict_to = nullptr;
+
+  /// Out-counters. `hits`/`misses` track the memo (untouched when `memo`
+  /// is null); `computed` counts actual JobReuseKey digest computations
+  /// with or without a memo attached — the memo-off baseline for the
+  /// probe-memo study is this counter, measured, not inferred.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t computed = 0;
+};
+
+/// Job ids of `targets` plus every job upstream of them (through branch
+/// inputs and split_points_from sample dependencies) — the exact set whose
+/// reuse keys a scope-restricted rewrite probe can observe.
+Result<std::set<std::string>> UpstreamJobClosure(
+    const Plan& plan, const std::set<std::string>& targets);
+
+/// Memo key of one job for the signature memo: a digest over a superset
+/// of everything JobReuseKey reads — the job's content digest (structure +
+/// configuration), the lineage keys of its branch inputs and
+/// split-points samples, output/merge schemas, the combiner name, and the
+/// cluster compression ratio. Equal memo keys therefore imply equal
+/// JobReuseKeys (the converse need not hold; over-fragmentation only costs
+/// a redundant computation, never a wrong key). Fails exactly when
+/// JobReuseKey would: a required lineage key is missing.
+Result<CostKey> JobProbeMemoKey(const JobVertex& job, const Plan& plan,
+                                const std::map<std::string, CostKey>& datasets,
+                                const CostDigest* content_digest = nullptr);
+
 /// Computes lineage keys in topological order. `dfs` supplies the content
 /// of base-input datasets; produced datasets derive from their producer's
 /// key, so intermediates need not exist yet. `seed` (optional) pre-resolves
 /// dataset keys before derivation — the session uses it to give rewritten
 /// materialized vertices their *original* lineage identity so downstream
 /// registrations stay comparable across rewritten and recomputed runs.
+/// `accel` (optional) memoizes/prunes the per-job digest work without
+/// changing a single key bit.
 Result<PlanLineage> ComputeLineage(
     const Plan& plan, const Dfs& dfs,
-    const std::map<std::string, CostKey>* seed = nullptr);
+    const std::map<std::string, CostKey>* seed = nullptr,
+    LineageMemo* accel = nullptr);
 
 /// Content keys of every base-input dataset of `plan` resolvable in `dfs`
 /// (exactly what ComputeLineage would derive for them). The reuse-aware

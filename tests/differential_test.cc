@@ -2,7 +2,8 @@
 // unoptimized as the oracle, then through every optimizer/reuse mode — the
 // reuse-blind search, a cold-store reuse-aware search, a warm-store
 // reuse-aware search (twice, so the second run prices store hits inside the
-// unit search), and the post-hoc rewrite path — at 1 and 4 threads. Every
+// unit search), the post-hoc rewrite path, and the warm search with the
+// signature probe memo on vs off — at 1 and 4 threads. Every
 // emitted plan must produce bit-identical workflow outputs (after a
 // canonical row sort; optimized plans may emit rows in a different order),
 // and plans, cost bits, and reuse counters must not depend on thread count.
@@ -14,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -316,8 +318,45 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     ASSERT_TRUE(posthoc.ok()) << posthoc.status();
     ExpectBitIdentical(posthoc->outputs, *oracle, "posthoc");
 
-    by_threads[threads] = {Capture(*blind), Capture(*cold), Capture(*warm1),
-                           Capture(*warm2), Capture(*posthoc)};
+    // Probe-memo transparency, warm and cold-ish: freeze the store after
+    // the runs above, then replay the warm mode from byte-identical copies
+    // with the signature memo on and off. Everything except the
+    // probe_cache observability pair must be bit-identical.
+    const std::string frozen = store.Serialize();
+    auto run_memo = [&](bool memo) -> Result<ReuseSessionResult> {
+      STUBBY_ASSIGN_OR_RETURN(ResultStore copy,
+                              ResultStore::Deserialize(frozen));
+      ReuseSession memo_session(&copy);
+      StubbyOptions memo_opts = warm_opts;
+      memo_opts.reuse_probe_cache = memo;
+      return memo_session.Run(f->plan(), f->dfs(), memo_opts, &pool);
+    };
+    auto memo_on = run_memo(true);
+    ASSERT_TRUE(memo_on.ok()) << memo_on.status();
+    ExpectBitIdentical(memo_on->outputs, *oracle, "memo_on");
+    auto memo_off = run_memo(false);
+    ASSERT_TRUE(memo_off.ok()) << memo_off.status();
+    ExpectBitIdentical(memo_off->outputs, *oracle, "memo_off");
+    EXPECT_EQ(PlanSignature(memo_on->report.plan),
+              PlanSignature(memo_off->report.plan));
+    EXPECT_TRUE(SameCostBits(memo_on->report.estimated_cost,
+                             memo_off->report.estimated_cost));
+    EXPECT_EQ(memo_off->report.reuse.probe_cache_hits, 0u);
+    EXPECT_EQ(memo_off->report.reuse.probe_cache_misses, 0u);
+    // signature_keys_computed legitimately differs between the runs (the
+    // memo's base-plan pre-seed computes keys the direct path never
+    // touches on tiny workflows), so it is masked like the hit/miss pair.
+    ReuseStats masked = memo_on->report.reuse;
+    masked.probe_cache_hits = 0;
+    masked.probe_cache_misses = 0;
+    masked.signature_keys_computed =
+        memo_off->report.reuse.signature_keys_computed;
+    EXPECT_EQ(masked.ToString(), memo_off->report.reuse.ToString());
+
+    by_threads[threads] = {Capture(*blind),   Capture(*cold),
+                           Capture(*warm1),   Capture(*warm2),
+                           Capture(*posthoc), Capture(*memo_on),
+                           Capture(*memo_off)};
   }
 
   // Thread-count invariance: plans, cost bits, reuse counters, and raw
@@ -325,7 +364,8 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   const std::vector<ModeResult>& t1 = by_threads.at(1);
   const std::vector<ModeResult>& t4 = by_threads.at(4);
   ASSERT_EQ(t1.size(), t4.size());
-  static const char* kModes[] = {"blind", "cold", "warm1", "warm2", "posthoc"};
+  static const char* kModes[] = {"blind",   "cold",    "warm1",   "warm2",
+                                 "posthoc", "memo_on", "memo_off"};
   for (size_t i = 0; i < t1.size(); ++i) {
     SCOPED_TRACE(kModes[i]);
     EXPECT_EQ(t1[i].plan_signature, t4[i].plan_signature);
@@ -341,8 +381,18 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   }
 }
 
+/// Seed count, overridable for the nightly-style deep run: the CI `slow`
+/// job sets STUBBY_DIFF_SEEDS to sweep a larger slice of the generator
+/// space than the default per-commit budget allows.
+int SeedCount() {
+  const char* env = std::getenv("STUBBY_DIFF_SEEDS");
+  if (env == nullptr) return 25;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 25;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialEquivalence,
-                         ::testing::Range(0, 25));
+                         ::testing::Range(0, SeedCount()));
 
 }  // namespace
 }  // namespace stubby

@@ -1,11 +1,13 @@
-// Tests of the deterministic task-parallel core: the fixed-size ThreadPool
-// and its fork-join primitives, the CostCacheOverlay snapshot/merge
-// protocol, and the batch-structured RRS — the three pieces whose contract
-// is "any thread count, identical bits".
+// Tests of the deterministic task-parallel core: the work-stealing
+// ThreadPool and its fork-join primitives, the CostCacheOverlay and
+// ProbeCacheOverlay snapshot/merge protocols, and the batch-structured
+// RRS — the pieces whose contract is "any thread count, any steal
+// schedule, identical bits".
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <thread>
@@ -14,6 +16,7 @@
 #include "common/threading.h"
 #include "cost/cost_cache.h"
 #include "optimizer/rrs.h"
+#include "reuse/probe_cache.h"
 
 namespace stubby {
 namespace {
@@ -93,6 +96,136 @@ TEST(ThreadPoolTest, ConcurrentTopLevelCallsSerialize) {
   a.join();
   b.join();
   EXPECT_EQ(total.load(), 2 * 20 * 50);
+}
+
+TEST(ThreadPoolTest, SkewedTaskDurationsStillRunEveryIndexOnce) {
+  // Adversarial skew: a handful of tasks are orders of magnitude heavier
+  // than the rest, and the heavy indices land in the same deque under the
+  // round-robin deal. Correctness must not depend on who ends up running
+  // what.
+  for (bool stealing : {true, false}) {
+    ThreadPool::Options opts;
+    opts.work_stealing = stealing;
+    ThreadPool pool(8, opts);
+    constexpr size_t kN = 512;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      // Indices 0 and 1 spin ~100x longer than the rest.
+      volatile uint64_t sink = 0;
+      const uint64_t spins = (i < 2) ? 200000 : 2000;
+      for (uint64_t s = 0; s < spins; ++s) sink += s;
+      hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "stealing=" << stealing << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SkewedDurationsAreBitIdenticalAcrossSchedules) {
+  // The ordered-merge sum must not depend on thread count, on stealing
+  // being on or off, or on which chunks got stolen — duration skew makes
+  // the steal schedule maximally timing-dependent, so run it both ways at
+  // several widths and demand the serial bits every time.
+  constexpr size_t kN = 300;
+  auto run = [&](int threads, bool stealing) {
+    ThreadPool::Options opts;
+    opts.work_stealing = stealing;
+    ThreadPool pool(threads, opts);
+    std::vector<double> slots(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      volatile uint64_t sink = 0;
+      const uint64_t spins = (i % 67 == 0) ? 150000 : 500;
+      for (uint64_t s = 0; s < spins; ++s) sink += s;
+      slots[i] = std::sin(static_cast<double>(i)) * 1e-3 + 1.0 / (i + 1.0);
+    });
+    double sum = 0.0;
+    for (double v : slots) sum += v;
+    return sum;
+  };
+  const double serial = run(1, false);
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool stealing : {true, false}) {
+      EXPECT_EQ(run(threads, stealing), serial)
+          << "threads=" << threads << " stealing=" << stealing;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, StragglerChunksAreStolen) {
+  // One task blocks until every other task has finished. The blocked
+  // participant still owns undealt chunks in its deque, so the batch can
+  // only complete if the other participants steal them — this test both
+  // proves the steal path runs and exercises batch completion by a thief.
+  ThreadPool::Options opts;
+  opts.work_stealing = true;
+  opts.chunks_per_thread = 8;
+  ThreadPool pool(4, opts);
+  pool.ResetStats();
+  constexpr size_t kN = 256;
+  // Chunk size is a pure function of (n, threads, chunks_per_thread); the
+  // blocked chunk's other indices live nowhere else, so the wait target
+  // must exclude the whole chunk, not just the blocked index.
+  constexpr size_t kChunk = kN / (4 * 8);
+  std::atomic<size_t> finished{0};
+  std::atomic<bool> timed_out{false};
+  // Block the *caller's first task*: the caller claims the back chunk of
+  // its own deque before any worker can, so blocking there pins a deque
+  // that still holds chunks only thieves can reach.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> caller_blocked{false};
+  pool.ParallelFor(kN, [&](size_t i) {
+    (void)i;
+    if (std::this_thread::get_id() == caller &&
+        !caller_blocked.exchange(true)) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::seconds(30);
+      while (finished.load() < kN - kChunk) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          timed_out.store(true);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    finished.fetch_add(1);
+  });
+  EXPECT_FALSE(timed_out.load())
+      << "other participants never drained the blocked deque";
+  EXPECT_EQ(finished.load(), kN);
+  EXPECT_GE(pool.stats().steals, 1u);
+}
+
+TEST(ThreadPoolTest, StatsCountBatchesTasksAndChunks) {
+  ThreadPool::Options opts;
+  opts.chunks_per_thread = 4;
+  ThreadPool pool(4, opts);
+  constexpr size_t kN = 1000;
+  pool.ParallelFor(kN, [](size_t) {});
+  pool.ParallelFor(kN, [](size_t) {});
+  ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.tasks, 2 * kN);
+  // 4 threads x 4 chunks/thread target -> many chunks per batch.
+  EXPECT_GE(s.chunks, 2 * 4u);
+  pool.ResetStats();
+  s = pool.stats();
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.tasks, 0u);
+}
+
+TEST(ThreadPoolTest, StealingOffNeverSteals) {
+  ThreadPool::Options opts;
+  opts.work_stealing = false;
+  ThreadPool pool(8, opts);
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(333, [](size_t i) {
+      volatile uint64_t sink = 0;
+      for (uint64_t s = 0; s < (i % 5) * 1000; ++s) sink += s;
+    });
+  }
+  EXPECT_EQ(pool.stats().steals, 0u);
+  EXPECT_EQ(pool.stats().tasks, 20u * 333u);
 }
 
 TEST(RunTasksTest, NullPoolRunsInlineInIndexOrder) {
@@ -253,6 +386,67 @@ TEST(CostCacheOverlayTest, SnapshotMergeMatchesSerialExecution) {
     ASSERT_NE(a, nullptr);
     ASSERT_NE(b, nullptr);
     EXPECT_EQ(a->cost, b->cost);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProbeCacheOverlay
+
+TEST(ProbeCacheTest, InsertIsFirstWriteWins) {
+  ReuseProbeCache cache;
+  EXPECT_EQ(cache.Peek(Key(1)), nullptr);
+  cache.Insert(Key(1), Key(10));
+  cache.Insert(Key(1), Key(99));  // loses: signatures are content-addressed
+  ASSERT_NE(cache.Peek(Key(1)), nullptr);
+  EXPECT_EQ(*cache.Peek(Key(1)), Key(10));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProbeCacheOverlayTest, ReadsFallThroughWritesStayLocal) {
+  ReuseProbeCache cache;
+  cache.Insert(Key(1), Key(10));
+  ProbeCacheOverlay overlay(&cache);
+  ASSERT_NE(overlay.Peek(Key(1)), nullptr);
+  EXPECT_EQ(*overlay.Peek(Key(1)), Key(10));
+  overlay.Insert(Key(2), Key(20));
+  ASSERT_NE(overlay.Peek(Key(2)), nullptr);
+  // The shared memo must not see the overlay's write until the merge.
+  EXPECT_EQ(cache.Peek(Key(2)), nullptr);
+  overlay.MergeInto(&cache);
+  ASSERT_NE(cache.Peek(Key(2)), nullptr);
+  EXPECT_EQ(*cache.Peek(Key(2)), Key(20));
+}
+
+TEST(ProbeCacheOverlayTest, MergedContentsMatchSerialExecution) {
+  // Overlapping inserts from overlay tasks, merged in submission order,
+  // must leave exactly the contents a serial run writing the shared memo
+  // directly would have produced (insert-only makes any order agree).
+  ReuseProbeCache direct;
+  for (uint64_t task = 0; task < 4; ++task) {
+    for (uint64_t k = 0; k < 3; ++k) {
+      if (direct.Peek(Key(k + task)) == nullptr) {
+        direct.Insert(Key(k + task), Key(100 + k + task));
+      }
+    }
+  }
+  ReuseProbeCache merged;
+  std::vector<std::unique_ptr<ProbeCacheOverlay>> overlays;
+  for (uint64_t task = 0; task < 4; ++task) {
+    overlays.push_back(std::make_unique<ProbeCacheOverlay>(&merged));
+    for (uint64_t k = 0; k < 3; ++k) {
+      if (overlays.back()->Peek(Key(k + task)) == nullptr) {
+        overlays.back()->Insert(Key(k + task), Key(100 + k + task));
+      }
+    }
+  }
+  for (const auto& o : overlays) o->MergeInto(&merged);
+  EXPECT_EQ(merged.size(), direct.size());
+  for (uint64_t n = 0; n < 6; ++n) {
+    const CostKey* a = direct.Peek(Key(n));
+    const CostKey* b = merged.Peek(Key(n));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(*a, *b);
   }
 }
 
