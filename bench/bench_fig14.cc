@@ -5,7 +5,8 @@
 // cluster (actual). As in the paper, the estimates are good enough to
 // identify the best and worst subplans even when absolute values deviate.
 //
-// Flags: --rows N     sample rows (default 20000)
+// Flags: --rows N     sample rows (default 60000; the vectorized executor
+//                     paths make the larger default affordable)
 //        --noise F    profiling noise factor (default 0.05)
 //        --threads N  worker threads (default: hardware); subplans run as
 //                     concurrent tasks, results are identical at any count
@@ -56,7 +57,7 @@ double RankCorrelation(const std::vector<double>& a,
 
 int main(int argc, char** argv) {
   using namespace stubby::bench;
-  const int rows = IntFlag(argc, argv, "--rows", 20000);
+  const int rows = IntFlag(argc, argv, "--rows", 60000);
   const int threads = ThreadsFlag(argc, argv);
   double noise = 0.05;
   for (int i = 1; i < argc; ++i) {

@@ -546,6 +546,198 @@ bool RunProbeMemoStudy(Json* doc) {
   return transparent && memo_pays;
 }
 
+// Columnar vs record-at-a-time execution of the executor's vectorizable
+// hot path: an all-map, stateless pipeline (filter / append-const /
+// project / sample) over wide rows with string payloads, run per-chunk the
+// way map tasks run it. The record path re-materializes every row at every
+// stage; the batch path mutates structure (selection narrowing, column
+// pointer shuffles, broadcast constants) and materializes survivors once.
+// Two rates are measured at 1/2/4/8 threads:
+//   kernel: pipeline execution given each representation (row emit loop
+//           vs batch Run + survivor materialization) — the region the
+//           vectorized path replaces;
+//   end-to-end: kernel plus the scan-side rows->columns conversion the
+//           executor pays once per chunk (shared across subscribers).
+// The gate requires bit-identical outputs and counters plus >= 5x kernel
+// throughput at every thread count the host can actually run in parallel
+// (t <= hardware threads; oversubscribed points are recorded, not gated).
+bool RunVectorizedExecStudy(Json* doc) {
+  using namespace stubby::bench;
+  std::printf("\nVectorized-exec study (columnar map pipeline vs row path)\n");
+
+  Schema schema0({"A", "B", "C", "D", "E", "F", "V", "W"});
+  Schema schema1 = schema0.Concat(Schema({"T"}));
+  Schema schema2({"A", "B", "C", "D", "E", "F", "V", "T"});
+  Schema schema2r = schema2.Concat(Schema({"R"}));
+  Schema schema3({"A", "C", "D", "F", "V", "T", "R"});
+  Schema schema3u = schema3.Concat(Schema({"U"}));
+  Schema schema4({"A", "C", "D", "V", "T", "U"});
+  std::vector<Stage> stages = {
+      Stage::Map(FilterRangeMap("f1", schema0, "V", 5.0, 95.0)),
+      Stage::Map(AppendConstMap("a1", schema0, "T", Value(int64_t{7}))),
+      Stage::Map(ProjectMap("p1", schema1,
+                            {"A", "B", "C", "D", "E", "F", "V", "T"})),
+      Stage::Map(AppendConstMap("a2", schema2, "R", Value(2.0))),
+      Stage::Map(ProjectMap("p2", schema2r,
+                            {"A", "C", "D", "F", "V", "T", "R"})),
+      Stage::Map(FilterRangeMap("f2", schema3, "D", 10.0, 90.0)),
+      Stage::Map(AppendConstMap("a3", schema3, "U", Value(1.5))),
+      Stage::Map(ProjectMap("p3", schema3u, {"A", "C", "D", "V", "T", "U"})),
+      Stage::Map(SampleMap("s1", schema4, 2, {"A", "C", "V"})),
+  };
+  if (!BatchPipelineRunner::Eligible(stages)) {
+    std::printf("  pipeline unexpectedly ineligible for batching\n");
+    return false;
+  }
+
+  // 64 map-task-sized chunks; the same split feeds both paths.
+  constexpr size_t kChunks = 64;
+  constexpr size_t kChunkRows = 4096;
+  Rng rng(31);
+  std::vector<std::vector<Row>> chunks(kChunks);
+  for (auto& chunk : chunks) {
+    chunk.reserve(kChunkRows);
+    for (size_t i = 0; i < kChunkRows; ++i) {
+      chunk.push_back(Row{
+          rng.NextInt(0, 999), rng.NextInt(0, 99),
+          "user_" + std::to_string(rng.NextInt(0, 5000)),
+          rng.NextDouble(0, 100), rng.NextDouble(0, 1),
+          "tag_" + std::to_string(rng.NextInt(0, 50)),
+          rng.NextDouble(0, 100), rng.NextInt(0, 9)});
+    }
+  }
+  const uint64_t total_rows = kChunks * kChunkRows;
+
+  auto run_row_chunk = [&](const std::vector<Row>& chunk,
+                           PipelineCounters* counters) {
+    VectorEmitter out;
+    auto runner = PipelineRunner::Make(stages, schema0, &out, nullptr);
+    STUBBY_CHECK_OK(runner.status());
+    for (const Row& r : chunk) (*runner)->Emit(r);
+    (*runner)->Finish();
+    if (counters != nullptr) *counters = (*runner)->counters();
+    return std::move(out.rows());
+  };
+  auto run_batch_chunk = [&](const std::vector<Row>& chunk,
+                             PipelineCounters* counters) {
+    BatchPipelineRunner runner = BatchPipelineRunner::Make(stages);
+    RowBatch out = runner.Run(RowBatch::FromRows(chunk, schema0.size()));
+    if (counters != nullptr) *counters = runner.counters();
+    return out.ToRows();
+  };
+
+  // Transparency first: both paths must agree bit-for-bit on every chunk,
+  // outputs and counters alike, before the clock starts.
+  bool identical = true;
+  for (const auto& chunk : chunks) {
+    PipelineCounters rc, bc;
+    std::vector<Row> row_out = run_row_chunk(chunk, &rc);
+    std::vector<Row> batch_out = run_batch_chunk(chunk, &bc);
+    if (!RowsBitIdentical(row_out, batch_out) || rc.rows_in != bc.rows_in ||
+        rc.rows_out != bc.rows_out ||
+        std::memcmp(&rc.cpu_units, &bc.cpu_units, sizeof(double)) != 0) {
+      identical = false;
+      break;
+    }
+  }
+  std::printf("  outputs and counters bit-identical: %s\n",
+              identical ? "YES" : "NO");
+
+  // Pre-built batches isolate the kernel region; the executor builds these
+  // once per chunk and shares them across every subscriber pipeline.
+  std::vector<RowBatch> prebuilt;
+  prebuilt.reserve(kChunks);
+  for (const auto& chunk : chunks) {
+    prebuilt.push_back(RowBatch::FromRows(chunk, schema0.size()));
+  }
+
+  const int hw = ThreadPool::HardwareThreads();
+  double min_gated_speedup = 0.0;
+  bool any_gated = false;
+  Json points = Json::Array();
+  for (int t : {1, 2, 4, 8}) {
+    ThreadPool pool(t);
+    double row_wall = 0.0;
+    double kernel_wall = 0.0;
+    double e2e_wall = 0.0;
+    constexpr int kReps = 3;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      pool.ParallelFor(kChunks, [&](size_t i) {
+        benchmark::DoNotOptimize(run_row_chunk(chunks[i], nullptr).size());
+      });
+      const double rw = SecondsSince(t0);
+      if (rep == 0 || rw < row_wall) row_wall = rw;
+
+      t0 = std::chrono::steady_clock::now();
+      pool.ParallelFor(kChunks, [&](size_t i) {
+        BatchPipelineRunner runner = BatchPipelineRunner::Make(stages);
+        RowBatch out = runner.Run(prebuilt[i]);
+        benchmark::DoNotOptimize(out.ToRows().size());
+      });
+      const double kw = SecondsSince(t0);
+      if (rep == 0 || kw < kernel_wall) kernel_wall = kw;
+
+      t0 = std::chrono::steady_clock::now();
+      pool.ParallelFor(kChunks, [&](size_t i) {
+        benchmark::DoNotOptimize(run_batch_chunk(chunks[i], nullptr).size());
+      });
+      const double ew = SecondsSince(t0);
+      if (rep == 0 || ew < e2e_wall) e2e_wall = ew;
+    }
+    const double row_rate = total_rows / std::max(row_wall, 1e-9);
+    const double kernel_rate = total_rows / std::max(kernel_wall, 1e-9);
+    const double e2e_rate = total_rows / std::max(e2e_wall, 1e-9);
+    const double kernel_speedup = kernel_rate / std::max(row_rate, 1e-9);
+    const double e2e_speedup = e2e_rate / std::max(row_rate, 1e-9);
+    const bool gated = t <= hw;
+    if (gated && (!any_gated || kernel_speedup < min_gated_speedup)) {
+      min_gated_speedup = kernel_speedup;
+      any_gated = true;
+    }
+    std::printf(
+        "  threads=%d%s  row %.0f rows/s  batch kernel %.0f rows/s (%.1fx)"
+        "  end-to-end %.0f rows/s (%.1fx)\n",
+        t, gated ? "" : " (oversubscribed)", row_rate, kernel_rate,
+        kernel_speedup, e2e_rate, e2e_speedup);
+
+    Json point = Json::Object();
+    point["threads"] = static_cast<uint64_t>(t);
+    point["gated"] = gated;
+    point["row_rows_per_sec"] = row_rate;
+    point["batch_kernel_rows_per_sec"] = kernel_rate;
+    point["batch_e2e_rows_per_sec"] = e2e_rate;
+    point["kernel_speedup"] = kernel_speedup;
+    point["e2e_speedup"] = e2e_speedup;
+    points.Append(std::move(point));
+  }
+  const bool fast_enough = any_gated && min_gated_speedup >= 5.0;
+  std::printf(
+      "  min kernel speedup at t <= %d hardware threads: %.1fx "
+      "(gate: >= 5x %s)\n",
+      hw, min_gated_speedup, fast_enough ? "PASS" : "FAIL");
+
+  Json study = Json::Object();
+  study["pipeline_stages"] = static_cast<uint64_t>(stages.size());
+  study["rows"] = total_rows;
+  study["chunks"] = static_cast<uint64_t>(kChunks);
+  study["hardware_threads"] = static_cast<uint64_t>(hw);
+  study["identical_results"] = identical;
+  study["min_kernel_speedup"] = min_gated_speedup;
+  study["points"] = std::move(points);
+  (*doc)["vectorized_exec"] = std::move(study);
+  return identical && fast_enough;
+}
+
+// Comma-separated allowlist in STUBBY_MICROBENCH_STUDIES limits which
+// studies run (unset or empty = all) — CI legs use it to produce
+// BENCH_MICRO.json without paying for every study.
+bool StudyEnabled(const char* name) {
+  const char* filter = std::getenv("STUBBY_MICROBENCH_STUDIES");
+  if (filter == nullptr || *filter == '\0') return true;
+  return std::string(filter).find(name) != std::string::npos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -556,10 +748,12 @@ int main(int argc, char** argv) {
 
   Json doc = Json::Object();
   doc["bench"] = "microbench";
-  const bool cache_ok = RunCostCacheStudy(&doc);
-  const bool scaling_ok = RunThreadScalingStudy(&doc);
-  const bool skew_ok = RunSkewedBatchStudy(&doc);
-  const bool memo_ok = RunProbeMemoStudy(&doc);
+  bool ok = true;
+  if (StudyEnabled("cost_cache")) ok = RunCostCacheStudy(&doc) && ok;
+  if (StudyEnabled("thread_scaling")) ok = RunThreadScalingStudy(&doc) && ok;
+  if (StudyEnabled("skewed_batch")) ok = RunSkewedBatchStudy(&doc) && ok;
+  if (StudyEnabled("probe_memo")) ok = RunProbeMemoStudy(&doc) && ok;
+  if (StudyEnabled("vectorized_exec")) ok = RunVectorizedExecStudy(&doc) && ok;
   stubby::bench::WriteBenchJson("BENCH_MICRO.json", doc);
-  return cache_ok && scaling_ok && skew_ok && memo_ok ? 0 : 1;
+  return ok ? 0 : 1;
 }

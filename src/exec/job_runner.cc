@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/threading.h"
@@ -74,9 +75,11 @@ struct DatasetBuilder {
 /// Physical partitions of `ds` selected by a prune list (all when empty).
 /// Pruning selects a partition *set*: the list is canonicalized (sorted,
 /// deduplicated) so permuted or duplicated prune entries read the same
-/// physical data in the same order.
-std::vector<int> SelectedPartitions(const StoredDataset& ds,
-                                    const std::vector<int>& prune) {
+/// physical data in the same order. A prune entry referencing a partition
+/// the dataset does not have means the plan and the stored data disagree —
+/// silently skipping it would under-read the input, so it is an error.
+Result<std::vector<int>> SelectedPartitions(const StoredDataset& ds,
+                                            const std::vector<int>& prune) {
   std::vector<int> parts;
   if (prune.empty()) {
     for (size_t i = 0; i < ds.num_partitions(); ++i) {
@@ -84,9 +87,13 @@ std::vector<int> SelectedPartitions(const StoredDataset& ds,
     }
   } else {
     for (int p : CanonicalPrunePartitions(prune)) {
-      if (p >= 0 && static_cast<size_t>(p) < ds.num_partitions()) {
-        parts.push_back(p);
+      if (p < 0 || static_cast<size_t>(p) >= ds.num_partitions()) {
+        return Status::InvalidArgument(
+            "prune partition " + std::to_string(p) + " out of range: dataset '" +
+            ds.id() + "' has " + std::to_string(ds.num_partitions()) +
+            " partitions");
       }
+      parts.push_back(p);
     }
   }
   return parts;
@@ -191,7 +198,7 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
                             ResolvePartitionSpec(b, R, *dfs));
     STUBBY_ASSIGN_OR_RETURN(
         Partitioner partitioner,
-        Partitioner::Make(st.resolved_partition, b.map_output_schema));
+        Partitioner::Make(st.resolved_partition, b.map_output_schema, R));
     st.partitioner = std::move(partitioner);
     st.partition_sort_indices = st.partitioner->sort_indices();
     std::vector<std::string> group = b.GroupFields();
@@ -273,6 +280,54 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     return so;
   };
 
+  // Columnar variant of compute_shuffle: hashes, partitions, and sorts on
+  // the batch (a stable index sort yields the same permutation as the row
+  // path's stable sort), materializing rows only once per sorted bucket.
+  // The RowBatch accounting helpers reproduce the per-Row byte/hash/compare
+  // results exactly, so the ShuffledOutput is bit-identical.
+  auto compute_shuffle_batch = [&](size_t bi,
+                                   const RowBatch& batch) -> ShuffledOutput {
+    const Branch& b = job.branches[bi];
+    const BranchState& st = bstate[bi];
+    ShuffledOutput so;
+    const size_t n = batch.num_rows();
+    so.out_bytes = batch.TotalSerializedBytes();
+    so.out_records = n;
+    so.group_hashes.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      so.group_hashes.push_back(batch.HashOnFields(i, st.group_indices));
+    }
+    std::vector<std::vector<uint32_t>> buckets(static_cast<size_t>(R));
+    for (size_t i = 0; i < n; ++i) {
+      int r = st.partitioner->PartitionOf(batch, i, R);
+      buckets[static_cast<size_t>(r)].push_back(static_cast<uint32_t>(i));
+    }
+    for (size_t r = 0; r < buckets.size(); ++r) {
+      auto& idx = buckets[r];
+      if (idx.empty()) continue;
+      std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t bb) {
+        return batch.Compare(a, bb, st.partition_sort_indices) < 0;
+      });
+      ShuffleBucket sb;
+      sb.r = r;
+      sb.pre_records = idx.size();
+      std::vector<Row> bucket;
+      bucket.reserve(idx.size());
+      for (uint32_t i : idx) {
+        sb.sorted_bytes += batch.RowSerializedSize(i);
+        bucket.push_back(batch.MaterializeRow(i));
+      }
+      if (job.config.use_combiner && b.combiner != nullptr) {
+        double combine_cpu = 0.0;
+        bucket =
+            RunCombiner(*b.combiner, bucket, st.group_indices, &combine_cpu);
+      }
+      sb.post_rows = std::move(bucket);
+      so.buckets.push_back(std::move(sb));
+    }
+    return so;
+  };
+
   // Merge side of the shuffle: stash the buckets into the branch state and
   // account shuffle volume pre-combine — combine effectiveness at logical
   // scale is modeled analytically after the map phase, because the
@@ -329,7 +384,8 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
   for (const InputGroup& g : groups) {
     STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs->Get(g.dataset_id));
     const double scale = ds->logical_scale();
-    std::vector<int> parts = SelectedPartitions(*ds, g.prune_partitions);
+    STUBBY_ASSIGN_OR_RETURN(std::vector<int> parts,
+                            SelectedPartitions(*ds, g.prune_partitions));
 
     // Form map task input chunks.
     std::vector<std::vector<Row>> chunks;
@@ -387,10 +443,28 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     MapTaskResult& res = map_results[ti];
     res.chunk_bytes = RowsBytes(t.chunk);
     res.chunk_rows = t.chunk.size();
+    // One columnar copy of the chunk serves every eligible subscriber
+    // (pipelines share the input columns; kernels never mutate them).
+    std::optional<RowBatch> chunk_batch;
     for (const auto& [bi, ii] : t.group->subscribers) {
       SubscriberPiece& piece = res.pieces.emplace_back();
       const Branch& b = job.branches[bi];
       const BranchInput& input = b.inputs[ii];
+      if (exec_.vectorized && BatchPipelineRunner::Eligible(input.map_stages)) {
+        if (!chunk_batch) {
+          chunk_batch = RowBatch::FromRows(t.chunk, t.ds->schema().size());
+        }
+        BatchPipelineRunner runner =
+            BatchPipelineRunner::Make(input.map_stages);
+        RowBatch out = runner.Run(*chunk_batch);
+        piece.cpu_units = runner.counters().cpu_units;
+        if (b.map_only()) {
+          piece.out_rows = out.ToRows();
+        } else {
+          piece.shuffled = compute_shuffle_batch(bi, out);
+        }
+        continue;
+      }
       TaskTeeSink tee;
       VectorEmitter out;
       auto runner =
@@ -438,6 +512,10 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
   map_tasks.clear();
 
   // ---- Map phase: merge-mode branches (co-aligned inputs) -----------------
+  // Merge-mode branches stay on the record-at-a-time path regardless of
+  // ExecOptions::vectorized: their per-input streams are concatenated and
+  // re-sorted across pipelines, which breaks the single-physical-index-space
+  // invariant batch pipelines rely on for exact CPU-accounting replay.
   struct MergeBranchCtx {
     size_t bi = 0;
     std::vector<DatasetPtr> inputs_ds;
@@ -459,7 +537,8 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     size_t max_parts = 0;
     for (const BranchInput& in : b.inputs) {
       STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs->Get(in.dataset_id));
-      std::vector<int> parts = SelectedPartitions(*ds, in.prune_partitions);
+      STUBBY_ASSIGN_OR_RETURN(std::vector<int> parts,
+                              SelectedPartitions(*ds, in.prune_partitions));
       max_parts = std::max(max_parts, parts.size());
       ctx.inputs_ds.push_back(std::move(ds));
       ctx.inputs_parts.push_back(std::move(parts));
@@ -616,6 +695,10 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
   }
 
   // ---- Reduce phase --------------------------------------------------------
+  // Reduce pipelines run record-at-a-time: ReduceFns consume materialized
+  // row groups by interface, and the shuffle already delivered materialized
+  // rows, so a columnar detour would round-trip every value for no kernel
+  // win.
   if (!map_only) {
     // One task per reduce partition; task r exclusively owns every branch's
     // bucket r, so sorting in place and draining the rows is race-free.

@@ -28,12 +28,23 @@ class ThreadPool;
 Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
                                            const Dfs& dfs);
 
+/// Executor knobs. These are pure wall-time switches: outputs, plans, and
+/// every dataflow metric are bit-identical whatever their values.
+struct ExecOptions {
+  /// Columnar batch execution (RowBatch + BatchPipelineRunner) of eligible
+  /// map pipelines and the map-side shuffle; ineligible pipelines fall back
+  /// to record-at-a-time execution. Driven by
+  /// StubbyOptions::vectorized_exec.
+  bool vectorized = true;
+};
+
 /// Executes single jobs against a Dfs. The pool, when given, is borrowed
 /// for the duration of each Run call.
 class JobRunner {
  public:
-  explicit JobRunner(ClusterSpec cluster, ThreadPool* pool = nullptr)
-      : cluster_(std::move(cluster)), pool_(pool) {}
+  explicit JobRunner(ClusterSpec cluster, ThreadPool* pool = nullptr,
+                     ExecOptions exec = {})
+      : cluster_(std::move(cluster)), pool_(pool), exec_(exec) {}
 
   /// Runs `job`, reading inputs from and writing outputs to `dfs`. The plan
   /// provides dataset schemas and layouts. Returns the observed dataflow.
@@ -47,6 +58,7 @@ class JobRunner {
  private:
   ClusterSpec cluster_;
   ThreadPool* pool_ = nullptr;
+  ExecOptions exec_;
 };
 
 }  // namespace stubby

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "cost/dataflow.h"
 #include "dfs/dfs.h"
+#include "exec/job_runner.h"
 #include "workflow/plan.h"
 
 namespace stubby {
@@ -17,11 +18,12 @@ class ThreadPool;
 
 /// Executes plans end-to-end. The pool, when given, is borrowed and lets
 /// each job's map/reduce tasks run concurrently; results stay bit-identical
-/// to a single-threaded run.
+/// to a single-threaded run, and so does toggling any ExecOptions knob.
 class WorkflowRunner {
  public:
-  explicit WorkflowRunner(ClusterSpec cluster, ThreadPool* pool = nullptr)
-      : cluster_(std::move(cluster)), pool_(pool) {}
+  explicit WorkflowRunner(ClusterSpec cluster, ThreadPool* pool = nullptr,
+                          ExecOptions exec = {})
+      : cluster_(std::move(cluster)), pool_(pool), exec_(exec) {}
 
   /// Validates and runs `plan`. Base inputs must already exist in `dfs`;
   /// intermediate and output datasets are (re)created there. Returns the
@@ -31,6 +33,7 @@ class WorkflowRunner {
  private:
   ClusterSpec cluster_;
   ThreadPool* pool_ = nullptr;
+  ExecOptions exec_;
 };
 
 }  // namespace stubby

@@ -130,6 +130,71 @@ void PipelineRunner::Finish() {
   for (auto& node : nodes_) node->FinishNode();
 }
 
+bool BatchPipelineRunner::Eligible(const std::vector<Stage>& stages) {
+  for (const Stage& s : stages) {
+    if (s.kind != Stage::Kind::kMap) return false;
+    if (!s.tee_dataset.empty()) return false;
+    if (!s.map_fn->stateless() || !s.map_fn->supports_batch()) return false;
+  }
+  return true;
+}
+
+BatchPipelineRunner BatchPipelineRunner::Make(
+    const std::vector<Stage>& stages) {
+  BatchPipelineRunner runner;
+  runner.nodes_.reserve(stages.size());
+  for (const Stage& s : stages) {
+    BatchNode node;
+    node.fn = s.map_fn->Clone();
+    node.fn->Setup();
+    node.cpu_weight = node.fn->cpu_cost_per_record();
+    runner.nodes_.push_back(std::move(node));
+  }
+  return runner;
+}
+
+RowBatch BatchPipelineRunner::Run(RowBatch batch) {
+  counters_.rows_in += batch.num_rows();
+  if (nodes_.empty()) {
+    counters_.rows_out += batch.num_rows();
+    return batch;
+  }
+
+  // Apply the batch kernels, keeping each stage's input selection. The
+  // selections form a chain of ascending subsets of one physical index
+  // space: sels[s] is what stage s consumed, sels[nodes_.size()] is the
+  // final output.
+  std::vector<std::vector<uint32_t>> sels;
+  sels.reserve(nodes_.size() + 1);
+  sels.push_back(batch.selection());
+  for (BatchNode& node : nodes_) {
+    node.fn->MapBatch(&batch);
+    sels.push_back(batch.selection());
+  }
+
+  // Replay the row path's cpu accumulation order: for each input row,
+  // stage 0's weight, then each later stage's weight while the row
+  // survives. Subset chaining guarantees the per-stage cursors line up.
+  std::vector<size_t> cursor(nodes_.size(), 0);
+  for (uint32_t phys : sels[0]) {
+    counters_.cpu_units += nodes_[0].cpu_weight;
+    for (size_t s = 1; s < nodes_.size(); ++s) {
+      size_t& c = cursor[s];
+      if (c < sels[s].size() && sels[s][c] == phys) {
+        ++c;
+        counters_.cpu_units += nodes_[s].cpu_weight;
+      } else {
+        break;
+      }
+    }
+  }
+  counters_.rows_out += batch.num_rows();
+
+  // Stateless stages may not emit from Finish, so the row path's
+  // FinishNode pass is a no-op here by contract.
+  return batch;
+}
+
 std::vector<Row> RunCombiner(const CombineFn& fn,
                              const std::vector<Row>& sorted_rows,
                              const std::vector<size_t>& group_indices,

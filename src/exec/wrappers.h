@@ -71,4 +71,44 @@ std::vector<Row> RunCombiner(const CombineFn& fn,
                              const std::vector<size_t>& group_indices,
                              double* cpu_units);
 
+/// Columnar counterpart of PipelineRunner for all-map, tee-free, stateless
+/// pipelines: each stage's batch kernel transforms the RowBatch
+/// structurally instead of re-emitting every row.
+///
+/// Eligibility is all-or-nothing for a pipeline. PipelineRunner accumulates
+/// cpu_units by adding stage weights depth-first per input row (w0, then w1
+/// if stage 0 emitted, ...); floating-point addition is not associative, so
+/// mixing batched and row-at-a-time segments would reorder those additions
+/// and break the bit-identity contract. Instead, a fully batched pipeline
+/// records the selection after every stage and replays the weight additions
+/// in the exact per-row order — reproducing cpu_units bit-for-bit.
+class BatchPipelineRunner {
+ public:
+  /// True when every stage is a kMap with no tee whose function is
+  /// stateless and implements MapBatch. (Stateless rules out Finish-time
+  /// emission, which has no batch equivalent.)
+  static bool Eligible(const std::vector<Stage>& stages);
+
+  /// Builds a runner over `stages` (which must be Eligible); clones the
+  /// stage functions and runs their Setup hooks, like PipelineRunner::Make.
+  static BatchPipelineRunner Make(const std::vector<Stage>& stages);
+
+  /// Runs the pipeline over `batch` (shares the input's columns; the
+  /// caller's batch is not modified) and returns the output batch.
+  /// Call at most once, mirroring a PipelineRunner task lifetime.
+  RowBatch Run(RowBatch batch);
+
+  const PipelineCounters& counters() const { return counters_; }
+
+ private:
+  BatchPipelineRunner() = default;
+
+  struct BatchNode {
+    std::shared_ptr<MapFn> fn;
+    double cpu_weight = 1.0;
+  };
+  std::vector<BatchNode> nodes_;
+  PipelineCounters counters_;
+};
+
 }  // namespace stubby

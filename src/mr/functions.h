@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "mr/row_batch.h"
 #include "mr/schema.h"
 #include "mr/tuple.h"
 
@@ -70,6 +71,21 @@ class MapFn {
   /// hand-written subclasses (samplers, top-K).
   virtual bool stateless() const { return false; }
 
+  /// True when the function also implements MapBatch. The vectorized
+  /// executor batches a pipeline only if every stage is a stateless map
+  /// that supports batching; otherwise the whole pipeline falls back to
+  /// row-at-a-time execution (exec/wrappers.h explains why the fallback is
+  /// all-or-nothing).
+  virtual bool supports_batch() const { return false; }
+
+  /// Columnar equivalent of Map over every live row of `batch`, in order.
+  /// Must be structural: narrow the selection and/or replace, reorder, or
+  /// append columns, never renumber the physical index space. Each live
+  /// input row must produce zero or one output row (the one at the same
+  /// physical index) — exactly what Map would have emitted for it. Only
+  /// called when supports_batch() is true.
+  virtual void MapBatch(RowBatch* batch) { (void)batch; }
+
   /// Fresh instance with reset state for a new task.
   virtual std::shared_ptr<MapFn> Clone() const = 0;
 };
@@ -117,6 +133,7 @@ class CombineFn {
 class LambdaMapFn : public MapFn {
  public:
   using Fn = std::function<void(const Row&, Emitter*)>;
+  using BatchFn = std::function<void(RowBatch*)>;
 
   LambdaMapFn(std::string name, Schema in, Schema out, Fn fn,
               double cpu_weight = 1.0)
@@ -132,14 +149,20 @@ class LambdaMapFn : public MapFn {
   const Schema& output_schema() const override { return out_; }
   double cpu_cost_per_record() const override { return cpu_weight_; }
   bool stateless() const override { return true; }
+  bool supports_batch() const override { return batch_fn_ != nullptr; }
+  void MapBatch(RowBatch* batch) override { batch_fn_(batch); }
   std::shared_ptr<MapFn> Clone() const override {
     return std::make_shared<LambdaMapFn>(*this);
   }
+
+  /// Installs the columnar kernel; it must agree row-for-row with `fn`.
+  void set_batch_fn(BatchFn batch_fn) { batch_fn_ = std::move(batch_fn); }
 
  private:
   std::string name_;
   Schema in_, out_;
   Fn fn_;
+  BatchFn batch_fn_;
   double cpu_weight_;
 };
 

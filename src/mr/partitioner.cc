@@ -45,7 +45,8 @@ std::string PartitionSpec::ToString() const {
 }
 
 Result<Partitioner> Partitioner::Make(const PartitionSpec& spec,
-                                      const Schema& schema) {
+                                      const Schema& schema,
+                                      int num_partitions) {
   Partitioner p;
   p.spec_ = spec;
   STUBBY_ASSIGN_OR_RETURN(p.partition_indices_,
@@ -58,6 +59,14 @@ Result<Partitioner> Partitioner::Make(const PartitionSpec& spec,
             "range split point arity does not match partition fields");
       }
     }
+    if (num_partitions > 0 &&
+        static_cast<int>(spec.split_points.size()) + 1 > num_partitions) {
+      return Status::InvalidArgument(StrFormat(
+          "range partition spec defines %d partitions but the job runs only "
+          "%d reduce tasks; the excess key ranges would silently fold into "
+          "the last partition",
+          static_cast<int>(spec.split_points.size()) + 1, num_partitions));
+    }
   }
   return p;
 }
@@ -68,8 +77,26 @@ int Partitioner::PartitionOf(const Row& row, int num_partitions) const {
     uint64_t h = HashOnFields(row, partition_indices_);
     return static_cast<int>(h % static_cast<uint64_t>(num_partitions));
   }
-  // Range: projected key compared against sorted split points.
+  // Range: projected key compared against sorted split points. Make()
+  // guarantees splits+1 <= num_partitions for executor-created
+  // partitioners, so the clamp below cannot silently merge key ranges.
   Row key = row.Project(partition_indices_);
+  auto it = std::upper_bound(
+      spec_.split_points.begin(), spec_.split_points.end(), key,
+      [](const Row& a, const Row& b) { return a < b; });
+  int idx = static_cast<int>(it - spec_.split_points.begin());
+  return std::min(idx, num_partitions - 1);
+}
+
+int Partitioner::PartitionOf(const RowBatch& batch, size_t row,
+                             int num_partitions) const {
+  if (num_partitions <= 1) return 0;
+  if (spec_.type == PartitionType::kHash) {
+    uint64_t h = batch.HashOnFields(row, partition_indices_);
+    return static_cast<int>(h % static_cast<uint64_t>(num_partitions));
+  }
+  Row key;
+  for (size_t i : partition_indices_) key.Append(batch.At(row, i));
   auto it = std::upper_bound(
       spec_.split_points.begin(), spec_.split_points.end(), key,
       [](const Row& a, const Row& b) { return a < b; });

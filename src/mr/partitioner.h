@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "mr/row_batch.h"
 #include "mr/schema.h"
 #include "mr/tuple.h"
 
@@ -62,12 +63,23 @@ struct PartitionSpec {
 /// Executable partitioner bound to a concrete map-output schema.
 class Partitioner {
  public:
-  /// Resolves field names against `schema`; fails if any are missing.
+  /// Resolves field names against `schema`; fails if any are missing. When
+  /// `num_partitions` is positive, a range spec whose split points define
+  /// more partitions than that is rejected with InvalidArgument — the
+  /// extra key ranges could only be folded into the last partition, silently
+  /// skewing data (callers that only resolve fields pass 0 to skip the
+  /// check).
   static Result<Partitioner> Make(const PartitionSpec& spec,
-                                  const Schema& schema);
+                                  const Schema& schema,
+                                  int num_partitions = 0);
 
   /// Partition index for `row` among `num_partitions` buckets.
   int PartitionOf(const Row& row, int num_partitions) const;
+
+  /// Partition index for live row `row` of `batch`; identical to
+  /// PartitionOf on the materialized row.
+  int PartitionOf(const RowBatch& batch, size_t row,
+                  int num_partitions) const;
 
   /// Indices of the sort fields within the schema.
   const std::vector<size_t>& sort_indices() const { return sort_indices_; }

@@ -1,0 +1,120 @@
+#include "mr/row_batch.h"
+
+#include "common/strings.h"
+
+namespace stubby {
+
+namespace {
+// Per-row framing overhead; must match kRowOverheadBytes in mr/tuple.cc
+// (locked down by RowBatch parity tests).
+constexpr uint64_t kRowOverheadBytes = 4;
+}  // namespace
+
+RowBatch RowBatch::FromRows(const std::vector<Row>& rows, size_t num_columns) {
+  RowBatch batch;
+  batch.physical_rows_ = rows.size();
+  batch.cols_.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    auto col = std::make_shared<Column>();
+    col->reserve(rows.size());
+    for (const Row& r : rows) col->push_back(r[c]);
+    batch.cols_.push_back(std::move(col));
+  }
+  batch.stride_.assign(num_columns, 1);
+  batch.sel_.resize(rows.size());
+  std::iota(batch.sel_.begin(), batch.sel_.end(), 0u);
+  return batch;
+}
+
+void RowBatch::ProjectColumns(const std::vector<size_t>& indices) {
+  std::vector<ColumnPtr> out;
+  std::vector<uint32_t> strides;
+  out.reserve(indices.size());
+  strides.reserve(indices.size());
+  for (size_t i : indices) {
+    out.push_back(cols_[i]);
+    strides.push_back(stride_[i]);
+  }
+  cols_ = std::move(out);
+  stride_ = std::move(strides);
+}
+
+void RowBatch::AppendColumn(ColumnPtr col) {
+  cols_.push_back(std::move(col));
+  stride_.push_back(1);
+}
+
+void RowBatch::AppendConstColumn(const Value& v) {
+  cols_.push_back(std::make_shared<Column>(1, v));
+  stride_.push_back(0);
+}
+
+uint64_t RowBatch::RowSerializedSize(size_t row) const {
+  uint64_t total = kRowOverheadBytes;
+  uint32_t phys = sel_[row];
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    total += ValueAt(c, phys).SerializedSize();
+  }
+  return total;
+}
+
+uint64_t RowBatch::TotalSerializedBytes() const {
+  uint64_t total = 0;
+  for (size_t row = 0; row < sel_.size(); ++row) {
+    total += RowSerializedSize(row);
+  }
+  return total;
+}
+
+uint64_t RowBatch::RowHash(size_t row) const {
+  // Same FNV fold as Row::Hash.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  uint32_t phys = sel_[row];
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    h = HashCombine(h, ValueAt(c, phys).Hash());
+  }
+  return h;
+}
+
+uint64_t RowBatch::HashOnFields(size_t row,
+                                const std::vector<size_t>& indices) const {
+  // Same seed and fold as HashOnFields in mr/tuple.cc.
+  uint64_t h = 0x100001b3ULL;
+  uint32_t phys = sel_[row];
+  for (size_t i : indices) h = HashCombine(h, ValueAt(i, phys).Hash());
+  return h;
+}
+
+int RowBatch::Compare(size_t a, size_t b,
+                      const std::vector<size_t>& indices) const {
+  uint32_t pa = sel_[a];
+  uint32_t pb = sel_[b];
+  for (size_t i : indices) {
+    const Value& va = ValueAt(i, pa);
+    const Value& vb = ValueAt(i, pb);
+    if (va < vb) return -1;
+    if (vb < va) return 1;
+  }
+  return 0;
+}
+
+Row RowBatch::MaterializeRow(size_t row) const {
+  std::vector<Value> values;
+  values.reserve(cols_.size());
+  uint32_t phys = sel_[row];
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    values.push_back(ValueAt(c, phys));
+  }
+  return Row(std::move(values));
+}
+
+std::vector<Row> RowBatch::ToRows() const {
+  std::vector<Row> rows;
+  rows.reserve(sel_.size());
+  for (size_t row = 0; row < sel_.size(); ++row) {
+    rows.push_back(MaterializeRow(row));
+  }
+  return rows;
+}
+
+}  // namespace stubby

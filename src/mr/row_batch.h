@@ -1,0 +1,130 @@
+// RowBatch: a columnar batch of records for the vectorized executor paths.
+// Values live in shared, immutable column vectors; a selection vector of
+// ascending physical row indices says which rows are live. Map-side batch
+// kernels transform batches structurally (swapping column pointers,
+// narrowing the selection, appending dense columns) instead of touching
+// every Row, which removes the per-row Value-vector allocations and virtual
+// emitter dispatch of the record-at-a-time path.
+//
+// The batch carries accounting helpers (SerializedSize / hash / compare)
+// that reproduce the per-Row results of mr/tuple.* exactly, so the batched
+// executor produces bit-identical byte/record dataflow accounting.
+//
+// Invariant: every column of a batch has the same physical length, and the
+// physical index space never changes across a batch pipeline — stages only
+// narrow the selection or add columns. That property is what lets
+// BatchPipelineRunner replay per-row CPU accounting in the exact order of
+// the record-at-a-time path (see exec/wrappers.h).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "mr/tuple.h"
+#include "mr/value.h"
+
+namespace stubby {
+
+/// Columnar batch with shared columns and a selection vector.
+class RowBatch {
+ public:
+  using Column = std::vector<Value>;
+  using ColumnPtr = std::shared_ptr<const Column>;
+
+  RowBatch() = default;
+
+  /// Builds a dense batch (identity selection) from `rows`. All rows must
+  /// have `num_columns` fields; `rows` may be empty.
+  static RowBatch FromRows(const std::vector<Row>& rows, size_t num_columns);
+
+  /// Live (selected) row count.
+  size_t num_rows() const { return sel_.size(); }
+  /// Underlying column length (live + filtered-out rows).
+  size_t physical_rows() const { return physical_rows_; }
+  size_t num_columns() const { return cols_.size(); }
+
+  /// Ascending physical indices of the live rows.
+  const std::vector<uint32_t>& selection() const { return sel_; }
+
+  /// Value of column `c` at physical row `phys`. Handles broadcast
+  /// (constant) columns, whose backing vector holds a single element;
+  /// always use this instead of indexing a column directly.
+  const Value& ValueAt(size_t c, uint32_t phys) const {
+    return (*cols_[c])[phys * stride_[c]];
+  }
+
+  /// Value of live row `row` (selection position), column `c`.
+  const Value& At(size_t row, size_t c) const {
+    return ValueAt(c, sel_[row]);
+  }
+
+  // ---- Structural kernels (used by batch map functions) -------------------
+
+  /// Reorders/subsets columns to `indices` (shared pointers; O(columns)).
+  void ProjectColumns(const std::vector<size_t>& indices);
+
+  /// Appends a column; its length must equal physical_rows().
+  void AppendColumn(ColumnPtr col);
+
+  /// Appends a broadcast column: every physical row reads the same value.
+  /// Stored as a single element with access stride 0, so appending a
+  /// constant is O(1) regardless of batch size.
+  void AppendConstColumn(const Value& v);
+
+  /// Narrows the selection to live rows satisfying `keep(physical_index)`.
+  template <typename Pred>
+  void FilterSelection(Pred keep) {
+    std::vector<uint32_t> out;
+    out.reserve(sel_.size());
+    for (uint32_t phys : sel_) {
+      if (keep(phys)) out.push_back(phys);
+    }
+    sel_ = std::move(out);
+  }
+
+  /// Replaces the selection. `sel` must be an ascending subset of the
+  /// current selection (batch kernels may only drop rows, never reorder or
+  /// resurrect them).
+  void SetSelection(std::vector<uint32_t> sel) { sel_ = std::move(sel); }
+
+  // ---- Accounting parity helpers ------------------------------------------
+  // Each reproduces the corresponding per-Row result of mr/tuple.* exactly
+  // (`row` is a selection position).
+
+  /// == MaterializeRow(row).SerializedSize().
+  uint64_t RowSerializedSize(size_t row) const;
+
+  /// Sum of RowSerializedSize over all live rows (integer sum, so the
+  /// result is independent of batching).
+  uint64_t TotalSerializedBytes() const;
+
+  /// == MaterializeRow(row).Hash().
+  uint64_t RowHash(size_t row) const;
+
+  /// == HashOnFields(MaterializeRow(row), indices).
+  uint64_t HashOnFields(size_t row, const std::vector<size_t>& indices) const;
+
+  /// == CompareOnFields(MaterializeRow(a), MaterializeRow(b), indices).
+  int Compare(size_t a, size_t b, const std::vector<size_t>& indices) const;
+
+  // ---- Materialization ----------------------------------------------------
+
+  /// Live row `row` as a Row (copies the values).
+  Row MaterializeRow(size_t row) const;
+
+  /// All live rows, in selection order.
+  std::vector<Row> ToRows() const;
+
+ private:
+  std::vector<ColumnPtr> cols_;
+  /// Per-column access stride: 1 for dense columns, 0 for broadcast
+  /// (constant) columns backed by a single element. Parallel to cols_.
+  std::vector<uint32_t> stride_;
+  std::vector<uint32_t> sel_;
+  size_t physical_rows_ = 0;
+};
+
+}  // namespace stubby

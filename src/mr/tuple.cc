@@ -84,13 +84,55 @@ bool RowApproxEqual(const Row& a, const Row& b, double rel_tol) {
   return true;
 }
 
+namespace {
+
+// True when no row sorted at or after `b` can approx-match `a`. The sorted
+// order is lexicographic, so the first field is non-decreasing down the
+// vector; once it exceeds a's first field by more than the tolerance, every
+// later row exceeds it too. Deeper fields cannot bound the scan: a later
+// row may sort higher via a within-tolerance bump of an *earlier* field
+// while agreeing with `a` at the field where `b` overshot, so overshoot in
+// any field past the first says nothing about later rows.
+bool DefinitelyAfter(const Row& a, const Row& b, double rel_tol) {
+  if (a.size() == 0 || b.size() == 0) return false;
+  if (a[0].is_string() || b[0].is_string()) {
+    // Exact total order across types; string comparison has no tolerance.
+    return a[0] < b[0];
+  }
+  double x = a[0].AsDouble();
+  double y = b[0].AsDouble();
+  double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+  return y - x > rel_tol * scale;
+}
+
+}  // namespace
+
 bool RowsApproxEqual(std::vector<Row> a, std::vector<Row> b,
                      double rel_tol) {
   if (a.size() != b.size()) return false;
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (!RowApproxEqual(a[i], b[i], rel_tol)) return false;
+  // Rows within tolerance of each other can sort to different positions
+  // (the sort is exact, the comparison is not), so pairwise comparison of
+  // the sorted vectors gives false negatives. Instead, greedily match each
+  // a-row against the window of unmatched b-rows that are within tolerance
+  // of it; the window is bounded because sorted rows beyond tolerance can
+  // never match.
+  std::vector<bool> used(b.size(), false);
+  size_t first_unused = 0;
+  for (const Row& ra : a) {
+    while (first_unused < b.size() && used[first_unused]) ++first_unused;
+    bool matched = false;
+    for (size_t j = first_unused; j < b.size(); ++j) {
+      if (used[j]) continue;
+      if (RowApproxEqual(ra, b[j], rel_tol)) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+      if (DefinitelyAfter(ra, b[j], rel_tol)) break;
+    }
+    if (!matched) return false;
   }
   return true;
 }

@@ -66,8 +66,10 @@ uint64_t HashOnFields(const Row& r, const std::vector<size_t>& indices);
 /// equivalent plans produce results equal only up to rounding).
 bool RowApproxEqual(const Row& a, const Row& b, double rel_tol = 1e-9);
 
-/// Approximate multiset equality of row vectors: both are sorted and
-/// compared pairwise with RowApproxEqual.
+/// Approximate multiset equality of row vectors: both are sorted, then each
+/// row is greedily matched against the unmatched rows of the other side
+/// within tolerance. (Plain pairwise comparison after sorting is wrong:
+/// rows that are equal within tolerance can sort into different positions.)
 bool RowsApproxEqual(std::vector<Row> a, std::vector<Row> b,
                      double rel_tol = 1e-9);
 

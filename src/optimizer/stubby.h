@@ -85,6 +85,14 @@ struct StubbyOptions {
   /// every counter except ReuseStats::probe_cache_{hits,misses} are
   /// bit-identical on or off, so it stays out of the option salt.
   bool reuse_probe_cache = true;
+  /// Columnar batch execution in the executor (mr/row_batch.h +
+  /// exec/wrappers.h): eligible map pipelines and the map-side shuffle run
+  /// over RowBatches instead of one Row at a time; everything else falls
+  /// back to the record path. A pure wall-time knob with a hard invariant:
+  /// outputs, per-phase dataflow accounting, plans, and costs are
+  /// bit-identical on or off at any thread count, so it stays out of the
+  /// option salt.
+  bool vectorized_exec = true;
 };
 
 /// Digest of the options that shape what an optimized plan computes —

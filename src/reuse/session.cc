@@ -66,7 +66,8 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
     run_dfs.PutOrReplace(CloneDataset(*snapshot, id));
   }
 
-  WorkflowRunner runner(plan.cluster(), pool);
+  WorkflowRunner runner(plan.cluster(), pool,
+                        ExecOptions{options.vectorized_exec});
   STUBBY_ASSIGN_OR_RETURN(result.dataflow,
                           runner.Run(result.report.plan, &run_dfs));
   result.simulated_cost = result.dataflow.makespan_sec;

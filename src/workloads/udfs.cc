@@ -51,10 +51,14 @@ std::shared_ptr<MapFn> ProjectMap(const std::string& name, const Schema& in,
   auto idx = in.IndicesOf(out_fields);
   std::vector<size_t> indices = idx.ok() ? std::move(*idx)
                                          : std::vector<size_t>{};
-  return std::make_shared<LambdaMapFn>(
+  auto fn = std::make_shared<LambdaMapFn>(
       name, in, Schema(out_fields),
       [indices](const Row& r, Emitter* out) { out->Emit(r.Project(indices)); },
       cpu);
+  // Columnar: projection is a pointer shuffle over shared columns.
+  fn->set_batch_fn(
+      [indices](RowBatch* batch) { batch->ProjectColumns(indices); });
+  return fn;
 }
 
 std::shared_ptr<MapFn> FilterRangeMap(const std::string& name,
@@ -62,13 +66,21 @@ std::shared_ptr<MapFn> FilterRangeMap(const std::string& name,
                                       const std::string& field, double lo,
                                       double hi, double cpu) {
   size_t i = schema.IndexOf(field).value_or(0);
-  return std::make_shared<LambdaMapFn>(
+  auto fn = std::make_shared<LambdaMapFn>(
       name, schema, schema,
       [i, lo, hi](const Row& r, Emitter* out) {
         double v = r[i].AsDouble();
         if (v >= lo && v < hi) out->Emit(r);
       },
       cpu);
+  // Columnar: one scan of the filtered column narrows the selection.
+  fn->set_batch_fn([i, lo, hi](RowBatch* batch) {
+    batch->FilterSelection([&](uint32_t phys) {
+      double v = batch->ValueAt(i, phys).AsDouble();
+      return v >= lo && v < hi;
+    });
+  });
+  return fn;
 }
 
 std::shared_ptr<MapFn> AppendConstMap(const std::string& name,
@@ -76,7 +88,7 @@ std::shared_ptr<MapFn> AppendConstMap(const std::string& name,
                                       const std::string& field, Value value,
                                       double cpu) {
   Schema out_schema = in.Concat(Schema({field}));
-  return std::make_shared<LambdaMapFn>(
+  auto fn = std::make_shared<LambdaMapFn>(
       name, in, out_schema,
       [value](const Row& r, Emitter* out) {
         Row row = r;
@@ -84,6 +96,10 @@ std::shared_ptr<MapFn> AppendConstMap(const std::string& name,
         out->Emit(std::move(row));
       },
       cpu);
+  // Columnar: one broadcast constant column serves every row.
+  fn->set_batch_fn(
+      [value](RowBatch* batch) { batch->AppendConstColumn(value); });
+  return fn;
 }
 
 std::shared_ptr<MapFn> SampleMap(const std::string& name, const Schema& in,
@@ -94,12 +110,24 @@ std::shared_ptr<MapFn> SampleMap(const std::string& name, const Schema& in,
   std::vector<size_t> indices = idx.ok() ? std::move(*idx)
                                          : std::vector<size_t>{};
   uint64_t n = std::max<uint64_t>(1, every_n);
-  return std::make_shared<LambdaMapFn>(
+  auto fn = std::make_shared<LambdaMapFn>(
       name, in, Schema(out_fields),
       [indices, n](const Row& r, Emitter* out) {
         if (r.Hash() % n == 0) out->Emit(r.Project(indices));
       },
       cpu);
+  // Columnar: hash-filter on the full input row, then project. The batch
+  // row hash matches Row::Hash, so the sample is identical.
+  fn->set_batch_fn([indices, n](RowBatch* batch) {
+    std::vector<uint32_t> keep;
+    keep.reserve(batch->num_rows());
+    for (size_t row = 0; row < batch->num_rows(); ++row) {
+      if (batch->RowHash(row) % n == 0) keep.push_back(batch->selection()[row]);
+    }
+    batch->SetSelection(std::move(keep));
+    batch->ProjectColumns(indices);
+  });
+  return fn;
 }
 
 std::shared_ptr<ReduceFn> AggReduce(

@@ -2,11 +2,15 @@
 // unoptimized as the oracle, then through every optimizer/reuse mode — the
 // reuse-blind search, a cold-store reuse-aware search, a warm-store
 // reuse-aware search (twice, so the second run prices store hits inside the
-// unit search), the post-hoc rewrite path, and the warm search with the
-// signature probe memo on vs off — at 1 and 4 threads. Every
+// unit search), the post-hoc rewrite path, the warm search with the
+// signature probe memo on vs off, and the reuse-blind session with the
+// columnar batch executor off — at 1 and 4 threads. Every
 // emitted plan must produce bit-identical workflow outputs (after a
 // canonical row sort; optimized plans may emit rows in a different order),
 // and plans, cost bits, and reuse counters must not depend on thread count.
+// The batch-off legs additionally pin down StubbyOptions::vectorized_exec's
+// transparency contract: raw output order, makespan bits, and per-job
+// dataflow accounting match the batch-on run exactly.
 //
 // The generator sticks to integer-valued fields: integer sums stay exact in
 // doubles (≤ 2^53), so kSum/kMax/kMin/kCount/kAvg are bit-exact and
@@ -214,19 +218,30 @@ void ExpectBitIdentical(const Outputs& got, const Outputs& want,
   }
 }
 
+/// One unoptimized execution: terminal outputs plus the observables the
+/// vectorized-exec A/B legs compare (makespan bits, per-job dataflow).
+struct OracleRun {
+  Outputs outputs;
+  double makespan = 0.0;
+  std::string dataflow;  ///< JobDataflow::ToString per job, newline-joined
+};
+
 /// Runs the plan as written — no optimizer, no reuse — and collects the
 /// terminal outputs. This is the oracle every emitted plan must match.
-Result<Outputs> RunUnoptimized(const Plan& plan, const Dfs& dfs) {
+Result<OracleRun> RunUnoptimized(const Plan& plan, const Dfs& dfs,
+                                 bool vectorized = true) {
   Dfs run_dfs = dfs;
-  WorkflowRunner runner(plan.cluster());
-  STUBBY_RETURN_NOT_OK(runner.Run(plan, &run_dfs).status());
-  Outputs outputs;
+  WorkflowRunner runner(plan.cluster(), nullptr, ExecOptions{vectorized});
+  STUBBY_ASSIGN_OR_RETURN(WorkflowDataflow flow, runner.Run(plan, &run_dfs));
+  OracleRun run;
+  run.makespan = flow.makespan_sec;
+  for (const JobDataflow& j : flow.jobs) run.dataflow += j.ToString() + "\n";
   for (const auto& [id, v] : plan.datasets()) {
     if (!v.is_workflow_output) continue;
     STUBBY_ASSIGN_OR_RETURN(DatasetPtr out, run_dfs.Get(id));
-    outputs.emplace(id, out->AllRows());
+    run.outputs.emplace(id, out->AllRows());
   }
-  return outputs;
+  return run;
 }
 
 /// Everything one mode run produced that must be thread-count invariant.
@@ -271,6 +286,20 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   auto oracle = RunUnoptimized(f->plan(), f->dfs());
   ASSERT_TRUE(oracle.ok()) << oracle.status();
 
+  // Executor-level vectorization transparency: the unoptimized plan with
+  // the batch executor off must reproduce raw outputs, makespan bits, and
+  // the per-job dataflow accounting exactly.
+  auto oracle_off = RunUnoptimized(f->plan(), f->dfs(), /*vectorized=*/false);
+  ASSERT_TRUE(oracle_off.ok()) << oracle_off.status();
+  for (const auto& [id, rows] : oracle->outputs) {
+    ASSERT_EQ(oracle_off->outputs.count(id), 1u) << id;
+    EXPECT_TRUE(RowsBitIdentical(rows, oracle_off->outputs.at(id)))
+        << "batch-off oracle output " << id << " differs";
+  }
+  EXPECT_TRUE(SameCostBits(oracle->makespan, oracle_off->makespan))
+      << oracle->makespan << " vs " << oracle_off->makespan;
+  EXPECT_EQ(oracle->dataflow, oracle_off->dataflow);
+
   // Modes, per thread count: blind, cold, warm1, warm2, posthoc.
   std::map<int, std::vector<ModeResult>> by_threads;
   for (int threads : {1, 4}) {
@@ -282,7 +311,31 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     ReuseSession blind_session(nullptr);
     auto blind = blind_session.Run(f->plan(), f->dfs(), opts, &pool);
     ASSERT_TRUE(blind.ok()) << blind.status();
-    ExpectBitIdentical(blind->outputs, *oracle, "blind");
+    ExpectBitIdentical(blind->outputs, oracle->outputs, "blind");
+
+    // Batch-off session: the full optimize+execute path with
+    // vectorized_exec off must emit the same plan and cost bits as the
+    // blind run, and its raw (pre-sort) outputs and simulated makespan
+    // must match bit-for-bit.
+    StubbyOptions batch_off_opts = opts;
+    batch_off_opts.vectorized_exec = false;
+    ReuseSession batch_off_session(nullptr);
+    auto batch_off =
+        batch_off_session.Run(f->plan(), f->dfs(), batch_off_opts, &pool);
+    ASSERT_TRUE(batch_off.ok()) << batch_off.status();
+    ExpectBitIdentical(batch_off->outputs, oracle->outputs, "batch_off");
+    EXPECT_EQ(PlanSignature(batch_off->report.plan),
+              PlanSignature(blind->report.plan));
+    EXPECT_TRUE(SameCostBits(batch_off->report.estimated_cost,
+                             blind->report.estimated_cost));
+    EXPECT_TRUE(
+        SameCostBits(batch_off->simulated_cost, blind->simulated_cost))
+        << batch_off->simulated_cost << " vs " << blind->simulated_cost;
+    ASSERT_EQ(batch_off->outputs.size(), blind->outputs.size());
+    for (const auto& [id, rows] : blind->outputs) {
+      EXPECT_TRUE(RowsBitIdentical(rows, batch_off->outputs.at(id)))
+          << "batch-off raw output " << id << " differs";
+    }
 
     // Cold store: the aware search probes but every probe misses — the
     // emitted plan and its cost bits must equal the blind search's.
@@ -290,7 +343,7 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     ReuseSession session(&store);
     auto cold = session.Run(f->plan(), f->dfs(), opts, &pool);
     ASSERT_TRUE(cold.ok()) << cold.status();
-    ExpectBitIdentical(cold->outputs, *oracle, "cold");
+    ExpectBitIdentical(cold->outputs, oracle->outputs, "cold");
     EXPECT_EQ(PlanSignature(cold->report.plan),
               PlanSignature(blind->report.plan));
     EXPECT_TRUE(SameCostBits(cold->report.estimated_cost,
@@ -305,10 +358,10 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     warm_opts.reuse_whole_workflow = false;
     auto warm1 = session.Run(f->plan(), f->dfs(), warm_opts, &pool);
     ASSERT_TRUE(warm1.ok()) << warm1.status();
-    ExpectBitIdentical(warm1->outputs, *oracle, "warm1");
+    ExpectBitIdentical(warm1->outputs, oracle->outputs, "warm1");
     auto warm2 = session.Run(f->plan(), f->dfs(), warm_opts, &pool);
     ASSERT_TRUE(warm2.ok()) << warm2.status();
-    ExpectBitIdentical(warm2->outputs, *oracle, "warm2");
+    ExpectBitIdentical(warm2->outputs, oracle->outputs, "warm2");
 
     // Post-hoc path (reuse-aware search off): rewrite only after the blind
     // search — the pre-tentpole behavior, still bit-transparent.
@@ -316,7 +369,7 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     posthoc_opts.reuse_aware_search = false;
     auto posthoc = session.Run(f->plan(), f->dfs(), posthoc_opts, &pool);
     ASSERT_TRUE(posthoc.ok()) << posthoc.status();
-    ExpectBitIdentical(posthoc->outputs, *oracle, "posthoc");
+    ExpectBitIdentical(posthoc->outputs, oracle->outputs, "posthoc");
 
     // Probe-memo transparency, warm and cold-ish: freeze the store after
     // the runs above, then replay the warm mode from byte-identical copies
@@ -333,10 +386,10 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     };
     auto memo_on = run_memo(true);
     ASSERT_TRUE(memo_on.ok()) << memo_on.status();
-    ExpectBitIdentical(memo_on->outputs, *oracle, "memo_on");
+    ExpectBitIdentical(memo_on->outputs, oracle->outputs, "memo_on");
     auto memo_off = run_memo(false);
     ASSERT_TRUE(memo_off.ok()) << memo_off.status();
-    ExpectBitIdentical(memo_off->outputs, *oracle, "memo_off");
+    ExpectBitIdentical(memo_off->outputs, oracle->outputs, "memo_off");
     EXPECT_EQ(PlanSignature(memo_on->report.plan),
               PlanSignature(memo_off->report.plan));
     EXPECT_TRUE(SameCostBits(memo_on->report.estimated_cost,
@@ -353,10 +406,10 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
         memo_off->report.reuse.signature_keys_computed;
     EXPECT_EQ(masked.ToString(), memo_off->report.reuse.ToString());
 
-    by_threads[threads] = {Capture(*blind),   Capture(*cold),
-                           Capture(*warm1),   Capture(*warm2),
-                           Capture(*posthoc), Capture(*memo_on),
-                           Capture(*memo_off)};
+    by_threads[threads] = {Capture(*blind),   Capture(*batch_off),
+                           Capture(*cold),    Capture(*warm1),
+                           Capture(*warm2),   Capture(*posthoc),
+                           Capture(*memo_on), Capture(*memo_off)};
   }
 
   // Thread-count invariance: plans, cost bits, reuse counters, and raw
@@ -364,8 +417,9 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   const std::vector<ModeResult>& t1 = by_threads.at(1);
   const std::vector<ModeResult>& t4 = by_threads.at(4);
   ASSERT_EQ(t1.size(), t4.size());
-  static const char* kModes[] = {"blind",   "cold",    "warm1",   "warm2",
-                                 "posthoc", "memo_on", "memo_off"};
+  static const char* kModes[] = {"blind",   "batch_off", "cold",
+                                 "warm1",   "warm2",     "posthoc",
+                                 "memo_on", "memo_off"};
   for (size_t i = 0; i < t1.size(); ++i) {
     SCOPED_TRACE(kModes[i]);
     EXPECT_EQ(t1[i].plan_signature, t4[i].plan_signature);

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 
+#include "common/threading.h"
 #include "exec/job_runner.h"
+#include "reuse/result_store.h"
 #include "test_workflows.h"
+#include "workloads/registry.h"
 
 namespace stubby {
 namespace {
@@ -218,6 +222,97 @@ TEST(JobRunnerTest, ResolvePartitionSpecDeduplicatesSplitCandidates) {
   ASSERT_TRUE(spec.ok());
   ASSERT_EQ(spec->split_points.size(), 2u);  // the two distinct boundaries
   EXPECT_LT(spec->split_points[0], spec->split_points[1]);
+}
+
+TEST(JobRunnerTest, PrunePartitionOutOfRangeFails) {
+  // A prune entry pointing past the dataset's partition count used to be
+  // silently dropped, making the consumer read nothing where the plan
+  // claimed a subset scan; it must surface as an error instead.
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Schema schema({"k", "v"});
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(Row{int64_t{i}, 1.0});
+  Layout layout;
+  ASSERT_TRUE(
+      f.AddBase("IN", schema, layout, 2, rows, testing::kGB).ok());
+  ASSERT_TRUE(f.AddDataset("OUT", schema, true).ok());
+  WorkflowFactory::JobDef j;
+  j.id = "J";
+  BranchInput in = In("IN", {});
+  in.prune_partitions = {5};  // IN has 2 partitions
+  j.inputs = {in};
+  j.map_output_schema = schema;
+  j.output = "OUT";
+  ASSERT_TRUE(f.AddJob(std::move(j)).ok());
+
+  WorkflowRunner runner(f.plan().cluster());
+  Dfs dfs = f.dfs();
+  auto flow = runner.Run(f.plan(), &dfs);
+  ASSERT_FALSE(flow.ok());
+  EXPECT_EQ(flow.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- vectorized execution A/B ----------------------------------------------
+
+bool SameDoubleBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// One execution of a workload's unoptimized plan: raw outputs plus the
+/// observables the transparency contract covers.
+struct ExecObservables {
+  std::map<std::string, std::vector<Row>> outputs;
+  double makespan = 0.0;
+  std::string dataflow;
+};
+
+Result<ExecObservables> RunWorkload(const Workload& w, ThreadPool* pool,
+                                    bool vectorized) {
+  Dfs dfs = w.dfs;
+  WorkflowRunner runner(w.plan.cluster(), pool, ExecOptions{vectorized});
+  STUBBY_ASSIGN_OR_RETURN(WorkflowDataflow flow, runner.Run(w.plan, &dfs));
+  ExecObservables obs;
+  obs.makespan = flow.makespan_sec;
+  for (const JobDataflow& jd : flow.jobs) obs.dataflow += jd.ToString() + "\n";
+  for (const auto& [id, v] : w.plan.datasets()) {
+    if (!v.is_workflow_output) continue;
+    STUBBY_ASSIGN_OR_RETURN(DatasetPtr out, dfs.Get(id));
+    obs.outputs.emplace(id, out->AllRows());
+  }
+  return obs;
+}
+
+/// The hard invariant behind StubbyOptions::vectorized_exec: batch-on and
+/// batch-off runs are bit-identical in outputs (raw order, no canonical
+/// sort), per-job dataflow accounting, and makespan — at any thread count,
+/// across all eight Table 1 workloads.
+TEST(VectorizedExecTest, IsBitIdenticalAcrossWorkloadsAndThreads) {
+  for (const std::string& abbr : AllWorkloadAbbrs()) {
+    WorkloadOptions wopts;
+    wopts.sample_rows = 3000;
+    auto w = MakeWorkload(abbr, wopts);
+    ASSERT_TRUE(w.ok()) << abbr;
+    for (int threads : {1, 4}) {
+      ThreadPool pool(threads);
+      auto on = RunWorkload(*w, &pool, /*vectorized=*/true);
+      auto off = RunWorkload(*w, &pool, /*vectorized=*/false);
+      ASSERT_TRUE(on.ok()) << abbr << " t" << threads << ": " << on.status();
+      ASSERT_TRUE(off.ok()) << abbr << " t" << threads << ": "
+                            << off.status();
+      ASSERT_EQ(on->outputs.size(), off->outputs.size()) << abbr;
+      for (const auto& [id, rows] : on->outputs) {
+        ASSERT_EQ(off->outputs.count(id), 1u) << abbr << " " << id;
+        EXPECT_TRUE(RowsBitIdentical(rows, off->outputs.at(id)))
+            << abbr << " t" << threads << " output " << id
+            << " differs between batch-on and batch-off";
+      }
+      EXPECT_EQ(on->dataflow, off->dataflow) << abbr << " t" << threads;
+      EXPECT_TRUE(SameDoubleBits(on->makespan, off->makespan))
+          << abbr << " t" << threads << ": " << on->makespan
+          << " vs " << off->makespan;
+    }
+  }
 }
 
 TEST(JobRunnerTest, OutputDatasetInheritsLogicalScale) {

@@ -190,6 +190,42 @@ TEST(PartitionerTest, MissingFieldFails) {
                    .ok());
 }
 
+TEST(RangePartitionerTest, RejectsMoreSplitPartitionsThanReduceTasks) {
+  // Two split points define three partitions; a job running only two reduce
+  // tasks would silently fold the third key range into the last partition.
+  Schema schema({"k"});
+  PartitionSpec spec;
+  spec.type = PartitionType::kRange;
+  spec.partition_fields = {"k"};
+  spec.sort_fields = {"k"};
+  spec.split_points = {Row{int64_t{10}}, Row{int64_t{20}}};
+  auto p = Partitioner::Make(spec, schema, /*num_partitions=*/2);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+  // Enough reduce tasks (or an unchecked resolve with 0) is fine.
+  EXPECT_TRUE(Partitioner::Make(spec, schema, 3).ok());
+  EXPECT_TRUE(Partitioner::Make(spec, schema, 0).ok());
+}
+
+TEST(RowTest, ApproxMultisetEqualityToleratesSortPositionSwaps) {
+  // Rows equal within tolerance can sort into different positions because
+  // the sort is exact: a sorts (1.0, 5.0) first, b sorts (1.0+d, 5.0)
+  // second. Pairwise post-sort comparison would wrongly fail; the
+  // tolerance-aware matching must pair them crosswise.
+  const double d = 1e-12;
+  std::vector<Row> a = {Row{1.0, 5.0}, Row{1.0 + d, 1.0}};
+  std::vector<Row> b = {Row{1.0, 1.0}, Row{1.0 + d, 5.0}};
+  EXPECT_TRUE(RowsApproxEqual(a, b, 1e-9));
+  EXPECT_TRUE(RowsApproxEqual(b, a, 1e-9));
+  // Rows that differ beyond tolerance still fail...
+  std::vector<Row> c = {Row{1.0, 5.0}, Row{2.0, 1.0}};
+  EXPECT_FALSE(RowsApproxEqual(a, c, 1e-9));
+  // ...as do equal-length multisets with mismatched multiplicities.
+  std::vector<Row> e = {Row{1.0, 5.0}, Row{1.0, 5.0}};
+  EXPECT_FALSE(RowsApproxEqual(a, e, 1e-9));
+  EXPECT_FALSE(RowsApproxEqual(std::vector<Row>{Row{1.0}}, {}, 1e-9));
+}
+
 TEST(PartitionSpecTest, FixesNumPartitionsOnlyWithExplicitSplits) {
   PartitionSpec spec;
   spec.type = PartitionType::kRange;

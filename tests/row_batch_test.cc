@@ -1,0 +1,196 @@
+// Tests for mr/row_batch.h and the batch pipeline runner: the columnar
+// accounting helpers must reproduce per-Row results exactly (including
+// empty batches and narrowed selections), and BatchPipelineRunner must
+// match PipelineRunner bit-for-bit on outputs and counters — the invariants
+// the vectorized executor paths are built on.
+
+#include "mr/row_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/wrappers.h"
+#include "mr/functions.h"
+#include "mr/partitioner.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+namespace {
+
+std::vector<Row> MixedRows() {
+  return {Row{int64_t{1}, 2.5, "alpha"}, Row{int64_t{7}, -0.25, ""},
+          Row{int64_t{-3}, 1e18, "a much longer string value"},
+          Row{int64_t{0}, 0.0, "z"}};
+}
+
+TEST(RowBatchTest, RoundTripAndAccountingParity) {
+  std::vector<Row> rows = MixedRows();
+  RowBatch batch = RowBatch::FromRows(rows, 3);
+  ASSERT_EQ(batch.num_rows(), rows.size());
+  ASSERT_EQ(batch.physical_rows(), rows.size());
+  ASSERT_EQ(batch.num_columns(), 3u);
+
+  EXPECT_EQ(batch.ToRows(), rows);
+  uint64_t total = 0;
+  const std::vector<size_t> fields = {2, 0};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch.MaterializeRow(i), rows[i]);
+    EXPECT_EQ(batch.RowSerializedSize(i), rows[i].SerializedSize());
+    EXPECT_EQ(batch.RowHash(i), rows[i].Hash());
+    EXPECT_EQ(batch.HashOnFields(i, fields), HashOnFields(rows[i], fields));
+    total += rows[i].SerializedSize();
+    for (size_t j = 0; j < rows.size(); ++j) {
+      EXPECT_EQ(batch.Compare(i, j, fields),
+                CompareOnFields(rows[i], rows[j], fields));
+    }
+  }
+  EXPECT_EQ(batch.TotalSerializedBytes(), total);
+}
+
+TEST(RowBatchTest, EmptyBatch) {
+  RowBatch batch = RowBatch::FromRows({}, 3);
+  EXPECT_EQ(batch.num_rows(), 0u);
+  EXPECT_EQ(batch.physical_rows(), 0u);
+  EXPECT_EQ(batch.num_columns(), 3u);
+  EXPECT_EQ(batch.TotalSerializedBytes(), 0u);
+  EXPECT_TRUE(batch.ToRows().empty());
+  batch.AppendConstColumn(Value(int64_t{5}));
+  EXPECT_EQ(batch.num_columns(), 4u);
+  EXPECT_EQ(batch.num_rows(), 0u);
+}
+
+TEST(RowBatchTest, SelectionNarrowsAccountingToLiveRows) {
+  std::vector<Row> rows = MixedRows();
+  RowBatch batch = RowBatch::FromRows(rows, 3);
+  // Keep physical rows 1 and 3.
+  batch.FilterSelection([](uint32_t phys) { return phys % 2 == 1; });
+  ASSERT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.physical_rows(), rows.size());  // columns untouched
+  EXPECT_EQ(batch.MaterializeRow(0), rows[1]);
+  EXPECT_EQ(batch.MaterializeRow(1), rows[3]);
+  EXPECT_EQ(batch.TotalSerializedBytes(),
+            rows[1].SerializedSize() + rows[3].SerializedSize());
+  EXPECT_EQ(batch.RowHash(1), rows[3].Hash());
+  const std::vector<size_t> fields = {1};
+  EXPECT_EQ(batch.Compare(0, 1, fields),
+            CompareOnFields(rows[1], rows[3], fields));
+  // Filtering to nothing leaves a valid empty batch.
+  batch.FilterSelection([](uint32_t) { return false; });
+  EXPECT_EQ(batch.num_rows(), 0u);
+  EXPECT_EQ(batch.TotalSerializedBytes(), 0u);
+}
+
+TEST(RowBatchTest, StructuralKernelsMatchRowOperations) {
+  std::vector<Row> rows = MixedRows();
+  RowBatch batch = RowBatch::FromRows(rows, 3);
+  batch.AppendConstColumn(Value("tag"));
+  batch.ProjectColumns({3, 1});
+  const std::vector<size_t> project = {1};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Row want = rows[i];
+    want.Append(Value("tag"));
+    want = want.Project({3, 1});
+    EXPECT_EQ(batch.MaterializeRow(i), want);
+    EXPECT_EQ(batch.RowSerializedSize(i), want.SerializedSize());
+    EXPECT_EQ(batch.RowHash(i), want.Hash());
+  }
+}
+
+TEST(RowBatchTest, PartitionerAgreesWithRowPath) {
+  Rng rng(11);
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back(Row{rng.NextInt(0, 40), rng.NextInt(0, 9)});
+  }
+  RowBatch batch = RowBatch::FromRows(rows, 2);
+  Schema schema({"k", "g"});
+
+  Partitioner hash = *Partitioner::Make(PartitionSpec::DefaultFor({"k"}),
+                                        schema);
+  PartitionSpec range_spec;
+  range_spec.type = PartitionType::kRange;
+  range_spec.partition_fields = {"k"};
+  range_spec.sort_fields = {"k"};
+  range_spec.split_points = {Row{int64_t{10}}, Row{int64_t{25}}};
+  Partitioner range = *Partitioner::Make(range_spec, schema, 3);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(hash.PartitionOf(batch, i, 7), hash.PartitionOf(rows[i], 7));
+    EXPECT_EQ(range.PartitionOf(batch, i, 3), range.PartitionOf(rows[i], 3));
+  }
+}
+
+// The load-bearing equivalence: a batch pipeline of filter / project /
+// append-const / sample stages must match the record-at-a-time
+// PipelineRunner exactly — outputs in order, rows_in/rows_out, and
+// cpu_units down to the floating-point bit (same addition order).
+TEST(BatchPipelineRunnerTest, MatchesRowPipelineBitForBit) {
+  Rng rng(23);
+  Schema schema({"A", "B", "V"});
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back(
+        Row{rng.NextInt(0, 50), rng.NextInt(0, 5), rng.NextDouble(0, 100)});
+  }
+
+  std::vector<Stage> stages;
+  stages.push_back(
+      Stage::Map(FilterRangeMap("f1", schema, "V", 5.0, 80.0, 0.7)));
+  stages.push_back(
+      Stage::Map(AppendConstMap("c1", schema, "T", Value(int64_t{9}), 0.3)));
+  Schema with_tag = schema.Concat(Schema({"T"}));
+  stages.push_back(Stage::Map(ProjectMap("p1", with_tag, {"A", "V", "T"})));
+  Schema projected({"A", "V", "T"});
+  stages.push_back(
+      Stage::Map(SampleMap("s1", projected, 3, {"A", "V"}, 0.4)));
+  ASSERT_TRUE(BatchPipelineRunner::Eligible(stages));
+
+  VectorEmitter row_out;
+  auto row_runner = PipelineRunner::Make(stages, schema, &row_out, nullptr);
+  ASSERT_TRUE(row_runner.ok());
+  for (const Row& r : rows) (*row_runner)->Emit(r);
+  (*row_runner)->Finish();
+
+  BatchPipelineRunner batch_runner = BatchPipelineRunner::Make(stages);
+  RowBatch out = batch_runner.Run(RowBatch::FromRows(rows, schema.size()));
+
+  EXPECT_EQ(out.ToRows(), row_out.rows());
+  const PipelineCounters& rc = (*row_runner)->counters();
+  const PipelineCounters& bc = batch_runner.counters();
+  EXPECT_EQ(bc.rows_in, rc.rows_in);
+  EXPECT_EQ(bc.rows_out, rc.rows_out);
+  // Bit-exact: the batch runner replays the same additions in order.
+  EXPECT_EQ(bc.cpu_units, rc.cpu_units);
+}
+
+TEST(BatchPipelineRunnerTest, EmptyPipelinePassesBatchesThrough) {
+  std::vector<Row> rows = MixedRows();
+  BatchPipelineRunner runner = BatchPipelineRunner::Make({});
+  RowBatch out = runner.Run(RowBatch::FromRows(rows, 3));
+  EXPECT_EQ(out.ToRows(), rows);
+  EXPECT_EQ(runner.counters().rows_in, rows.size());
+  EXPECT_EQ(runner.counters().rows_out, rows.size());
+  EXPECT_EQ(runner.counters().cpu_units, 0.0);
+}
+
+TEST(BatchPipelineRunnerTest, EligibilityRules) {
+  Schema schema({"A", "B", "V"});
+  // Reduce stages, tee stages, and batchless maps all disqualify.
+  std::vector<Stage> reduce = {Stage::Reduce(
+      AggReduce("r", schema, {"A"}, {{"V", AggOp::kSum, "S"}}), {"A"})};
+  EXPECT_FALSE(BatchPipelineRunner::Eligible(reduce));
+
+  Stage teed = Stage::Map(MakeIdentityMap(schema));
+  teed.tee_dataset = "SIDE";
+  EXPECT_FALSE(BatchPipelineRunner::Eligible({teed}));
+
+  auto batchless = std::make_shared<LambdaMapFn>(
+      "nobatch", schema, schema,
+      [](const Row& r, Emitter* out) { out->Emit(r); });
+  EXPECT_FALSE(BatchPipelineRunner::Eligible({Stage::Map(batchless)}));
+
+  EXPECT_TRUE(BatchPipelineRunner::Eligible({Stage::Map(MakeIdentityMap(
+      schema))}));
+}
+
+}  // namespace
+}  // namespace stubby

@@ -253,6 +253,17 @@ TEST_F(ThreadCountInvariance, ExecutionIsBitIdentical) {
       EXPECT_EQ(digest, ref_digest) << "threads=" << threads;
       EXPECT_EQ(flow->makespan_sec, ref_makespan) << "threads=" << threads;
     }
+
+    // The vectorized-exec switch joins the invariance contract: a batch-off
+    // run at this width must reproduce the same digest and makespan bits.
+    WorkflowRunner row_runner(w->plan.cluster(), &pool, ExecOptions{false});
+    Dfs row_dfs = w->dfs;
+    auto row_flow = row_runner.Run(w->plan, &row_dfs);
+    ASSERT_TRUE(row_flow.ok()) << row_flow.status();
+    EXPECT_EQ(OutputDigest(w->plan, row_dfs), ref_digest)
+        << "vectorized off, threads=" << threads;
+    EXPECT_EQ(row_flow->makespan_sec, ref_makespan)
+        << "vectorized off, threads=" << threads;
   }
 }
 
