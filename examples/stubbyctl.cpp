@@ -69,6 +69,7 @@ Result<Plan> OptimizeWith(const std::string& name, const Workload& w) {
   if (name == "ysmart") return YSmartOptimize(w.plan);
   if (name == "mrshare") return MRShareOptimize(w.plan);
   StubbyOptions opts;
+  opts.columnar_storage = ColumnarStorageFromEnv();
   if (name == "vertical") {
     opts.enable_horizontal = false;
   } else if (name == "horizontal") {
@@ -88,7 +89,8 @@ Result<Plan> OptimizeWith(const std::string& name, const Workload& w) {
 }
 
 double RunPlan(const Workload& w, const Plan& plan, Dfs* out) {
-  WorkflowRunner runner(plan.cluster());
+  WorkflowRunner runner(plan.cluster(), nullptr,
+                        ExecOptions{true, ColumnarStorageFromEnv()});
   Dfs dfs = w.dfs;
   auto flow = runner.Run(plan, &dfs);
   STUBBY_CHECK_OK(flow.status());
@@ -229,6 +231,7 @@ int main(int argc, char** argv) {
     }
     ReuseSession session(&store);
     StubbyOptions opts;
+    opts.columnar_storage = ColumnarStorageFromEnv();
 
     auto first = session.Run(w->plan, w->dfs, opts);
     STUBBY_CHECK_OK(first.status());

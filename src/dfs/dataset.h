@@ -1,20 +1,87 @@
 // StoredDataset: an in-memory stand-in for a dataset in the distributed
-// file-system. Rows are kept partitioned so that partition pruning, range
-// layouts, and pre-sorted inputs behave like their on-disk counterparts.
+// file-system. Payloads are kept partitioned so that partition pruning,
+// range layouts, and pre-sorted inputs behave like their on-disk
+// counterparts.
+//
+// Partitions are held as PartitionData: a dual-representation payload that
+// can be either row-native or column-native, with the other representation
+// derived lazily and cached. The vectorized executor scans column-native
+// partitions as zero-copy RowBatch views (no per-chunk FromRows), while
+// row-path consumers (signatures, catalog persistence, merge-mode reads)
+// keep seeing `const std::vector<Row>&` exactly as before. Byte accounting
+// is representation-independent: per-row serialized sizes are integer-summed
+// in row order, so raw_bytes()/RangeBytes() are bit-identical however the
+// payload is stored.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "dfs/layout.h"
+#include "mr/row_batch.h"
 #include "mr/schema.h"
 #include "mr/tuple.h"
 
 namespace stubby {
+
+/// One partition's payload, stored row-native or column-native. Cheap to
+/// copy: state lives in an immutable shared representation (only the lazy
+/// caches mutate, under a mutex). Concurrent readers are safe.
+class PartitionData {
+ public:
+  /// Empty partition (row-native, zero rows).
+  PartitionData();
+
+  /// Row-native payload. Columnar-capable iff all rows have equal arity
+  /// (columns are then derived lazily on first batch access).
+  explicit PartitionData(std::vector<Row> rows);
+
+  /// Column-native payload sharing the batch's columns (zero-copy when the
+  /// batch is dense with an identity selection; otherwise the selected
+  /// values are gathered per column, preserving broadcast columns).
+  static PartitionData FromBatch(const RowBatch& batch);
+
+  /// Physical row count.
+  size_t num_rows() const;
+
+  /// True if the payload can be exposed as a RowBatch (column-native, or
+  /// row-native with uniform arity).
+  bool columnar() const;
+
+  /// Column count; only meaningful when columnar().
+  size_t num_columns() const;
+
+  /// True if the payload was constructed column-native (vs derived).
+  bool column_native() const;
+
+  /// Rows, deriving and caching them from columns on first use.
+  const std::vector<Row>& rows() const;
+
+  /// The whole partition as a batch sharing this partition's columns
+  /// (identity selection). Requires columnar().
+  RowBatch AsBatch() const;
+
+  /// Rows [lo, hi) as a batch sharing this partition's columns (selection
+  /// restricted to the range). Requires columnar() and lo <= hi <= num_rows.
+  RowBatch BatchSlice(size_t lo, size_t hi) const;
+
+  /// Sum of Row::SerializedSize over all rows (integer sum, row order —
+  /// identical for either representation).
+  uint64_t raw_bytes() const;
+
+  /// Sum of Row::SerializedSize over rows [lo, hi).
+  uint64_t RangeBytes(size_t lo, size_t hi) const;
+
+ private:
+  struct Rep;
+  std::shared_ptr<Rep> rep_;
+};
 
 /// One dataset in the simulated DFS.
 class StoredDataset {
@@ -29,13 +96,20 @@ class StoredDataset {
   const Layout& layout() const { return layout_; }
 
   size_t num_partitions() const { return partitions_.size(); }
-  const std::vector<Row>& partition(size_t i) const { return partitions_[i]; }
-  const std::vector<std::vector<Row>>& partitions() const {
-    return partitions_;
+
+  /// Partition `i` as rows (lazily materialized from columns if needed).
+  const std::vector<Row>& partition(size_t i) const {
+    return partitions_[i].rows();
+  }
+
+  /// Partition `i`'s payload, representation and all (columnar scan path).
+  const PartitionData& partition_data(size_t i) const {
+    return partitions_[i];
   }
 
   /// Appends a (already laid-out) partition.
   void AddPartition(std::vector<Row> rows);
+  void AddPartition(PartitionData partition);
 
   /// Physical record count across partitions (the in-memory sample).
   uint64_t num_rows() const { return num_rows_; }
@@ -82,7 +156,7 @@ class StoredDataset {
   std::string id_;
   Schema schema_;
   Layout layout_;
-  std::vector<std::vector<Row>> partitions_;
+  std::vector<PartitionData> partitions_;
   uint64_t num_rows_ = 0;
   uint64_t raw_bytes_ = 0;
   double logical_scale_ = 1.0;

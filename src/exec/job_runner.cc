@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <set>
@@ -36,33 +37,50 @@ class TaskTeeSink : public TeeSink {
 
 using TeeRows = std::map<std::string, std::vector<Row>>;
 
-/// Accumulates a dataset under construction (per-partition rows + scaled
-/// accounting so the stored dataset gets the right logical scale).
+/// Accumulates a dataset under construction (per-partition payloads +
+/// scaled accounting so the stored dataset gets the right logical scale).
+/// Payloads arrive as rows (record path) or PartitionData (columnar path);
+/// byte accounting is identical either way.
 struct DatasetBuilder {
-  std::vector<std::vector<Row>> partitions;
+  std::vector<PartitionData> partitions;
   double scaled_records = 0.0;
   double scaled_bytes = 0.0;
   uint64_t physical_bytes = 0;
 
-  void Add(std::vector<Row> rows, double scale) {
-    uint64_t b = RowsBytes(rows);
-    scaled_records += static_cast<double>(rows.size()) * scale;
+  void Add(PartitionData pd, double scale) {
+    uint64_t b = pd.raw_bytes();
+    scaled_records += static_cast<double>(pd.num_rows()) * scale;
     scaled_bytes += static_cast<double>(b) * scale;
     physical_bytes += b;
-    partitions.push_back(std::move(rows));
+    partitions.push_back(std::move(pd));
+  }
+
+  void Add(std::vector<Row> rows, double scale) {
+    Add(PartitionData(std::move(rows)), scale);
   }
 
   /// Ensures partition index `r` exists and appends to it (reduce outputs
   /// are keyed by reduce task index).
-  void AddTo(size_t r, std::vector<Row> rows, double scale) {
+  void AddTo(size_t r, PartitionData pd, double scale) {
     if (partitions.size() <= r) partitions.resize(r + 1);
-    uint64_t b = RowsBytes(rows);
-    scaled_records += static_cast<double>(rows.size()) * scale;
+    uint64_t b = pd.raw_bytes();
+    scaled_records += static_cast<double>(pd.num_rows()) * scale;
     scaled_bytes += static_cast<double>(b) * scale;
     physical_bytes += b;
-    auto& p = partitions[r];
-    p.insert(p.end(), std::make_move_iterator(rows.begin()),
-             std::make_move_iterator(rows.end()));
+    if (partitions[r].num_rows() == 0) {
+      partitions[r] = std::move(pd);
+    } else {
+      // Only one piece lands per (branch, reduce task) today, but appends
+      // stay correct by concatenating through rows.
+      std::vector<Row> merged = partitions[r].rows();
+      const auto& extra = pd.rows();
+      merged.insert(merged.end(), extra.begin(), extra.end());
+      partitions[r] = PartitionData(std::move(merged));
+    }
+  }
+
+  void AddTo(size_t r, std::vector<Row> rows, double scale) {
+    AddTo(r, PartitionData(std::move(rows)), scale);
   }
 
   double LogicalScale() const {
@@ -100,11 +118,14 @@ Result<std::vector<int>> SelectedPartitions(const StoredDataset& ds,
 }
 
 /// One sorted (and possibly combined) reduce bucket produced by a map task.
+/// The payload is either rows (record path) or a batch sharing the map
+/// output's columns under a sorted selection (columnar path).
 struct ShuffleBucket {
   size_t r = 0;
   uint64_t sorted_bytes = 0;   ///< pre-combine, post-sort
   uint64_t pre_records = 0;    ///< pre-combine
   std::vector<Row> post_rows;  ///< after the (physical) combiner
+  std::optional<RowBatch> post_batch;  ///< columnar alternative to post_rows
 };
 
 /// Partitioned/sorted/combined map output of one task for one branch. Pure
@@ -118,6 +139,11 @@ struct ShuffledOutput {
 };
 
 }  // namespace
+
+bool ColumnarStorageFromEnv() {
+  const char* env = std::getenv("STUBBY_COLUMNAR");
+  return env == nullptr || std::string(env) != "0";
+}
 
 Result<PartitionSpec> ResolvePartitionSpec(const Branch& branch, int R,
                                            const Dfs& dfs) {
@@ -172,9 +198,16 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     std::vector<size_t> partition_sort_indices;  // in map-output schema
     std::vector<size_t> group_indices;           // combiner grouping
     std::optional<Partitioner> partitioner;
+    // True when the branch runs the columnar end-to-end path: every input
+    // map pipeline is batch-eligible, the reduce pipeline is batchable (or
+    // empty), and any active combiner has a batch kernel. Buckets then flow
+    // as reduce_batches instead of reduce_buckets.
+    bool columnar = false;
     // reduce_buckets[r]: rows destined for reduce task r, plus scaled
     // accounting (pre-combine) for skew measurement.
     std::vector<std::vector<Row>> reduce_buckets;
+    // reduce_batches[r]: columnar alternative (batches in map-task order).
+    std::vector<std::vector<RowBatch>> reduce_batches;
     std::vector<double> bucket_scaled_bytes;      // pre-combine, logical
     std::vector<double> bucket_scaled_records;    // pre-combine, logical
     std::vector<uint64_t> bucket_physical_records;       // pre-combine
@@ -204,7 +237,21 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     std::vector<std::string> group = b.GroupFields();
     STUBBY_ASSIGN_OR_RETURN(st.group_indices,
                             b.map_output_schema.IndicesOf(group));
+    if (exec_.vectorized && exec_.columnar && !b.merge_mode() &&
+        BatchReducePipeline::Eligible(b.reduce_stages)) {
+      bool inputs_eligible = true;
+      for (const BranchInput& in : b.inputs) {
+        if (!BatchPipelineRunner::Eligible(in.map_stages)) {
+          inputs_eligible = false;
+          break;
+        }
+      }
+      bool combiner_ok = !(job.config.use_combiner && b.combiner != nullptr) ||
+                         b.combiner->supports_batch();
+      st.columnar = inputs_eligible && combiner_ok;
+    }
     st.reduce_buckets.assign(static_cast<size_t>(R), {});
+    st.reduce_batches.assign(static_cast<size_t>(R), {});
     st.bucket_scaled_bytes.assign(static_cast<size_t>(R), 0.0);
     st.bucket_scaled_records.assign(static_cast<size_t>(R), 0.0);
     st.bucket_physical_records.assign(static_cast<size_t>(R), 0);
@@ -328,6 +375,58 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     return so;
   };
 
+  // Column-native compute_shuffle_batch for branches on the end-to-end
+  // columnar path (bstate[bi].columnar): buckets stay batches whose sorted
+  // selection indexes the map output's shared columns, so no row is
+  // materialized between the map kernel and the reduce kernel. The combiner,
+  // when active, runs its batch kernel over equal-key runs (output rows
+  // match RunCombiner; its cpu out-param is discarded here exactly like the
+  // row path's — combine CPU is modeled analytically after the map phase).
+  auto compute_shuffle_columnar = [&](size_t bi,
+                                      const RowBatch& batch) -> ShuffledOutput {
+    const Branch& b = job.branches[bi];
+    const BranchState& st = bstate[bi];
+    ShuffledOutput so;
+    const size_t n = batch.num_rows();
+    so.out_bytes = batch.TotalSerializedBytes();
+    so.out_records = n;
+    so.group_hashes.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      so.group_hashes.push_back(batch.HashOnFields(i, st.group_indices));
+    }
+    std::vector<std::vector<uint32_t>> buckets(static_cast<size_t>(R));
+    for (size_t i = 0; i < n; ++i) {
+      int r = st.partitioner->PartitionOf(batch, i, R);
+      buckets[static_cast<size_t>(r)].push_back(static_cast<uint32_t>(i));
+    }
+    for (size_t r = 0; r < buckets.size(); ++r) {
+      auto& idx = buckets[r];
+      if (idx.empty()) continue;
+      std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t bb) {
+        return batch.Compare(a, bb, st.partition_sort_indices) < 0;
+      });
+      ShuffleBucket sb;
+      sb.r = r;
+      sb.pre_records = idx.size();
+      std::vector<uint32_t> sel;
+      sel.reserve(idx.size());
+      for (uint32_t i : idx) {
+        sb.sorted_bytes += batch.RowSerializedSize(i);
+        sel.push_back(batch.selection()[i]);
+      }
+      RowBatch bucket = batch;  // shares columns
+      bucket.SetSelection(std::move(sel));
+      if (job.config.use_combiner && b.combiner != nullptr) {
+        double combine_cpu = 0.0;
+        bucket = RunCombinerBatch(*b.combiner, bucket, st.group_indices,
+                                  &combine_cpu);
+      }
+      sb.post_batch = std::move(bucket);
+      so.buckets.push_back(std::move(sb));
+    }
+    return so;
+  };
+
   // Merge side of the shuffle: stash the buckets into the branch state and
   // account shuffle volume pre-combine — combine effectiveness at logical
   // scale is modeled analytically after the map phase, because the
@@ -348,10 +447,15 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
       st.bucket_scaled_records[sb.r] +=
           static_cast<double>(sb.pre_records) * scale;
       st.bucket_physical_records[sb.r] += sb.pre_records;
-      st.bucket_physical_post_records[sb.r] += sb.post_rows.size();
-      auto& dst = st.reduce_buckets[sb.r];
-      dst.insert(dst.end(), std::make_move_iterator(sb.post_rows.begin()),
-                 std::make_move_iterator(sb.post_rows.end()));
+      if (sb.post_batch.has_value()) {
+        st.bucket_physical_post_records[sb.r] += sb.post_batch->num_rows();
+        st.reduce_batches[sb.r].push_back(std::move(*sb.post_batch));
+      } else {
+        st.bucket_physical_post_records[sb.r] += sb.post_rows.size();
+        auto& dst = st.reduce_buckets[sb.r];
+        dst.insert(dst.end(), std::make_move_iterator(sb.post_rows.begin()),
+                   std::make_move_iterator(sb.post_rows.end()));
+      }
     }
   };
 
@@ -373,12 +477,22 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
   // ---- Map phase: shared-scan input groups --------------------------------
   std::vector<InputGroup> groups = GroupBranchInputs(job);
 
-  // Serial task formation: one task per (group, chunk).
+  // Serial task formation: one task per (group, chunk). A chunk is a list
+  // of partition segments — views into PartitionData payloads — so forming
+  // tasks copies no rows: aligned reads take whole partitions, size-based
+  // splits take [lo, hi) ranges of consecutive partitions. Chunk boundaries
+  // (task counts, per-task record ranges) are identical to the historical
+  // row-gathering formation.
+  struct ChunkSeg {
+    PartitionData pd;  // shares the dataset partition's representation
+    size_t lo = 0;
+    size_t hi = 0;
+  };
   struct MapTask {
     const InputGroup* group = nullptr;
     DatasetPtr ds;
     double scale = 1.0;
-    std::vector<Row> chunk;
+    std::vector<ChunkSeg> segs;
   };
   std::vector<MapTask> map_tasks;
   for (const InputGroup& g : groups) {
@@ -388,15 +502,21 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
                             SelectedPartitions(*ds, g.prune_partitions));
 
     // Form map task input chunks.
-    std::vector<std::vector<Row>> chunks;
+    std::vector<std::vector<ChunkSeg>> chunks;
     if (g.aligned) {
       for (int p : parts) {
-        chunks.push_back(ds->partition(static_cast<size_t>(p)));
+        const PartitionData& pd = ds->partition_data(static_cast<size_t>(p));
+        chunks.push_back({ChunkSeg{pd, 0, pd.num_rows()}});
       }
       if (chunks.empty()) chunks.emplace_back();
     } else {
-      std::vector<Row> all = ds->RowsOfPartitions(parts);
-      uint64_t physical_bytes = RowsBytes(all);
+      uint64_t physical_bytes = 0;
+      size_t total_rows = 0;
+      for (int p : parts) {
+        const PartitionData& pd = ds->partition_data(static_cast<size_t>(p));
+        physical_bytes += pd.raw_bytes();
+        total_rows += pd.num_rows();
+      }
       double stored_logical = static_cast<double>(physical_bytes) * scale;
       if (ds->layout().compressed) stored_logical *= cluster_.compress_ratio;
       int tasks = std::max(
@@ -404,13 +524,26 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
                  std::ceil(stored_logical / (job.config.split_mb * kMB))));
       tasks = std::min(tasks, kMaxMapTasks);
       size_t per = std::max<size_t>(
-          1, (all.size() + static_cast<size_t>(tasks) - 1) /
+          1, (total_rows + static_cast<size_t>(tasks) - 1) /
                  static_cast<size_t>(tasks));
       for (int t = 0; t < tasks; ++t) {
-        size_t lo = std::min(all.size(), static_cast<size_t>(t) * per);
-        size_t hi = std::min(all.size(), lo + per);
-        chunks.emplace_back(all.begin() + static_cast<long>(lo),
-                            all.begin() + static_cast<long>(hi));
+        size_t lo = std::min(total_rows, static_cast<size_t>(t) * per);
+        size_t hi = std::min(total_rows, lo + per);
+        // Map the global row range [lo, hi) onto partition segments, in
+        // `parts` order (the concatenation order of RowsOfPartitions).
+        std::vector<ChunkSeg> segs;
+        size_t off = 0;
+        for (int p : parts) {
+          const PartitionData& pd =
+              ds->partition_data(static_cast<size_t>(p));
+          size_t n = pd.num_rows();
+          size_t slo = std::max(lo, off);
+          size_t shi = std::min(hi, off + n);
+          if (slo < shi) segs.push_back(ChunkSeg{pd, slo - off, shi - off});
+          off += n;
+          if (off >= hi) break;
+        }
+        chunks.push_back(std::move(segs));
       }
       if (chunks.empty()) chunks.emplace_back();
     }
@@ -418,10 +551,67 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     df.num_map_tasks += static_cast<int>(chunks.size());
     df.pipelines_per_task = std::max(
         df.pipelines_per_task, static_cast<int>(g.subscribers.size()));
-    for (std::vector<Row>& chunk : chunks) {
+    for (std::vector<ChunkSeg>& chunk : chunks) {
       map_tasks.push_back(MapTask{&g, ds, scale, std::move(chunk)});
     }
   }
+
+  // Builds the shared columnar view of a task's chunk. With columnar
+  // storage on, single-segment chunks are zero-copy views of the stored
+  // columns (identity or range selection); multi-segment chunks gather
+  // column-wise. With it off — or for ragged/width-mismatched payloads —
+  // rows are gathered and converted per chunk, the PR-6 framing.
+  auto make_chunk_batch = [&](const MapTask& t) -> RowBatch {
+    const size_t nschema = t.ds->schema().size();
+    if (exec_.columnar && !t.segs.empty()) {
+      bool view_ok = true;
+      for (const ChunkSeg& seg : t.segs) {
+        if (!seg.pd.columnar() || seg.pd.num_columns() != nschema) {
+          view_ok = false;
+          break;
+        }
+      }
+      if (view_ok) {
+        if (t.segs.size() == 1) {
+          const ChunkSeg& seg = t.segs.front();
+          if (seg.lo == 0 && seg.hi == seg.pd.num_rows()) {
+            return seg.pd.AsBatch();
+          }
+          return seg.pd.BatchSlice(seg.lo, seg.hi);
+        }
+        size_t total = 0;
+        for (const ChunkSeg& seg : t.segs) total += seg.hi - seg.lo;
+        std::vector<RowBatch> views;
+        views.reserve(t.segs.size());
+        for (const ChunkSeg& seg : t.segs) views.push_back(seg.pd.AsBatch());
+        std::vector<RowBatch::ColumnPtr> cols;
+        cols.reserve(nschema);
+        for (size_t c = 0; c < nschema; ++c) {
+          auto col = std::make_shared<RowBatch::Column>();
+          col->reserve(total);
+          for (size_t s = 0; s < t.segs.size(); ++s) {
+            for (size_t i = t.segs[s].lo; i < t.segs[s].hi; ++i) {
+              col->push_back(views[s].ValueAt(c, static_cast<uint32_t>(i)));
+            }
+          }
+          cols.push_back(std::move(col));
+        }
+        return RowBatch::FromColumns(std::move(cols),
+                                     std::vector<uint32_t>(nschema, 1),
+                                     total);
+      }
+    }
+    std::vector<Row> rows;
+    size_t total = 0;
+    for (const ChunkSeg& seg : t.segs) total += seg.hi - seg.lo;
+    rows.reserve(total);
+    for (const ChunkSeg& seg : t.segs) {
+      const auto& src = seg.pd.rows();
+      rows.insert(rows.end(), src.begin() + static_cast<long>(seg.lo),
+                  src.begin() + static_cast<long>(seg.hi));
+    }
+    return RowBatch::FromRows(rows, nschema);
+  };
 
   // Parallel compute: every subscribing branch pipeline over the shared
   // scan, plus the per-branch shuffle work.
@@ -429,8 +619,9 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     Status status = Status::OK();
     double cpu_units = 0.0;
     TeeRows tee;
-    std::vector<Row> out_rows;  // map-only branches
-    ShuffledOutput shuffled;    // shuffle branches
+    std::vector<Row> out_rows;            // map-only branches (row path)
+    std::optional<PartitionData> out_pd;  // map-only, columnar path
+    ShuffledOutput shuffled;              // shuffle branches
   };
   struct MapTaskResult {
     uint64_t chunk_bytes = 0;
@@ -441,9 +632,11 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
   RunTasks(pool_, map_tasks.size(), [&](size_t ti) {
     MapTask& t = map_tasks[ti];
     MapTaskResult& res = map_results[ti];
-    res.chunk_bytes = RowsBytes(t.chunk);
-    res.chunk_rows = t.chunk.size();
-    // One columnar copy of the chunk serves every eligible subscriber
+    for (const ChunkSeg& seg : t.segs) {
+      res.chunk_rows += seg.hi - seg.lo;
+      res.chunk_bytes += seg.pd.RangeBytes(seg.lo, seg.hi);
+    }
+    // One columnar view of the chunk serves every eligible subscriber
     // (pipelines share the input columns; kernels never mutate them).
     std::optional<RowBatch> chunk_batch;
     for (const auto& [bi, ii] : t.group->subscribers) {
@@ -451,15 +644,20 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
       const Branch& b = job.branches[bi];
       const BranchInput& input = b.inputs[ii];
       if (exec_.vectorized && BatchPipelineRunner::Eligible(input.map_stages)) {
-        if (!chunk_batch) {
-          chunk_batch = RowBatch::FromRows(t.chunk, t.ds->schema().size());
-        }
+        if (!chunk_batch) chunk_batch = make_chunk_batch(t);
         BatchPipelineRunner runner =
             BatchPipelineRunner::Make(input.map_stages);
         RowBatch out = runner.Run(*chunk_batch);
         piece.cpu_units = runner.counters().cpu_units;
         if (b.map_only()) {
-          piece.out_rows = out.ToRows();
+          if (exec_.columnar) {
+            piece.out_pd = PartitionData::FromBatch(out);
+            piece.out_pd->raw_bytes();  // size in-task, off the merge path
+          } else {
+            piece.out_rows = out.ToRows();
+          }
+        } else if (bstate[bi].columnar) {
+          piece.shuffled = compute_shuffle_columnar(bi, out);
         } else {
           piece.shuffled = compute_shuffle_batch(bi, out);
         }
@@ -473,7 +671,10 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
         piece.status = runner.status();
         continue;
       }
-      for (const Row& row : t.chunk) (*runner)->Emit(row);
+      for (const ChunkSeg& seg : t.segs) {
+        const auto& src = seg.pd.rows();
+        for (size_t i = seg.lo; i < seg.hi; ++i) (*runner)->Emit(src[i]);
+      }
       (*runner)->Finish();
       piece.cpu_units = (*runner)->counters().cpu_units;
       piece.tee = std::move(tee.rows());
@@ -483,8 +684,8 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
         piece.shuffled = compute_shuffle(bi, std::move(out.rows()));
       }
     }
-    t.chunk.clear();
-    t.chunk.shrink_to_fit();
+    t.segs.clear();
+    t.segs.shrink_to_fit();
   });
 
   // Serial merge in task order.
@@ -502,7 +703,11 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
       df.map_cpu_units += piece.cpu_units * t.scale;
       drain_tee(piece.tee, t.scale);
       if (job.branches[bi].map_only()) {
-        bstate[bi].output.Add(std::move(piece.out_rows), t.scale);
+        if (piece.out_pd.has_value()) {
+          bstate[bi].output.Add(std::move(*piece.out_pd), t.scale);
+        } else {
+          bstate[bi].output.Add(std::move(piece.out_rows), t.scale);
+        }
       } else {
         merge_shuffle(bi, std::move(piece.shuffled), t.scale);
       }
@@ -695,10 +900,12 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
   }
 
   // ---- Reduce phase --------------------------------------------------------
-  // Reduce pipelines run record-at-a-time: ReduceFns consume materialized
-  // row groups by interface, and the shuffle already delivered materialized
-  // rows, so a columnar detour would round-trip every value for no kernel
-  // win.
+  // Columnar branches (bstate.columnar) run the reduce side batched: the
+  // per-map bucket batches are concatenated in task order, sorted by
+  // selection permutation (same stable sort, same comparator, same initial
+  // order as the row path — hence the same permutation), and grouped runs go
+  // through the reducer's batch kernel. Everything else runs
+  // record-at-a-time exactly as before.
   if (!map_only) {
     // One task per reduce partition; task r exclusively owns every branch's
     // bucket r, so sorting in place and draining the rows is race-free.
@@ -707,7 +914,8 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
       bool had_rows = false;
       double cpu_units = 0.0;
       TeeRows tee;
-      std::vector<Row> out_rows;
+      std::vector<Row> out_rows;            // row path
+      std::optional<PartitionData> out_pd;  // columnar path
     };
     struct ReduceTaskResult {
       std::vector<ReducePiece> pieces;  // indexed by branch
@@ -721,6 +929,65 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
         if (b.map_only()) continue;
         BranchState& st = bstate[bi];
         ReducePiece& piece = res.pieces[bi];
+
+        if (st.columnar) {
+          auto& batches = st.reduce_batches[ri];
+          size_t total = 0;
+          for (const RowBatch& rb : batches) total += rb.num_rows();
+          piece.had_rows = total > 0;
+          RowBatch merged;
+          if (batches.size() == 1) {
+            merged = std::move(batches.front());
+          } else {
+            // Concatenate the bucket batches (map-task order) column-wise
+            // into one dense batch — the columnar twin of the row path's
+            // bucket concatenation.
+            const size_t ncols = b.map_output_schema.size();
+            std::vector<RowBatch::ColumnPtr> cols;
+            cols.reserve(ncols);
+            for (size_t c = 0; c < ncols; ++c) {
+              auto col = std::make_shared<RowBatch::Column>();
+              col->reserve(total);
+              for (const RowBatch& rb : batches) {
+                for (size_t i = 0; i < rb.num_rows(); ++i) {
+                  col->push_back(rb.At(i, c));
+                }
+              }
+              cols.push_back(std::move(col));
+            }
+            merged = RowBatch::FromColumns(
+                std::move(cols), std::vector<uint32_t>(ncols, 1), total);
+          }
+          batches.clear();
+          batches.shrink_to_fit();
+
+          // Merge the per-map sorted segments (modeled as one stable sort)
+          // by permuting the selection.
+          std::vector<uint32_t> perm(merged.num_rows());
+          std::iota(perm.begin(), perm.end(), 0u);
+          std::stable_sort(perm.begin(), perm.end(),
+                           [&](uint32_t a, uint32_t bb) {
+                             return merged.Compare(
+                                        a, bb, st.partition_sort_indices) < 0;
+                           });
+          std::vector<uint32_t> sel;
+          sel.reserve(perm.size());
+          for (uint32_t p : perm) sel.push_back(merged.selection()[p]);
+          merged.SetSelection(std::move(sel));
+
+          auto runner =
+              BatchReducePipeline::Make(b.reduce_stages, b.map_output_schema);
+          if (!runner.ok()) {
+            piece.status = runner.status();
+            continue;
+          }
+          RowBatch out = runner->Run(merged);
+          piece.cpu_units = runner->counters().cpu_units;
+          piece.out_pd = PartitionData::FromBatch(out);
+          piece.out_pd->raw_bytes();  // size in-task, off the merge path
+          continue;
+        }
+
         auto& rows = st.reduce_buckets[ri];
         piece.had_rows = !rows.empty();
 
@@ -783,8 +1050,13 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
             st.bucket_scaled_bytes[ri] * st.combine_ratio);
         df.reduce_cpu_units += piece.cpu_units * cpu_scale;
         drain_tee(piece.tee, scale);
-        st.output.AddTo(static_cast<size_t>(r), std::move(piece.out_rows),
-                        scale);
+        if (piece.out_pd.has_value()) {
+          st.output.AddTo(static_cast<size_t>(r), std::move(*piece.out_pd),
+                          scale);
+        } else {
+          st.output.AddTo(static_cast<size_t>(r), std::move(piece.out_rows),
+                          scale);
+        }
       }
       if (nonempty) df.nonempty_reduce_partitions++;
       df.max_reduce_input_bytes =

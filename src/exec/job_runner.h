@@ -36,7 +36,21 @@ struct ExecOptions {
   /// to record-at-a-time execution. Driven by
   /// StubbyOptions::vectorized_exec.
   bool vectorized = true;
+  /// Column-native storage boundary: scan chunks as zero-copy RowBatch
+  /// views over PartitionData columns (no per-chunk FromRows), keep shuffle
+  /// buckets as selection vectors over shared columns, batch eligible
+  /// reduce pipelines, and store batch outputs column-native. Only takes
+  /// effect when `vectorized` is on; ineligible branches (merge mode,
+  /// stateful/tee stages, non-batch combiners) fall back to the row path.
+  /// Driven by StubbyOptions::columnar_storage.
+  bool columnar = true;
 };
+
+/// True unless STUBBY_COLUMNAR=0 in the environment. The CLI and the
+/// benches seed StubbyOptions::columnar_storage (and their direct
+/// WorkflowRunner ExecOptions) from this, so a columnar-off A/B needs no
+/// rebuild; library callers are unaffected.
+bool ColumnarStorageFromEnv();
 
 /// Executes single jobs against a Dfs. The pool, when given, is borrowed
 /// for the duration of each Run call.

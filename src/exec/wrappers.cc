@@ -195,6 +195,54 @@ RowBatch BatchPipelineRunner::Run(RowBatch batch) {
   return batch;
 }
 
+bool BatchReducePipeline::Eligible(const std::vector<Stage>& stages) {
+  if (stages.empty()) return true;
+  if (stages.size() != 1) return false;
+  const Stage& s = stages.front();
+  if (s.kind != Stage::Kind::kReduce) return false;
+  if (!s.tee_dataset.empty()) return false;
+  return s.reduce_fn->stateless() && s.reduce_fn->supports_batch();
+}
+
+Result<BatchReducePipeline> BatchReducePipeline::Make(
+    const std::vector<Stage>& stages, const Schema& input_schema) {
+  BatchReducePipeline runner;
+  if (stages.empty()) return runner;
+  const Stage& s = stages.front();
+  runner.fn_ = s.reduce_fn->Clone();
+  runner.fn_->Setup();
+  runner.cpu_weight_ = runner.fn_->cpu_cost_per_record();
+  runner.out_arity_ = runner.fn_->output_schema().size();
+  STUBBY_ASSIGN_OR_RETURN(runner.group_indices_,
+                          input_schema.IndicesOf(s.group_fields));
+  return runner;
+}
+
+RowBatch BatchReducePipeline::Run(const RowBatch& batch) {
+  size_t n = batch.num_rows();
+  counters_.rows_in += n;
+  if (fn_ == nullptr) {
+    counters_.rows_out += n;
+    return batch;
+  }
+  // The row path charges the stage weight once per input row on arrival
+  // (group flushes add none), so replaying the additions in input order
+  // reproduces cpu_units bit-for-bit.
+  for (size_t i = 0; i < n; ++i) counters_.cpu_units += cpu_weight_;
+  ColumnAppender out(out_arity_);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && batch.Compare(i, j, group_indices_) == 0) ++j;
+    fn_->ReduceBatch(batch, i, j, group_indices_, &out);
+    i = j;
+  }
+  counters_.rows_out += out.num_rows();
+  // Stateless reducers may not emit from Finish, so the row path's
+  // FinishNode pass is a no-op here by contract.
+  return out.TakeBatch();
+}
+
 std::vector<Row> RunCombiner(const CombineFn& fn,
                              const std::vector<Row>& sorted_rows,
                              const std::vector<size_t>& group_indices,
@@ -216,6 +264,24 @@ std::vector<Row> RunCombiner(const CombineFn& fn,
     i = j;
   }
   return std::move(out.rows());
+}
+
+RowBatch RunCombinerBatch(const CombineFn& fn, const RowBatch& sorted,
+                          const std::vector<size_t>& group_indices,
+                          double* cpu_units) {
+  ColumnAppender out(sorted.num_columns());
+  std::shared_ptr<CombineFn> instance = fn.Clone();
+  size_t n = sorted.num_rows();
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && sorted.Compare(i, j, group_indices) == 0) ++j;
+    instance->CombineBatch(sorted, i, j, &out);
+    *cpu_units +=
+        static_cast<double>(j - i) * instance->cpu_cost_per_record();
+    i = j;
+  }
+  return out.TakeBatch();
 }
 
 }  // namespace stubby

@@ -26,6 +26,18 @@ RowBatch RowBatch::FromRows(const std::vector<Row>& rows, size_t num_columns) {
   return batch;
 }
 
+RowBatch RowBatch::FromColumns(std::vector<ColumnPtr> cols,
+                               std::vector<uint32_t> strides,
+                               size_t physical_rows) {
+  RowBatch batch;
+  batch.cols_ = std::move(cols);
+  batch.stride_ = std::move(strides);
+  batch.physical_rows_ = physical_rows;
+  batch.sel_.resize(physical_rows);
+  std::iota(batch.sel_.begin(), batch.sel_.end(), 0u);
+  return batch;
+}
+
 void RowBatch::ProjectColumns(const std::vector<size_t>& indices) {
   std::vector<ColumnPtr> out;
   std::vector<uint32_t> strides;

@@ -40,6 +40,15 @@ class RowBatch {
   /// have `num_columns` fields; `rows` may be empty.
   static RowBatch FromRows(const std::vector<Row>& rows, size_t num_columns);
 
+  /// Builds a batch directly over shared columns with an identity selection
+  /// (zero-copy: the columns are not materialized again). `strides` is
+  /// parallel to `cols` (1 = dense of length `physical_rows`, 0 = broadcast
+  /// single-element column). This is the columnar-storage scan constructor:
+  /// PartitionData hands its cached columns straight to the executor.
+  static RowBatch FromColumns(std::vector<ColumnPtr> cols,
+                              std::vector<uint32_t> strides,
+                              size_t physical_rows);
+
   /// Live (selected) row count.
   size_t num_rows() const { return sel_.size(); }
   /// Underlying column length (live + filtered-out rows).
@@ -85,10 +94,17 @@ class RowBatch {
     sel_ = std::move(out);
   }
 
-  /// Replaces the selection. `sel` must be an ascending subset of the
-  /// current selection (batch kernels may only drop rows, never reorder or
-  /// resurrect them).
+  /// Replaces the selection. Inside a batch *map* pipeline, `sel` must be an
+  /// ascending subset of the current selection (kernels may only drop rows,
+  /// never reorder or resurrect them) — BatchPipelineRunner's CPU replay
+  /// depends on it. Carrier batches outside map pipelines (shuffle buckets,
+  /// sorted reduce inputs) may hold arbitrary permutations of physical ids.
   void SetSelection(std::vector<uint32_t> sel) { sel_ = std::move(sel); }
+
+  /// Columns and strides, for consumers that store batches column-natively
+  /// (see dfs/dataset.h PartitionData::FromBatch).
+  const std::vector<ColumnPtr>& columns() const { return cols_; }
+  const std::vector<uint32_t>& strides() const { return stride_; }
 
   // ---- Accounting parity helpers ------------------------------------------
   // Each reproduces the corresponding per-Row result of mr/tuple.* exactly
@@ -125,6 +141,58 @@ class RowBatch {
   std::vector<uint32_t> stride_;
   std::vector<uint32_t> sel_;
   size_t physical_rows_ = 0;
+};
+
+/// Builds a dense RowBatch row-append-at-a-time. Batch reduce/combine
+/// kernels emit output rows through this instead of a row Emitter, so their
+/// output lands column-native without a rows round-trip.
+class ColumnAppender {
+ public:
+  explicit ColumnAppender(size_t num_columns) : cols_(num_columns) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends one output row; `values.size()` must equal num_columns().
+  void Append(std::vector<Value> values) {
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].push_back(std::move(values[c]));
+    }
+    ++num_rows_;
+  }
+
+  /// Appends a copy of `r`.
+  void Append(const Row& r) {
+    for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(r[c]);
+    ++num_rows_;
+  }
+
+  /// Appends live row `row` of `batch` (pass-through emission).
+  void AppendFrom(const RowBatch& batch, size_t row) {
+    uint32_t phys = batch.selection()[row];
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].push_back(batch.ValueAt(c, phys));
+    }
+    ++num_rows_;
+  }
+
+  /// The accumulated rows as a dense batch; the appender is left empty.
+  RowBatch TakeBatch() {
+    std::vector<RowBatch::ColumnPtr> cols;
+    cols.reserve(cols_.size());
+    for (auto& c : cols_) {
+      cols.push_back(std::make_shared<RowBatch::Column>(std::move(c)));
+      c.clear();
+    }
+    RowBatch out = RowBatch::FromColumns(
+        std::move(cols), std::vector<uint32_t>(cols_.size(), 1), num_rows_);
+    num_rows_ = 0;
+    return out;
+  }
+
+ private:
+  std::vector<RowBatch::Column> cols_;
+  size_t num_rows_ = 0;
 };
 
 }  // namespace stubby

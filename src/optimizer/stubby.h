@@ -79,10 +79,11 @@ struct StubbyOptions {
   /// reuse is bit-transparent on outputs.
   bool reuse_aware_search = true;
   /// Signature memo for the reuse-aware search (reuse/probe_cache.h): one
-  /// Optimize-call-wide ReuseProbeCache memoizes JobReuseKey digests, so
-  /// each distinct job signature is derived once instead of once per
-  /// RRS-configured candidate. A pure wall-time knob: plans, costs, and
-  /// every counter except ReuseStats::probe_cache_{hits,misses} are
+  /// Optimize-call-wide ReuseProbeCache memoizes JobReuseKey digests and
+  /// the tier-2b MapStreamKey prefix ladder, so each distinct signature is
+  /// derived once instead of once per RRS-configured candidate. A pure
+  /// wall-time knob: plans, costs, and every counter except
+  /// ReuseStats::probe_cache_{hits,misses} and signature_keys_computed are
   /// bit-identical on or off, so it stays out of the option salt.
   bool reuse_probe_cache = true;
   /// Columnar batch execution in the executor (mr/row_batch.h +
@@ -93,6 +94,18 @@ struct StubbyOptions {
   /// bit-identical on or off at any thread count, so it stays out of the
   /// option salt.
   bool vectorized_exec = true;
+  /// Column-native dataset storage at the executor boundary
+  /// (dfs/dataset.h PartitionData): eligible scans read stored columns as
+  /// zero-copy RowBatch views instead of converting rows per chunk, shuffle
+  /// buckets stay selection vectors over shared columns, batchable reduce
+  /// pipelines run their grouped-aggregate kernels columnar, and batch
+  /// outputs are stored column-native (rows derived lazily for row-path
+  /// consumers). Only effective when `vectorized_exec` is on. A pure
+  /// wall-time knob under the same hard invariant — outputs, dataflow
+  /// accounting, dataset signatures, plans, costs, and makespans are
+  /// bit-identical on or off at any thread count — so it stays out of the
+  /// option salt. Env override: STUBBY_COLUMNAR=0 in stubbyctl and benches.
+  bool columnar_storage = true;
 };
 
 /// Digest of the options that shape what an optimized plan computes —

@@ -128,7 +128,9 @@ DatasetPtr CloneDataset(const StoredDataset& ds, std::string new_id) {
   auto clone = std::make_shared<StoredDataset>(std::move(new_id), ds.schema(),
                                                ds.layout());
   for (size_t p = 0; p < ds.num_partitions(); ++p) {
-    clone->AddPartition(ds.partition(p));
+    // Payloads are immutable shared representations, so cloning a dataset
+    // shares them instead of copying every row.
+    clone->AddPartition(ds.partition_data(p));
   }
   clone->set_logical_scale(ds.logical_scale());
   return clone;

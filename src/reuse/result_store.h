@@ -52,10 +52,11 @@ struct ReuseStats {
   uint64_t search_priced = 0;
   uint64_t search_won = 0;
 
-  /// Signature memo (reuse/probe_cache.h): JobReuseKey resolutions served
-  /// from the memo vs computed fresh, plus the count of actual JobReuseKey
-  /// digest computations on the probe path (`signature_keys_computed` —
-  /// the measured baseline when the memo is off). Pure wall-time
+  /// Signature memo (reuse/probe_cache.h): signature resolutions —
+  /// JobReuseKeys and tier-2b MapStreamKey ladder rungs — served from the
+  /// memo vs computed fresh, plus the count of actual signature digest
+  /// computations on the probe path (`signature_keys_computed` — the
+  /// measured baseline when the memo is off). Pure wall-time
   /// observability — every other counter, and every key bit, is identical
   /// with the memo on or off — but still deterministic at any thread count
   /// (memo state follows the same snapshot/overlay/ordered-merge protocol

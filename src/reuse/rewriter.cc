@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "reuse/probe_cache.h"
+
 namespace stubby {
 
 Status ReuseRewriter::MaterializeVertex(Plan* plan,
@@ -169,16 +171,39 @@ Result<ReuseRewriteResult> ReuseRewriter::RewriteImpl(
         const StoredResult* hit = nullptr;
         size_t hit_len = 0;
         CostKey hit_key{0, 0};
-        for (size_t k = n; k >= 1; --k) {  // longest stored prefix wins
-          if (!PrefixEligible(b, in, job->config, k)) break;
-          CostKey key = MapStreamKey(lit->second, in.map_stages, k);
-          ++result.stats.lookups;
-          const StoredResult* e = store_->Peek(key);
-          if (e != nullptr) {
-            hit = commit ? store_->Lookup(key) : e;
-            hit_len = k;
-            hit_key = key;
-            break;
+        // Eligibility inspects the whole pipeline, not the prefix, so one
+        // check at k = n decides the entire ladder.
+        if (n >= 1 && PrefixEligible(b, in, job->config, n)) {
+          ProbeStore* memo = probe != nullptr ? probe->memo : nullptr;
+          CostKey memo_base{0, 0};
+          if (memo != nullptr) {
+            memo_base = MapStreamMemoBase(lit->second, in.map_stages);
+          }
+          for (size_t k = n; k >= 1; --k) {  // longest stored prefix wins
+            CostKey key;
+            if (memo != nullptr) {
+              const CostKey memo_key = MapStreamMemoKey(memo_base, k);
+              if (const CostKey* cached = memo->Peek(memo_key)) {
+                key = *cached;
+                ++result.stats.probe_cache_hits;
+              } else {
+                key = MapStreamKey(lit->second, in.map_stages, k);
+                memo->Insert(memo_key, key);
+                ++result.stats.probe_cache_misses;
+                ++result.stats.signature_keys_computed;
+              }
+            } else {
+              key = MapStreamKey(lit->second, in.map_stages, k);
+              ++result.stats.signature_keys_computed;
+            }
+            ++result.stats.lookups;
+            const StoredResult* e = store_->Peek(key);
+            if (e != nullptr) {
+              hit = commit ? store_->Lookup(key) : e;
+              hit_len = k;
+              hit_key = key;
+              break;
+            }
           }
         }
         if (hit == nullptr) continue;

@@ -32,9 +32,11 @@ namespace stubby {
 
 class ProbeStore;  // reuse/probe_cache.h
 
-/// Optional signature-memo context for a rewrite probe. Pure wall-time
-/// acceleration: with or without it, the produced plan, hit pattern, and
-/// every counter except ReuseStats::probe_cache_{hits,misses} are
+/// Optional signature-memo context for a rewrite probe. Memoizes both the
+/// per-job JobReuseKey digests (via ComputeLineage) and the tier-2b
+/// MapStreamKey prefix ladder. Pure wall-time acceleration: with or
+/// without it, the produced plan, hit pattern, and every counter except
+/// ReuseStats::probe_cache_{hits,misses} and signature_keys_computed are
 /// bit-identical. `memo` may be the shared ReuseProbeCache (serial
 /// callers) or a task-private ProbeCacheOverlay (parallel candidates);
 /// `content_digests` lets the probe reuse the per-job content digests the

@@ -66,8 +66,9 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
     run_dfs.PutOrReplace(CloneDataset(*snapshot, id));
   }
 
-  WorkflowRunner runner(plan.cluster(), pool,
-                        ExecOptions{options.vectorized_exec});
+  WorkflowRunner runner(
+      plan.cluster(), pool,
+      ExecOptions{options.vectorized_exec, options.columnar_storage});
   STUBBY_ASSIGN_OR_RETURN(result.dataflow,
                           runner.Run(result.report.plan, &run_dfs));
   result.simulated_cost = result.dataflow.makespan_sec;

@@ -17,6 +17,7 @@ constexpr uint64_t kTagJobOutput = 0x526555734f757470ull;       // "ReUsOutp"
 constexpr uint64_t kTagMapStream = 0x5265557353747234ull;       // "ReUsStr4"
 constexpr uint64_t kTagWorkflowOut = 0x526555735766304full;     // "ReUsWf0O"
 constexpr uint64_t kTagProbeMemo = 0x526555734d656d30ull;       // "ReUsMem0"
+constexpr uint64_t kTagPrefixMemo = 0x526555734d656d31ull;      // "ReUsMem1"
 
 void MixKey(CostDigest* d, const CostKey& k) {
   d->Mix(k.first);
@@ -76,7 +77,24 @@ CostKey DatasetContentKey(const StoredDataset& ds) {
   d.Mix(ds.logical_scale());
   d.Mix(static_cast<uint64_t>(ds.num_partitions()));
   for (size_t p = 0; p < ds.num_partitions(); ++p) {
-    const std::vector<Row>& rows = ds.partition(p);
+    const PartitionData& pd = ds.partition_data(p);
+    if (pd.column_native()) {
+      // Column-native payload: walk the columns row-major through a batch
+      // view so the digest byte stream matches the row encoding exactly,
+      // without materializing rows. Every row of a column-native partition
+      // has num_columns() values by construction.
+      RowBatch view = pd.AsBatch();
+      const size_t ncols = pd.num_columns();
+      d.Mix(static_cast<uint64_t>(pd.num_rows()));
+      for (size_t i = 0; i < pd.num_rows(); ++i) {
+        d.Mix(static_cast<uint64_t>(ncols));
+        for (size_t c = 0; c < ncols; ++c) {
+          MixValueDigest(&d, view.ValueAt(c, static_cast<uint32_t>(i)));
+        }
+      }
+      continue;
+    }
+    const std::vector<Row>& rows = pd.rows();
     d.Mix(static_cast<uint64_t>(rows.size()));
     for (const Row& r : rows) {
       d.Mix(static_cast<uint64_t>(r.size()));
@@ -103,6 +121,23 @@ CostKey MapStreamKey(const CostKey& input, const std::vector<Stage>& stages,
   for (size_t i = 0; i < prefix_len && i < stages.size(); ++i) {
     d.Mix(stages[i].name());
   }
+  return d.value();
+}
+
+CostKey MapStreamMemoBase(const CostKey& input,
+                          const std::vector<Stage>& stages) {
+  CostDigest d;
+  d.Mix(kTagPrefixMemo);
+  MixKey(&d, input);
+  d.Mix(static_cast<uint64_t>(stages.size()));
+  for (const Stage& s : stages) d.Mix(s.name());
+  return d.value();
+}
+
+CostKey MapStreamMemoKey(const CostKey& base, size_t prefix_len) {
+  CostDigest d;
+  MixKey(&d, base);
+  d.Mix(static_cast<uint64_t>(prefix_len));
   return d.value();
 }
 

@@ -59,6 +59,19 @@ CostKey JobOutputKey(const CostKey& job_key, size_t index);
 CostKey MapStreamKey(const CostKey& input, const std::vector<Stage>& stages,
                      size_t prefix_len);
 
+/// Memo addressing for the tier-2b map-prefix ladder. The rewriter probes
+/// MapStreamKey for every prefix length k = n..1 of every branch input of
+/// every candidate plan — O(n^2) stage-name digesting per ladder, repeated
+/// per RRS-configured candidate. `MapStreamMemoBase` digests the ladder's
+/// invariant part (input lineage key + all n stage names) once;
+/// `MapStreamMemoKey` derives each rung's memo address from the base in
+/// O(1). Equal memo keys imply equal MapStreamKeys (the base covers
+/// everything MapStreamKey reads), so a ProbeStore keyed this way serves
+/// the resolved key once per distinct prefix instead of per candidate.
+CostKey MapStreamMemoBase(const CostKey& input,
+                          const std::vector<Stage>& stages);
+CostKey MapStreamMemoKey(const CostKey& base, size_t prefix_len);
+
 /// Key under which a workflow-terminal output is registered: the dataset's
 /// original-plan lineage key salted with a digest of the optimizer options
 /// that shaped the executed plan (optimized bits depend on the optimizer's

@@ -36,6 +36,42 @@ Value ComputeAgg(const std::vector<Row>& group, size_t field_idx, AggOp op) {
   return Value(int64_t{0});
 }
 
+/// Columnar twin of ComputeAgg over selection positions [lo, hi) of `in`.
+/// Folds in the same order with the same accumulator types, so
+/// floating-point results are bit-identical to the row path.
+Value ComputeAggBatch(const RowBatch& in, size_t lo, size_t hi,
+                      size_t field_idx, AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return Value(static_cast<int64_t>(hi - lo));
+    case AggOp::kSum: {
+      double s = 0;
+      for (size_t i = lo; i < hi; ++i) s += in.At(i, field_idx).AsDouble();
+      return Value(s);
+    }
+    case AggOp::kAvg: {
+      double s = 0;
+      for (size_t i = lo; i < hi; ++i) s += in.At(i, field_idx).AsDouble();
+      return Value(hi == lo ? 0.0 : s / (hi - lo));
+    }
+    case AggOp::kMax: {
+      double m = -std::numeric_limits<double>::infinity();
+      for (size_t i = lo; i < hi; ++i) {
+        m = std::max(m, in.At(i, field_idx).AsDouble());
+      }
+      return Value(m);
+    }
+    case AggOp::kMin: {
+      double m = std::numeric_limits<double>::infinity();
+      for (size_t i = lo; i < hi; ++i) {
+        m = std::min(m, in.At(i, field_idx).AsDouble());
+      }
+      return Value(m);
+    }
+  }
+  return Value(int64_t{0});
+}
+
 }  // namespace
 
 Schema AggOutputSchema(const std::vector<std::string>& group_fields,
@@ -141,7 +177,7 @@ std::shared_ptr<ReduceFn> AggReduce(
   }
   std::vector<AggOp> ops;
   for (const auto& a : aggs) ops.push_back(a.op);
-  return std::make_shared<LambdaReduceFn>(
+  auto fn = std::make_shared<LambdaReduceFn>(
       name, out_schema,
       [agg_idx, ops](const Row& key, const std::vector<Row>& group,
                      Emitter* out) {
@@ -152,19 +188,44 @@ std::shared_ptr<ReduceFn> AggReduce(
         out->Emit(std::move(row));
       },
       cpu);
+  // Columnar: one output row per group — key values from the group's first
+  // row, aggregates folded in the row path's exact order.
+  fn->set_batch_fn([agg_idx, ops](const RowBatch& in, size_t lo, size_t hi,
+                                  const std::vector<size_t>& key_indices,
+                                  ColumnAppender* out) {
+    std::vector<Value> row;
+    row.reserve(key_indices.size() + ops.size());
+    for (size_t k : key_indices) row.push_back(in.At(lo, k));
+    for (size_t i = 0; i < ops.size(); ++i) {
+      row.push_back(ComputeAggBatch(in, lo, hi, agg_idx[i], ops[i]));
+    }
+    out->Append(std::move(row));
+  });
+  return fn;
 }
 
 std::shared_ptr<ReduceFn> DistinctReduce(
     const std::string& name, const Schema& in,
     const std::vector<std::string>& group_fields, double cpu) {
   (void)in;
-  return std::make_shared<LambdaReduceFn>(
+  auto fn = std::make_shared<LambdaReduceFn>(
       name, Schema(group_fields),
       [](const Row& key, const std::vector<Row>& group, Emitter* out) {
         (void)group;
         out->Emit(key);
       },
       cpu);
+  // Columnar: the key of each group, nothing else.
+  fn->set_batch_fn([](const RowBatch& in, size_t lo, size_t hi,
+                      const std::vector<size_t>& key_indices,
+                      ColumnAppender* out) {
+    (void)hi;
+    std::vector<Value> row;
+    row.reserve(key_indices.size());
+    for (size_t k : key_indices) row.push_back(in.At(lo, k));
+    out->Append(std::move(row));
+  });
+  return fn;
 }
 
 std::shared_ptr<CombineFn> AggCombine(
@@ -178,7 +239,7 @@ std::shared_ptr<CombineFn> AggCombine(
     agg_idx.push_back(schema.IndexOf(a.in_field).value_or(0));
     ops.push_back(a.op);
   }
-  return std::make_shared<LambdaCombineFn>(
+  auto fn = std::make_shared<LambdaCombineFn>(
       name,
       [agg_idx, ops](const Row& key, const std::vector<Row>& group,
                      Emitter* out) {
@@ -198,6 +259,25 @@ std::shared_ptr<CombineFn> AggCombine(
         out->Emit(std::move(row));
       },
       cpu);
+  // Columnar: first row of the run with the algebraic aggregate fields
+  // replaced in place; non-algebraic ops pass the whole run through.
+  fn->set_batch_fn([agg_idx, ops](const RowBatch& in, size_t lo, size_t hi,
+                                  ColumnAppender* out) {
+    std::vector<Value> row;
+    row.reserve(in.num_columns());
+    for (size_t c = 0; c < in.num_columns(); ++c) row.push_back(in.At(lo, c));
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i] == AggOp::kSum || ops[i] == AggOp::kMax ||
+          ops[i] == AggOp::kMin) {
+        row[agg_idx[i]] = ComputeAggBatch(in, lo, hi, agg_idx[i], ops[i]);
+      } else {
+        for (size_t r = lo; r < hi; ++r) out->AppendFrom(in, r);
+        return;
+      }
+    }
+    out->Append(std::move(row));
+  });
+  return fn;
 }
 
 }  // namespace stubby

@@ -3,14 +3,16 @@
 // reuse-blind search, a cold-store reuse-aware search, a warm-store
 // reuse-aware search (twice, so the second run prices store hits inside the
 // unit search), the post-hoc rewrite path, the warm search with the
-// signature probe memo on vs off, and the reuse-blind session with the
-// columnar batch executor off — at 1 and 4 threads. Every
+// signature probe memo on vs off, the reuse-blind session with the
+// columnar batch executor off, and the reuse-blind session with
+// column-native storage off — at 1 and 4 threads. Every
 // emitted plan must produce bit-identical workflow outputs (after a
 // canonical row sort; optimized plans may emit rows in a different order),
 // and plans, cost bits, and reuse counters must not depend on thread count.
-// The batch-off legs additionally pin down StubbyOptions::vectorized_exec's
-// transparency contract: raw output order, makespan bits, and per-job
-// dataflow accounting match the batch-on run exactly.
+// The batch-off and columnar-off legs additionally pin down the
+// transparency contracts of StubbyOptions::vectorized_exec and
+// ::columnar_storage: raw output order, makespan bits, and per-job
+// dataflow accounting match the default run exactly.
 //
 // The generator sticks to integer-valued fields: integer sums stay exact in
 // doubles (≤ 2^53), so kSum/kMax/kMin/kCount/kAvg are bit-exact and
@@ -23,6 +25,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -52,7 +55,9 @@ struct JobSpec {
 
 /// Random 1–4 job workflow over one integer base: chains and siblings of
 /// map-only jobs (filter / project / append-const stages) and annotated
-/// group-by aggregation jobs. Pure function of `seed`.
+/// group-by aggregation jobs; half the seeds append a diamond (one
+/// producer feeding two filtered consumers whose outputs rejoin in a
+/// multi-input aggregate). Pure function of `seed`.
 Result<WorkflowFactory> MakeRandomWorkflow(uint64_t seed) {
   ClusterSpec cluster;
   WorkflowFactory f(cluster);
@@ -183,6 +188,61 @@ Result<WorkflowFactory> MakeRandomWorkflow(uint64_t seed) {
     specs.push_back(std::move(spec));
   }
 
+  // Diamond sharing: one producer feeds two filtered consumers whose
+  // outputs a rejoin job reads as two branch inputs of one branch.
+  // Vertical packing of the diamond tees the shared stream (a tee-stage
+  // pipeline is ineligible for the batch path, exercising its row
+  // fallback), and the rejoin exercises multi-input shuffle merging.
+  if (rng.NextInt(0, 1) == 0) {
+    size_t pick = static_cast<size_t>(rng.NextInt(0, avail.size() - 1));
+    Avail& p = avail[pick];
+    if (p.spec_index >= 0) specs[p.spec_index].consumed = true;
+    const Schema ps = p.schema;
+    std::vector<std::string> arms;
+    for (int arm = 0; arm < 2; ++arm) {
+      const std::string tag = "d" + std::to_string(arm);
+      const auto& field = ps.fields()[static_cast<size_t>(
+          rng.NextInt(0, ps.fields().size() - 1))];
+      const double lo = static_cast<double>(rng.NextInt(0, 20));
+      const double hi = lo + static_cast<double>(rng.NextInt(30, 90));
+      JobSpec spec;
+      spec.def.id = "JD" + std::to_string(arm);
+      spec.def.inputs = {In(p.id, {Stage::Map(FilterRangeMap(
+                                "filter_" + tag, ps, field, lo, hi))})};
+      spec.def.map_output_schema = ps;
+      spec.output_id = "DD" + std::to_string(arm);
+      spec.output_schema = ps;
+      spec.def.output = spec.output_id;
+      spec.consumed = true;  // the rejoin below reads it
+      arms.push_back(spec.output_id);
+      specs.push_back(std::move(spec));
+    }
+    const std::string group = ps.fields()[0];
+    std::vector<AggSpec> aggs = {{ps.fields()[1], AggOp::kSum, "DS"}};
+    JobSpec spec;
+    spec.def.id = "JDj";
+    spec.def.inputs = {In(arms[0], {}), In(arms[1], {})};
+    spec.def.map_output_schema = ps;
+    spec.output_schema = AggOutputSchema({group}, aggs);
+    spec.def.reduce_stages = {Stage::Reduce(
+        AggReduce("agg_dj", ps, {group}, aggs), {group})};
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{group};
+    sa.k2 = FieldSet{group};
+    sa.k3 = FieldSet{group};
+    FieldSet rest;
+    for (const std::string& field : ps.fields()) {
+      if (field != group) rest.insert(field);
+    }
+    sa.v1 = rest;
+    sa.v2 = rest;
+    sa.v3 = FieldSet{"DS"};
+    spec.def.schema_ann = sa;
+    spec.output_id = "DDJ";
+    spec.def.output = spec.output_id;
+    specs.push_back(std::move(spec));
+  }
+
   // Unconsumed outputs are the workflow terminals (the last job's always is).
   for (JobSpec& spec : specs) {
     STUBBY_RETURN_NOT_OK(
@@ -229,9 +289,9 @@ struct OracleRun {
 /// Runs the plan as written — no optimizer, no reuse — and collects the
 /// terminal outputs. This is the oracle every emitted plan must match.
 Result<OracleRun> RunUnoptimized(const Plan& plan, const Dfs& dfs,
-                                 bool vectorized = true) {
+                                 ExecOptions exec = ExecOptions{}) {
   Dfs run_dfs = dfs;
-  WorkflowRunner runner(plan.cluster(), nullptr, ExecOptions{vectorized});
+  WorkflowRunner runner(plan.cluster(), nullptr, exec);
   STUBBY_ASSIGN_OR_RETURN(WorkflowDataflow flow, runner.Run(plan, &run_dfs));
   OracleRun run;
   run.makespan = flow.makespan_sec;
@@ -286,19 +346,26 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   auto oracle = RunUnoptimized(f->plan(), f->dfs());
   ASSERT_TRUE(oracle.ok()) << oracle.status();
 
-  // Executor-level vectorization transparency: the unoptimized plan with
-  // the batch executor off must reproduce raw outputs, makespan bits, and
-  // the per-job dataflow accounting exactly.
-  auto oracle_off = RunUnoptimized(f->plan(), f->dfs(), /*vectorized=*/false);
-  ASSERT_TRUE(oracle_off.ok()) << oracle_off.status();
-  for (const auto& [id, rows] : oracle->outputs) {
-    ASSERT_EQ(oracle_off->outputs.count(id), 1u) << id;
-    EXPECT_TRUE(RowsBitIdentical(rows, oracle_off->outputs.at(id)))
-        << "batch-off oracle output " << id << " differs";
+  // Executor-level transparency: the unoptimized plan with the batch
+  // executor off, and with batches on but column-native storage off, must
+  // reproduce raw outputs, makespan bits, and the per-job dataflow
+  // accounting exactly.
+  for (const auto& [label, exec] :
+       std::initializer_list<std::pair<const char*, ExecOptions>>{
+           {"batch-off", ExecOptions{false}},
+           {"columnar-off", ExecOptions{true, false}}}) {
+    auto oracle_off = RunUnoptimized(f->plan(), f->dfs(), exec);
+    ASSERT_TRUE(oracle_off.ok()) << oracle_off.status();
+    for (const auto& [id, rows] : oracle->outputs) {
+      ASSERT_EQ(oracle_off->outputs.count(id), 1u) << id;
+      EXPECT_TRUE(RowsBitIdentical(rows, oracle_off->outputs.at(id)))
+          << label << " oracle output " << id << " differs";
+    }
+    EXPECT_TRUE(SameCostBits(oracle->makespan, oracle_off->makespan))
+        << label << ": " << oracle->makespan << " vs "
+        << oracle_off->makespan;
+    EXPECT_EQ(oracle->dataflow, oracle_off->dataflow) << label;
   }
-  EXPECT_TRUE(SameCostBits(oracle->makespan, oracle_off->makespan))
-      << oracle->makespan << " vs " << oracle_off->makespan;
-  EXPECT_EQ(oracle->dataflow, oracle_off->dataflow);
 
   // Modes, per thread count: blind, cold, warm1, warm2, posthoc.
   std::map<int, std::vector<ModeResult>> by_threads;
@@ -335,6 +402,31 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     for (const auto& [id, rows] : blind->outputs) {
       EXPECT_TRUE(RowsBitIdentical(rows, batch_off->outputs.at(id)))
           << "batch-off raw output " << id << " differs";
+    }
+
+    // Columnar-off session: batches stay on but the storage boundary is
+    // row-major (the pre-columnar configuration). Same transparency
+    // contract as batch_off: plan, cost bits, simulated makespan, and raw
+    // (pre-sort) outputs match the default run bit-for-bit.
+    StubbyOptions columnar_off_opts = opts;
+    columnar_off_opts.columnar_storage = false;
+    ReuseSession columnar_off_session(nullptr);
+    auto columnar_off = columnar_off_session.Run(f->plan(), f->dfs(),
+                                                 columnar_off_opts, &pool);
+    ASSERT_TRUE(columnar_off.ok()) << columnar_off.status();
+    ExpectBitIdentical(columnar_off->outputs, oracle->outputs,
+                       "columnar_off");
+    EXPECT_EQ(PlanSignature(columnar_off->report.plan),
+              PlanSignature(blind->report.plan));
+    EXPECT_TRUE(SameCostBits(columnar_off->report.estimated_cost,
+                             blind->report.estimated_cost));
+    EXPECT_TRUE(
+        SameCostBits(columnar_off->simulated_cost, blind->simulated_cost))
+        << columnar_off->simulated_cost << " vs " << blind->simulated_cost;
+    ASSERT_EQ(columnar_off->outputs.size(), blind->outputs.size());
+    for (const auto& [id, rows] : blind->outputs) {
+      EXPECT_TRUE(RowsBitIdentical(rows, columnar_off->outputs.at(id)))
+          << "columnar-off raw output " << id << " differs";
     }
 
     // Cold store: the aware search probes but every probe misses — the
@@ -407,6 +499,7 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     EXPECT_EQ(masked.ToString(), memo_off->report.reuse.ToString());
 
     by_threads[threads] = {Capture(*blind),   Capture(*batch_off),
+                           Capture(*columnar_off),
                            Capture(*cold),    Capture(*warm1),
                            Capture(*warm2),   Capture(*posthoc),
                            Capture(*memo_on), Capture(*memo_off)};
@@ -417,9 +510,9 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   const std::vector<ModeResult>& t1 = by_threads.at(1);
   const std::vector<ModeResult>& t4 = by_threads.at(4);
   ASSERT_EQ(t1.size(), t4.size());
-  static const char* kModes[] = {"blind",   "batch_off", "cold",
-                                 "warm1",   "warm2",     "posthoc",
-                                 "memo_on", "memo_off"};
+  static const char* kModes[] = {"blind",   "batch_off", "columnar_off",
+                                 "cold",    "warm1",     "warm2",
+                                 "posthoc", "memo_on",   "memo_off"};
   for (size_t i = 0; i < t1.size(); ++i) {
     SCOPED_TRACE(kModes[i]);
     EXPECT_EQ(t1[i].plan_signature, t4[i].plan_signature);

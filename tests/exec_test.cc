@@ -6,6 +6,7 @@
 
 #include <cstring>
 #include <map>
+#include <utility>
 
 #include "common/threading.h"
 #include "exec/job_runner.h"
@@ -268,9 +269,9 @@ struct ExecObservables {
 };
 
 Result<ExecObservables> RunWorkload(const Workload& w, ThreadPool* pool,
-                                    bool vectorized) {
+                                    ExecOptions exec) {
   Dfs dfs = w.dfs;
-  WorkflowRunner runner(w.plan.cluster(), pool, ExecOptions{vectorized});
+  WorkflowRunner runner(w.plan.cluster(), pool, exec);
   STUBBY_ASSIGN_OR_RETURN(WorkflowDataflow flow, runner.Run(w.plan, &dfs));
   ExecObservables obs;
   obs.makespan = flow.makespan_sec;
@@ -283,8 +284,9 @@ Result<ExecObservables> RunWorkload(const Workload& w, ThreadPool* pool,
   return obs;
 }
 
-/// The hard invariant behind StubbyOptions::vectorized_exec: batch-on and
-/// batch-off runs are bit-identical in outputs (raw order, no canonical
+/// The hard invariant behind StubbyOptions::vectorized_exec and
+/// ::columnar_storage: the default run, the batch-off run, and the
+/// columnar-off run are bit-identical in outputs (raw order, no canonical
 /// sort), per-job dataflow accounting, and makespan — at any thread count,
 /// across all eight Table 1 workloads.
 TEST(VectorizedExecTest, IsBitIdenticalAcrossWorkloadsAndThreads) {
@@ -295,22 +297,28 @@ TEST(VectorizedExecTest, IsBitIdenticalAcrossWorkloadsAndThreads) {
     ASSERT_TRUE(w.ok()) << abbr;
     for (int threads : {1, 4}) {
       ThreadPool pool(threads);
-      auto on = RunWorkload(*w, &pool, /*vectorized=*/true);
-      auto off = RunWorkload(*w, &pool, /*vectorized=*/false);
+      auto on = RunWorkload(*w, &pool, ExecOptions{});
       ASSERT_TRUE(on.ok()) << abbr << " t" << threads << ": " << on.status();
-      ASSERT_TRUE(off.ok()) << abbr << " t" << threads << ": "
-                            << off.status();
-      ASSERT_EQ(on->outputs.size(), off->outputs.size()) << abbr;
-      for (const auto& [id, rows] : on->outputs) {
-        ASSERT_EQ(off->outputs.count(id), 1u) << abbr << " " << id;
-        EXPECT_TRUE(RowsBitIdentical(rows, off->outputs.at(id)))
-            << abbr << " t" << threads << " output " << id
-            << " differs between batch-on and batch-off";
+      for (const auto& [label, exec] :
+           std::initializer_list<std::pair<const char*, ExecOptions>>{
+               {"batch-off", ExecOptions{false}},
+               {"columnar-off", ExecOptions{true, false}}}) {
+        auto off = RunWorkload(*w, &pool, exec);
+        ASSERT_TRUE(off.ok()) << abbr << " t" << threads << ": "
+                              << off.status();
+        ASSERT_EQ(on->outputs.size(), off->outputs.size()) << abbr;
+        for (const auto& [id, rows] : on->outputs) {
+          ASSERT_EQ(off->outputs.count(id), 1u) << abbr << " " << id;
+          EXPECT_TRUE(RowsBitIdentical(rows, off->outputs.at(id)))
+              << abbr << " t" << threads << " output " << id
+              << " differs between default and " << label;
+        }
+        EXPECT_EQ(on->dataflow, off->dataflow)
+            << abbr << " t" << threads << " " << label;
+        EXPECT_TRUE(SameDoubleBits(on->makespan, off->makespan))
+            << abbr << " t" << threads << " " << label << ": "
+            << on->makespan << " vs " << off->makespan;
       }
-      EXPECT_EQ(on->dataflow, off->dataflow) << abbr << " t" << threads;
-      EXPECT_TRUE(SameDoubleBits(on->makespan, off->makespan))
-          << abbr << " t" << threads << ": " << on->makespan
-          << " vs " << off->makespan;
     }
   }
 }

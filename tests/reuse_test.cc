@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/threading.h"
+#include "mr/row_batch.h"
 #include "optimizer/transform.h"
+#include "reuse/probe_cache.h"
 #include "reuse/result_store.h"
 #include "reuse/rewriter.h"
 #include "reuse/session.h"
@@ -238,6 +240,30 @@ TEST(SignatureTest, PruneListOrderDoesNotEnterIdentity) {
   EXPECT_EQ(la->jobs.at("J1"), lb->jobs.at("J1"));
 }
 
+TEST(SignatureTest, DatasetContentKeyIgnoresStorageRepresentation) {
+  // Content addressing must hash the logical rows, not the physical
+  // layout: a column-native partition (what the columnar executor stores)
+  // and a row-native partition of the same data are the same snapshot.
+  std::vector<Row> rows = BaseRows(200);
+  StoredDataset row_major("a", Schema({"K", "V"}), Layout{});
+  row_major.AddPartition(rows);
+
+  StoredDataset col_major("b", Schema({"K", "V"}), Layout{});
+  col_major.AddPartition(
+      PartitionData::FromBatch(RowBatch::FromRows(rows, 2)));
+  ASSERT_TRUE(col_major.partition_data(0).column_native());
+
+  EXPECT_EQ(DatasetContentKey(row_major), DatasetContentKey(col_major));
+
+  // Different content must still split keys through the columnar path.
+  StoredDataset other("c", Schema({"K", "V"}), Layout{});
+  std::vector<Row> tweaked = rows;
+  tweaked[57] = Row{int64_t{1234}, 5.0};
+  other.AddPartition(
+      PartitionData::FromBatch(RowBatch::FromRows(tweaked, 2)));
+  EXPECT_NE(DatasetContentKey(row_major), DatasetContentKey(other));
+}
+
 // --- the store -------------------------------------------------------------
 
 TEST(ResultStoreTest, RegisterLookupAndSharedSnapshots) {
@@ -376,6 +402,49 @@ TEST(ReuseRewriterTest, NoHitsLeavesPlanBitIdentical) {
   EXPECT_EQ(result->stats.whole_job_hits, 0u);
   EXPECT_EQ(PlanSignature(result->plan), PlanSignature(f->plan()));
   EXPECT_EQ(result->plan.ToString(), f->plan().ToString());
+}
+
+TEST(ReuseRewriterTest, MapPrefixLadderMemoIsTransparent) {
+  // Warm the store with Q1 = [filter] so probing Q2 = [filter, project]
+  // walks the tier-2b prefix ladder (k = 2 misses, k = 1 hits). The probe
+  // memo must change nothing but the memo counters and the number of
+  // signature digests actually computed.
+  auto q1 = MakeMapOnly("B", "J1", "OUT1", 1);
+  auto q2 = MakeMapOnly("BB", "J2", "OUT2", 2);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  ResultStore store;
+  ReuseSession session(&store);
+  auto r1 = session.Run(q1->plan(), q1->dfs(), StubbyOptions{});
+  ASSERT_TRUE(r1.ok()) << r1.status();
+
+  ReuseRewriter rewriter(&store, &q2->dfs());
+  auto plain = rewriter.PlanForScope(q2->plan(), nullptr, nullptr, nullptr);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  ASSERT_GE(plain->stats.prefix_hits, 1u) << plain->stats.ToString();
+  EXPECT_EQ(plain->stats.probe_cache_hits, 0u);   // no memo attached
+  EXPECT_EQ(plain->stats.probe_cache_misses, 0u);
+  EXPECT_GT(plain->stats.signature_keys_computed, 0u);
+
+  ReuseProbeCache memo;
+  RewriteProbe probe{&memo, nullptr};
+  auto cold = rewriter.PlanForScope(q2->plan(), nullptr, nullptr, &probe);
+  auto warm = rewriter.PlanForScope(q2->plan(), nullptr, nullptr, &probe);
+  ASSERT_TRUE(cold.ok() && warm.ok());
+  for (const ReuseRewriteResult* r : {&*cold, &*warm}) {
+    EXPECT_EQ(r->plan.ToString(), plain->plan.ToString());
+    EXPECT_EQ(r->stats.prefix_hits, plain->stats.prefix_hits);
+    EXPECT_EQ(r->stats.lookups, plain->stats.lookups);
+    EXPECT_EQ(r->stats.bytes_saved, plain->stats.bytes_saved);
+  }
+  // Cold memo: every signature computed once and inserted; warm memo:
+  // every resolution (job keys and ladder rungs alike) served from memo.
+  EXPECT_EQ(cold->stats.probe_cache_hits, 0u);
+  EXPECT_GT(cold->stats.probe_cache_misses, 0u);
+  EXPECT_EQ(cold->stats.signature_keys_computed,
+            plain->stats.signature_keys_computed);
+  EXPECT_EQ(warm->stats.probe_cache_misses, 0u);
+  EXPECT_EQ(warm->stats.probe_cache_hits, cold->stats.probe_cache_misses);
+  EXPECT_EQ(warm->stats.signature_keys_computed, 0u);
 }
 
 TEST(ReuseSessionTest, RepeatedWorkflowIsElidedWholesale) {
