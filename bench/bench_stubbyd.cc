@@ -1,0 +1,363 @@
+// stubbyd service bench: replays a Zipf-skewed, mixed-tenant submission
+// trace (thousands of submissions drawn from a universe of distinct
+// workflows) through the long-lived daemon and reports what a service
+// operator cares about: steady-state reuse hit rate, eviction churn under a
+// byte budget, and p50/p99 optimize and end-to-end (queueing included)
+// latency.
+//
+// Identity gates (any failure exits nonzero):
+//   - the daemon replay at --threads is bit-identical — per-request plan
+//     signatures, cost bits, reuse counters, raw outputs, and the final
+//     shared-store bytes — to the same replay at 1 thread;
+//   - both are bit-identical to a sequential fresh-session loop over one
+//     shared store (the no-daemon reference semantics);
+//   - the budgeted leg (store byte budget set to half the unbudgeted
+//     footprint, forcing steady eviction churn) matches ITS sequential
+//     reference the same way;
+//   - the steady-state hit rate (second half of the trace) reaches
+//     --min-hit-rate-pct.
+//
+// Flags: --submissions N (default 1200), --universe N (32), --rows N (500),
+// --tenants N (6), --zipf100 N (Zipf skew x100, default 110), --threads N,
+// --wave N (16), --budget-kb N (0 = auto: half the unbudgeted footprint),
+// --tenant-budget-kb N (0 = off), --min-hit-rate-pct N (50), --seed N (7).
+// Writes BENCH_STUBBYD.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "optimizer/transform.h"
+#include "reuse/session.h"
+#include "service/stubbyd.h"
+#include "service/trace.h"
+
+namespace stubby::bench {
+namespace {
+
+/// The per-request bit-identity comparison unit.
+struct Cap {
+  bool ok = false;
+  std::string plan_signature;
+  double estimated_cost = 0.0;
+  double simulated_cost = 0.0;
+  std::string reuse_counters;
+  bool hit = false;  ///< any workflow / whole-job / prefix hit
+  std::map<std::string, std::vector<Row>> outputs;
+};
+
+Cap MakeCap(const Status& status, const ReuseSessionResult& r) {
+  Cap c;
+  c.ok = status.ok();
+  if (!c.ok) return c;
+  c.plan_signature = PlanSignature(r.report.plan);
+  c.estimated_cost = r.report.estimated_cost;
+  c.simulated_cost = r.simulated_cost;
+  c.reuse_counters = r.reuse.ToString();
+  c.hit = r.reuse.workflow_hits + r.reuse.whole_job_hits +
+              r.reuse.prefix_hits >
+          0;
+  c.outputs = r.outputs;
+  return c;
+}
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool SameCap(const Cap& a, const Cap& b) {
+  if (a.ok != b.ok) return false;
+  if (!a.ok) return true;
+  if (a.plan_signature != b.plan_signature ||
+      !SameBits(a.estimated_cost, b.estimated_cost) ||
+      !SameBits(a.simulated_cost, b.simulated_cost) ||
+      a.reuse_counters != b.reuse_counters ||
+      a.outputs.size() != b.outputs.size()) {
+    return false;
+  }
+  for (const auto& [id, rows] : a.outputs) {
+    auto it = b.outputs.find(id);
+    if (it == b.outputs.end() || !RowsBitIdentical(rows, it->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+struct LegResult {
+  std::vector<Cap> caps;
+  std::string stats_text;
+  std::string store_bytes;
+  uint64_t stored_bytes = 0;
+  uint64_t evictions = 0;
+  uint64_t tenant_evictions = 0;
+  uint64_t conflicts = 0;
+  double wall_sec = 0.0;
+  std::vector<double> optimize_sec;  ///< per request
+  std::vector<double> e2e_sec;       ///< per request, queueing included
+};
+
+LegResult RunDaemon(const SubmissionTrace& trace,
+                    const ServiceOptions& options, int threads) {
+  ServiceOptions run_options = options;
+  run_options.queue_capacity = trace.submissions.size();
+  ThreadPool pool(threads);
+  StubbyService service(run_options, &pool);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Submission& sub : trace.submissions) {
+    auto id = service.Submit(sub);
+    STUBBY_CHECK_OK(id.status());
+  }
+  std::vector<RequestResult> results = service.Drain();
+  LegResult leg;
+  leg.wall_sec = SecondsSince(t0);
+  for (const RequestResult& r : results) {
+    leg.caps.push_back(MakeCap(r.status, r.session));
+    leg.optimize_sec.push_back(r.session.optimize_sec);
+    leg.e2e_sec.push_back(r.e2e_sec);
+  }
+  leg.stats_text = service.stats().ToString();
+  leg.store_bytes = service.store().Serialize();
+  leg.stored_bytes = service.store().stored_bytes();
+  leg.evictions = service.store().evictions();
+  leg.tenant_evictions = service.stats().tenant_evictions;
+  leg.conflicts = service.stats().conflicts;
+  return leg;
+}
+
+/// The fresh-session reference: one sequential ReuseSession loop over one
+/// shared store, replicating the daemon's degradation ladder and tenant
+/// budgets. What Drain() must be bit-identical to.
+LegResult RunSequential(const SubmissionTrace& trace,
+                        const ServiceOptions& options) {
+  ResultStore store(options.store);
+  std::map<std::string, std::set<std::string>> owned;
+  LegResult leg;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Submission& sub : trace.submissions) {
+    DegradeLevel level = DegradeLevel::kFull;
+    const uint64_t bytes = store.stored_bytes();
+    if (options.hard_degrade_bytes > 0 &&
+        bytes >= options.hard_degrade_bytes) {
+      level = DegradeLevel::kBlind;
+    } else if (options.soft_degrade_bytes > 0 &&
+               bytes >= options.soft_degrade_bytes) {
+      level = DegradeLevel::kRegisterSkip;
+    }
+    const uint64_t before = store.next_snapshot_id();
+    Result<ReuseSessionResult> r =
+        level == DegradeLevel::kBlind
+            ? ReuseSession(nullptr).Run(*sub.plan, *sub.dfs, sub.options)
+            : ReuseSession(&store).Run(
+                  *sub.plan, *sub.dfs, sub.options, nullptr,
+                  /*register_outputs=*/level == DegradeLevel::kFull);
+    for (uint64_t n = before; n < store.next_snapshot_id(); ++n) {
+      owned[sub.tenant].insert("rs/" + std::to_string(n));
+    }
+    uint64_t budget = options.tenant_byte_budget;
+    auto bit = options.tenant_budgets.find(sub.tenant);
+    if (bit != options.tenant_budgets.end()) budget = bit->second;
+    auto oit = owned.find(sub.tenant);
+    if (budget > 0 && oit != owned.end()) {
+      leg.tenant_evictions += store.EnforceBudgetOn(oit->second, budget);
+    }
+    for (auto& [tenant, ids] : owned) {
+      for (auto it = ids.begin(); it != ids.end();) {
+        it = store.HasSnapshot(*it) ? std::next(it) : ids.erase(it);
+      }
+    }
+    leg.caps.push_back(r.ok() ? MakeCap(Status::OK(), *r)
+                              : MakeCap(r.status(), ReuseSessionResult{}));
+    leg.optimize_sec.push_back(r.ok() ? r->optimize_sec : 0.0);
+  }
+  leg.wall_sec = SecondsSince(t0);
+  leg.store_bytes = store.Serialize();
+  leg.stored_bytes = store.stored_bytes();
+  leg.evictions = store.evictions();
+  return leg;
+}
+
+/// Compares two legs request by request; prints the first few divergences.
+bool LegsMatch(const LegResult& a, const LegResult& b, const char* label) {
+  bool ok = a.caps.size() == b.caps.size();
+  int reported = 0;
+  for (size_t i = 0; ok && i < a.caps.size(); ++i) {
+    if (!SameCap(a.caps[i], b.caps[i])) {
+      if (reported++ < 3) {
+        std::fprintf(stderr, "IDENTITY VIOLATION [%s]: request %zu\n", label,
+                     i);
+      }
+      ok = false;
+    }
+  }
+  if (a.store_bytes != b.store_bytes) {
+    std::fprintf(stderr, "IDENTITY VIOLATION [%s]: final store differs\n",
+                 label);
+    ok = false;
+  }
+  return ok;
+}
+
+double HitRate(const std::vector<Cap>& caps, size_t from, size_t to) {
+  if (from >= to) return 0.0;
+  size_t hits = 0;
+  for (size_t i = from; i < to; ++i) hits += caps[i].hit ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(to - from);
+}
+
+Json LatencyJson(const std::vector<double>& v) {
+  Json j = Json::Object();
+  j["p50_sec"] = Percentile(v, 0.50);
+  j["p99_sec"] = Percentile(v, 0.99);
+  return j;
+}
+
+int Main(int argc, char** argv) {
+  TraceOptions trace_opt;
+  trace_opt.submissions = IntFlag(argc, argv, "--submissions", 1200);
+  trace_opt.universe = IntFlag(argc, argv, "--universe", 32);
+  trace_opt.rows = IntFlag(argc, argv, "--rows", 500);
+  trace_opt.tenants = IntFlag(argc, argv, "--tenants", 6);
+  trace_opt.zipf = IntFlag(argc, argv, "--zipf100", 110) / 100.0;
+  trace_opt.seed = static_cast<uint64_t>(IntFlag(argc, argv, "--seed", 7));
+  const int threads = ThreadsFlag(argc, argv);
+  const int wave = std::max(1, IntFlag(argc, argv, "--wave", 16));
+  const int budget_kb = IntFlag(argc, argv, "--budget-kb", 0);
+  const int tenant_budget_kb = IntFlag(argc, argv, "--tenant-budget-kb", 0);
+  const int min_hit_pct = IntFlag(argc, argv, "--min-hit-rate-pct", 50);
+
+  std::printf(
+      "bench_stubbyd: submissions=%d universe=%d rows=%d tenants=%d "
+      "zipf=%.2f threads=%d wave=%d\n",
+      trace_opt.submissions, trace_opt.universe, trace_opt.rows,
+      trace_opt.tenants, trace_opt.zipf, threads, wave);
+
+  auto trace = MakeSubmissionTrace(trace_opt);
+  STUBBY_CHECK_OK(trace.status());
+  const size_t n = trace->submissions.size();
+
+  ServiceOptions options;
+  options.wave_size = static_cast<size_t>(wave);
+  if (tenant_budget_kb > 0) {
+    options.tenant_byte_budget =
+        static_cast<uint64_t>(tenant_budget_kb) * 1024;
+  }
+
+  // Leg 1: the daemon at --threads (the reported run).
+  LegResult daemon = RunDaemon(*trace, options, threads);
+  std::printf("daemon@%d: %5.2fs wall  [%s]\n", threads, daemon.wall_sec,
+              daemon.stats_text.c_str());
+  // Leg 2: the daemon at 1 thread — everything deterministic must match.
+  LegResult daemon1 = RunDaemon(*trace, options, 1);
+  std::printf("daemon@1: %5.2fs wall\n", daemon1.wall_sec);
+  // Leg 3: the sequential fresh-session reference.
+  LegResult sequential = RunSequential(*trace, options);
+  std::printf("sequential: %5.2fs wall\n", sequential.wall_sec);
+
+  bool thread_invariant = LegsMatch(daemon, daemon1, "daemon@T vs daemon@1");
+  if (daemon.stats_text != daemon1.stats_text) {
+    std::fprintf(stderr, "IDENTITY VIOLATION: service stats differ across "
+                         "thread counts\n");
+    thread_invariant = false;
+  }
+  const bool matches_sequential =
+      LegsMatch(daemon, sequential, "daemon vs sequential");
+
+  // Leg 4: the budgeted store — half the unbudgeted footprint unless the
+  // flag pins it — so steady-state eviction churn is actually exercised.
+  ServiceOptions budgeted_options = options;
+  budgeted_options.store.byte_budget =
+      budget_kb > 0 ? static_cast<uint64_t>(budget_kb) * 1024
+                    : daemon.stored_bytes / 2;
+  LegResult budgeted = RunDaemon(*trace, budgeted_options, threads);
+  LegResult budgeted_seq = RunSequential(*trace, budgeted_options);
+  const bool budgeted_matches =
+      LegsMatch(budgeted, budgeted_seq, "budgeted daemon vs sequential");
+  std::printf("budgeted (%llu KiB): %llu eviction(s)  [%s]\n",
+              (unsigned long long)(budgeted_options.store.byte_budget /
+                                   1024),
+              (unsigned long long)budgeted.evictions,
+              budgeted.stats_text.c_str());
+
+  const double hit_rate = HitRate(daemon.caps, 0, n);
+  const double steady_hit_rate = HitRate(daemon.caps, n / 2, n);
+  const double budgeted_steady = HitRate(budgeted.caps, n / 2, n);
+  std::printf(
+      "hit rate: %.1f%% overall, %.1f%% steady-state "
+      "(%.1f%% budgeted)  conflicts=%llu\n",
+      100 * hit_rate, 100 * steady_hit_rate, 100 * budgeted_steady,
+      (unsigned long long)daemon.conflicts);
+  std::printf(
+      "latency: optimize p50 %.1fms p99 %.1fms | e2e p50 %.1fms "
+      "p99 %.1fms\n",
+      1e3 * Percentile(daemon.optimize_sec, 0.5),
+      1e3 * Percentile(daemon.optimize_sec, 0.99),
+      1e3 * Percentile(daemon.e2e_sec, 0.5),
+      1e3 * Percentile(daemon.e2e_sec, 0.99));
+
+  Json doc = Json::Object();
+  doc["bench"] = "stubbyd";
+  doc["submissions"] = trace_opt.submissions;
+  doc["universe"] = trace_opt.universe;
+  doc["rows"] = trace_opt.rows;
+  doc["tenants"] = trace_opt.tenants;
+  doc["zipf"] = trace_opt.zipf;
+  doc["threads"] = threads;
+  doc["wave_size"] = wave;
+  doc["hit_rate"] = hit_rate;
+  doc["steady_state_hit_rate"] = steady_hit_rate;
+  doc["conflicts"] = daemon.conflicts;
+  doc["stored_bytes"] = daemon.stored_bytes;
+  doc["evictions"] = daemon.evictions;
+  doc["tenant_evictions"] = daemon.tenant_evictions;
+  doc["wall_sec"] = daemon.wall_sec;
+  doc["wall_sec_1_thread"] = daemon1.wall_sec;
+  doc["wall_sec_sequential"] = sequential.wall_sec;
+  doc["optimize_latency"] = LatencyJson(daemon.optimize_sec);
+  doc["e2e_latency"] = LatencyJson(daemon.e2e_sec);
+  Json budget_json = Json::Object();
+  budget_json["byte_budget"] = budgeted_options.store.byte_budget;
+  budget_json["evictions"] = budgeted.evictions;
+  budget_json["steady_state_hit_rate"] = budgeted_steady;
+  budget_json["stored_bytes"] = budgeted.stored_bytes;
+  doc["budgeted"] = std::move(budget_json);
+  doc["thread_invariant"] = thread_invariant;
+  doc["matches_sequential"] = matches_sequential;
+  doc["budgeted_matches_sequential"] = budgeted_matches;
+  doc["service_stats"] = daemon.stats_text;
+  WriteBenchJson("BENCH_STUBBYD.json", doc);
+
+  if (!thread_invariant || !matches_sequential || !budgeted_matches) {
+    return 1;
+  }
+  if (100 * steady_hit_rate < static_cast<double>(min_hit_pct)) {
+    std::fprintf(stderr,
+                 "steady-state hit rate %.1f%% below the %d%% floor\n",
+                 100 * steady_hit_rate, min_hit_pct);
+    return 1;
+  }
+  std::printf("OK: daemon replay bit-identical to the sequential "
+              "fresh-session reference at 1 and %d threads\n", threads);
+  return 0;
+}
+
+}  // namespace
+}  // namespace stubby::bench
+
+int main(int argc, char** argv) { return stubby::bench::Main(argc, argv); }

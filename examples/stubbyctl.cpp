@@ -8,6 +8,11 @@
 //   stubbyctl compare <WF> [--rows N]
 //   stubbyctl reuse <WF> [--rows N] [--dot] [--store FILE]
 //                        [--policy lru|benefit]
+//   stubbyctl serve [--submissions N] [--tenants N] [--rows N] [--threads N]
+//                   [--wave N] [--queue N] [--budget-mb N]
+//                   [--tenant-budget-mb N] [--soft-mb N] [--hard-mb N]
+//                   [--policy lru|benefit] [--store FILE]
+//   stubbyctl submit <WF[,WF...]> [--tenant T] [--rows N] [--store FILE]
 //
 // `optimize --run` executes original and optimized plans on the simulated
 // cluster and verifies result equivalence; `compare` prints the speedup of
@@ -17,17 +22,32 @@
 // `reuse --store FILE` loads the catalog from FILE when it exists (exact
 // Serialize round-trip, so hits continue across invocations) and saves it
 // back after the run; --policy picks the eviction policy.
+//
+// `serve` runs a stubbyd session: a Zipf-skewed trace of N submissions over
+// the whole workload registry, round-robined across logical tenants,
+// drained through the daemon's wave pipeline against one shared store —
+// with optional global/per-tenant byte budgets and the soft/hard
+// degradation thresholds. `submit` pushes a comma-separated list of
+// registry workloads through the daemon as one tenant and prints what each
+// request reused; with --store both commands persist the shared catalog
+// across invocations.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include <memory>
+#include <vector>
+
 #include "baselines/mrshare.h"
 #include "baselines/pig_baseline.h"
 #include "baselines/starfish.h"
 #include "baselines/ysmart.h"
+#include "common/rng.h"
 #include "common/strings.h"
+#include "common/threading.h"
+#include "service/stubbyd.h"
 #include "exec/workflow_runner.h"
 #include "optimizer/stubby.h"
 #include "profiler/profiler.h"
@@ -49,8 +69,33 @@ int Usage() {
                " [--run] [--dot]\n"
                "       stubbyctl compare <WF> [--rows N]\n"
                "       stubbyctl reuse <WF> [--rows N] [--dot]"
-               " [--store FILE] [--policy lru|benefit]\n");
+               " [--store FILE] [--policy lru|benefit]\n"
+               "       stubbyctl serve [--submissions N] [--tenants N]"
+               " [--rows N] [--threads N]\n"
+               "                       [--wave N] [--queue N] [--budget-mb N]"
+               " [--tenant-budget-mb N]\n"
+               "                       [--soft-mb N] [--hard-mb N]"
+               " [--policy lru|benefit] [--store FILE]\n"
+               "       stubbyctl submit <WF[,WF...]> [--tenant T] [--rows N]"
+               " [--store FILE]\n");
   return 2;
+}
+
+/// Loads an existing catalog for --store, refusing to proceed when the file
+/// exists but cannot be parsed (saving on exit would destroy it).
+Result<bool> LoadCatalogInto(const std::string& path, ResultStore* store) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) {
+    std::printf("starting a fresh catalog (%s)\n", path.c_str());
+    return false;
+  }
+  std::fclose(probe);
+  STUBBY_ASSIGN_OR_RETURN(ResultStore loaded,
+                          ResultStore::LoadFromFile(path));
+  std::printf("loaded %zu catalog entr%s from %s\n", loaded.num_entries(),
+              loaded.num_entries() == 1 ? "y" : "ies", path.c_str());
+  *store = std::move(loaded);
+  return true;
 }
 
 Result<Workload> LoadProfiled(const std::string& abbr, int rows) {
@@ -121,7 +166,11 @@ int main(int argc, char** argv) {
   std::string export_path;
   std::string store_path;
   std::string policy_name;
+  std::string tenant = "default";
   int rows = 20000;
+  int submissions = 64, tenants = 4, wave = 8, queue = 0;
+  int threads = ThreadPool::HardwareThreads();
+  int budget_mb = 0, tenant_budget_mb = 0, soft_mb = 0, hard_mb = 0;
   bool run = false, dot = false;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
@@ -138,6 +187,26 @@ int main(int argc, char** argv) {
       store_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--policy") && i + 1 < argc) {
       policy_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--tenant") && i + 1 < argc) {
+      tenant = argv[++i];
+    } else if (!std::strcmp(argv[i], "--submissions") && i + 1 < argc) {
+      submissions = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--tenants") && i + 1 < argc) {
+      tenants = std::max(1, std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = std::max(1, std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--wave") && i + 1 < argc) {
+      wave = std::max(1, std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--queue") && i + 1 < argc) {
+      queue = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--budget-mb") && i + 1 < argc) {
+      budget_mb = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--tenant-budget-mb") && i + 1 < argc) {
+      tenant_budget_mb = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--soft-mb") && i + 1 < argc) {
+      soft_mb = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--hard-mb") && i + 1 < argc) {
+      hard_mb = std::atoi(argv[++i]);
     }
   }
 
@@ -153,7 +222,168 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+
+  // Shared stubbyd construction for `serve` and `submit`.
+  auto make_service_options = [&]() -> ServiceOptions {
+    ServiceOptions sopts;
+    sopts.wave_size = static_cast<size_t>(wave);
+    if (queue > 0) sopts.queue_capacity = static_cast<size_t>(queue);
+    if (budget_mb > 0) {
+      sopts.store.byte_budget = static_cast<uint64_t>(budget_mb) << 20;
+    }
+    if (!policy_name.empty()) {
+      auto policy = EvictionPolicyFromName(policy_name);
+      STUBBY_CHECK_OK(policy.status());
+      sopts.store.policy = *policy;
+    }
+    if (tenant_budget_mb > 0) {
+      sopts.tenant_byte_budget = static_cast<uint64_t>(tenant_budget_mb)
+                                 << 20;
+    }
+    sopts.soft_degrade_bytes = static_cast<uint64_t>(soft_mb) << 20;
+    sopts.hard_degrade_bytes = static_cast<uint64_t>(hard_mb) << 20;
+    return sopts;
+  };
+  auto print_service_summary = [&](const StubbyService& service) {
+    std::printf("\n%s\n", service.stats().ToString().c_str());
+    std::printf("store: %zu entries, %zu snapshot(s), %s stored, "
+                "%llu eviction(s), degrade level %s\n",
+                service.store().num_entries(),
+                service.store().num_snapshots(),
+                HumanBytes(service.store().stored_bytes()).c_str(),
+                (unsigned long long)service.store().evictions(),
+                DegradeLevelName(service.CurrentDegradeLevel()));
+  };
+
+  if (cmd == "serve") {
+    ServiceOptions sopts = make_service_options();
+    struct Entry {
+      std::string name;
+      std::shared_ptr<const Plan> plan;
+      std::shared_ptr<const Dfs> dfs;
+    };
+    std::vector<Entry> universe;
+    for (const auto& abbr : AllWorkloadAbbrs()) {
+      auto w = LoadProfiled(abbr, rows);
+      STUBBY_CHECK_OK(w.status());
+      universe.push_back(
+          {abbr, std::make_shared<const Plan>(std::move(w->plan)),
+           std::make_shared<const Dfs>(std::move(w->dfs))});
+    }
+    ThreadPool pool(threads);
+    StubbyService service(sopts, &pool);
+    if (!store_path.empty()) {
+      ResultStore loaded(sopts.store);
+      auto had = LoadCatalogInto(store_path, &loaded);
+      STUBBY_CHECK_OK(had.status());
+      if (*had) {
+        loaded.set_options(sopts.store);
+        service.store() = std::move(loaded);
+      }
+    }
+    std::printf("serving %d submission(s) over %zu workflow(s), "
+                "%d tenant(s), wave %d, %d thread(s)\n",
+                submissions, universe.size(), tenants, wave, threads);
+    // Zipf-skewed arrivals; a full queue drains in place, so the trace is
+    // identical for any --queue while still exercising admission control.
+    Rng rng(20120821);
+    std::vector<RequestResult> results;
+    uint64_t queue_full = 0;
+    for (int s = 0; s < submissions; ++s) {
+      const Entry& e = universe[rng.NextZipf(universe.size(), 1.1) - 1];
+      Submission sub;
+      sub.tenant = "t" + std::to_string(rng.NextUint64(
+                             static_cast<uint64_t>(tenants)));
+      sub.name = e.name;
+      sub.plan = e.plan;
+      sub.dfs = e.dfs;
+      auto id = service.Submit(sub);
+      if (!id.ok()) {
+        ++queue_full;
+        for (RequestResult& r : service.Drain()) {
+          results.push_back(std::move(r));
+        }
+        id = service.Submit(std::move(sub));
+        STUBBY_CHECK_OK(id.status());
+      }
+    }
+    for (RequestResult& r : service.Drain()) results.push_back(std::move(r));
+
+    std::map<std::string, std::pair<uint64_t, uint64_t>> by_workflow;
+    for (const RequestResult& r : results) {
+      STUBBY_CHECK_OK(r.status);
+      auto& [count, hits] = by_workflow[r.name];
+      ++count;
+      if (r.session.reuse.workflow_hits + r.session.reuse.whole_job_hits +
+              r.session.reuse.prefix_hits >
+          0) {
+        ++hits;
+      }
+    }
+    std::printf("%-6s %10s %10s\n", "wf", "requests", "with-hits");
+    for (const auto& [name, counts] : by_workflow) {
+      std::printf("%-6s %10llu %10llu\n", name.c_str(),
+                  (unsigned long long)counts.first,
+                  (unsigned long long)counts.second);
+    }
+    if (queue_full > 0) {
+      std::printf("queue filled %llu time(s) (drained in place)\n",
+                  (unsigned long long)queue_full);
+    }
+    print_service_summary(service);
+    for (int t = 0; t < tenants; ++t) {
+      const std::string name = "t" + std::to_string(t);
+      std::printf("tenant %-4s %12s\n", name.c_str(),
+                  HumanBytes(service.TenantBytes(name)).c_str());
+    }
+    if (!store_path.empty()) {
+      STUBBY_CHECK_OK(service.store().SaveToFile(store_path));
+      std::printf("saved catalog to %s\n", store_path.c_str());
+    }
+    return 0;
+  }
   if (wf.empty()) return Usage();
+
+  if (cmd == "submit") {
+    ServiceOptions sopts = make_service_options();
+    ThreadPool pool(threads);
+    StubbyService service(sopts, &pool);
+    if (!store_path.empty()) {
+      ResultStore loaded(sopts.store);
+      auto had = LoadCatalogInto(store_path, &loaded);
+      STUBBY_CHECK_OK(had.status());
+      if (*had) {
+        loaded.set_options(sopts.store);
+        service.store() = std::move(loaded);
+      }
+    }
+    for (const std::string& abbr : Split(wf, ',')) {
+      auto w = LoadProfiled(abbr, rows);
+      STUBBY_CHECK_OK(w.status());
+      Submission sub;
+      sub.tenant = tenant;
+      sub.name = abbr;
+      sub.plan = std::make_shared<const Plan>(std::move(w->plan));
+      sub.dfs = std::make_shared<const Dfs>(std::move(w->dfs));
+      STUBBY_CHECK_OK(service.Submit(std::move(sub)).status());
+    }
+    for (const RequestResult& r : service.Drain()) {
+      STUBBY_CHECK_OK(r.status);
+      std::printf("#%llu %-6s tenant=%s %zu job(s) simulated %s "
+                  "degrade=%s  [%s]\n",
+                  (unsigned long long)r.id, r.name.c_str(),
+                  r.tenant.c_str(), r.session.report.plan.num_jobs(),
+                  HumanSeconds(r.session.simulated_cost).c_str(),
+                  DegradeLevelName(r.degrade),
+                  r.session.reuse.ToString().c_str());
+    }
+    print_service_summary(service);
+    if (!store_path.empty()) {
+      STUBBY_CHECK_OK(service.store().SaveToFile(store_path));
+      std::printf("saved catalog to %s\n", store_path.c_str());
+    }
+    return 0;
+  }
 
   if (cmd == "show") {
     auto w = LoadProfiled(wf, rows);

@@ -1084,11 +1084,17 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     df.output_bytes += static_cast<uint64_t>(st.output.scaled_bytes);
     dfs->PutOrReplace(std::move(out_ds));
   }
-  for (auto& [id, builder] : tee_builders) {
+  // Every declared tee must land in the DFS, even when the teed stream
+  // filtered down to nothing — downstream jobs read it unconditionally,
+  // exactly as they would the regular job output it replaced.
+  for (const auto& [id, schema] : tee_schemas) {
     Layout layout;  // tee outputs are plain block files
-    auto ds = std::make_shared<StoredDataset>(id, tee_schemas[id], layout);
-    for (auto& p : builder.partitions) ds->AddPartition(std::move(p));
-    ds->set_logical_scale(builder.LogicalScale());
+    auto ds = std::make_shared<StoredDataset>(id, schema, layout);
+    auto it = tee_builders.find(id);
+    if (it != tee_builders.end()) {
+      for (auto& p : it->second.partitions) ds->AddPartition(std::move(p));
+      ds->set_logical_scale(it->second.LogicalScale());
+    }
     dfs->PutOrReplace(std::move(ds));
   }
   return df;

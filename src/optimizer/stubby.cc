@@ -129,9 +129,12 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
   }
   // One cache per Optimize call, shared across phases and units: the base
   // plan of every unit, RRS seed points, and all jobs outside an RRS
-  // point's perturbation cone hit the memo.
+  // point's perturbation cone hit the memo. An external `cost_cache` (the
+  // stubbyd shared-service memo) replaces the per-call cache outright.
   std::optional<CostCache> cache;
-  if (options_.enable_cost_cache) {
+  if (options_.cost_cache != nullptr) {
+    whatif.set_cache(options_.cost_cache);
+  } else if (options_.enable_cost_cache) {
     cache.emplace(CostCache::Options{options_.cost_cache_plan_capacity,
                                      options_.cost_cache_job_capacity});
     whatif.set_cache(&*cache);

@@ -46,6 +46,14 @@ struct StubbyOptions {
   bool enable_cost_cache = true;
   size_t cost_cache_plan_capacity = 1024;
   size_t cost_cache_job_capacity = 16384;
+  /// Borrowed external costing memo: when set, the optimizer routes what-if
+  /// memoization through it instead of creating a per-call CostCache, so
+  /// many Optimize calls can share one long-lived cache (stubbyd hands each
+  /// request a CostCacheOverlay over the shared service cache). Takes
+  /// precedence over `enable_cost_cache`. Transparent like the internal
+  /// cache — plans and costs are bit-identical with any contents — so it
+  /// stays out of the option salt.
+  CostStore* cost_cache = nullptr;
 
   /// Task parallelism for the in-unit search: subplan candidates and RRS
   /// point blocks run as pool tasks, with results bit-identical at any

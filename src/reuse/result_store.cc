@@ -166,7 +166,18 @@ std::string ResultStore::Register(
   for (const auto& [key, kind] : keys) {
     if (entries_.count(key) == 0) fresh.emplace_back(key, kind);
   }
-  if (fresh.empty()) return entries_.at(keys.front().first).snapshot_id;
+  if (fresh.empty()) {
+    const std::string& existing = entries_.at(keys.front().first).snapshot_id;
+    if (journal_.ptr != nullptr) {
+      StoreOp op;
+      op.kind = StoreOp::Kind::kRegister;
+      op.snapshot_id = existing;
+      op.dataset = CloneDataset(ds, ds.id());
+      op.reg_keys = keys;
+      journal_.ptr->Append(std::move(op));
+    }
+    return existing;
+  }
 
   std::string snapshot_id = "rs/" + std::to_string(next_snapshot_++);
   DatasetPtr snapshot = CloneDataset(ds, snapshot_id);
@@ -184,21 +195,47 @@ std::string ResultStore::Register(
     entry.last_used = clock_;
     entries_.emplace(key, std::move(entry));
   }
+  if (journal_.ptr != nullptr) {
+    StoreOp op;
+    op.kind = StoreOp::Kind::kRegister;
+    op.snapshot_id = snapshot_id;
+    op.fresh = true;
+    op.dataset = CloneDataset(ds, ds.id());
+    op.reg_keys = keys;
+    journal_.ptr->Append(std::move(op));
+  }
   EnforceBudget();
   return snapshot_id;
 }
 
+void ResultStore::RecordProbe(StoreOp::Kind kind, const CostKey& key,
+                              const StoredResult* result) const {
+  if (journal_.ptr == nullptr || !journal_.ptr->record_probes()) return;
+  StoreOp op;
+  op.kind = kind;
+  op.key = key;
+  op.hit = result != nullptr;
+  if (result != nullptr) op.snapshot_id = result->snapshot_id;
+  journal_.ptr->Append(std::move(op));
+}
+
 const StoredResult* ResultStore::Peek(const CostKey& key) const {
   auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  const StoredResult* result = it == entries_.end() ? nullptr : &it->second;
+  RecordProbe(StoreOp::Kind::kPeek, key, result);
+  return result;
 }
 
 const StoredResult* ResultStore::Lookup(const CostKey& key) {
   auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
+  if (it == entries_.end()) {
+    RecordProbe(StoreOp::Kind::kLookup, key, nullptr);
+    return nullptr;
+  }
   ++clock_;
   it->second.hits += 1;
   it->second.last_used = clock_;
+  RecordProbe(StoreOp::Kind::kLookup, key, &it->second);
   return &it->second;
 }
 
@@ -207,9 +244,23 @@ Result<DatasetPtr> ResultStore::OpenSnapshot(
   return snapshots_.Get(snapshot_id);
 }
 
-void ResultStore::Pin(const std::string& snapshot_id) { pins_[snapshot_id]++; }
+void ResultStore::Pin(const std::string& snapshot_id) {
+  pins_[snapshot_id]++;
+  if (journal_.ptr != nullptr) {
+    StoreOp op;
+    op.kind = StoreOp::Kind::kPin;
+    op.snapshot_id = snapshot_id;
+    journal_.ptr->Append(std::move(op));
+  }
+}
 
 void ResultStore::Unpin(const std::string& snapshot_id) {
+  if (journal_.ptr != nullptr) {
+    StoreOp op;
+    op.kind = StoreOp::Kind::kUnpin;
+    op.snapshot_id = snapshot_id;
+    journal_.ptr->Append(std::move(op));
+  }
   auto it = pins_.find(snapshot_id);
   if (it == pins_.end()) return;
   if (--it->second <= 0) pins_.erase(it);
@@ -226,8 +277,8 @@ void ResultStore::set_options(Options options) {
   EnforceBudget();
 }
 
-void ResultStore::EnforceBudget() {
-  if (options_.byte_budget == 0) return;
+const StoredResult* ResultStore::PickVictim(
+    const std::function<bool(const StoredResult&)>& eligible) const {
   // Benefit of keeping an entry: logical_bytes * (hits + 1) per unit of
   // raw storage and logical idle time. Compared as exact integer fractions
   // (num/den); lowest benefit evicts first. Each operand is a 64x64-bit
@@ -260,29 +311,65 @@ void ResultStore::EnforceBudget() {
     if (cmp != 0) return cmp < 0;
     return a.last_used < b.last_used;  // then ties break on the key
   };
-  while (stored_bytes() > options_.byte_budget) {
-    // Victim: lowest-ranked unpinned entry under the active policy; ties
-    // break on the (ordered) key, so the victim sequence is deterministic.
-    const StoredResult* victim = nullptr;
-    for (const auto& [key, e] : entries_) {
-      if (pins_.count(e.snapshot_id)) continue;
-      if (victim == nullptr) {
-        victim = &e;
-      } else if (options_.policy == EvictionPolicy::kBenefitWeighted) {
-        if (benefit_less(e, *victim)) victim = &e;
-      } else if (e.last_used < victim->last_used) {
-        victim = &e;
-      }
+  const StoredResult* victim = nullptr;
+  for (const auto& [key, e] : entries_) {
+    if (pins_.count(e.snapshot_id)) continue;
+    if (!eligible(e)) continue;
+    if (victim == nullptr) {
+      victim = &e;
+    } else if (options_.policy == EvictionPolicy::kBenefitWeighted) {
+      if (benefit_less(e, *victim)) victim = &e;
+    } else if (e.last_used < victim->last_used) {
+      victim = &e;
     }
-    if (victim == nullptr) return;  // everything left is pinned
-    entries_.erase(victim->key);
-    ++evictions_;
-    // Collect snapshots no surviving entry references and no pin holds.
-    std::set<std::string> live;
-    for (const auto& [key, e] : entries_) live.insert(e.snapshot_id);
-    for (const auto& [id, refs] : pins_) live.insert(id);
-    snapshots_.Collect(live);
   }
+  return victim;
+}
+
+void ResultStore::EvictEntry(const CostKey& key) {
+  entries_.erase(key);
+  ++evictions_;
+  // Collect snapshots no surviving entry references and no pin holds.
+  std::set<std::string> live;
+  for (const auto& [k, e] : entries_) live.insert(e.snapshot_id);
+  for (const auto& [id, refs] : pins_) live.insert(id);
+  snapshots_.Collect(live);
+}
+
+void ResultStore::EnforceBudget() {
+  if (options_.byte_budget == 0) return;
+  while (stored_bytes() > options_.byte_budget) {
+    const StoredResult* victim =
+        PickVictim([](const StoredResult&) { return true; });
+    if (victim == nullptr) return;  // everything left is pinned
+    EvictEntry(victim->key);
+  }
+}
+
+uint64_t ResultStore::EnforceBudgetOn(const std::set<std::string>& owned,
+                                      uint64_t budget) {
+  if (budget == 0) return 0;
+  uint64_t evicted = 0;
+  while (SnapshotBytes(owned) > budget) {
+    const StoredResult* victim = PickVictim([&](const StoredResult& e) {
+      return owned.count(e.snapshot_id) > 0;
+    });
+    // No eligible entry (all remaining owned snapshots pinned, or their
+    // entries already gone): stop rather than loop.
+    if (victim == nullptr) break;
+    EvictEntry(victim->key);
+    ++evicted;
+  }
+  return evicted;
+}
+
+uint64_t ResultStore::SnapshotBytes(const std::set<std::string>& ids) const {
+  uint64_t total = 0;
+  for (const std::string& id : ids) {
+    Result<DatasetPtr> ds = snapshots_.Get(id);
+    if (ds.ok()) total += (*ds)->raw_bytes();
+  }
+  return total;
 }
 
 Json ResultStore::ToJson() const {
@@ -409,15 +496,28 @@ Result<ResultStore> ResultStore::Deserialize(const std::string& text) {
 }
 
 Status ResultStore::SaveToFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Crash safety: write the full document to a sibling temp file, flush it,
+  // then rename over `path`. rename(2) is atomic within a filesystem, so a
+  // crash or failure at any point leaves the previous catalog intact — the
+  // reader sees either the old complete document or the new one, never a
+  // torn prefix.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+    return Status::InvalidArgument("cannot open '" + tmp + "' for writing");
   }
   const std::string text = Serialize();
   const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fflush(f) == 0;
   const bool closed = std::fclose(f) == 0;
-  if (written != text.size() || !closed) {
-    return Status::Internal("short write to '" + path + "'");
+  if (written != text.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' over '" + path +
+                            "'");
   }
   return Status::OK();
 }

@@ -13,7 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -112,6 +115,43 @@ int ExactFractionCompare(unsigned __int128 a_num, unsigned __int128 a_den,
 /// anything else.
 Result<EvictionPolicy> EvictionPolicyFromName(const std::string& name);
 
+/// One recorded ResultStore operation (see StoreJournal).
+struct StoreOp {
+  enum class Kind : uint8_t { kPeek, kLookup, kRegister, kPin, kUnpin };
+  Kind kind = Kind::kPeek;
+  CostKey key{0, 0};        ///< kPeek / kLookup: probed key
+  bool hit = false;         ///< kPeek / kLookup: probe answer
+  std::string snapshot_id;  ///< probe answer / pin target / register result
+  bool fresh = false;       ///< kRegister: a new snapshot was created
+  DatasetPtr dataset;       ///< kRegister: retained clone of the payload
+  std::vector<std::pair<CostKey, ReuseKind>> reg_keys;  ///< kRegister
+};
+
+/// Ordered record of every public-API operation issued against a store —
+/// the isolation substrate of the stubbyd service (src/service/): a request
+/// speculates against a private copy of the shared store with a journal
+/// attached, and at commit time the journal is replayed against the
+/// authoritative store in submission order, validating every recorded probe
+/// answer along the way. Appends are mutex-guarded because probes can be
+/// issued from parallel search tasks; probe order within a mutation-free
+/// window is not significant (probes do not mutate, so validating them is
+/// order-independent there), and mutations only occur in serial sections.
+class StoreJournal {
+ public:
+  void Append(StoreOp op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(std::move(op));
+  }
+  const std::vector<StoreOp>& ops() const { return ops_; }
+  void set_record_probes(bool on) { record_probes_ = on; }
+  bool record_probes() const { return record_probes_; }
+
+ private:
+  std::mutex mu_;
+  std::vector<StoreOp> ops_;
+  bool record_probes_ = true;
+};
+
 /// Byte-budgeted, deterministically-evicting snapshot catalog.
 class ResultStore {
  public:
@@ -125,6 +165,15 @@ class ResultStore {
 
   ResultStore() : ResultStore(Options{}) {}
   explicit ResultStore(Options options) : options_(options) {}
+
+  // Copies and moves carry the full catalog state but never the attached
+  // journal: a journal observes one particular store object (stubbyd's
+  // speculative working copies each attach their own), and silently
+  // inheriting it would interleave two stores' operation streams.
+  ResultStore(const ResultStore&) = default;
+  ResultStore(ResultStore&&) = default;
+  ResultStore& operator=(const ResultStore&) = default;
+  ResultStore& operator=(ResultStore&&) = default;
 
   /// Snapshots `ds` into the store and registers it under every key in
   /// `keys`. Keys already present keep their existing entry (first
@@ -160,6 +209,33 @@ class ResultStore {
   /// override on top of the persisted options) and re-enforces the budget.
   void set_options(Options options);
 
+  /// Attaches (nullptr: detaches) an operation journal; borrowed, must
+  /// outlive the attachment. Every subsequent Peek/Lookup/Register/Pin/
+  /// Unpin is appended (probes only while `record_probes()` is on).
+  /// Internal budget enforcement is not journaled — it is a deterministic
+  /// consequence of the Register that triggered it.
+  void set_journal(StoreJournal* journal) { journal_.ptr = journal; }
+
+  /// Evicts policy-ranked victims drawn only from entries whose snapshot is
+  /// in `owned` until those snapshots' total raw bytes fit `budget`
+  /// (0 = unlimited). The stubbyd per-tenant budget layer: `owned` is the
+  /// set of snapshot ids a tenant's requests created. Returns the number of
+  /// entries evicted; counts into `evictions()` like global enforcement.
+  uint64_t EnforceBudgetOn(const std::set<std::string>& owned,
+                           uint64_t budget);
+
+  /// Total raw bytes of the listed snapshots (missing ids contribute 0).
+  uint64_t SnapshotBytes(const std::set<std::string>& ids) const;
+
+  bool HasSnapshot(const std::string& id) const {
+    return snapshots_.Exists(id);
+  }
+
+  /// Ordinal the next created snapshot will use ("rs/<ordinal>"). Lets
+  /// callers attribute snapshot creation to a window of calls without a
+  /// journal: ids minted in the window are exactly rs/[before, after).
+  uint64_t next_snapshot_id() const { return next_snapshot_; }
+
   const std::map<CostKey, StoredResult>& catalog() const { return entries_; }
   size_t num_entries() const { return entries_.size(); }
   size_t num_snapshots() const { return snapshots_.size(); }
@@ -180,11 +256,36 @@ class ResultStore {
   /// Exact catalog persistence across processes: SaveToFile writes
   /// Serialize() to `path`; LoadFromFile restores it via Deserialize. A
   /// reloaded store produces bit-identical hit/eviction sequences.
+  /// SaveToFile is crash-safe: the document is written to `path` + ".tmp"
+  /// and renamed into place, so a failure mid-save leaves any existing
+  /// catalog at `path` untouched and loadable.
   Status SaveToFile(const std::string& path) const;
   static Result<ResultStore> LoadFromFile(const std::string& path);
 
  private:
+  /// Borrowed journal pointer whose copy/move semantics never transfer it
+  /// between store objects (see the special-member comment above); on
+  /// assignment the destination keeps its own attachment.
+  struct JournalRef {
+    StoreJournal* ptr = nullptr;
+    JournalRef() = default;
+    JournalRef(const JournalRef&) {}
+    JournalRef(JournalRef&&) noexcept {}
+    JournalRef& operator=(const JournalRef&) { return *this; }
+    JournalRef& operator=(JournalRef&&) noexcept { return *this; }
+  };
+
   void EnforceBudget();
+  /// Lowest-ranked unpinned entry under the active policy among entries
+  /// satisfying `eligible`; nullptr when none qualifies. Ties break on the
+  /// (ordered) key, so victim sequences are deterministic.
+  const StoredResult* PickVictim(
+      const std::function<bool(const StoredResult&)>& eligible) const;
+  /// Erases one entry, counts the eviction, and garbage-collects snapshots
+  /// no surviving entry references and no pin holds.
+  void EvictEntry(const CostKey& key);
+  void RecordProbe(StoreOp::Kind kind, const CostKey& key,
+                   const StoredResult* result) const;
 
   Options options_;
   std::map<CostKey, StoredResult> entries_;
@@ -193,6 +294,7 @@ class ResultStore {
   uint64_t clock_ = 0;
   uint64_t next_snapshot_ = 0;
   uint64_t evictions_ = 0;
+  JournalRef journal_;
 };
 
 /// Deep copy of a dataset under a new id (partitions, scale, layout).

@@ -33,7 +33,8 @@ struct PinReleaser {
 
 Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
                                              const StubbyOptions& base_options,
-                                             ThreadPool* pool) const {
+                                             ThreadPool* pool,
+                                             bool register_outputs) const {
   ReuseSessionResult result;
 
   StubbyOptions options = base_options;
@@ -80,7 +81,7 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
   }
   result.execute_sec = SecondsSince(t_exec);
 
-  if (store_ != nullptr) {
+  if (store_ != nullptr && register_outputs) {
     ReuseStats reg;
     // Lineage of the *executed* plan, seeded so materialized vertices keep
     // the identity they were matched under.
@@ -141,6 +142,10 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
 
     result.reuse = result.report.reuse;
     result.reuse.Add(reg);
+  } else if (store_ != nullptr) {
+    // Registration skipped (degraded mode): hits were still served, so the
+    // rewrite counters carry over — only `registered` stays zero.
+    result.reuse = result.report.reuse;
   }
 
   return result;

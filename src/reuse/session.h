@@ -48,9 +48,12 @@ class ReuseSession {
   /// Optimizes `plan` (with reuse rewriting when a store is set), stages
   /// any materialized snapshots into a copy of `dfs`, executes, registers
   /// the executed outputs, and unpins what the rewrite pinned.
+  /// `register_outputs` = false serves hits but deposits nothing — the
+  /// stubbyd soft-degradation mode for a store over its byte budget.
   Result<ReuseSessionResult> Run(const Plan& plan, const Dfs& dfs,
                                  const StubbyOptions& base_options,
-                                 ThreadPool* pool = nullptr) const;
+                                 ThreadPool* pool = nullptr,
+                                 bool register_outputs = true) const;
 
  private:
   ResultStore* store_;

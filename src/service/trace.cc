@@ -1,0 +1,204 @@
+#include "service/trace.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "profiler/profiler.h"
+#include "workloads/builder.h"
+#include "workloads/udfs.h"
+
+namespace stubby {
+
+namespace {
+
+constexpr uint64_t kGB = 1ull << 30;
+
+SchemaAnnotation AggAnnotation(const Schema& in, const std::string& group,
+                               const std::vector<AggSpec>& aggs) {
+  SchemaAnnotation sa;
+  sa.k1 = FieldSet{group};
+  sa.k2 = FieldSet{group};
+  sa.k3 = FieldSet{group};
+  FieldSet rest;
+  for (const std::string& field : in.fields()) {
+    if (field != group) rest.insert(field);
+  }
+  sa.v1 = rest;
+  sa.v2 = rest;
+  FieldSet produced;
+  for (const AggSpec& a : aggs) produced.insert(a.out_field);
+  sa.v3 = produced;
+  return sa;
+}
+
+/// Four structural variants cycled over the universe, each parameterized by
+/// the index so no two entries share content signatures: a map-only filter,
+/// a filter + grouped aggregate, a two-job chain, and a two-base
+/// multi-input join aggregate.
+Result<WorkflowFactory> BuildWorkflow(int index, const TraceOptions& opt) {
+  ClusterSpec cluster;
+  WorkflowFactory f(cluster);
+  Rng rng(opt.seed * 0x9e3779b97f4a7c15ull +
+          static_cast<uint64_t>(index) * 2654435761ull + 1);
+
+  const std::string tag = "w" + std::to_string(index);
+  Schema base_schema({"K", "G", "V"});
+  const int rows =
+      opt.rows + static_cast<int>(rng.NextInt(0, opt.rows / 4 + 1));
+  std::vector<Row> data;
+  data.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    data.push_back(
+        Row{rng.NextInt(0, 19), rng.NextInt(0, 9), rng.NextInt(0, 99)});
+  }
+  STUBBY_RETURN_NOT_OK(
+      f.AddBase("BASE", base_schema, Layout{}, 4, std::move(data), 2 * kGB));
+
+  static const AggOp kOps[] = {AggOp::kSum, AggOp::kMax, AggOp::kMin,
+                               AggOp::kCount, AggOp::kAvg};
+  const int variant = index % 4;
+  switch (variant) {
+    case 0: {  // map-only filter
+      const double lo = static_cast<double>(rng.NextInt(0, 8));
+      const double hi = lo + static_cast<double>(rng.NextInt(5, 12));
+      WorkflowFactory::JobDef def;
+      def.id = "J0";
+      def.inputs = {In("BASE", {Stage::Map(FilterRangeMap(
+                             "filter_" + tag, base_schema, "K", lo, hi))})};
+      def.map_output_schema = base_schema;
+      def.output = "OUT";
+      STUBBY_RETURN_NOT_OK(f.AddDataset("OUT", base_schema, true));
+      STUBBY_RETURN_NOT_OK(f.AddJob(std::move(def)));
+      break;
+    }
+    case 1: {  // filter + grouped aggregate on K
+      const double lo = static_cast<double>(rng.NextInt(0, 40));
+      const double hi = lo + static_cast<double>(rng.NextInt(30, 70));
+      std::vector<AggSpec> aggs = {{"V", kOps[rng.NextInt(0, 4)], "A0"}};
+      WorkflowFactory::JobDef def;
+      def.id = "J0";
+      def.inputs = {In("BASE", {Stage::Map(FilterRangeMap(
+                             "filter_" + tag, base_schema, "V", lo, hi))})};
+      def.map_output_schema = base_schema;
+      def.reduce_stages = {Stage::Reduce(
+          AggReduce("agg_" + tag, base_schema, {"K"}, aggs), {"K"})};
+      def.schema_ann = AggAnnotation(base_schema, "K", aggs);
+      def.output = "OUT";
+      STUBBY_RETURN_NOT_OK(
+          f.AddDataset("OUT", AggOutputSchema({"K"}, aggs), true));
+      STUBBY_RETURN_NOT_OK(f.AddJob(std::move(def)));
+      break;
+    }
+    case 2: {  // two-job chain: append a constant, then aggregate on G
+      const std::string cfield = "C" + std::to_string(index % 7);
+      std::vector<std::string> mid_fields = base_schema.fields();
+      mid_fields.push_back(cfield);
+      Schema mid_schema(mid_fields);
+      WorkflowFactory::JobDef head;
+      head.id = "J0";
+      head.inputs = {In("BASE", {Stage::Map(AppendConstMap(
+                              "append_" + tag, base_schema, cfield,
+                              Value(rng.NextInt(0, 5))))})};
+      head.map_output_schema = mid_schema;
+      head.output = "MID";
+      std::vector<AggSpec> aggs = {{"V", kOps[rng.NextInt(0, 4)], "A0"},
+                                   {cfield, AggOp::kMax, "A1"}};
+      WorkflowFactory::JobDef tail;
+      tail.id = "J1";
+      tail.inputs = {In("MID", {})};
+      tail.map_output_schema = mid_schema;
+      tail.reduce_stages = {Stage::Reduce(
+          AggReduce("agg_" + tag, mid_schema, {"G"}, aggs), {"G"})};
+      tail.schema_ann = AggAnnotation(mid_schema, "G", aggs);
+      tail.output = "OUT";
+      STUBBY_RETURN_NOT_OK(f.AddDataset("MID", mid_schema, false));
+      STUBBY_RETURN_NOT_OK(
+          f.AddDataset("OUT", AggOutputSchema({"G"}, aggs), true));
+      STUBBY_RETURN_NOT_OK(f.AddJob(std::move(head)));
+      STUBBY_RETURN_NOT_OK(f.AddJob(std::move(tail)));
+      break;
+    }
+    default: {  // two bases feeding one multi-input join aggregate
+      const int rows2 = opt.rows / 2 +
+                        static_cast<int>(rng.NextInt(0, opt.rows / 4 + 1));
+      std::vector<Row> data2;
+      data2.reserve(static_cast<size_t>(rows2));
+      for (int i = 0; i < rows2; ++i) {
+        data2.push_back(
+            Row{rng.NextInt(0, 19), rng.NextInt(0, 9), rng.NextInt(0, 99)});
+      }
+      STUBBY_RETURN_NOT_OK(f.AddBase("BASE2", base_schema, Layout{}, 4,
+                                     std::move(data2), kGB));
+      const double lo = static_cast<double>(rng.NextInt(0, 20));
+      const double hi = lo + static_cast<double>(rng.NextInt(30, 90));
+      std::vector<AggSpec> aggs = {{"V", AggOp::kSum, "A0"},
+                                   {"G", kOps[rng.NextInt(0, 4)], "A1"}};
+      WorkflowFactory::JobDef def;
+      def.id = "J0";
+      def.inputs = {In("BASE", {Stage::Map(FilterRangeMap(
+                             "filter_" + tag, base_schema, "V", lo, hi))}),
+                    In("BASE2", {})};
+      def.map_output_schema = base_schema;
+      def.reduce_stages = {Stage::Reduce(
+          AggReduce("agg_" + tag, base_schema, {"K"}, aggs), {"K"})};
+      def.schema_ann = AggAnnotation(base_schema, "K", aggs);
+      def.output = "OUT";
+      STUBBY_RETURN_NOT_OK(
+          f.AddDataset("OUT", AggOutputSchema({"K"}, aggs), true));
+      STUBBY_RETURN_NOT_OK(f.AddJob(std::move(def)));
+      break;
+    }
+  }
+  STUBBY_RETURN_NOT_OK(f.plan().Validate());
+  return f;
+}
+
+}  // namespace
+
+Result<TraceWorkflow> MakeTraceWorkflow(int index,
+                                        const TraceOptions& options) {
+  STUBBY_ASSIGN_OR_RETURN(WorkflowFactory f, BuildWorkflow(index, options));
+  Plan plan = f.plan();
+  Dfs dfs = f.dfs();
+  if (options.profile_odd && index % 2 == 1) {
+    Profiler profiler(ClusterSpec{});
+    Dfs profiling_dfs = dfs;
+    STUBBY_RETURN_NOT_OK(profiler.ProfilePlan(&plan, &profiling_dfs));
+  }
+  TraceWorkflow w;
+  w.name = "wf" + std::to_string(index) + "/v" + std::to_string(index % 4);
+  w.plan = std::make_shared<const Plan>(std::move(plan));
+  w.dfs = std::make_shared<const Dfs>(std::move(dfs));
+  return w;
+}
+
+Result<SubmissionTrace> MakeSubmissionTrace(const TraceOptions& options) {
+  if (options.universe < 1 || options.tenants < 1) {
+    return Status::InvalidArgument("trace needs >= 1 workflow and tenant");
+  }
+  SubmissionTrace trace;
+  trace.universe.reserve(static_cast<size_t>(options.universe));
+  for (int i = 0; i < options.universe; ++i) {
+    STUBBY_ASSIGN_OR_RETURN(TraceWorkflow w, MakeTraceWorkflow(i, options));
+    trace.universe.push_back(std::move(w));
+  }
+  // Popularity: universe index == Zipf rank - 1, so entry 0 is hottest.
+  Rng rng(options.seed * 6364136223846793005ull + 1442695040888963407ull);
+  trace.submissions.reserve(static_cast<size_t>(options.submissions));
+  for (int s = 0; s < options.submissions; ++s) {
+    const uint64_t rank = rng.NextZipf(
+        static_cast<uint64_t>(options.universe), options.zipf);
+    const TraceWorkflow& w = trace.universe[rank - 1];
+    Submission sub;
+    sub.tenant =
+        "t" + std::to_string(rng.NextUint64(
+                  static_cast<uint64_t>(options.tenants)));
+    sub.name = w.name;
+    sub.plan = w.plan;
+    sub.dfs = w.dfs;
+    trace.submissions.push_back(std::move(sub));
+  }
+  return trace;
+}
+
+}  // namespace stubby

@@ -1,0 +1,55 @@
+// Deterministic synthetic submission traces for the stubbyd drivers
+// (bench/bench_stubbyd.cc, tests/service_test.cc): a universe of small,
+// structurally distinct workflows over integer data, and a Zipf-skewed
+// arrival sequence over that universe with submissions round-tripped
+// through a fixed set of logical tenants. Everything is a pure function of
+// TraceOptions, so replaying a trace through the daemon and through a
+// sequential fresh-session loop is a meaningful bit-identity comparison.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/stubbyd.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+struct TraceOptions {
+  int universe = 32;     ///< distinct workflows
+  int rows = 500;        ///< base rows per workflow (plus per-index jitter)
+  int submissions = 1000;
+  int tenants = 6;
+  double zipf = 1.1;     ///< popularity skew over the universe (rank 1 hottest)
+  uint64_t seed = 7;
+  /// Profile odd-indexed universe entries, so the trace mixes detailed
+  /// costing with the unprofiled job-count fallback path.
+  bool profile_odd = true;
+};
+
+/// One universe entry: an annotated plan plus its base data.
+struct TraceWorkflow {
+  std::string name;
+  std::shared_ptr<const Plan> plan;
+  std::shared_ptr<const Dfs> dfs;
+};
+
+struct SubmissionTrace {
+  std::vector<TraceWorkflow> universe;
+  /// Submission order; plan/dfs pointers shared with `universe`.
+  std::vector<Submission> submissions;
+};
+
+/// Builds universe entry `index` under `options` (pure function of both).
+Result<TraceWorkflow> MakeTraceWorkflow(int index,
+                                        const TraceOptions& options);
+
+/// Builds the whole trace: universe plus the Zipf-skewed, tenant-tagged
+/// submission sequence.
+Result<SubmissionTrace> MakeSubmissionTrace(const TraceOptions& options);
+
+}  // namespace stubby

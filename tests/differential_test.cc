@@ -12,7 +12,9 @@
 // The batch-off and columnar-off legs additionally pin down the
 // transparency contracts of StubbyOptions::vectorized_exec and
 // ::columnar_storage: raw output order, makespan bits, and per-job
-// dataflow accounting match the default run exactly.
+// dataflow accounting match the default run exactly. A final daemon leg
+// replays each seed through stubbyd (three tenants, one wave) and asserts
+// bit-identity with a sequential fresh-session loop at 1 and 4 threads.
 //
 // The generator sticks to integer-valued fields: integer sums stay exact in
 // doubles (≤ 2^53), so kSum/kMax/kMin/kCount/kAvg are bit-exact and
@@ -24,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +39,7 @@
 #include "profiler/profiler.h"
 #include "reuse/result_store.h"
 #include "reuse/session.h"
+#include "service/stubbyd.h"
 #include "workloads/builder.h"
 #include "workloads/udfs.h"
 
@@ -239,6 +243,54 @@ Result<WorkflowFactory> MakeRandomWorkflow(uint64_t seed) {
     sa.v3 = FieldSet{"DS"};
     spec.def.schema_ann = sa;
     spec.output_id = "DDJ";
+    spec.def.output = spec.output_id;
+    specs.push_back(std::move(spec));
+  }
+
+  // Multi-input join: half the seeds add a second base relation and a job
+  // that reads BOTH bases as branch inputs of one shuffle (a filtered arm
+  // over BASE merged with an unfiltered arm over BASE2) into a grouped
+  // aggregate — the cross-relation join shape stubbyd traces replay, which
+  // the single-base chains above never produce.
+  if (rng.NextInt(0, 1) == 0) {
+    const int rows2 = 300 + static_cast<int>(rng.NextInt(0, 300));
+    std::vector<Row> data2;
+    data2.reserve(static_cast<size_t>(rows2));
+    for (int i = 0; i < rows2; ++i) {
+      data2.push_back(Row{rng.NextInt(0, 19), rng.NextInt(0, 9),
+                          rng.NextInt(0, 99)});
+    }
+    STUBBY_RETURN_NOT_OK(f.AddBase("BASE2", base_schema, Layout{}, 4,
+                                   std::move(data2), kGB));
+    const auto& field = base_schema.fields()[static_cast<size_t>(
+        rng.NextInt(0, base_schema.fields().size() - 1))];
+    const double lo = static_cast<double>(rng.NextInt(0, 20));
+    const double hi = lo + static_cast<double>(rng.NextInt(30, 90));
+    const std::string group = base_schema.fields()[0];
+    std::vector<AggSpec> aggs = {{base_schema.fields()[2], AggOp::kSum,
+                                  "JS"}};
+    JobSpec spec;
+    spec.def.id = "JX";
+    spec.def.inputs = {In("BASE", {Stage::Map(FilterRangeMap(
+                              "filter_jx", base_schema, field, lo, hi))}),
+                       In("BASE2", {})};
+    spec.def.map_output_schema = base_schema;
+    spec.output_schema = AggOutputSchema({group}, aggs);
+    spec.def.reduce_stages = {Stage::Reduce(
+        AggReduce("agg_jx", base_schema, {group}, aggs), {group})};
+    SchemaAnnotation sa;
+    sa.k1 = FieldSet{group};
+    sa.k2 = FieldSet{group};
+    sa.k3 = FieldSet{group};
+    FieldSet rest;
+    for (const std::string& bf : base_schema.fields()) {
+      if (bf != group) rest.insert(bf);
+    }
+    sa.v1 = rest;
+    sa.v2 = rest;
+    sa.v3 = FieldSet{"JS"};
+    spec.def.schema_ann = sa;
+    spec.output_id = "DJX";
     spec.def.output = spec.output_id;
     specs.push_back(std::move(spec));
   }
@@ -524,6 +576,61 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
       ASSERT_EQ(t4[i].outputs.count(id), 1u);
       EXPECT_TRUE(RowsBitIdentical(rows, t4[i].outputs.at(id)))
           << "output " << id;
+    }
+  }
+
+  // Daemon mode: the same workflow submitted three times by three tenants
+  // through stubbyd — one shared store, one wave, speculative execution —
+  // must land exactly where a sequential fresh-session loop does, at 1 and
+  // at 4 threads. This replays every generator shape (joins included)
+  // through the service's wave-OCC commit path.
+  auto shared_plan = std::make_shared<const Plan>(f->plan());
+  auto shared_dfs = std::make_shared<const Dfs>(f->dfs());
+  std::vector<ModeResult> sequential;
+  {
+    ResultStore seq_store;
+    ReuseSession seq_session(&seq_store);
+    for (int i = 0; i < 3; ++i) {
+      auto r = seq_session.Run(*shared_plan, *shared_dfs, StubbyOptions{});
+      ASSERT_TRUE(r.ok()) << r.status();
+      ExpectBitIdentical(r->outputs, oracle->outputs,
+                         "daemon-sequential " + std::to_string(i));
+      sequential.push_back(Capture(*r));
+    }
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE("daemon threads=" + std::to_string(threads));
+      ServiceOptions service_options;
+      service_options.wave_size = 3;
+      ThreadPool pool(threads);
+      StubbyService service(service_options, &pool);
+      for (int i = 0; i < 3; ++i) {
+        Submission sub;
+        sub.tenant = "t" + std::to_string(i);
+        sub.name = "seed" + std::to_string(seed);
+        sub.plan = shared_plan;
+        sub.dfs = shared_dfs;
+        ASSERT_TRUE(service.Submit(std::move(sub)).ok());
+      }
+      std::vector<RequestResult> results = service.Drain();
+      ASSERT_EQ(results.size(), 3u);
+      for (int i = 0; i < 3; ++i) {
+        SCOPED_TRACE("request " + std::to_string(i));
+        ASSERT_TRUE(results[i].status.ok()) << results[i].status;
+        ModeResult got = Capture(results[i].session);
+        EXPECT_EQ(got.plan_signature, sequential[i].plan_signature);
+        EXPECT_TRUE(SameCostBits(got.estimated_cost,
+                                 sequential[i].estimated_cost))
+            << got.estimated_cost << " vs " << sequential[i].estimated_cost;
+        EXPECT_EQ(got.reuse_counters, sequential[i].reuse_counters);
+        ASSERT_EQ(got.outputs.size(), sequential[i].outputs.size());
+        for (const auto& [id, rows] : got.outputs) {
+          EXPECT_TRUE(
+              RowsBitIdentical(rows, sequential[i].outputs.at(id)))
+              << "raw output " << id;
+        }
+      }
+      EXPECT_EQ(service.store().Serialize(), seq_store.Serialize());
+      EXPECT_EQ(service.store().num_pins(), 0u);
     }
   }
 }

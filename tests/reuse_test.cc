@@ -4,7 +4,9 @@
 // scratch at any thread count).
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
@@ -688,6 +690,42 @@ TEST(ResultStoreTest, FileRoundTripRestoresIdenticalHits) {
                                in_memory->outputs.at("OUT_b")));
 
   EXPECT_FALSE(ResultStore::LoadFromFile(path + ".does-not-exist").ok());
+}
+
+TEST(ResultStoreTest, FailedSaveLeavesOldCatalogLoadable) {
+  // Saves go through <path>.tmp + rename, so a save that dies mid-write
+  // must never clobber the previous on-disk catalog. Simulate the failure
+  // by squatting on the temp path with a directory: fopen("wb") fails, the
+  // old file survives, and removing the obstruction makes saves work again.
+  ResultStore store;
+  store.Register(*MakeStored("x", 25),
+                 {{CostKey{1, 0}, ReuseKind::kJobOutput}});
+  const std::string path =
+      ::testing::TempDir() + "/stubby_atomic_save_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  const std::string old_catalog = store.Serialize();
+
+  ResultStore bigger;
+  bigger.Register(*MakeStored("x", 25),
+                  {{CostKey{1, 0}, ReuseKind::kJobOutput}});
+  bigger.Register(*MakeStored("y", 40),
+                  {{CostKey{2, 0}, ReuseKind::kJobOutput}});
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0700), 0);
+  EXPECT_FALSE(bigger.SaveToFile(path).ok());
+
+  // The failed save left the previous catalog fully loadable.
+  auto reloaded = ResultStore::LoadFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->Serialize(), old_catalog);
+
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+  ASSERT_TRUE(bigger.SaveToFile(path).ok());
+  auto replaced = ResultStore::LoadFromFile(path);
+  ASSERT_TRUE(replaced.ok()) << replaced.status();
+  EXPECT_EQ(replaced->Serialize(), bigger.Serialize());
+  std::remove(path.c_str());
 }
 
 // --- reuse-aware unit search -------------------------------------------------
