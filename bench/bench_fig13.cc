@@ -64,8 +64,8 @@ OptimizationUnit WholeGraphUnit(const Plan& plan) {
 bool RunExhaustiveAblation(int rows, Json* doc) {
   constexpr size_t kMaxJobs = 5;
   std::printf("\nExhaustive whole-graph ablation (<= %zu jobs)\n", kMaxJobs);
-  std::printf("%-6s %6s %9s %10s %10s %10s %10s\n", "WF", "Jobs", "Subplans",
-              "t=1", "t=2", "t=4", "t=8");
+  std::printf("%-6s %6s %9s %10s %10s %10s %10s %8s\n", "WF", "Jobs",
+              "Subplans", "t=1", "t=2", "t=4", "t=8", "RRS/exh");
 
   std::vector<std::shared_ptr<Transformation>> transforms = {
       std::make_shared<IntraJobVerticalPacking>(),
@@ -134,13 +134,23 @@ bool RunExhaustiveAblation(int rows, Json* doc) {
       point["speedup"] = wall > 0 ? wall_1 / wall : 1.0;
       points.Append(std::move(point));
     }
-    std::printf("%s\n", line);
+    // RRS-vs-exhaustive cost gap: what Stubby's scoped greedy+RRS search
+    // settles for, over the whole-graph exhaustive optimum (>= 1 up to
+    // model ties; bench_optgap and CI trend this ratio).
+    StubbyOptimizer stubby;
+    auto stubby_report = stubby.Optimize(plan);
+    STUBBY_CHECK_OK(stubby_report.status());
+    const double rrs_cost = stubby_report->estimated_cost;
+    const double ratio = ref_cost > 0 ? rrs_cost / ref_cost : 1.0;
+    std::printf("%s %7.4fx\n", line, ratio);
 
     Json row = Json::Object();
     row["workload"] = abbr;
     row["jobs"] = static_cast<uint64_t>(plan.num_jobs());
     row["subplans"] = static_cast<uint64_t>(ref_count);
     row["best_cost"] = ref_cost;
+    row["rrs_cost"] = rrs_cost;
+    row["ratio"] = ratio;
     row["scaling"] = std::move(points);
     workloads.Append(std::move(row));
   }

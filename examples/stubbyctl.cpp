@@ -48,6 +48,7 @@
 #include "common/strings.h"
 #include "common/threading.h"
 #include "service/stubbyd.h"
+#include "exec/adaptive_runner.h"
 #include "exec/workflow_runner.h"
 #include "optimizer/stubby.h"
 #include "profiler/profiler.h"
@@ -242,6 +243,7 @@ int main(int argc, char** argv) {
     }
     sopts.soft_degrade_bytes = static_cast<uint64_t>(soft_mb) << 20;
     sopts.hard_degrade_bytes = static_cast<uint64_t>(hard_mb) << 20;
+    sopts.reoptimize = ReoptimizeFromEnv();
     return sopts;
   };
   auto print_service_summary = [&](const StubbyService& service) {
@@ -462,6 +464,7 @@ int main(int argc, char** argv) {
     ReuseSession session(&store);
     StubbyOptions opts;
     opts.columnar_storage = ColumnarStorageFromEnv();
+    opts.reoptimize = ReoptimizeFromEnv();
 
     auto first = session.Run(w->plan, w->dfs, opts);
     STUBBY_CHECK_OK(first.status());

@@ -195,9 +195,16 @@ std::vector<Application> PartitionFunctionTransform::FindApplications(
     // variant (the job's current setting as a floor) and let the cost-based
     // search decide.
     const int slots = plan.cluster().total_reduce_slots();
-    std::set<int> targets = {
-        std::max(job.EffectiveReduceTasks(), slots),
-        std::max(job.EffectiveReduceTasks(), 2 * slots)};
+    std::set<int> targets;
+    if (job.conditions.num_reduce_fixed) {
+      // A pinned reduce-task count takes precedence over range split points
+      // in EffectiveReduceTasks, so only a spec with at most that many
+      // partitions can execute.
+      targets = {*job.conditions.num_reduce_fixed};
+    } else {
+      targets = {std::max(job.EffectiveReduceTasks(), slots),
+                 std::max(job.EffectiveReduceTasks(), 2 * slots)};
+    }
     for (int R : targets) {
     std::vector<double> splits;
     for (double v : boundaries) {
@@ -217,6 +224,13 @@ std::vector<Application> PartitionFunctionTransform::FindApplications(
     std::sort(splits.begin(), splits.end());
     splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
     if (splits.empty()) continue;
+    // Consumer filter boundaries can push the split count past a pinned
+    // reduce-task count; such a spec could never execute.
+    if (job.conditions.num_reduce_fixed &&
+        static_cast<int>(splits.size()) + 1 >
+            *job.conditions.num_reduce_fixed) {
+      continue;
+    }
 
     Application app;
     app.transform_name = name();

@@ -1,0 +1,65 @@
+#include "optimizer/reoptimize.h"
+
+#include <vector>
+
+#include "profiler/profiler.h"
+
+namespace stubby {
+
+Result<Plan> BuildSuffixPlan(const Plan& plan,
+                             const std::set<std::string>& executed,
+                             const Dfs& dfs) {
+  Plan suffix = plan;
+  for (const std::string& jid : executed) suffix.RemoveJob(jid);
+
+  std::vector<std::string> drop;
+  std::vector<std::string> promote;
+  for (const auto& [id, v] : suffix.datasets()) {
+    if (!suffix.ProducerOf(id).empty()) continue;  // still computed here
+    const bool consumed = !suffix.ConsumersOf(id).empty();
+    if (!consumed && !v.is_base_input) {
+      // Executed intermediates and already-written terminal outputs: done.
+      drop.push_back(id);
+      continue;
+    }
+    if (consumed) promote.push_back(id);
+  }
+  for (const std::string& id : drop) suffix.RemoveDataset(id);
+
+  for (const std::string& id : promote) {
+    STUBBY_ASSIGN_OR_RETURN(DatasetPtr ds, dfs.Get(id));
+    STUBBY_ASSIGN_OR_RETURN(DatasetVertex * v, suffix.GetMutableDataset(id));
+    v->is_base_input = true;
+    v->materialized_from.clear();
+    v->layout = ds->layout();
+    v->annotation.schema = ds->schema();
+    v->annotation.layout = ds->layout();
+    v->annotation.num_records = ds->logical_rows();
+    v->annotation.bytes = ds->logical_bytes();
+    v->annotation.num_partitions = static_cast<int>(ds->num_partitions());
+  }
+
+  STUBBY_RETURN_NOT_OK(suffix.Validate());
+  return suffix;
+}
+
+Result<OptimizeReport> ReoptimizeSuffix(const Plan& suffix, const Dfs& dfs,
+                                        const StubbyOptions& options,
+                                        ThreadPool* pool) {
+  // Corrected profiles: instrumented execution over the actual data. The
+  // scratch DFS copy shares immutable dataset payloads, so this costs one
+  // pass over the suffix, not a data copy.
+  Plan profiled = suffix;
+  Dfs scratch = dfs;
+  Profiler profiler(suffix.cluster());
+  STUBBY_RETURN_NOT_OK(profiler.ProfilePlan(&profiled, &scratch));
+
+  StubbyOptions opts = options;
+  opts.reuse_store = nullptr;
+  opts.reuse_dfs = nullptr;
+  opts.reoptimize = false;
+  opts.pool = pool;
+  return StubbyOptimizer(opts).Optimize(profiled);
+}
+
+}  // namespace stubby

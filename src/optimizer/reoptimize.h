@@ -1,0 +1,49 @@
+// Mid-execution suffix re-optimization (the Starfish profile/what-if loop
+// closed at runtime): once a prefix of a workflow has executed, the
+// remaining jobs form a standalone workflow whose inputs — the executed
+// jobs' outputs — now exist physically in the DFS. BuildSuffixPlan turns
+// that remainder into a self-contained plan whose promoted base inputs are
+// annotated with the *observed* dataset sizes, and ReoptimizeSuffix
+// re-profiles it against the actual data and re-runs the full unit
+// optimizer over it. The adaptive runner (exec/adaptive_runner.h) splices
+// the result back into its execution loop.
+//
+// Everything here is a pure function of (plan, executed set, DFS contents,
+// options): no wall-clock, no randomness beyond the seeded RRS search —
+// which is what makes the adaptive loop bit-identical at any thread count.
+
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "dfs/dfs.h"
+#include "optimizer/stubby.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+/// Builds the plan for the not-yet-executed remainder of `plan` after the
+/// jobs in `executed` have run. Executed jobs are removed; every dataset
+/// they produced that the remainder still reads is promoted to a base
+/// input whose annotation (records, bytes, partitions, layout) is taken
+/// from the actual stored dataset in `dfs` — observed statistics fed back
+/// as corrected profiles. Annotations of original base inputs are
+/// re-grounded the same way, so a mis-profiled input size cannot survive
+/// into the re-plan. Datasets nothing in the remainder touches (executed
+/// intermediates and already-written terminal outputs) are dropped.
+Result<Plan> BuildSuffixPlan(const Plan& plan,
+                             const std::set<std::string>& executed,
+                             const Dfs& dfs);
+
+/// Re-profiles `suffix` by instrumented execution against a scratch copy
+/// of `dfs` (exact statistics on the actual intermediate data, the
+/// profiler's normal measurement path) and re-optimizes it with `options`.
+/// Reuse is stripped: a mid-execution re-plan must never touch the shared
+/// ResultStore, so stubbyd's journal-replay validation stays sound.
+Result<OptimizeReport> ReoptimizeSuffix(const Plan& suffix, const Dfs& dfs,
+                                        const StubbyOptions& options,
+                                        ThreadPool* pool);
+
+}  // namespace stubby

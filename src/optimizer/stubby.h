@@ -114,6 +114,24 @@ struct StubbyOptions {
   /// bit-identical on or off at any thread count — so it stays out of the
   /// option salt. Env override: STUBBY_COLUMNAR=0 in stubbyctl and benches.
   bool columnar_storage = true;
+  /// Adaptive suffix re-optimization (the Starfish profile/what-if loop
+  /// closed mid-execution, exec/adaptive_runner.h): after each executed job
+  /// the session compares the observed phase dataflow against the what-if
+  /// prediction; when the worst relative error exceeds
+  /// `reoptimize_threshold`, the not-yet-executed suffix of the workflow is
+  /// re-profiled against the actual intermediate data and re-optimized
+  /// (executed outputs become annotated base-input scans), and the new
+  /// suffix is spliced in. Deterministic and bit-identical at any thread
+  /// count; an exact no-op (bit-identical plans/outputs/costs/makespans)
+  /// while every error stays below threshold. Final workflow outputs are
+  /// bit-identical either way, so both knobs stay out of the option salt.
+  /// Env override: STUBBY_REOPT=1 in stubbyctl and benches.
+  bool reoptimize = false;
+  /// Worst-field relative dataflow error that triggers a suffix re-plan.
+  /// Must sit above the what-if engine's natural estimation error with
+  /// accurate profiles (Figure 14 territory, well under 0.5 on the Table 1
+  /// workloads) and below the damage a genuinely wrong profile causes.
+  double reoptimize_threshold = 0.5;
 };
 
 /// Digest of the options that shape what an optimized plan computes —

@@ -1,0 +1,31 @@
+// Deterministic profile-perturbation injector: models a profile collected
+// on a non-representative sample (or a dataset that changed since
+// profiling) by applying seeded multiplicative skew factors to the plan's
+// profile-derived statistics — base-input size annotations and per-stage
+// selectivities/CPU weights. The data itself is untouched: execution stays
+// bit-identical, only what-if predictions (and therefore the optimizer's
+// choices) go wrong. This is how tests and benches manufacture the
+// mis-profiled-input scenario the adaptive re-optimizer exists for.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "workflow/plan.h"
+
+namespace stubby {
+
+struct PerturbOptions {
+  uint64_t seed = 1;
+  /// Skew strength: every perturbed statistic is scaled by a factor drawn
+  /// log-uniformly from [1/(1+magnitude), 1+magnitude], keyed by the
+  /// statistic's name and the seed. 0 disables the injector.
+  double magnitude = 2.0;
+};
+
+/// Perturbs `plan` in place. Pure function of (plan, options): the same
+/// plan and options always yield the same perturbed annotations.
+Status PerturbProfiles(Plan* plan, const PerturbOptions& options);
+
+}  // namespace stubby

@@ -67,11 +67,21 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
     run_dfs.PutOrReplace(CloneDataset(*snapshot, id));
   }
 
-  WorkflowRunner runner(
-      plan.cluster(), pool,
-      ExecOptions{options.vectorized_exec, options.columnar_storage});
-  STUBBY_ASSIGN_OR_RETURN(result.dataflow,
-                          runner.Run(result.report.plan, &run_dfs));
+  const ExecOptions exec{options.vectorized_exec, options.columnar_storage};
+  if (options.reoptimize) {
+    // Adaptive execution: WorkflowRunner's loop plus the observed-vs-
+    // predicted dataflow check and mid-run suffix re-optimization. An exact
+    // no-op (bit-identical dataflow and outputs) when no check fires.
+    AdaptiveRunner runner(plan.cluster(), pool, exec, options);
+    STUBBY_ASSIGN_OR_RETURN(AdaptiveRunResult adaptive,
+                            runner.Run(result.report.plan, &run_dfs));
+    result.dataflow = std::move(adaptive.dataflow);
+    result.adaptive = std::move(adaptive.stats);
+  } else {
+    WorkflowRunner runner(plan.cluster(), pool, exec);
+    STUBBY_ASSIGN_OR_RETURN(result.dataflow,
+                            runner.Run(result.report.plan, &run_dfs));
+  }
   result.simulated_cost = result.dataflow.makespan_sec;
 
   for (const auto& [id, v] : plan.datasets()) {
@@ -92,7 +102,14 @@ Result<ReuseSessionResult> ReuseSession::Run(const Plan& plan, const Dfs& dfs,
 
     // Register every executed job's outputs; a stateless map-only job's
     // output doubles as a map-stream entry for sub-job (prefix) matching.
+    // After a mid-run re-optimization the optimized plan's per-job lineage
+    // no longer describes what executed (the spliced suffix may use other
+    // configurations under the same dataset ids), so only the terminal
+    // outputs — bit-identical by the equivalence invariant and keyed by the
+    // original plan's lineage — are registered then.
+    const bool spliced = result.adaptive.reoptimizations > 0;
     for (const auto& [jid, job] : result.report.plan.jobs()) {
+      if (spliced) break;
       auto kit = executed.jobs.find(jid);
       if (kit == executed.jobs.end()) continue;
       std::vector<std::string> outputs = job.OutputDatasets();

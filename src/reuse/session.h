@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "cost/dataflow.h"
+#include "exec/adaptive_runner.h"
 #include "mr/tuple.h"
 #include "optimizer/stubby.h"
 #include "reuse/result_store.h"
@@ -33,6 +34,10 @@ struct ReuseSessionResult {
   double execute_sec = 0.0;       ///< staging + execution wall time
   double simulated_cost = 0.0;    ///< simulated makespan of the executed plan
   ReuseStats reuse;               ///< rewrite hits + registration counts
+  /// Adaptive re-optimization counters (all zero unless
+  /// StubbyOptions::reoptimize was set — and bit-identical to the
+  /// reoptimize-off run whenever no splice fired).
+  AdaptiveStats adaptive;
 
   /// Final rows of every workflow-output dataset, by dataset id (all
   /// partitions concatenated) — the bit-identity comparison unit.

@@ -128,6 +128,7 @@ void StubbyService::Speculate(const Pending& pending, Speculation* spec) {
   options.reuse_dfs = nullptr;
   options.pool = nullptr;
   options.cost_cache = spec->overlay.get();
+  if (options_.reoptimize) options.reoptimize = true;
   const Plan& plan = *pending.submission.plan;
   const Dfs& dfs = *pending.submission.dfs;
   Result<ReuseSessionResult> run = Status::Unknown("not run");
@@ -249,6 +250,7 @@ RequestResult StubbyService::Commit(const Pending& pending,
     options.reuse_dfs = nullptr;
     options.pool = nullptr;
     options.cost_cache = &overlay;
+    if (options_.reoptimize) options.reoptimize = true;
     const Plan& plan = *pending.submission.plan;
     const Dfs& dfs = *pending.submission.dfs;
     const uint64_t before = store_.next_snapshot_id();

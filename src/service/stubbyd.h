@@ -89,6 +89,11 @@ struct ServiceOptions {
   /// at or past `hard`, they run reuse-blind.
   uint64_t soft_degrade_bytes = 0;
   uint64_t hard_degrade_bytes = 0;
+  /// Force adaptive suffix re-optimization on for every submission
+  /// (StubbyOptions::reoptimize). Submissions that set the flag themselves
+  /// are honored either way. Bit-transparent on outputs, so the daemon's
+  /// replay-equals-sequential contract is unchanged.
+  bool reoptimize = false;
 };
 
 /// One queued workflow submission. Plan and DFS are shared so a popular

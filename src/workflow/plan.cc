@@ -295,6 +295,19 @@ Status Plan::Validate() const {
                                     "' missing from map output schema");
           }
         }
+        // A range spec must fit within the job's effective reduce-task
+        // count: Partitioner::Make rejects specs with more partitions than
+        // reduce tasks, so a plan violating this cannot execute. The two can
+        // diverge when conditions.num_reduce_fixed (which takes precedence)
+        // pins a smaller count than split_points+1.
+        if (b.partition.FixesNumPartitions() &&
+            b.partition.NumRangePartitions() > job.EffectiveReduceTasks()) {
+          return Status::Internal(
+              "job '" + jid + "': range partition spec defines " +
+              std::to_string(b.partition.NumRangePartitions()) +
+              " partitions but the job's effective reduce-task count is " +
+              std::to_string(job.EffectiveReduceTasks()));
+        }
         // Every reduce stage's grouping must be a prefix of the sort order
         // at the point it runs. We check the first stage (later stages are
         // checked structurally by the transformations that created them).

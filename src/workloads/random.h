@@ -1,0 +1,36 @@
+// Seeded random workflow generator shared by the differential-equivalence
+// harness (tests/differential_test.cc) and the optimality-gap bench
+// (bench/bench_optgap.cc): chains, siblings, diamonds, and cross-relation
+// joins of map-only and grouped-aggregate jobs over one or two small base
+// relations. Pure function of (seed, options).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "workloads/builder.h"
+
+namespace stubby {
+
+struct RandomWorkflowOptions {
+  /// When set, the base relations' value column (and appended constant
+  /// columns) carry inexact doubles (integer/7.0) instead of integers.
+  /// Sums and averages over them are then summation-order dependent, so
+  /// optimized plans match the unoptimized oracle only under the
+  /// tolerance-aware comparison (RowsApproxEqual), not bit-for-bit. Group
+  /// and filter key columns stay integer-valued either way, keeping
+  /// grouping exact.
+  bool float_values = false;
+};
+
+/// Random 1–4 job workflow over one integer base: chains and siblings of
+/// map-only jobs (filter / project / append-const stages) and annotated
+/// group-by aggregation jobs; half the seeds append a diamond (one producer
+/// feeding two filtered consumers whose outputs rejoin in a multi-input
+/// aggregate) and half add a second base relation joined in by a two-branch
+/// shuffle. Pure function of (seed, options).
+Result<WorkflowFactory> MakeRandomWorkflow(
+    uint64_t seed, const RandomWorkflowOptions& options = {});
+
+}  // namespace stubby

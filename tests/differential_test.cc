@@ -4,21 +4,33 @@
 // reuse-aware search (twice, so the second run prices store hits inside the
 // unit search), the post-hoc rewrite path, the warm search with the
 // signature probe memo on vs off, the reuse-blind session with the
-// columnar batch executor off, and the reuse-blind session with
-// column-native storage off — at 1 and 4 threads. Every
-// emitted plan must produce bit-identical workflow outputs (after a
-// canonical row sort; optimized plans may emit rows in a different order),
-// and plans, cost bits, and reuse counters must not depend on thread count.
+// columnar batch executor off, the reuse-blind session with
+// column-native storage off, the adaptive re-optimizer on with accurate
+// profiles (`reopt_on`, must be an exact no-op against the blind run), and
+// the adaptive re-optimizer on with deterministically perturbed profiles
+// (`reopt_misprofiled`, may emit and splice different plans but must still
+// match the oracle) — at 1 and 4 threads. Every emitted plan must produce
+// workflow outputs matching the oracle (after a canonical row sort;
+// optimized plans may emit rows in a different order), and plans, cost
+// bits, and reuse + adaptive counters must not depend on thread count.
 // The batch-off and columnar-off legs additionally pin down the
 // transparency contracts of StubbyOptions::vectorized_exec and
 // ::columnar_storage: raw output order, makespan bits, and per-job
 // dataflow accounting match the default run exactly. A final daemon leg
 // replays each seed through stubbyd (three tenants, one wave) and asserts
 // bit-identity with a sequential fresh-session loop at 1 and 4 threads.
+// The nightly TSan leg runs this same file with a larger seed sweep
+// (STUBBY_DIFF_SEEDS), so every mode here — the re-opt ones included — is
+// exercised under the race detector too.
 //
-// The generator sticks to integer-valued fields: integer sums stay exact in
-// doubles (≤ 2^53), so kSum/kMax/kMin/kCount/kAvg are bit-exact and
-// order-invariant and the oracle comparison is meaningful down to the bit.
+// Seed dimensions: seeds with seed % 3 == 2 generate float-valued data
+// (inexact sevenths), where kSum/kAvg become summation-order dependent —
+// those seeds compare optimized plans against the oracle with the
+// tolerance-aware RowsApproxEqual. All other seeds stay integer-valued
+// (sums ≤ 2^53 are exact), where the oracle comparison is bit-level.
+// Same-plan A/B legs (batch-off, columnar-off, thread invariance, daemon
+// vs sequential) stay bit-level in BOTH modes: identical plans execute in
+// identical order, so even float results must agree to the bit.
 
 #include <gtest/gtest.h>
 
@@ -31,281 +43,20 @@
 #include <utility>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/threading.h"
 #include "exec/workflow_runner.h"
+#include "mr/tuple.h"
 #include "optimizer/stubby.h"
 #include "optimizer/transform.h"
+#include "profiler/perturb.h"
 #include "profiler/profiler.h"
 #include "reuse/result_store.h"
 #include "reuse/session.h"
 #include "service/stubbyd.h"
-#include "workloads/builder.h"
-#include "workloads/udfs.h"
+#include "workloads/random.h"
 
 namespace stubby {
 namespace {
-
-constexpr uint64_t kGB = 1ull << 30;
-
-// --- seeded workflow generator ---------------------------------------------
-
-struct JobSpec {
-  WorkflowFactory::JobDef def;
-  std::string output_id;
-  Schema output_schema;
-  bool consumed = false;  ///< some later job reads output_id
-};
-
-/// Random 1–4 job workflow over one integer base: chains and siblings of
-/// map-only jobs (filter / project / append-const stages) and annotated
-/// group-by aggregation jobs; half the seeds append a diamond (one
-/// producer feeding two filtered consumers whose outputs rejoin in a
-/// multi-input aggregate). Pure function of `seed`.
-Result<WorkflowFactory> MakeRandomWorkflow(uint64_t seed) {
-  ClusterSpec cluster;
-  WorkflowFactory f(cluster);
-  Rng rng(seed * 2654435761ull + 17);
-
-  Schema base_schema({"K", "G", "V"});
-  const int rows = 600 + static_cast<int>(rng.NextInt(0, 600));
-  std::vector<Row> data;
-  data.reserve(static_cast<size_t>(rows));
-  for (int i = 0; i < rows; ++i) {
-    data.push_back(Row{rng.NextInt(0, 19), rng.NextInt(0, 9),
-                       rng.NextInt(0, 99)});
-  }
-  STUBBY_RETURN_NOT_OK(
-      f.AddBase("BASE", base_schema, Layout{}, 4, std::move(data), 2 * kGB));
-
-  struct Avail {
-    std::string id;
-    Schema schema;
-    int spec_index;  ///< producing JobSpec, or -1 for the base
-  };
-  std::vector<Avail> avail = {{"BASE", base_schema, -1}};
-  std::vector<JobSpec> specs;
-
-  const int num_jobs = 1 + static_cast<int>(rng.NextInt(0, 3));
-  int const_counter = 0;
-  for (int j = 0; j < num_jobs; ++j) {
-    // Chain off the newest dataset most of the time; occasionally branch
-    // off an earlier one to get sibling consumers (horizontal candidates).
-    size_t pick = avail.size() - 1;
-    if (avail.size() > 1 && rng.NextInt(0, 2) == 0) {
-      pick = static_cast<size_t>(rng.NextInt(0, avail.size() - 1));
-    }
-    Avail& in = avail[pick];
-    if (in.spec_index >= 0) specs[in.spec_index].consumed = true;
-
-    Schema cur = in.schema;
-    std::vector<Stage> stages;
-    const int num_stages = static_cast<int>(rng.NextInt(0, 2));
-    for (int s = 0; s < num_stages; ++s) {
-      const std::string tag =
-          "j" + std::to_string(j) + "s" + std::to_string(s);
-      switch (rng.NextInt(0, 2)) {
-        case 0: {  // filter on a random field over an integer range
-          const auto& field = cur.fields()[static_cast<size_t>(
-              rng.NextInt(0, cur.fields().size() - 1))];
-          const double lo = static_cast<double>(rng.NextInt(0, 30));
-          const double hi = lo + static_cast<double>(rng.NextInt(10, 80));
-          stages.push_back(
-              Stage::Map(FilterRangeMap("filter_" + tag, cur, field, lo, hi)));
-          break;
-        }
-        case 1: {  // project onto a random subset (≥ 2 fields, order kept)
-          std::vector<std::string> keep;
-          for (const std::string& field : cur.fields()) {
-            if (rng.NextInt(0, 1) == 0) keep.push_back(field);
-          }
-          for (size_t k = 0; keep.size() < 2 && k < cur.fields().size(); ++k) {
-            const std::string& field = cur.fields()[k];
-            if (std::find(keep.begin(), keep.end(), field) == keep.end()) {
-              keep.push_back(field);
-            }
-          }
-          std::sort(keep.begin(), keep.end(), [&](const auto& a,
-                                                  const auto& b) {
-            return cur.IndexOf(a) < cur.IndexOf(b);
-          });
-          stages.push_back(Stage::Map(ProjectMap("project_" + tag, cur, keep)));
-          cur = Schema(keep);
-          break;
-        }
-        default: {  // append an integer constant column
-          const std::string field = "C" + std::to_string(const_counter++);
-          std::vector<std::string> fields = cur.fields();
-          stages.push_back(Stage::Map(
-              AppendConstMap("append_" + tag, cur, field,
-                             Value(rng.NextInt(0, 5)))));
-          fields.push_back(field);
-          cur = Schema(fields);
-          break;
-        }
-      }
-    }
-
-    JobSpec spec;
-    spec.def.id = "J" + std::to_string(j);
-    spec.def.inputs = {In(in.id, std::move(stages))};
-    spec.def.map_output_schema = cur;
-    spec.output_id = "D" + std::to_string(j);
-
-    const bool reduce = cur.fields().size() >= 2 && rng.NextInt(0, 2) != 0;
-    if (reduce) {
-      const std::string group = cur.fields()[0];
-      std::vector<AggSpec> aggs;
-      const int num_aggs = 1 + static_cast<int>(rng.NextInt(0, 1));
-      for (int a = 0; a < num_aggs; ++a) {
-        const auto& field = cur.fields()[static_cast<size_t>(
-            rng.NextInt(1, cur.fields().size() - 1))];
-        static const AggOp kOps[] = {AggOp::kSum, AggOp::kMax, AggOp::kMin,
-                                     AggOp::kCount, AggOp::kAvg};
-        aggs.push_back({field, kOps[rng.NextInt(0, 4)],
-                        "A" + std::to_string(j) + "_" + std::to_string(a)});
-      }
-      spec.output_schema = AggOutputSchema({group}, aggs);
-      spec.def.reduce_stages = {Stage::Reduce(
-          AggReduce("agg_j" + std::to_string(j), cur, {group}, aggs),
-          {group})};
-      SchemaAnnotation sa;
-      sa.k1 = FieldSet{group};
-      sa.k2 = FieldSet{group};
-      sa.k3 = FieldSet{group};
-      FieldSet rest;
-      for (const std::string& field : cur.fields()) {
-        if (field != group) rest.insert(field);
-      }
-      sa.v1 = rest;
-      sa.v2 = rest;
-      FieldSet produced;
-      for (const AggSpec& a : aggs) produced.insert(a.out_field);
-      sa.v3 = produced;
-      spec.def.schema_ann = sa;
-    } else {
-      spec.output_schema = cur;
-    }
-    spec.def.output = spec.output_id;
-    avail.push_back({spec.output_id, spec.output_schema,
-                     static_cast<int>(specs.size())});
-    specs.push_back(std::move(spec));
-  }
-
-  // Diamond sharing: one producer feeds two filtered consumers whose
-  // outputs a rejoin job reads as two branch inputs of one branch.
-  // Vertical packing of the diamond tees the shared stream (a tee-stage
-  // pipeline is ineligible for the batch path, exercising its row
-  // fallback), and the rejoin exercises multi-input shuffle merging.
-  if (rng.NextInt(0, 1) == 0) {
-    size_t pick = static_cast<size_t>(rng.NextInt(0, avail.size() - 1));
-    Avail& p = avail[pick];
-    if (p.spec_index >= 0) specs[p.spec_index].consumed = true;
-    const Schema ps = p.schema;
-    std::vector<std::string> arms;
-    for (int arm = 0; arm < 2; ++arm) {
-      const std::string tag = "d" + std::to_string(arm);
-      const auto& field = ps.fields()[static_cast<size_t>(
-          rng.NextInt(0, ps.fields().size() - 1))];
-      const double lo = static_cast<double>(rng.NextInt(0, 20));
-      const double hi = lo + static_cast<double>(rng.NextInt(30, 90));
-      JobSpec spec;
-      spec.def.id = "JD" + std::to_string(arm);
-      spec.def.inputs = {In(p.id, {Stage::Map(FilterRangeMap(
-                                "filter_" + tag, ps, field, lo, hi))})};
-      spec.def.map_output_schema = ps;
-      spec.output_id = "DD" + std::to_string(arm);
-      spec.output_schema = ps;
-      spec.def.output = spec.output_id;
-      spec.consumed = true;  // the rejoin below reads it
-      arms.push_back(spec.output_id);
-      specs.push_back(std::move(spec));
-    }
-    const std::string group = ps.fields()[0];
-    std::vector<AggSpec> aggs = {{ps.fields()[1], AggOp::kSum, "DS"}};
-    JobSpec spec;
-    spec.def.id = "JDj";
-    spec.def.inputs = {In(arms[0], {}), In(arms[1], {})};
-    spec.def.map_output_schema = ps;
-    spec.output_schema = AggOutputSchema({group}, aggs);
-    spec.def.reduce_stages = {Stage::Reduce(
-        AggReduce("agg_dj", ps, {group}, aggs), {group})};
-    SchemaAnnotation sa;
-    sa.k1 = FieldSet{group};
-    sa.k2 = FieldSet{group};
-    sa.k3 = FieldSet{group};
-    FieldSet rest;
-    for (const std::string& field : ps.fields()) {
-      if (field != group) rest.insert(field);
-    }
-    sa.v1 = rest;
-    sa.v2 = rest;
-    sa.v3 = FieldSet{"DS"};
-    spec.def.schema_ann = sa;
-    spec.output_id = "DDJ";
-    spec.def.output = spec.output_id;
-    specs.push_back(std::move(spec));
-  }
-
-  // Multi-input join: half the seeds add a second base relation and a job
-  // that reads BOTH bases as branch inputs of one shuffle (a filtered arm
-  // over BASE merged with an unfiltered arm over BASE2) into a grouped
-  // aggregate — the cross-relation join shape stubbyd traces replay, which
-  // the single-base chains above never produce.
-  if (rng.NextInt(0, 1) == 0) {
-    const int rows2 = 300 + static_cast<int>(rng.NextInt(0, 300));
-    std::vector<Row> data2;
-    data2.reserve(static_cast<size_t>(rows2));
-    for (int i = 0; i < rows2; ++i) {
-      data2.push_back(Row{rng.NextInt(0, 19), rng.NextInt(0, 9),
-                          rng.NextInt(0, 99)});
-    }
-    STUBBY_RETURN_NOT_OK(f.AddBase("BASE2", base_schema, Layout{}, 4,
-                                   std::move(data2), kGB));
-    const auto& field = base_schema.fields()[static_cast<size_t>(
-        rng.NextInt(0, base_schema.fields().size() - 1))];
-    const double lo = static_cast<double>(rng.NextInt(0, 20));
-    const double hi = lo + static_cast<double>(rng.NextInt(30, 90));
-    const std::string group = base_schema.fields()[0];
-    std::vector<AggSpec> aggs = {{base_schema.fields()[2], AggOp::kSum,
-                                  "JS"}};
-    JobSpec spec;
-    spec.def.id = "JX";
-    spec.def.inputs = {In("BASE", {Stage::Map(FilterRangeMap(
-                              "filter_jx", base_schema, field, lo, hi))}),
-                       In("BASE2", {})};
-    spec.def.map_output_schema = base_schema;
-    spec.output_schema = AggOutputSchema({group}, aggs);
-    spec.def.reduce_stages = {Stage::Reduce(
-        AggReduce("agg_jx", base_schema, {group}, aggs), {group})};
-    SchemaAnnotation sa;
-    sa.k1 = FieldSet{group};
-    sa.k2 = FieldSet{group};
-    sa.k3 = FieldSet{group};
-    FieldSet rest;
-    for (const std::string& bf : base_schema.fields()) {
-      if (bf != group) rest.insert(bf);
-    }
-    sa.v1 = rest;
-    sa.v2 = rest;
-    sa.v3 = FieldSet{"JS"};
-    spec.def.schema_ann = sa;
-    spec.output_id = "DJX";
-    spec.def.output = spec.output_id;
-    specs.push_back(std::move(spec));
-  }
-
-  // Unconsumed outputs are the workflow terminals (the last job's always is).
-  for (JobSpec& spec : specs) {
-    STUBBY_RETURN_NOT_OK(
-        f.AddDataset(spec.output_id, spec.output_schema, !spec.consumed));
-  }
-  for (JobSpec& spec : specs) {
-    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(spec.def)));
-  }
-  STUBBY_RETURN_NOT_OK(f.plan().Validate());
-  return f;
-}
 
 // --- oracle + comparison helpers -------------------------------------------
 
@@ -317,16 +68,24 @@ Outputs Canonical(const Outputs& raw) {
   return sorted;
 }
 
-/// Bit-level equality after the canonical sort (doubles by bit pattern).
-void ExpectBitIdentical(const Outputs& got, const Outputs& want,
-                        const std::string& label) {
+/// Oracle equality after the canonical sort: bit-level (doubles by bit
+/// pattern) for integer seeds; tolerance-aware (RowsApproxEqual) when
+/// `approx` — float seeds aggregate inexact doubles, so equivalent plans
+/// agree only up to summation-order rounding.
+void ExpectMatchesOracle(const Outputs& got, const Outputs& want,
+                         const std::string& label, bool approx) {
   Outputs a = Canonical(got);
   Outputs b = Canonical(want);
   ASSERT_EQ(a.size(), b.size()) << label;
   for (const auto& [id, rows] : a) {
     ASSERT_EQ(b.count(id), 1u) << label << " missing output " << id;
-    EXPECT_TRUE(RowsBitIdentical(rows, b.at(id)))
-        << label << " output " << id << " differs";
+    if (approx) {
+      EXPECT_TRUE(RowsApproxEqual(rows, b.at(id)))
+          << label << " output " << id << " differs beyond tolerance";
+    } else {
+      EXPECT_TRUE(RowsBitIdentical(rows, b.at(id)))
+          << label << " output " << id << " differs";
+    }
   }
 }
 
@@ -368,7 +127,10 @@ ModeResult Capture(const ReuseSessionResult& r) {
   ModeResult m;
   m.plan_signature = PlanSignature(r.report.plan);
   m.estimated_cost = r.report.estimated_cost;
-  m.reuse_counters = r.reuse.ToString();
+  // Adaptive counters ride along with the reuse counters so the re-opt
+  // modes' checks/splices are thread-count invariant too (all zeros for
+  // the non-adaptive modes).
+  m.reuse_counters = r.reuse.ToString() + "\n" + r.adaptive.ToString();
   m.outputs = r.outputs;
   return m;
 }
@@ -383,7 +145,10 @@ class DifferentialEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   const uint64_t seed = static_cast<uint64_t>(GetParam());
-  auto f = MakeRandomWorkflow(seed);
+  // Every third seed carries float-valued data; its oracle comparisons are
+  // tolerance-aware, everything else stays bit-level.
+  const bool floats = (seed % 3 == 2);
+  auto f = MakeRandomWorkflow(seed, RandomWorkflowOptions{floats});
   ASSERT_TRUE(f.ok()) << f.status();
 
   // Odd seeds get full stage profiles: detailed costing and the RRS
@@ -419,7 +184,8 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     EXPECT_EQ(oracle->dataflow, oracle_off->dataflow) << label;
   }
 
-  // Modes, per thread count: blind, cold, warm1, warm2, posthoc.
+  // Modes, per thread count: blind, batch-off, columnar-off, cold, warm1,
+  // warm2, posthoc, memo on/off, reopt on, reopt mis-profiled.
   std::map<int, std::vector<ModeResult>> by_threads;
   for (int threads : {1, 4}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
@@ -430,7 +196,7 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     ReuseSession blind_session(nullptr);
     auto blind = blind_session.Run(f->plan(), f->dfs(), opts, &pool);
     ASSERT_TRUE(blind.ok()) << blind.status();
-    ExpectBitIdentical(blind->outputs, oracle->outputs, "blind");
+    ExpectMatchesOracle(blind->outputs, oracle->outputs, "blind", floats);
 
     // Batch-off session: the full optimize+execute path with
     // vectorized_exec off must emit the same plan and cost bits as the
@@ -442,7 +208,7 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     auto batch_off =
         batch_off_session.Run(f->plan(), f->dfs(), batch_off_opts, &pool);
     ASSERT_TRUE(batch_off.ok()) << batch_off.status();
-    ExpectBitIdentical(batch_off->outputs, oracle->outputs, "batch_off");
+    ExpectMatchesOracle(batch_off->outputs, oracle->outputs, "batch_off", floats);
     EXPECT_EQ(PlanSignature(batch_off->report.plan),
               PlanSignature(blind->report.plan));
     EXPECT_TRUE(SameCostBits(batch_off->report.estimated_cost,
@@ -466,8 +232,8 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     auto columnar_off = columnar_off_session.Run(f->plan(), f->dfs(),
                                                  columnar_off_opts, &pool);
     ASSERT_TRUE(columnar_off.ok()) << columnar_off.status();
-    ExpectBitIdentical(columnar_off->outputs, oracle->outputs,
-                       "columnar_off");
+    ExpectMatchesOracle(columnar_off->outputs, oracle->outputs,
+                       "columnar_off", floats);
     EXPECT_EQ(PlanSignature(columnar_off->report.plan),
               PlanSignature(blind->report.plan));
     EXPECT_TRUE(SameCostBits(columnar_off->report.estimated_cost,
@@ -487,7 +253,7 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     ReuseSession session(&store);
     auto cold = session.Run(f->plan(), f->dfs(), opts, &pool);
     ASSERT_TRUE(cold.ok()) << cold.status();
-    ExpectBitIdentical(cold->outputs, oracle->outputs, "cold");
+    ExpectMatchesOracle(cold->outputs, oracle->outputs, "cold", floats);
     EXPECT_EQ(PlanSignature(cold->report.plan),
               PlanSignature(blind->report.plan));
     EXPECT_TRUE(SameCostBits(cold->report.estimated_cost,
@@ -502,10 +268,10 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     warm_opts.reuse_whole_workflow = false;
     auto warm1 = session.Run(f->plan(), f->dfs(), warm_opts, &pool);
     ASSERT_TRUE(warm1.ok()) << warm1.status();
-    ExpectBitIdentical(warm1->outputs, oracle->outputs, "warm1");
+    ExpectMatchesOracle(warm1->outputs, oracle->outputs, "warm1", floats);
     auto warm2 = session.Run(f->plan(), f->dfs(), warm_opts, &pool);
     ASSERT_TRUE(warm2.ok()) << warm2.status();
-    ExpectBitIdentical(warm2->outputs, oracle->outputs, "warm2");
+    ExpectMatchesOracle(warm2->outputs, oracle->outputs, "warm2", floats);
 
     // Post-hoc path (reuse-aware search off): rewrite only after the blind
     // search — the pre-tentpole behavior, still bit-transparent.
@@ -513,7 +279,7 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     posthoc_opts.reuse_aware_search = false;
     auto posthoc = session.Run(f->plan(), f->dfs(), posthoc_opts, &pool);
     ASSERT_TRUE(posthoc.ok()) << posthoc.status();
-    ExpectBitIdentical(posthoc->outputs, oracle->outputs, "posthoc");
+    ExpectMatchesOracle(posthoc->outputs, oracle->outputs, "posthoc", floats);
 
     // Probe-memo transparency, warm and cold-ish: freeze the store after
     // the runs above, then replay the warm mode from byte-identical copies
@@ -530,10 +296,10 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     };
     auto memo_on = run_memo(true);
     ASSERT_TRUE(memo_on.ok()) << memo_on.status();
-    ExpectBitIdentical(memo_on->outputs, oracle->outputs, "memo_on");
+    ExpectMatchesOracle(memo_on->outputs, oracle->outputs, "memo_on", floats);
     auto memo_off = run_memo(false);
     ASSERT_TRUE(memo_off.ok()) << memo_off.status();
-    ExpectBitIdentical(memo_off->outputs, oracle->outputs, "memo_off");
+    ExpectMatchesOracle(memo_off->outputs, oracle->outputs, "memo_off", floats);
     EXPECT_EQ(PlanSignature(memo_on->report.plan),
               PlanSignature(memo_off->report.plan));
     EXPECT_TRUE(SameCostBits(memo_on->report.estimated_cost,
@@ -550,11 +316,55 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
         memo_off->report.reuse.signature_keys_computed;
     EXPECT_EQ(masked.ToString(), memo_off->report.reuse.ToString());
 
-    by_threads[threads] = {Capture(*blind),   Capture(*batch_off),
+    // Re-optimization transparency (`reopt_on` vs the blind `reopt_off`
+    // baseline): with accurate profiles the adaptive runner must be an
+    // exact no-op — same plan, cost bits, simulated makespan, and raw
+    // (pre-sort) outputs as the blind run, and zero splices.
+    StubbyOptions reopt_opts = opts;
+    reopt_opts.reoptimize = true;
+    ReuseSession reopt_session(nullptr);
+    auto reopt_on = reopt_session.Run(f->plan(), f->dfs(), reopt_opts, &pool);
+    ASSERT_TRUE(reopt_on.ok()) << reopt_on.status();
+    ExpectMatchesOracle(reopt_on->outputs, oracle->outputs, "reopt_on",
+                        floats);
+    EXPECT_EQ(reopt_on->adaptive.reoptimizations, 0u)
+        << "accurate profiles must stay under the re-opt threshold "
+        << "(max_rel_error=" << reopt_on->adaptive.max_rel_error << ")";
+    EXPECT_EQ(PlanSignature(reopt_on->report.plan),
+              PlanSignature(blind->report.plan));
+    EXPECT_TRUE(SameCostBits(reopt_on->report.estimated_cost,
+                             blind->report.estimated_cost));
+    EXPECT_TRUE(
+        SameCostBits(reopt_on->simulated_cost, blind->simulated_cost))
+        << reopt_on->simulated_cost << " vs " << blind->simulated_cost;
+    ASSERT_EQ(reopt_on->outputs.size(), blind->outputs.size());
+    for (const auto& [id, rows] : blind->outputs) {
+      EXPECT_TRUE(RowsBitIdentical(rows, reopt_on->outputs.at(id)))
+          << "reopt-on raw output " << id << " differs";
+    }
+
+    // Mis-profiled (`reopt_misprofiled`): seeded multiplicative skew on
+    // every profile-derived annotation (the data itself untouched),
+    // adaptive on. The optimizer may pick — and mid-run splice to —
+    // different plans, but outputs must still match the unoptimized
+    // oracle, and nothing may depend on the thread count.
+    Plan perturbed = f->plan();
+    PerturbOptions perturb;
+    perturb.seed = seed + 101;
+    perturb.magnitude = 4.0;
+    ASSERT_TRUE(PerturbProfiles(&perturbed, perturb).ok());
+    ReuseSession mis_session(nullptr);
+    auto mis = mis_session.Run(perturbed, f->dfs(), reopt_opts, &pool);
+    ASSERT_TRUE(mis.ok()) << mis.status();
+    ExpectMatchesOracle(mis->outputs, oracle->outputs, "reopt_misprofiled",
+                        floats);
+
+    by_threads[threads] = {Capture(*blind),    Capture(*batch_off),
                            Capture(*columnar_off),
-                           Capture(*cold),    Capture(*warm1),
-                           Capture(*warm2),   Capture(*posthoc),
-                           Capture(*memo_on), Capture(*memo_off)};
+                           Capture(*cold),     Capture(*warm1),
+                           Capture(*warm2),    Capture(*posthoc),
+                           Capture(*memo_on),  Capture(*memo_off),
+                           Capture(*reopt_on), Capture(*mis)};
   }
 
   // Thread-count invariance: plans, cost bits, reuse counters, and raw
@@ -562,9 +372,10 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   const std::vector<ModeResult>& t1 = by_threads.at(1);
   const std::vector<ModeResult>& t4 = by_threads.at(4);
   ASSERT_EQ(t1.size(), t4.size());
-  static const char* kModes[] = {"blind",   "batch_off", "columnar_off",
-                                 "cold",    "warm1",     "warm2",
-                                 "posthoc", "memo_on",   "memo_off"};
+  static const char* kModes[] = {"blind",    "batch_off", "columnar_off",
+                                 "cold",     "warm1",     "warm2",
+                                 "posthoc",  "memo_on",   "memo_off",
+                                 "reopt_on", "reopt_misprofiled"};
   for (size_t i = 0; i < t1.size(); ++i) {
     SCOPED_TRACE(kModes[i]);
     EXPECT_EQ(t1[i].plan_signature, t4[i].plan_signature);
@@ -593,8 +404,8 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     for (int i = 0; i < 3; ++i) {
       auto r = seq_session.Run(*shared_plan, *shared_dfs, StubbyOptions{});
       ASSERT_TRUE(r.ok()) << r.status();
-      ExpectBitIdentical(r->outputs, oracle->outputs,
-                         "daemon-sequential " + std::to_string(i));
+      ExpectMatchesOracle(r->outputs, oracle->outputs,
+                         "daemon-sequential " + std::to_string(i), floats);
       sequential.push_back(Capture(*r));
     }
     for (int threads : {1, 4}) {
