@@ -14,13 +14,17 @@
 #include "cost/schedule.h"
 #include "cost/whatif.h"
 #include "dfs/dataset.h"
+#include "exec/workflow_runner.h"
 #include "exec/wrappers.h"
+#include "mr/bloom_filter.h"
 #include "mr/partitioner.h"
 #include "optimizer/rrs.h"
 #include "optimizer/transform.h"
 #include "profiler/profiler.h"
+#include "optimizer/stubby.h"
 #include "reuse/result_store.h"
 #include "reuse/session.h"
+#include "workloads/builder.h"
 #include "workloads/registry.h"
 #include "workloads/udfs.h"
 
@@ -778,6 +782,215 @@ bool RunVectorizedExecStudy(Json* doc) {
   return identical && fast_enough;
 }
 
+// Bloom predicate-transfer study. Two legs:
+//   kernel: BloomProbeMapFn throughput, row path (Map loop) vs batch path
+//           (MapBatch narrowing the selection), over map-task-sized
+//           chunks — the region the probe stage adds to every probe-side
+//           map task;
+//   end-to-end: a selective inner join (build side filtered to 10% of the
+//           key space, probe side 4x the build's logical bytes) optimized
+//           with bloom_transfer off vs on and executed in the simulator.
+// The gate requires bit-identical probe outputs on both kernel paths,
+// bit-identical terminal outputs on vs off, the transform actually winning
+// the search, and a shuffle-byte reduction of at least 30%.
+bool RunBloomProbeStudy(Json* doc) {
+  using namespace stubby::bench;
+  std::printf("\nBloom-probe study (predicate transfer on a selective join)\n");
+
+  // --- probe kernel --------------------------------------------------------
+  Schema schema({"K", "G", "V"});
+  auto filter = std::make_shared<BloomFilter>(20, 6, kBloomFilterSeed);
+  for (int64_t k = 0; k < 10000; ++k) {
+    filter->Insert(HashOnFields(Row{k, int64_t{0}, int64_t{0}}, {0}));
+  }
+  constexpr size_t kChunks = 64;
+  constexpr size_t kChunkRows = 4096;
+  Rng rng(41);
+  std::vector<std::vector<Row>> chunks(kChunks);
+  for (auto& chunk : chunks) {
+    chunk.reserve(kChunkRows);
+    for (size_t i = 0; i < kChunkRows; ++i) {
+      chunk.push_back(Row{rng.NextInt(0, 99999), rng.NextInt(0, 9),
+                          rng.NextDouble(0, 100)});
+    }
+  }
+  const uint64_t total_rows = kChunks * kChunkRows;
+  BloomProbeMapFn probe("probe", schema, {"K"});
+  auto bound = probe.Bind(filter);
+
+  bool probe_identical = true;
+  uint64_t kept = 0;
+  std::vector<RowBatch> prebuilt;
+  prebuilt.reserve(kChunks);
+  for (const auto& chunk : chunks) {
+    prebuilt.push_back(RowBatch::FromRows(chunk, schema.size()));
+    VectorEmitter row_out;
+    for (const Row& r : chunk) bound->Map(r, &row_out);
+    RowBatch batch = prebuilt.back();
+    bound->MapBatch(&batch);
+    if (!RowsBitIdentical(row_out.rows(), batch.ToRows())) {
+      probe_identical = false;
+    }
+    kept += row_out.rows().size();
+  }
+  const double pass_fraction =
+      static_cast<double>(kept) / static_cast<double>(total_rows);
+  std::printf("  probe outputs bit-identical row vs batch: %s"
+              " (pass fraction %.3f)\n",
+              probe_identical ? "YES" : "NO", pass_fraction);
+
+  double row_wall = 0.0;
+  double batch_wall = 0.0;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& chunk : chunks) {
+      VectorEmitter out;
+      for (const Row& r : chunk) bound->Map(r, &out);
+      benchmark::DoNotOptimize(out.rows().size());
+    }
+    const double rw = SecondsSince(t0);
+    if (rep == 0 || rw < row_wall) row_wall = rw;
+
+    t0 = std::chrono::steady_clock::now();
+    for (const RowBatch& pre : prebuilt) {
+      RowBatch batch = pre;
+      bound->MapBatch(&batch);
+      benchmark::DoNotOptimize(batch.num_rows());
+    }
+    const double bw = SecondsSince(t0);
+    if (rep == 0 || bw < batch_wall) batch_wall = bw;
+  }
+  const double row_rate = total_rows / std::max(row_wall, 1e-9);
+  const double batch_rate = total_rows / std::max(batch_wall, 1e-9);
+  std::printf("  probe kernel: row %.0f rows/s  batch %.0f rows/s (%.1fx)\n",
+              row_rate, batch_rate, batch_rate / std::max(row_rate, 1e-9));
+
+  // --- end-to-end selective join -------------------------------------------
+  constexpr uint64_t kStudyGB = 1ull << 30;
+  auto make_join = [&]() -> Result<WorkflowFactory> {
+    ClusterSpec cluster;
+    WorkflowFactory f(cluster);
+    Rng data_rng(77);
+    Schema base({"K", "G", "V"});
+    auto rows_of = [&](int n) {
+      std::vector<Row> rows;
+      for (int i = 0; i < n; ++i) {
+        rows.push_back(Row{data_rng.NextInt(0, 199),
+                           data_rng.NextInt(0, 9),
+                           data_rng.NextInt(0, 99)});
+      }
+      return rows;
+    };
+    STUBBY_RETURN_NOT_OK(
+        f.AddBase("R", base, Layout{}, 4, rows_of(400), kStudyGB));
+    STUBBY_RETURN_NOT_OK(
+        f.AddBase("S", base, Layout{}, 4, rows_of(3000), 4 * kStudyGB));
+    Schema tagged({"K", "G", "V", "T"});
+    std::vector<AggSpec> aggs = {{"V", AggOp::kSum, "BS"}};
+    STUBBY_RETURN_NOT_OK(
+        f.AddDataset("OUT", AggOutputSchema({"K"}, aggs), true));
+    WorkflowFactory::JobDef j;
+    j.id = "JB";
+    j.inputs = {
+        In("R", {Stage::Map(FilterRangeMap("filter_r", base, "K", 40, 60)),
+                 Stage::Map(AppendConstMap("tag_r", base, "T",
+                                           Value(int64_t{0})))}),
+        In("S", {Stage::Map(AppendConstMap("tag_s", base, "T",
+                                           Value(int64_t{1})))})};
+    j.map_output_schema = tagged;
+    j.reduce_stages = {Stage::Reduce(
+        InnerJoinReduce("join_jb", tagged, {"K"}, "T", {0, 1}, aggs),
+        {"K"})};
+    JoinAnnotation ja;
+    ja.filterable_inputs = {0, 1};
+    j.join_ann = ja;
+    FilterAnnotation fa;
+    fa.field = "K";
+    fa.lo = 40;
+    fa.hi = 60;
+    j.filter_ann = fa;
+    j.output = "OUT";
+    STUBBY_RETURN_NOT_OK(f.AddJob(std::move(j)));
+    STUBBY_RETURN_NOT_OK(f.plan().Validate());
+    return f;
+  };
+  auto f = make_join();
+  STUBBY_CHECK_OK(f.status());
+  Profiler profiler(ClusterSpec{});
+  Dfs profile_dfs = f->dfs();
+  STUBBY_CHECK_OK(profiler.ProfilePlan(&f->plan(), &profile_dfs));
+
+  StubbyOptions on_opts;
+  on_opts.bloom_transfer = true;
+  auto off_report = StubbyOptimizer(StubbyOptions{}).Optimize(f->plan());
+  auto on_report = StubbyOptimizer(on_opts).Optimize(f->plan());
+  STUBBY_CHECK_OK(off_report.status());
+  STUBBY_CHECK_OK(on_report.status());
+  bool e2e_applied = false;
+  for (const std::string& t : on_report->applied) {
+    if (t.find("bloom transfer") != std::string::npos) e2e_applied = true;
+  }
+
+  auto run = [&](const Plan& plan, uint64_t* shuffle, double* makespan) {
+    Dfs dfs = f->dfs();
+    WorkflowRunner runner(plan.cluster());
+    auto flow = runner.Run(plan, &dfs);
+    STUBBY_CHECK_OK(flow.status());
+    *shuffle = 0;
+    for (const JobDataflow& jd : flow->jobs) *shuffle += jd.map_output_bytes;
+    *makespan = flow->makespan_sec;
+    auto out = dfs.Get("OUT");
+    STUBBY_CHECK_OK(out.status());
+    std::vector<Row> rows = (*out)->AllRows();
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  uint64_t off_shuffle = 0;
+  uint64_t on_shuffle = 0;
+  double off_makespan = 0.0;
+  double on_makespan = 0.0;
+  std::vector<Row> off_rows = run(off_report->plan, &off_shuffle,
+                                  &off_makespan);
+  std::vector<Row> on_rows = run(on_report->plan, &on_shuffle, &on_makespan);
+  const bool e2e_identical = RowsBitIdentical(off_rows, on_rows);
+  const double reduction =
+      off_shuffle > 0
+          ? 1.0 - static_cast<double>(on_shuffle) /
+                      static_cast<double>(off_shuffle)
+          : 0.0;
+  std::printf(
+      "  selective join: transform %s, outputs bit-identical %s\n"
+      "  shuffle bytes %llu -> %llu (%.1f%% cut), simulated makespan"
+      " %.1fs -> %.1fs\n",
+      e2e_applied ? "applied" : "NOT applied", e2e_identical ? "YES" : "NO",
+      static_cast<unsigned long long>(off_shuffle),
+      static_cast<unsigned long long>(on_shuffle), 100.0 * reduction,
+      off_makespan, on_makespan);
+  const bool gate = probe_identical && e2e_applied && e2e_identical &&
+                    reduction >= 0.30;
+  std::printf("  gate (probes identical, applied, outputs identical, cut"
+              " >= 30%%): %s\n",
+              gate ? "PASS" : "FAIL");
+
+  Json study = Json::Object();
+  study["rows"] = total_rows;
+  study["probe_identical"] = probe_identical;
+  study["probe_pass_fraction"] = pass_fraction;
+  study["probe_row_rows_per_sec"] = row_rate;
+  study["probe_batch_rows_per_sec"] = batch_rate;
+  study["probe_batch_speedup"] = batch_rate / std::max(row_rate, 1e-9);
+  study["e2e_applied"] = e2e_applied;
+  study["e2e_outputs_identical"] = e2e_identical;
+  study["shuffle_bytes_off"] = off_shuffle;
+  study["shuffle_bytes_on"] = on_shuffle;
+  study["shuffle_reduction"] = reduction;
+  study["makespan_off_sec"] = off_makespan;
+  study["makespan_on_sec"] = on_makespan;
+  (*doc)["bloom_probe"] = std::move(study);
+  return gate;
+}
+
 // Comma-separated allowlist in STUBBY_MICROBENCH_STUDIES limits which
 // studies run (unset or empty = all) — CI legs use it to produce
 // BENCH_MICRO.json without paying for every study.
@@ -803,6 +1016,7 @@ int main(int argc, char** argv) {
   if (StudyEnabled("skewed_batch")) ok = RunSkewedBatchStudy(&doc) && ok;
   if (StudyEnabled("probe_memo")) ok = RunProbeMemoStudy(&doc) && ok;
   if (StudyEnabled("vectorized_exec")) ok = RunVectorizedExecStudy(&doc) && ok;
+  if (StudyEnabled("bloom_probe")) ok = RunBloomProbeStudy(&doc) && ok;
   stubby::bench::WriteBenchJson("BENCH_MICRO.json", doc);
   return ok ? 0 : 1;
 }

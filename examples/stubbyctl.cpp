@@ -50,6 +50,7 @@
 #include "service/stubbyd.h"
 #include "exec/adaptive_runner.h"
 #include "exec/workflow_runner.h"
+#include "optimizer/bloom.h"
 #include "optimizer/stubby.h"
 #include "profiler/profiler.h"
 #include "reuse/session.h"
@@ -116,6 +117,7 @@ Result<Plan> OptimizeWith(const std::string& name, const Workload& w) {
   if (name == "mrshare") return MRShareOptimize(w.plan);
   StubbyOptions opts;
   opts.columnar_storage = ColumnarStorageFromEnv();
+  opts.bloom_transfer = BloomTransferFromEnv();
   if (name == "vertical") {
     opts.enable_horizontal = false;
   } else if (name == "horizontal") {
@@ -297,6 +299,7 @@ int main(int argc, char** argv) {
       sub.tenant = "t" + std::to_string(rng.NextUint64(
                              static_cast<uint64_t>(tenants)));
       sub.name = e.name;
+      sub.options.bloom_transfer = BloomTransferFromEnv();
       sub.plan = e.plan;
       sub.dfs = e.dfs;
       auto id = service.Submit(sub);
@@ -365,6 +368,7 @@ int main(int argc, char** argv) {
       Submission sub;
       sub.tenant = tenant;
       sub.name = abbr;
+      sub.options.bloom_transfer = BloomTransferFromEnv();
       sub.plan = std::make_shared<const Plan>(std::move(w->plan));
       sub.dfs = std::make_shared<const Dfs>(std::move(w->dfs));
       STUBBY_CHECK_OK(service.Submit(std::move(sub)).status());
@@ -465,6 +469,7 @@ int main(int argc, char** argv) {
     StubbyOptions opts;
     opts.columnar_storage = ColumnarStorageFromEnv();
     opts.reoptimize = ReoptimizeFromEnv();
+    opts.bloom_transfer = BloomTransferFromEnv();
 
     auto first = session.Run(w->plan, w->dfs, opts);
     STUBBY_CHECK_OK(first.status());

@@ -155,6 +155,16 @@ CostDigest JobStructureDigest(const JobVertex& job) {
     d.Mix(static_cast<uint64_t>(b.reduce_stages.size()));
     for (const Stage& s : b.reduce_stages) MixStage(&d, s);
     MixPartitionSpecDigest(&d, b.partition);
+    d.Mix(b.bloom.has_value());
+    if (b.bloom) {
+      d.Mix(static_cast<uint64_t>(b.bloom->build_input));
+      d.Mix(static_cast<uint64_t>(b.bloom->probe_inputs.size()));
+      for (size_t p : b.bloom->probe_inputs) d.Mix(static_cast<uint64_t>(p));
+      d.Mix(b.bloom->key_fields);
+      d.Mix(static_cast<uint64_t>(b.bloom->bits_log2));
+      d.Mix(static_cast<uint64_t>(b.bloom->num_hashes));
+      d.Mix(b.bloom->est_pass_fraction);
+    }
     d.Mix(b.combiner != nullptr);
     d.Mix(b.output_dataset);
     MixProfile(&d, b.annotations.profile);

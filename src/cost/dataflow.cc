@@ -7,7 +7,7 @@
 namespace stubby {
 
 std::string JobDataflow::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%s: maps=%d reduces=%d in=%llu recs/%s mapout=%llu recs/%s "
       "redin=%llu recs/%s out=%llu recs/%s",
       job_id.c_str(), num_map_tasks, num_reduce_tasks,
@@ -19,6 +19,13 @@ std::string JobDataflow::ToString() const {
       HumanBytes(reduce_input_bytes).c_str(),
       (unsigned long long)output_records,
       HumanBytes(output_bytes).c_str());
+  if (bloom_build_records > 0 || bloom_filter_bytes > 0) {
+    out += StrFormat(" bloom=%llu recs/%s filter=%s",
+                     (unsigned long long)bloom_build_records,
+                     HumanBytes(bloom_build_bytes).c_str(),
+                     HumanBytes(bloom_filter_bytes).c_str());
+  }
+  return out;
 }
 
 const JobDataflow* WorkflowDataflow::FindJob(const std::string& id) const {

@@ -53,6 +53,15 @@ struct JobDataflow {
   // Side outputs (tee materializations), raw bytes.
   uint64_t tee_bytes = 0;
 
+  // Bloom predicate transfer (all zero when the branch has no
+  // BloomTransferSpec): the pre-map filter-build pass over the build
+  // input's map output, and the size of the built filter that every map
+  // task fetches before probing.
+  uint64_t bloom_build_records = 0;  ///< build-side rows hashed
+  uint64_t bloom_build_bytes = 0;    ///< build-side bytes scanned
+  double bloom_build_cpu_units = 0.0;
+  uint64_t bloom_filter_bytes = 0;
+
   // Skew / critical-path information.
   uint64_t max_map_task_input_bytes = 0;
   uint64_t max_reduce_input_bytes = 0;  ///< largest reduce partition

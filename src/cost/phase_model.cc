@@ -59,6 +59,23 @@ JobTaskTimes PhaseTimeModel::TaskTimes(const JobDataflow& df,
   const double cpu_sec_per_unit = cluster_.cpu_ns_per_record_unit * 1e-9;
   const double sort_sec_per_rec = cluster_.sort_ns_per_record * 1e-9;
 
+  // ---- Bloom filter build pass (before the map phase) ---------------------
+  // The build tasks re-scan the build input, run its map pipeline, and hash
+  // the output into per-task partial filters, spread over the map slots;
+  // the merged filter is then written once to the DFS. Each map task later
+  // fetches the filter over the network before probing.
+  if (df.bloom_build_records > 0 || df.bloom_filter_bytes > 0) {
+    const double slots =
+        static_cast<double>(std::max(1, cluster_.total_map_slots()));
+    t.job_overhead_sec +=
+        (static_cast<double>(df.bloom_build_bytes) /
+             (cluster_.disk_read_mbps * kMB) +
+         df.bloom_build_cpu_units * cpu_sec_per_unit) /
+        slots;
+    t.job_overhead_sec += static_cast<double>(df.bloom_filter_bytes) /
+                          (cluster_.dfs_write_mbps * kMB);
+  }
+
   // ---- Map task -----------------------------------------------------------
   double in_stored =
       SafeDiv(static_cast<double>(df.map_input_stored_bytes), maps);
@@ -71,6 +88,9 @@ JobTaskTimes PhaseTimeModel::TaskTimes(const JobDataflow& df,
       SafeDiv(static_cast<double>(df.combine_output_bytes), maps);
 
   double map_sec = cluster_.task_startup_sec;
+  // Fetch the Bloom filter (one copy per map task) before probing.
+  map_sec += static_cast<double>(df.bloom_filter_bytes) /
+             (cluster_.network_mbps * kMB);
   // Read input from the DFS; decompress if the stored form is compressed.
   map_sec += in_stored / (cluster_.disk_read_mbps * kMB);
   if (df.map_input_stored_bytes < df.map_input_bytes) {

@@ -5,6 +5,7 @@
 
 #include "cost/cost_cache.h"
 #include "cost/schedule.h"
+#include "mr/bloom_filter.h"
 
 namespace stubby {
 
@@ -315,6 +316,38 @@ Result<JobDataflow> WhatIfEngine::PredictJob(
     const Branch& b = job.branches[bi];
     double recs = acc[bi].map_out_records;
     double bytes = acc[bi].map_out_bytes;
+
+    // Bloom predicate transfer: the pre-map build pass re-runs the build
+    // input's map pipeline to hash its join keys — an extra scan of the
+    // build input plus per-output-row hashing, then one filter written to
+    // the DFS and fetched by every map task (priced in the phase model).
+    // The probe stages themselves are ordinary map stages; their
+    // est_pass_fraction selectivity already shrank the shuffle above.
+    if (b.bloom) {
+      const BranchInput& build = b.inputs[b.bloom->build_input];
+      auto it = datasets->find(build.dataset_id);
+      if (it != datasets->end()) {
+        const PredictedDataset& pred = it->second;
+        double frac =
+            build.prune_partitions.empty() ? 1.0 : build.prune_fraction;
+        double in_records = pred.records * frac;
+        double b_recs = pred.records;
+        double cpu_basis = in_records;
+        double cpu = 0.0;
+        for (const Stage& s : build.map_stages) {
+          if (!s.stats) break;  // the fold above reported the error
+          cpu += std::min(cpu_basis, b_recs) * s.stats->cpu_per_record;
+          b_recs *= s.stats->record_selectivity;
+          cpu_basis = b_recs;
+        }
+        double hashed = build.map_stages.empty() ? in_records : b_recs;
+        df.bloom_build_records += static_cast<uint64_t>(hashed);
+        df.bloom_build_bytes += static_cast<uint64_t>(pred.bytes * frac);
+        df.bloom_build_cpu_units += cpu + hashed * kBloomHashCpuPerRecord;
+        df.bloom_filter_bytes +=
+            (uint64_t{1} << b.bloom->bits_log2) / 8;
+      }
+    }
 
     if (b.map_only()) {
       df.output_records += static_cast<uint64_t>(recs);

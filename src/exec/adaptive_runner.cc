@@ -23,11 +23,13 @@ double RelErr(uint64_t observed, uint64_t predicted) {
 }
 
 /// Worst relative error over the phase sizes the injector (and a wrong
-/// input profile generally) distorts: map input and map output. Combine and
-/// reduce-side fields are deliberately excluded — the analytic combine
-/// model carries irreducible estimation error even with exact profiles
-/// (Figure 14), and the threshold must separate "the profile was wrong"
-/// from "the model is approximate".
+/// input profile generally) distorts: map input, map output, final output,
+/// and — when no combine model is in play — the reduce input. The analytic
+/// combine model carries irreducible estimation error even with exact
+/// profiles (Figure 14), so reduce_input_* participates only when the
+/// prediction shows the combine pass-through (combine output bit-equal to
+/// map output); the threshold must separate "the profile was wrong" from
+/// "the model is approximate".
 double MaxRelativeError(const JobDataflow& observed,
                         const JobDataflow& predicted) {
   double err = 0.0;
@@ -39,6 +41,19 @@ double MaxRelativeError(const JobDataflow& observed,
                              predicted.map_output_records));
   err = std::max(err, RelErr(observed.map_output_bytes,
                              predicted.map_output_bytes));
+  err = std::max(err,
+                 RelErr(observed.output_records, predicted.output_records));
+  err = std::max(err,
+                 RelErr(observed.output_bytes, predicted.output_bytes));
+  const bool combine_inactive =
+      predicted.combine_output_records == predicted.map_output_records &&
+      predicted.combine_output_bytes == predicted.map_output_bytes;
+  if (combine_inactive) {
+    err = std::max(err, RelErr(observed.reduce_input_records,
+                               predicted.reduce_input_records));
+    err = std::max(err, RelErr(observed.reduce_input_bytes,
+                               predicted.reduce_input_bytes));
+  }
   return err;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/threading.h"
 #include "exec/wrappers.h"
+#include "mr/bloom_filter.h"
 
 namespace stubby {
 
@@ -474,6 +475,95 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     return logical;
   };
 
+  // ---- Bloom predicate-transfer build pass --------------------------------
+  // Effective map stages: per-(branch, input) copies of the plan's stage
+  // vectors, with probe stages rebound below to the filter built for their
+  // branch. The plan's own stage instances stay untouched (unbound probe
+  // stages are pass-throughs), so profiling, serialization, and later runs
+  // see no execution state.
+  std::vector<std::vector<std::vector<Stage>>> eff_stages(nb);
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const Branch& b = job.branches[bi];
+    eff_stages[bi].reserve(b.inputs.size());
+    for (const BranchInput& in : b.inputs) {
+      eff_stages[bi].push_back(in.map_stages);
+    }
+  }
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const Branch& b = job.branches[bi];
+    if (!b.bloom) continue;
+    const BloomTransferSpec& spec = *b.bloom;
+    const BranchInput& build = b.inputs[spec.build_input];
+    STUBBY_ASSIGN_OR_RETURN(DatasetPtr build_ds, dfs->Get(build.dataset_id));
+    STUBBY_ASSIGN_OR_RETURN(
+        std::vector<int> build_parts,
+        SelectedPartitions(*build_ds, build.prune_partitions));
+    STUBBY_ASSIGN_OR_RETURN(std::vector<size_t> key_idx,
+                            b.map_output_schema.IndicesOf(spec.key_fields));
+    // One build task per selected partition: run the build input's map
+    // pipeline (per-partition reads preserve the clustering any packed-in
+    // reduce stage relies on) and hash the output's key fields into a
+    // per-task partial filter. Tees are discarded — the map phase proper
+    // writes them once.
+    struct BuildPiece {
+      Status status = Status::OK();
+      std::unique_ptr<BloomFilter> partial;
+      uint64_t pb = 0;       ///< physical bytes read
+      size_t hashed = 0;     ///< pipeline output rows inserted
+      double cpu_units = 0.0;
+    };
+    std::vector<BuildPiece> build_pieces(build_parts.size());
+    RunTasks(pool_, build_parts.size(), [&](size_t pi) {
+      BuildPiece& piece = build_pieces[pi];
+      const std::vector<Row>& part =
+          build_ds->partition(static_cast<size_t>(build_parts[pi]));
+      piece.pb = RowsBytes(part);
+      TaskTeeSink tee;
+      VectorEmitter out;
+      auto runner = PipelineRunner::Make(build.map_stages, build_ds->schema(),
+                                         &out, &tee);
+      if (!runner.ok()) {
+        piece.status = runner.status();
+        return;
+      }
+      for (const Row& row : part) (*runner)->Emit(row);
+      (*runner)->Finish();
+      piece.cpu_units = (*runner)->counters().cpu_units;
+      piece.partial = std::make_unique<BloomFilter>(
+          spec.bits_log2, spec.num_hashes, kBloomFilterSeed);
+      for (const Row& row : out.rows()) {
+        piece.partial->Insert(HashOnFields(row, key_idx));
+      }
+      piece.hashed = out.rows().size();
+    });
+    // Serial OR-merge in partition order (bitwise OR is order-independent,
+    // so the merged filter is bit-identical at any thread count).
+    auto filter = std::make_shared<BloomFilter>(spec.bits_log2,
+                                                spec.num_hashes,
+                                                kBloomFilterSeed);
+    const double build_scale = build_ds->logical_scale();
+    for (BuildPiece& piece : build_pieces) {
+      if (!piece.status.ok()) return piece.status;
+      filter->UnionWith(*piece.partial);
+      df.bloom_build_records += static_cast<uint64_t>(
+          static_cast<double>(piece.hashed) * build_scale);
+      df.bloom_build_bytes += static_cast<uint64_t>(
+          static_cast<double>(piece.pb) * build_scale);
+      df.bloom_build_cpu_units +=
+          (piece.cpu_units +
+           static_cast<double>(piece.hashed) * kBloomHashCpuPerRecord) *
+          build_scale;
+    }
+    df.bloom_filter_bytes += filter->SizeBytes();
+    for (size_t ii : spec.probe_inputs) {
+      for (Stage& s : eff_stages[bi][ii]) {
+        if (s.kind != Stage::Kind::kMap) continue;
+        auto* probe = dynamic_cast<BloomProbeMapFn*>(s.map_fn.get());
+        if (probe != nullptr) s.map_fn = probe->Bind(filter);
+      }
+    }
+  }
+
   // ---- Map phase: shared-scan input groups --------------------------------
   std::vector<InputGroup> groups = GroupBranchInputs(job);
 
@@ -642,11 +732,10 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
     for (const auto& [bi, ii] : t.group->subscribers) {
       SubscriberPiece& piece = res.pieces.emplace_back();
       const Branch& b = job.branches[bi];
-      const BranchInput& input = b.inputs[ii];
-      if (exec_.vectorized && BatchPipelineRunner::Eligible(input.map_stages)) {
+      const std::vector<Stage>& stages = eff_stages[bi][ii];
+      if (exec_.vectorized && BatchPipelineRunner::Eligible(stages)) {
         if (!chunk_batch) chunk_batch = make_chunk_batch(t);
-        BatchPipelineRunner runner =
-            BatchPipelineRunner::Make(input.map_stages);
+        BatchPipelineRunner runner = BatchPipelineRunner::Make(stages);
         RowBatch out = runner.Run(*chunk_batch);
         piece.cpu_units = runner.counters().cpu_units;
         if (b.map_only()) {
@@ -666,7 +755,7 @@ Result<JobDataflow> JobRunner::Run(const Plan& plan, const JobVertex& job,
       TaskTeeSink tee;
       VectorEmitter out;
       auto runner =
-          PipelineRunner::Make(input.map_stages, t.ds->schema(), &out, &tee);
+          PipelineRunner::Make(stages, t.ds->schema(), &out, &tee);
       if (!runner.ok()) {
         piece.status = runner.status();
         continue;

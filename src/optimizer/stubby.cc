@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/threading.h"
+#include "optimizer/bloom.h"
 #include "optimizer/horizontal.h"
 #include "optimizer/partition_fn.h"
 #include "optimizer/vertical.h"
@@ -158,6 +159,9 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
   if (options_.enable_partition_function) {
     vertical_group.push_back(std::make_shared<PartitionFunctionTransform>());
   }
+  if (options_.bloom_transfer) {
+    vertical_group.push_back(std::make_shared<BloomTransferTransform>());
+  }
 
   std::vector<std::shared_ptr<Transformation>> horizontal_group;
   if (options_.enable_horizontal) {
@@ -167,6 +171,9 @@ Result<OptimizeReport> StubbyOptimizer::Optimize(const Plan& plan) const {
   if (options_.enable_partition_function) {
     horizontal_group.push_back(
         std::make_shared<PartitionFunctionTransform>());
+  }
+  if (options_.bloom_transfer) {
+    horizontal_group.push_back(std::make_shared<BloomTransferTransform>());
   }
 
   Plan current = plan;

@@ -132,6 +132,17 @@ struct StubbyOptions {
   /// accurate profiles (Figure 14 territory, well under 0.5 on the Table 1
   /// workloads) and below the damage a genuinely wrong profile causes.
   double reoptimize_threshold = 0.5;
+  /// Bloom predicate transfer (optimizer/bloom.h): enumerate, for join jobs
+  /// carrying a join annotation, the variant that builds a Bloom filter
+  /// over the smaller input's join keys and pre-filters the other inputs'
+  /// map output against it before the shuffle. The filter has false
+  /// positives but no false negatives, so dropped rows belong only to
+  /// groups the inner join discards — terminal outputs are bit-identical
+  /// with the transfer on or off, which keeps this knob out of the option
+  /// salt (like the other output-transparent knobs above). Default off:
+  /// the transform is cost-enumerated alongside the existing groups when
+  /// enabled. Env override: STUBBY_BLOOM=1 in stubbyctl and benches.
+  bool bloom_transfer = false;
 };
 
 /// Digest of the options that shape what an optimized plan computes —

@@ -28,6 +28,15 @@ std::string FilterAnnotation::ToString() const {
   return StrFormat("{%g<=%s<%g}", lo, field.c_str(), hi);
 }
 
+std::string JoinAnnotation::ToString() const {
+  std::string out = "join{filterable=";
+  for (size_t i = 0; i < filterable_inputs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%zu", filterable_inputs[i]);
+  }
+  return out + "}";
+}
+
 std::string StageStats::ToString() const {
   return StrFormat("sel=%.3f bsel=%.3f cpu=%.2f groups=%.4f",
                    record_selectivity, byte_selectivity, cpu_per_record,

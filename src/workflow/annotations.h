@@ -141,10 +141,25 @@ struct ProfileAnnotation {
   std::string ToString() const;
 };
 
+/// Join annotation: the branch's reduce is an inner join over its inputs —
+/// a group contributes to the output only when it holds at least one row
+/// from *every* input. Rows of a `filterable_inputs` member whose key has
+/// no partner are therefore semantically dead: dropping them before the
+/// shuffle cannot change any output (the precondition of the Bloom
+/// predicate-transfer transformation).
+struct JoinAnnotation {
+  /// Branch-input indices whose non-joining rows may be dropped. Inputs not
+  /// listed (e.g. an outer side) are never pre-filtered.
+  std::vector<size_t> filterable_inputs;
+
+  std::string ToString() const;
+};
+
 /// All annotations of one (original or packed) job.
 struct JobAnnotations {
   std::optional<SchemaAnnotation> schema;
   std::optional<FilterAnnotation> filter;
+  std::optional<JoinAnnotation> join;
   std::optional<ProfileAnnotation> profile;
 };
 

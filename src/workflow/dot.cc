@@ -40,6 +40,12 @@ std::string PlanToDot(const Plan& plan) {
     } else if (job.map_only()) {
       label += " (map-only)";
     }
+    for (const Branch& b : job.branches) {
+      if (b.bloom) {
+        label += " (bloom)";
+        break;
+      }
+    }
     os << "  \"" << Escape(id) << "\" [shape=box, label=\"" << Escape(label)
        << "\"];\n";
     for (const auto& in : job.InputDatasets()) {

@@ -94,6 +94,34 @@ struct BranchInput {
   Result<Schema> MapOutputSchema(const Schema& input_schema) const;
 };
 
+/// Bloom predicate transfer attached to a multi-input join branch
+/// (optimizer/bloom.h): before the map phase, the executor scans the
+/// `build_input`'s map output and inserts the `key_fields` hashes into a
+/// deterministic blocked Bloom filter; each `probe_inputs` member carries a
+/// BloomProbeMapFn stage (appended to its map_stages) that the executor
+/// binds to the built filter, dropping non-joining rows before the
+/// shuffle. The spec is pure plan data — serialized, digested, validated —
+/// while the filter itself is per-run executor state.
+struct BloomTransferSpec {
+  /// Index into Branch::inputs of the (smaller) filter-building side.
+  size_t build_input = 0;
+
+  /// Indices of the inputs whose probe stage this spec binds.
+  std::vector<size_t> probe_inputs;
+
+  /// Join-key fields, named in the branch's map_output_schema (hashes are
+  /// computed on the *map output*, so build and probe sides agree).
+  std::vector<std::string> key_fields;
+
+  /// Filter layout: 2^bits_log2 bits, num_hashes bits per key, fixed seed.
+  int bits_log2 = 20;
+  int num_hashes = 6;
+
+  /// Estimated fraction of probe-side rows passing the filter (what-if
+  /// only; the executor observes the real fraction).
+  double est_pass_fraction = 1.0;
+};
+
 /// One parallel function pipeline of a job. A plain MapReduce job is one
 /// branch; horizontal packing merges the branches of several jobs into one
 /// job.
@@ -141,6 +169,9 @@ struct Branch {
   /// the output stays partitioned/ordered. Consulted by DeriveOutputLayout.
   std::optional<PartitionSpec> preserved_partition;
 
+  /// Set by the Bloom predicate-transfer transformation.
+  std::optional<BloomTransferSpec> bloom;
+
   /// Annotations of the (original or adjusted) job this branch represents.
   JobAnnotations annotations;
 
@@ -167,6 +198,14 @@ struct JobConditions {
   /// Number of reduce tasks is fixed (e.g. single-task top-K computations,
   /// or alignment with a consumer's map tasks).
   std::optional<int> num_reduce_fixed;
+
+  /// Conditions-ledger record of an applied Bloom predicate transfer: the
+  /// branch's probe pre-filters may drop only rows whose join key has no
+  /// build-side partner, and the filter admits false positives but never
+  /// false negatives — so every dropped row belongs to a group the inner
+  /// join discards, and terminal outputs are bit-identical with the
+  /// transfer on or off.
+  bool bloom_transfer = false;
 };
 
 /// A MapReduce job vertex: J = <p, c, a> where p is the branch set, c the

@@ -6,8 +6,84 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "mr/bloom_filter.h"
 
 namespace stubby {
+
+namespace {
+
+size_t CountBloomProbeStages(const std::vector<Stage>& stages) {
+  size_t n = 0;
+  for (const Stage& s : stages) {
+    if (s.kind == Stage::Kind::kMap &&
+        dynamic_cast<const BloomProbeMapFn*>(s.map_fn.get()) != nullptr) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// Structural integrity of a branch's BloomTransferSpec: a reduce-side,
+/// non-merge branch whose build and probe inputs exist and are disjoint,
+/// key fields live in the map output schema (hashes are computed post-map
+/// on both sides), the filter layout is in range, and exactly the probe
+/// inputs carry exactly one probe stage each.
+Status ValidateBloomSpec(const std::string& jid, const Branch& b) {
+  const BloomTransferSpec& spec = *b.bloom;
+  if (b.map_only()) {
+    return Status::Internal("job '" + jid +
+                            "': bloom transfer on a map-only branch");
+  }
+  if (b.merge_mode()) {
+    return Status::Internal("job '" + jid +
+                            "': bloom transfer on a merge-mode branch");
+  }
+  if (spec.build_input >= b.inputs.size()) {
+    return Status::Internal("job '" + jid + "': bloom build input " +
+                            std::to_string(spec.build_input) +
+                            " out of range");
+  }
+  if (spec.probe_inputs.empty()) {
+    return Status::Internal("job '" + jid + "': bloom spec has no probes");
+  }
+  std::set<size_t> probes;
+  for (size_t pi : spec.probe_inputs) {
+    if (pi >= b.inputs.size() || pi == spec.build_input) {
+      return Status::Internal("job '" + jid + "': bloom probe input " +
+                              std::to_string(pi) + " invalid");
+    }
+    if (!probes.insert(pi).second) {
+      return Status::Internal("job '" + jid + "': duplicate bloom probe " +
+                              std::to_string(pi));
+    }
+  }
+  if (spec.key_fields.empty()) {
+    return Status::Internal("job '" + jid + "': bloom spec has no keys");
+  }
+  for (const std::string& f : spec.key_fields) {
+    if (!b.map_output_schema.Contains(f)) {
+      return Status::Internal("job '" + jid + "': bloom key field '" + f +
+                              "' missing from map output schema");
+    }
+  }
+  if (spec.bits_log2 < 10 || spec.bits_log2 > 30 || spec.num_hashes < 1 ||
+      spec.num_hashes > 8) {
+    return Status::Internal("job '" + jid + "': bloom layout out of range");
+  }
+  for (size_t ii = 0; ii < b.inputs.size(); ++ii) {
+    const size_t want = probes.count(ii) ? 1 : 0;
+    const size_t got = CountBloomProbeStages(b.inputs[ii].map_stages);
+    if (got != want) {
+      return Status::Internal(
+          "job '" + jid + "': input " + std::to_string(ii) + " carries " +
+          std::to_string(got) + " bloom probe stages, expected " +
+          std::to_string(want));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status Plan::AddJob(JobVertex job) {
   if (jobs_.count(job.id)) {
@@ -276,6 +352,17 @@ Status Plan::Validate() const {
               " but branch declares " + b.map_output_schema.ToString());
         }
       }
+      if (b.bloom) {
+        STUBBY_RETURN_NOT_OK(ValidateBloomSpec(jid, b));
+      } else {
+        for (size_t ii = 0; ii < b.inputs.size(); ++ii) {
+          if (CountBloomProbeStages(b.inputs[ii].map_stages) != 0) {
+            return Status::Internal("job '" + jid +
+                                    "': bloom probe stage without a "
+                                    "BloomTransferSpec on the branch");
+          }
+        }
+      }
       if (!b.map_only()) {
         if (b.partition.partition_fields.empty()) {
           return Status::Internal("branch '" + b.tag + "' of job '" + jid +
@@ -403,6 +490,10 @@ std::string Plan::ToString() const {
       if (b.merge_mode()) {
         os << " |merge(" << Join(b.merge_sort_fields, ",") << ")|";
         for (const Stage& s : b.merged_map_stages) os << " " << s.name();
+      }
+      if (b.bloom) {
+        os << " |bloom(build=" << b.inputs[b.bloom->build_input].dataset_id
+           << " keys=" << Join(b.bloom->key_fields, ",") << ")|";
       }
       if (!b.map_only()) {
         os << " | " << b.partition.ToString() << " |";

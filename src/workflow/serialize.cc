@@ -282,6 +282,15 @@ Json AnnotationsToJson(const JobAnnotations& a) {
     f["hi"] = a.filter->hi;
     j["filter"] = std::move(f);
   }
+  if (a.join) {
+    Json jn = Json::Object();
+    Json filterable = Json::Array();
+    for (size_t i : a.join->filterable_inputs) {
+      filterable.Append(static_cast<uint64_t>(i));
+    }
+    jn["filterable"] = std::move(filterable);
+    j["join"] = std::move(jn);
+  }
   if (a.profile) {
     Json p = Json::Object();
     p["avg_input_record_bytes"] = a.profile->avg_input_record_bytes;
@@ -317,6 +326,15 @@ JobAnnotations AnnotationsFromJson(const Json& j) {
     fa.lo = f->GetNumber("lo");
     fa.hi = f->GetNumber("hi");
     a.filter = fa;
+  }
+  if (const Json* jn = j.Find("join"); jn != nullptr) {
+    JoinAnnotation ja;
+    if (const Json* f = jn->Find("filterable"); f != nullptr) {
+      for (const Json& i : f->items()) {
+        ja.filterable_inputs.push_back(static_cast<size_t>(i.AsNumber()));
+      }
+    }
+    a.join = ja;
   }
   if (const Json* p = j.Find("profile"); p != nullptr) {
     ProfileAnnotation pa;
@@ -446,6 +464,7 @@ Json PlanToJson(const Plan& plan) {
     if (job.conditions.num_reduce_fixed) {
       cond["num_reduce_fixed"] = *job.conditions.num_reduce_fixed;
     }
+    cond["bloom_transfer"] = job.conditions.bloom_transfer;
     j["conditions"] = std::move(cond);
 
     Json branches = Json::Array();
@@ -484,6 +503,20 @@ Json PlanToJson(const Plan& plan) {
         for (const Stage& s : b.reduce_stages) reduce.Append(StageToJson(s));
         bj["reduce_stages"] = std::move(reduce);
         bj["partition"] = PartitionSpecToJson(b.partition);
+      }
+      if (b.bloom) {
+        Json bl = Json::Object();
+        bl["build_input"] = static_cast<uint64_t>(b.bloom->build_input);
+        Json probes = Json::Array();
+        for (size_t p : b.bloom->probe_inputs) {
+          probes.Append(static_cast<uint64_t>(p));
+        }
+        bl["probe_inputs"] = std::move(probes);
+        bl["key_fields"] = StringsToJson(b.bloom->key_fields);
+        bl["bits_log2"] = b.bloom->bits_log2;
+        bl["num_hashes"] = b.bloom->num_hashes;
+        bl["est_pass_fraction"] = b.bloom->est_pass_fraction;
+        bj["bloom"] = std::move(bl);
       }
       if (b.combiner != nullptr) bj["combiner"] = b.combiner->name();
       if (b.preserved_partition) {
@@ -570,6 +603,7 @@ Result<Plan> PlanFromJson(const Json& json,
       if (const Json* n = cond->Find("num_reduce_fixed"); n != nullptr) {
         job.conditions.num_reduce_fixed = static_cast<int>(n->AsNumber());
       }
+      job.conditions.bloom_transfer = cond->GetBool("bloom_transfer");
     }
     const Json* branches = j.Find("branches");
     if (branches == nullptr) {
@@ -625,6 +659,21 @@ Result<Plan> PlanFromJson(const Json& json,
         STUBBY_ASSIGN_OR_RETURN(PartitionSpec spec,
                                 PartitionSpecFromJson(*p));
         b.preserved_partition = std::move(spec);
+      }
+      if (const Json* bl = bj.Find("bloom"); bl != nullptr) {
+        BloomTransferSpec spec;
+        spec.build_input = static_cast<size_t>(bl->GetNumber("build_input"));
+        if (const Json* probes = bl->Find("probe_inputs");
+            probes != nullptr) {
+          for (const Json& p : probes->items()) {
+            spec.probe_inputs.push_back(static_cast<size_t>(p.AsNumber()));
+          }
+        }
+        spec.key_fields = StringsFromJson(bl->Find("key_fields"));
+        spec.bits_log2 = static_cast<int>(bl->GetNumber("bits_log2", 20));
+        spec.num_hashes = static_cast<int>(bl->GetNumber("num_hashes", 6));
+        spec.est_pass_fraction = bl->GetNumber("est_pass_fraction", 1.0);
+        b.bloom = std::move(spec);
       }
       b.output_dataset = bj.GetString("output");
       if (const Json* ann = bj.Find("annotations"); ann != nullptr) {

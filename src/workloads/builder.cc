@@ -63,6 +63,7 @@ Status WorkflowFactory::AddJob(JobDef def) {
   }
   b.annotations.schema = std::move(def.schema_ann);
   b.annotations.filter = std::move(def.filter_ann);
+  b.annotations.join = std::move(def.join_ann);
 
   JobVertex job;
   job.id = def.id;

@@ -49,6 +49,7 @@ class WorkflowFactory {
     /// Annotations (all optional — the information spectrum).
     std::optional<SchemaAnnotation> schema_ann;
     std::optional<FilterAnnotation> filter_ann;
+    std::optional<JoinAnnotation> join_ann;
     /// Overrides the default partition spec when set.
     std::optional<PartitionSpec> partition;
   };

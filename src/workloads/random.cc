@@ -268,6 +268,70 @@ Result<WorkflowFactory> MakeRandomWorkflow(
     specs.push_back(std::move(spec));
   }
 
+  // Selective inner join: half the seeds add a narrow build relation R and
+  // a wider probe relation S, tagged and inner-joined on K by one
+  // InnerJoinReduce. R's arm filters K to a 20-wide window over a 200-key
+  // space, so most S rows have no join partner — the low-selectivity shape
+  // the bloom-transfer transformation targets. The JoinAnnotation marks
+  // both inputs filterable; the FilterAnnotation on the group key lets the
+  // transform bound the probe pass fraction from a profiled histogram.
+  // (Appended after every older shape so existing seeds keep their rng
+  // draw sequence, hence their exact topology and data.)
+  if (rng.NextInt(0, 1) == 0) {
+    const int rows_r = 300 + static_cast<int>(rng.NextInt(0, 300));
+    std::vector<Row> data_r;
+    data_r.reserve(static_cast<size_t>(rows_r));
+    for (int i = 0; i < rows_r; ++i) {
+      data_r.push_back(Row{Value(rng.NextInt(0, 199)),
+                           Value(rng.NextInt(0, 9)), val(0, 99)});
+    }
+    STUBBY_RETURN_NOT_OK(f.AddBase("BASER", base_schema, Layout{}, 4,
+                                   std::move(data_r), kGB));
+    const int rows_s = 600 + static_cast<int>(rng.NextInt(0, 600));
+    std::vector<Row> data_s;
+    data_s.reserve(static_cast<size_t>(rows_s));
+    for (int i = 0; i < rows_s; ++i) {
+      data_s.push_back(Row{Value(rng.NextInt(0, 199)),
+                           Value(rng.NextInt(0, 9)), val(0, 99)});
+    }
+    STUBBY_RETURN_NOT_OK(f.AddBase("BASES", base_schema, Layout{}, 4,
+                                   std::move(data_s), 2 * kGB));
+
+    const double lo = static_cast<double>(rng.NextInt(0, 180));
+    const double hi = lo + 20.0;
+    // Tags stay exact integers even in float mode: the join's tag-presence
+    // test (like grouping) must not depend on summation order.
+    Schema tagged({"K", "G", "V", "T"});
+    std::vector<AggSpec> aggs = {{"V", AggOp::kSum, "BS"}};
+    JobSpec spec;
+    spec.def.id = "JB";
+    spec.def.inputs = {
+        In("BASER",
+           {Stage::Map(
+                FilterRangeMap("filter_jb", base_schema, "K", lo, hi)),
+            Stage::Map(AppendConstMap("tag_jb0", base_schema, "T",
+                                      Value(static_cast<int64_t>(0))))}),
+        In("BASES",
+           {Stage::Map(AppendConstMap("tag_jb1", base_schema, "T",
+                                      Value(static_cast<int64_t>(1))))})};
+    spec.def.map_output_schema = tagged;
+    spec.output_schema = AggOutputSchema({"K"}, aggs);
+    spec.def.reduce_stages = {Stage::Reduce(
+        InnerJoinReduce("join_jb", tagged, {"K"}, "T", {0, 1}, aggs),
+        {"K"})};
+    JoinAnnotation ja;
+    ja.filterable_inputs = {0, 1};
+    spec.def.join_ann = ja;
+    FilterAnnotation fa;
+    fa.field = "K";
+    fa.lo = lo;
+    fa.hi = hi;
+    spec.def.filter_ann = fa;
+    spec.output_id = "DJB";
+    spec.def.output = spec.output_id;
+    specs.push_back(std::move(spec));
+  }
+
   // Unconsumed outputs are the workflow terminals (the last job's always is).
   for (JobSpec& spec : specs) {
     STUBBY_RETURN_NOT_OK(

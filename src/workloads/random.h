@@ -28,8 +28,11 @@ struct RandomWorkflowOptions {
 /// map-only jobs (filter / project / append-const stages) and annotated
 /// group-by aggregation jobs; half the seeds append a diamond (one producer
 /// feeding two filtered consumers whose outputs rejoin in a multi-input
-/// aggregate) and half add a second base relation joined in by a two-branch
-/// shuffle. Pure function of (seed, options).
+/// aggregate), half add a second base relation joined in by a two-branch
+/// shuffle, and half add a selective tagged inner join (a narrow filtered
+/// build relation against a wider probe relation, join-annotated so the
+/// bloom-transfer transformation applies). Pure function of (seed,
+/// options).
 Result<WorkflowFactory> MakeRandomWorkflow(
     uint64_t seed, const RandomWorkflowOptions& options = {});
 

@@ -204,6 +204,67 @@ std::shared_ptr<ReduceFn> AggReduce(
   return fn;
 }
 
+std::shared_ptr<ReduceFn> InnerJoinReduce(
+    const std::string& name, const Schema& in,
+    const std::vector<std::string>& group_fields,
+    const std::string& tag_field, const std::vector<int64_t>& required_tags,
+    const std::vector<AggSpec>& aggs, double cpu) {
+  Schema out_schema = AggOutputSchema(group_fields, aggs);
+  size_t tag_idx = in.IndexOf(tag_field).value_or(0);
+  std::vector<size_t> agg_idx;
+  std::vector<AggOp> ops;
+  for (const auto& a : aggs) {
+    agg_idx.push_back(in.IndexOf(a.in_field).value_or(0));
+    ops.push_back(a.op);
+  }
+  auto fn = std::make_shared<LambdaReduceFn>(
+      name, out_schema,
+      [tag_idx, required_tags, agg_idx, ops](const Row& key,
+                                             const std::vector<Row>& group,
+                                             Emitter* out) {
+        for (int64_t t : required_tags) {
+          bool found = false;
+          for (const Row& r : group) {
+            if (r[tag_idx].AsDouble() == static_cast<double>(t)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) return;
+        }
+        Row row = key;
+        for (size_t i = 0; i < ops.size(); ++i) {
+          row.Append(ComputeAgg(group, agg_idx[i], ops[i]));
+        }
+        out->Emit(std::move(row));
+      },
+      cpu);
+  // Columnar: same tag-presence check and fold order over the group run.
+  fn->set_batch_fn([tag_idx, required_tags, agg_idx, ops](
+                       const RowBatch& in, size_t lo, size_t hi,
+                       const std::vector<size_t>& key_indices,
+                       ColumnAppender* out) {
+    for (int64_t t : required_tags) {
+      bool found = false;
+      for (size_t i = lo; i < hi; ++i) {
+        if (in.At(i, tag_idx).AsDouble() == static_cast<double>(t)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;
+    }
+    std::vector<Value> row;
+    row.reserve(key_indices.size() + ops.size());
+    for (size_t k : key_indices) row.push_back(in.At(lo, k));
+    for (size_t i = 0; i < ops.size(); ++i) {
+      row.push_back(ComputeAggBatch(in, lo, hi, agg_idx[i], ops[i]));
+    }
+    out->Append(std::move(row));
+  });
+  return fn;
+}
+
 std::shared_ptr<ReduceFn> DistinctReduce(
     const std::string& name, const Schema& in,
     const std::vector<std::string>& group_fields, double cpu) {

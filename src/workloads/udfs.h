@@ -54,6 +54,18 @@ std::shared_ptr<ReduceFn> AggReduce(const std::string& name,
                                     const std::vector<AggSpec>& aggs,
                                     double cpu = 1.0);
 
+/// Reduce: inner join of tagged input streams — emits one aggregate row
+/// per group (schema like AggReduce), but only when the group holds at
+/// least one row of *every* tag in `required_tags` (values of
+/// `tag_field`). Groups missing any side emit nothing, which is what makes
+/// the inputs filterable under a JoinAnnotation: a row whose key has no
+/// partner belongs to a group this function discards.
+std::shared_ptr<ReduceFn> InnerJoinReduce(
+    const std::string& name, const Schema& in,
+    const std::vector<std::string>& group_fields,
+    const std::string& tag_field, const std::vector<int64_t>& required_tags,
+    const std::vector<AggSpec>& aggs, double cpu = 1.2);
+
 /// Reduce: emits one (projected) row per distinct group — duplicate
 /// elimination.
 std::shared_ptr<ReduceFn> DistinctReduce(

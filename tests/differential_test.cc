@@ -5,7 +5,12 @@
 // unit search), the post-hoc rewrite path, the warm search with the
 // signature probe memo on vs off, the reuse-blind session with the
 // columnar batch executor off, the reuse-blind session with
-// column-native storage off, the adaptive re-optimizer on with accurate
+// column-native storage off, the bloom-transfer knob off (`bloom_off`,
+// byte-transparent against the blind run) and on (`bloom_on`, the sixth
+// transformation enumerates for real on the selective-join seeds; its
+// probe pre-filters drop rows yet outputs must still match the oracle —
+// the false-positive-only ledger guarantee), the adaptive re-optimizer on
+// with accurate
 // profiles (`reopt_on`, must be an exact no-op against the blind run), and
 // the adaptive re-optimizer on with deterministically perturbed profiles
 // (`reopt_misprofiled`, may emit and splice different plans but must still
@@ -185,7 +190,8 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   }
 
   // Modes, per thread count: blind, batch-off, columnar-off, cold, warm1,
-  // warm2, posthoc, memo on/off, reopt on, reopt mis-profiled.
+  // warm2, posthoc, memo on/off, bloom off/on, reopt on, reopt
+  // mis-profiled.
   std::map<int, std::vector<ModeResult>> by_threads;
   for (int threads : {1, 4}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
@@ -343,6 +349,48 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
           << "reopt-on raw output " << id << " differs";
     }
 
+    // Bloom-transfer A/B. `bloom_off` pins the knob's transparency: the
+    // transformation compiled into the build but disabled (the default)
+    // must leave plan signature, cost bits, simulated makespan, and raw
+    // (pre-sort) outputs bit-identical to the blind run, which never
+    // mentions the knob — the knob is salt-excluded, so both searches walk
+    // the same path.
+    StubbyOptions bloom_off_opts = opts;
+    bloom_off_opts.bloom_transfer = false;
+    ReuseSession bloom_off_session(nullptr);
+    auto bloom_off =
+        bloom_off_session.Run(f->plan(), f->dfs(), bloom_off_opts, &pool);
+    ASSERT_TRUE(bloom_off.ok()) << bloom_off.status();
+    ExpectMatchesOracle(bloom_off->outputs, oracle->outputs, "bloom_off",
+                        floats);
+    EXPECT_EQ(PlanSignature(bloom_off->report.plan),
+              PlanSignature(blind->report.plan));
+    EXPECT_TRUE(SameCostBits(bloom_off->report.estimated_cost,
+                             blind->report.estimated_cost));
+    EXPECT_TRUE(
+        SameCostBits(bloom_off->simulated_cost, blind->simulated_cost))
+        << bloom_off->simulated_cost << " vs " << blind->simulated_cost;
+    ASSERT_EQ(bloom_off->outputs.size(), blind->outputs.size());
+    for (const auto& [id, rows] : blind->outputs) {
+      EXPECT_TRUE(RowsBitIdentical(rows, bloom_off->outputs.at(id)))
+          << "bloom-off raw output " << id << " differs";
+    }
+
+    // `bloom_on`: the sixth transformation enumerates for real. On
+    // selective-join seeds the emitted plan grows probe pre-filters that
+    // drop shuffle rows, but the outputs must still match the unoptimized
+    // oracle — a Bloom false positive only passes a row the inner join
+    // itself discards. Thread invariance (checked below) covers the
+    // deterministic filter build.
+    StubbyOptions bloom_on_opts = opts;
+    bloom_on_opts.bloom_transfer = true;
+    ReuseSession bloom_on_session(nullptr);
+    auto bloom_on =
+        bloom_on_session.Run(f->plan(), f->dfs(), bloom_on_opts, &pool);
+    ASSERT_TRUE(bloom_on.ok()) << bloom_on.status();
+    ExpectMatchesOracle(bloom_on->outputs, oracle->outputs, "bloom_on",
+                        floats);
+
     // Mis-profiled (`reopt_misprofiled`): seeded multiplicative skew on
     // every profile-derived annotation (the data itself untouched),
     // adaptive on. The optimizer may pick — and mid-run splice to —
@@ -359,12 +407,13 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
     ExpectMatchesOracle(mis->outputs, oracle->outputs, "reopt_misprofiled",
                         floats);
 
-    by_threads[threads] = {Capture(*blind),    Capture(*batch_off),
+    by_threads[threads] = {Capture(*blind),     Capture(*batch_off),
                            Capture(*columnar_off),
-                           Capture(*cold),     Capture(*warm1),
-                           Capture(*warm2),    Capture(*posthoc),
-                           Capture(*memo_on),  Capture(*memo_off),
-                           Capture(*reopt_on), Capture(*mis)};
+                           Capture(*cold),      Capture(*warm1),
+                           Capture(*warm2),     Capture(*posthoc),
+                           Capture(*memo_on),   Capture(*memo_off),
+                           Capture(*bloom_off), Capture(*bloom_on),
+                           Capture(*reopt_on),  Capture(*mis)};
   }
 
   // Thread-count invariance: plans, cost bits, reuse counters, and raw
@@ -372,10 +421,11 @@ TEST_P(DifferentialEquivalence, EveryEmittedPlanMatchesTheOracle) {
   const std::vector<ModeResult>& t1 = by_threads.at(1);
   const std::vector<ModeResult>& t4 = by_threads.at(4);
   ASSERT_EQ(t1.size(), t4.size());
-  static const char* kModes[] = {"blind",    "batch_off", "columnar_off",
-                                 "cold",     "warm1",     "warm2",
-                                 "posthoc",  "memo_on",   "memo_off",
-                                 "reopt_on", "reopt_misprofiled"};
+  static const char* kModes[] = {"blind",     "batch_off", "columnar_off",
+                                 "cold",      "warm1",     "warm2",
+                                 "posthoc",   "memo_on",   "memo_off",
+                                 "bloom_off", "bloom_on",  "reopt_on",
+                                 "reopt_misprofiled"};
   for (size_t i = 0; i < t1.size(); ++i) {
     SCOPED_TRACE(kModes[i]);
     EXPECT_EQ(t1[i].plan_signature, t4[i].plan_signature);

@@ -215,6 +215,44 @@ TEST(AdaptiveRunnerTest, MisprofileTriggersSuffixOnlyReplan) {
   EXPECT_TRUE(RowsApproxEqual(OutRows(dfs), OutRows(oracle_dfs), 1e-6));
 }
 
+TEST(AdaptiveRunnerTest, ReduceOnlyMisprofileTriggersReplan) {
+  auto f = MakeChain();
+  ASSERT_TRUE(f.ok()) << f.status();
+  ProfileInPlace(&*f);
+
+  // Skew ONLY Jp's reduce-stage statistics. Map-side predictions stay
+  // exact, so every map-phase error term reads ~0 — only the reduce-side
+  // terms folded into MaxRelativeError (job output records/bytes, and
+  // reduce input when the combiner is inactive) can trip the check. Before
+  // those terms existed, this mis-profile sailed through unnoticed.
+  Plan perturbed = const_cast<WorkflowFactory&>(*f).plan();
+  auto jp = perturbed.GetMutableJob("Jp");
+  ASSERT_TRUE(jp.ok()) << jp.status();
+  Stage& reduce = (*jp)->branches[0].reduce_stages[0];
+  ASSERT_TRUE(reduce.stats.has_value());
+  reduce.stats->record_selectivity *= 4.0;
+  reduce.stats->byte_selectivity *= 4.0;
+
+  // Oracle: the clean plan as written (the skew never touches data).
+  Dfs oracle_dfs = f->dfs();
+  WorkflowRunner plain(f->plan().cluster());
+  ASSERT_TRUE(plain.Run(f->plan(), &oracle_dfs).ok());
+
+  StubbyOptions opts;
+  opts.reoptimize = true;
+  opts.reoptimize_threshold = 0.05;
+  Dfs dfs = f->dfs();
+  AdaptiveRunner runner(perturbed.cluster(), nullptr, ExecOptions{}, opts);
+  auto run = runner.Run(perturbed, &dfs);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_GE(run->stats.reoptimizations, 1u)
+      << "reduce-side error terms failed to fire: "
+      << run->stats.ToString();
+  EXPECT_GT(run->stats.max_rel_error, opts.reoptimize_threshold);
+  EXPECT_TRUE(RowsApproxEqual(OutRows(dfs), OutRows(oracle_dfs), 1e-6));
+}
+
 TEST(AdaptiveRunnerTest, ThreadCountInvariance) {
   auto f = MakeChain();
   ASSERT_TRUE(f.ok()) << f.status();
